@@ -1,0 +1,40 @@
+// Figure 7: "Rader's overhead over running 6 benchmarks without
+// instrumentation."  One row per benchmark, four detector configurations,
+// overheads relative to the uninstrumented serial run.
+//
+// Usage: fig7_overhead [--scale=S] [--reps=N]
+//   S scales input sizes toward the paper's (default keeps CI fast).
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  const double scale = rader::bench::parse_scale(argc, argv, 0.05);
+  const int reps = rader::bench::parse_reps(argc, argv, 2);
+  std::printf("fig7_overhead: scale=%.3g reps=%d\n", scale, reps);
+
+  std::vector<rader::bench::Row> rows;
+  for (auto& w : rader::apps::make_paper_benchmarks(scale)) {
+    std::printf("  measuring %-10s (%s)...\n", w.name.c_str(),
+                w.input_desc.c_str());
+    std::fflush(stdout);
+    rows.push_back(rader::bench::measure_workload(w, reps));
+  }
+  rader::bench::print_table(
+      "Figure 7 — overhead over NO INSTRUMENTATION", "no instrumentation",
+      rows, [](const rader::bench::Row& r) { return r.t_none; });
+
+  std::printf("\nabsolute uninstrumented times:\n");
+  for (const auto& r : rows) {
+    std::printf("  %-10s %8.3fs  (K=%u, D=%llu, %llu spawns)\n",
+                r.name.c_str(), r.t_none, r.probe.max_sync_block,
+                static_cast<unsigned long long>(r.probe.max_spawn_depth),
+                static_cast<unsigned long long>(r.probe.spawns));
+    std::printf("             view churn under check-reductions: %llu "
+                "steals, %llu identities, %llu user reduces\n",
+                static_cast<unsigned long long>(r.reduce_probe.steals),
+                static_cast<unsigned long long>(r.reduce_probe.identities),
+                static_cast<unsigned long long>(r.reduce_probe.user_reduces));
+  }
+  return 0;
+}

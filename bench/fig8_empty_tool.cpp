@@ -1,0 +1,31 @@
+// Figure 8: "Rader's overhead over running 6 benchmarks with an empty tool,
+// i.e., instrumentation leads to empty calls."  Separates the cost of the
+// instrumentation itself from the cost of the detection algorithms.
+//
+// Usage: fig8_empty_tool [--scale=S] [--reps=N]
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main(int argc, char** argv) {
+  const double scale = rader::bench::parse_scale(argc, argv, 0.05);
+  const int reps = rader::bench::parse_reps(argc, argv, 2);
+  std::printf("fig8_empty_tool: scale=%.3g reps=%d\n", scale, reps);
+
+  std::vector<rader::bench::Row> rows;
+  for (auto& w : rader::apps::make_paper_benchmarks(scale)) {
+    std::printf("  measuring %-10s (%s)...\n", w.name.c_str(),
+                w.input_desc.c_str());
+    std::fflush(stdout);
+    rows.push_back(rader::bench::measure_workload(w, reps));
+  }
+  rader::bench::print_table(
+      "Figure 8 — overhead over an EMPTY TOOL", "the empty tool", rows,
+      [](const rader::bench::Row& r) { return r.t_empty; });
+
+  std::printf("\ninstrumentation cost alone (empty tool / uninstrumented):\n");
+  for (const auto& r : rows) {
+    std::printf("  %-10s %6.2fx\n", r.name.c_str(), r.t_empty / r.t_none);
+  }
+  return 0;
+}

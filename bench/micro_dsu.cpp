@@ -1,0 +1,80 @@
+// Microbenchmarks for the disjoint-set substrate: the per-check α(v,v)
+// factor in both detectors' bounds.
+#include <benchmark/benchmark.h>
+
+#include "dsu/disjoint_set.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using rader::Rng;
+using namespace rader::dsu;
+
+void BM_MakeNode(benchmark::State& state) {
+  for (auto _ : state) {
+    DisjointSets ds;
+    for (int i = 0; i < state.range(0); ++i) {
+      benchmark::DoNotOptimize(ds.make_node());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MakeNode)->Arg(1024)->Arg(65536);
+
+void BM_FindAfterChainUnion(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  DisjointSets ds;
+  std::vector<Node> nodes;
+  for (int i = 0; i < n; ++i) nodes.push_back(ds.make_node());
+  Node root = nodes[0];
+  for (int i = 1; i < n; ++i) root = ds.link(root, nodes[i]);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ds.find(nodes[rng.below(n)]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FindAfterChainUnion)->Arg(1024)->Arg(1048576);
+
+void BM_SpBagsStylePattern(benchmark::State& state) {
+  // The detector's hot pattern: create a frame node into an S bag, merge
+  // child bags on return, query meta_of per access.
+  const int frames = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    DisjointSets ds;
+    Bag root_s(&ds, ds.make_node(), BagKind::kS, 0);
+    Bag root_p(&ds, BagKind::kP, 0);
+    for (int i = 0; i < frames; ++i) {
+      const Node child = ds.make_node();
+      Bag child_s(&ds, child, BagKind::kS, 0);
+      root_p.merge_from(child_s);
+      benchmark::DoNotOptimize(ds.meta_of(child).kind);
+    }
+    root_s.merge_from(root_p);
+  }
+  state.SetItemsProcessed(state.iterations() * frames);
+}
+BENCHMARK(BM_SpBagsStylePattern)->Arg(4096);
+
+void BM_RandomUnionsWithMeta(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(7);
+  for (auto _ : state) {
+    DisjointSets ds;
+    std::vector<Node> roots;
+    for (int i = 0; i < n; ++i) {
+      const Node node = ds.make_node();
+      ds.meta(node) = {BagKind::kP, static_cast<ViewId>(i)};
+      roots.push_back(node);
+    }
+    for (int i = 0; i < n - 1; ++i) {
+      const Node a = ds.find(roots[rng.below(n)]);
+      const Node b = ds.find(roots[rng.below(n)]);
+      if (a != b) ds.link(a, b);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_RandomUnionsWithMeta)->Arg(16384);
+
+}  // namespace

@@ -1,0 +1,61 @@
+// Microbenchmarks for the shadow spaces: the per-access cost that dominates
+// SP+ on access-dense benchmarks (the paper's fib/knapsack discussion).
+#include <benchmark/benchmark.h>
+
+#include "shadow/shadow_space.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using rader::Rng;
+using rader::shadow::ShadowSpace;
+
+void BM_SequentialSet(benchmark::State& state) {
+  ShadowSpace s;
+  std::uintptr_t addr = 0x100000;
+  for (auto _ : state) {
+    s.set(addr, 1);
+    addr = 0x100000 + ((addr + 1) & 0xFFFF);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SequentialSet);
+
+void BM_SequentialGetHit(benchmark::State& state) {
+  ShadowSpace s;
+  for (std::uintptr_t a = 0; a < 0x10000; ++a) s.set(0x100000 + a, 7);
+  std::uintptr_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.get(0x100000 + (addr & 0xFFFF)));
+    ++addr;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SequentialGetHit);
+
+void BM_RandomPageAccess(benchmark::State& state) {
+  // Defeats the one-page lookaside cache: every access hops pages.
+  ShadowSpace s;
+  Rng rng(3);
+  const int pages = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const std::uintptr_t addr = (rng.below(pages) << 12) | rng.below(4096);
+    s.set(addr, 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RandomPageAccess)->Arg(16)->Arg(1024);
+
+void BM_WordAccessEightBytes(benchmark::State& state) {
+  // The detectors iterate per byte: an 8-byte access costs 8 cell ops.
+  ShadowSpace s;
+  std::uintptr_t addr = 0x200000;
+  for (auto _ : state) {
+    for (std::uintptr_t b = addr; b != addr + 8; ++b) s.set(b, 1);
+    addr = 0x200000 + ((addr + 8) & 0xFFFF);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WordAccessEightBytes);
+
+}  // namespace

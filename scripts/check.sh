@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# One-command gate: configure, build, test, smoke-run examples and benches.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+echo "== examples =="
+./build/examples/quickstart
+./build/examples/view_read_race
+./build/examples/fig1_list_race
+./build/examples/schedule_dependent_bug
+./build/examples/wordcount >/dev/null && echo "wordcount ok"
+./build/examples/pbfs_demo 5000 30000
+
+echo "== fuzz smoke =="
+./build/tools/fuzz_detectors --seconds=3
+
+echo "== bench smoke =="
+./build/bench/thm6_update_coverage
+./build/bench/thm7_reduce_coverage
+./build/bench/fig7_overhead --scale=0.02 --reps=1
+
+echo "ALL CHECKS PASSED"

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Regenerate every table/figure the paper reports (EXPERIMENTS.md data).
+# Usage: scripts/run_experiments.sh [scale] [reps]   (defaults 0.25 / 3)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+SCALE="${1:-0.25}"
+REPS="${2:-3}"
+mkdir -p results
+
+run() {
+  local name="$1"; shift
+  echo "== $name =="
+  "$@" | tee "results/$name.txt"
+}
+
+run fig7 ./build/bench/fig7_overhead  --scale="$SCALE" --reps="$REPS"
+run fig8 ./build/bench/fig8_empty_tool --scale="$SCALE" --reps="$REPS"
+run thm6 ./build/bench/thm6_update_coverage
+run thm7 ./build/bench/thm7_reduce_coverage
+run scaling ./build/bench/detector_scaling
+run baselines ./build/bench/baseline_compare --scale="$SCALE" --reps="$REPS"
+run granularity ./build/bench/ablation_granularity --scale="$SCALE" --reps="$REPS"
+run speedup ./build/bench/parallel_speedup --scale="$SCALE" --reps="$REPS"
+
+echo "results written to results/"

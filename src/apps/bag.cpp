@@ -1,0 +1,8 @@
+#include "apps/bag.hpp"
+
+namespace rader::apps {
+
+// Pin the common instantiation so Bag compiles as part of the library.
+template class Bag<std::uint32_t>;
+
+}  // namespace rader::apps

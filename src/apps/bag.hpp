@@ -1,0 +1,215 @@
+// The Bag data structure of Leiserson and Schardl's work-efficient parallel
+// BFS [27] — the user-defined reducer pbfs is benchmarked with.
+//
+// A *pennant* is a tree of 2^k nodes whose root has a single child that is a
+// complete binary tree of 2^k − 1 nodes.  Two pennants of equal size combine
+// into one of twice the size with two pointer writes; a bag is a sequence of
+// pennants indexed by rank — a binary-counter representation of its size —
+// giving O(1) amortized insert and O(log n) union.  Union is exactly the
+// reducer's Reduce operation, so combining views is cheap no matter how many
+// elements each holds.
+//
+// The pointer splices in insert/union are annotated (shadow_write), so the
+// view-aware strands that execute Bag reduces are visible to SP+ — a Bag
+// node reached through a stale user pointer while a Reduce splices it is the
+// Figure-1 class of determinacy race.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "runtime/api.hpp"
+#include "support/common.hpp"
+
+namespace rader::apps {
+
+template <typename T>
+class Bag {
+ public:
+  Bag() = default;
+
+  Bag(Bag&& other) noexcept
+      : backbone_(std::move(other.backbone_)), size_(other.size_) {
+    other.backbone_.clear();
+    other.size_ = 0;
+  }
+
+  Bag& operator=(Bag&& other) noexcept {
+    if (this != &other) {
+      clear();
+      backbone_ = std::move(other.backbone_);
+      size_ = other.size_;
+      other.backbone_.clear();
+      other.size_ = 0;
+    }
+    return *this;
+  }
+
+  Bag(const Bag&) = delete;
+  Bag& operator=(const Bag&) = delete;
+
+  ~Bag() { clear(); }
+
+  bool empty() const { return size_ == 0; }
+  std::uint64_t size() const { return size_; }
+
+  /// O(1) amortized: insert as a singleton pennant and propagate carries.
+  void insert(T value) {
+    Node* carry = new Node{std::move(value), nullptr, nullptr};
+    std::size_t rank = 0;
+    while (rank < backbone_.size() && backbone_[rank] != nullptr) {
+      carry = pennant_union(backbone_[rank], carry);
+      backbone_[rank] = nullptr;
+      ++rank;
+    }
+    if (rank == backbone_.size()) backbone_.push_back(nullptr);
+    backbone_[rank] = carry;
+    ++size_;
+  }
+
+  /// O(log n) union: ripple-carry addition over the backbones.  `other` is
+  /// drained.  This is the Bag reducer's Reduce operation.
+  void merge(Bag&& other) {
+    if (other.backbone_.size() > backbone_.size()) {
+      backbone_.resize(other.backbone_.size(), nullptr);
+    }
+    Node* carry = nullptr;
+    for (std::size_t rank = 0; rank < backbone_.size(); ++rank) {
+      Node* a = backbone_[rank];
+      Node* b = rank < other.backbone_.size() ? other.backbone_[rank] : nullptr;
+      // Full adder on pennants of size 2^rank.
+      const int bits = (a != nullptr) + (b != nullptr) + (carry != nullptr);
+      switch (bits) {
+        case 0:
+          backbone_[rank] = nullptr;
+          break;
+        case 1:
+          backbone_[rank] = a ? a : (b ? b : carry);
+          carry = nullptr;
+          break;
+        case 2: {
+          Node* x = a ? a : b;
+          Node* y = (x == a) ? (b ? b : carry) : carry;
+          backbone_[rank] = nullptr;
+          carry = pennant_union(x, y);
+          break;
+        }
+        case 3:
+          backbone_[rank] = carry;
+          carry = pennant_union(a, b);
+          break;
+        default:
+          RADER_UNREACHABLE("pennant full adder");
+      }
+    }
+    if (carry != nullptr) backbone_.push_back(carry);
+    size_ += other.size_;
+    other.backbone_.clear();
+    other.size_ = 0;
+  }
+
+  /// Serial visit of every element.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (Node* pennant : backbone_) {
+      if (pennant != nullptr) walk(pennant, f);
+    }
+  }
+
+  /// Parallel visit: one spawn per pennant, recursive splitting within a
+  /// pennant down to subtrees of ≈ grain nodes.  The pennant at backbone
+  /// rank k holds exactly 2^k elements, so the split depth is known.
+  template <typename F>
+  void process_parallel(const F& f, std::uint32_t grain = 64) const {
+    std::uint32_t grain_bits = 0;
+    while ((std::uint64_t{1} << (grain_bits + 1)) <= grain) ++grain_bits;
+    call([&] {
+      for (std::size_t rank = 0; rank < backbone_.size(); ++rank) {
+        const Node* p = backbone_[rank];
+        if (p == nullptr) continue;
+        const std::uint32_t budget =
+            rank > grain_bits ? static_cast<std::uint32_t>(rank) - grain_bits
+                              : 0;
+        spawn([p, &f, budget] { process_tree(p, f, budget); });
+      }
+      sync();
+    });
+  }
+
+  void clear() {
+    for (Node* pennant : backbone_) {
+      if (pennant != nullptr) free_tree(pennant);
+    }
+    backbone_.clear();
+    size_ = 0;
+  }
+
+ private:
+  struct Node {
+    T value;
+    Node* left;
+    Node* right;
+  };
+
+  /// Combine two pennants of equal size 2^k into one of size 2^{k+1}.
+  static Node* pennant_union(Node* x, Node* y) {
+    shadow_write(&y->right, sizeof(Node*), SrcTag{"bag pennant-union"});
+    y->right = x->left;
+    shadow_write(&x->left, sizeof(Node*), SrcTag{"bag pennant-union"});
+    x->left = y;
+    return x;
+  }
+
+  template <typename F>
+  static void walk(const Node* n, const F& f) {
+    f(n->value);
+    if (n->left != nullptr) walk(n->left, f);
+    if (n->right != nullptr) walk(n->right, f);
+  }
+
+  template <typename F>
+  static void process_tree(const Node* n, const F& f,
+                           std::uint32_t depth_budget) {
+    if (depth_budget == 0) {
+      walk(n, f);
+      return;
+    }
+    f(n->value);
+    const Node* l = n->left;
+    const Node* r = n->right;
+    if (l != nullptr && r != nullptr) {
+      spawn([l, &f, depth_budget] { process_tree(l, f, depth_budget - 1); });
+      process_tree(r, f, depth_budget - 1);
+      sync();
+    } else if (l != nullptr) {
+      process_tree(l, f, depth_budget - 1);
+    } else if (r != nullptr) {
+      process_tree(r, f, depth_budget - 1);
+    }
+  }
+
+  static void free_tree(Node* n) {
+    if (n->left != nullptr) free_tree(n->left);
+    if (n->right != nullptr) free_tree(n->right);
+    // Node fields were annotated (pennant_union); drop their shadow so a
+    // reusing allocation in a later BFS layer cannot inherit it.
+    shadow_clear(n, sizeof(Node));
+    delete n;
+  }
+
+  std::vector<Node*> backbone_;
+  std::uint64_t size_ = 0;
+};
+
+/// Monoid over Bag<T>: identity = empty bag, reduce = bag union.
+template <typename T>
+struct bag_monoid {
+  using value_type = Bag<T>;
+  static value_type identity() { return {}; }
+  static void reduce(value_type& left, value_type& right) {
+    left.merge(std::move(right));
+  }
+};
+
+}  // namespace rader::apps

@@ -1,0 +1,141 @@
+#include "apps/collision.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "reducers/monoid.hpp"
+#include "reducers/reducer.hpp"
+#include "runtime/api.hpp"
+#include "support/common.hpp"
+#include "support/rng.hpp"
+
+namespace rader::apps {
+namespace {
+
+struct UniformGrid {
+  std::uint32_t dim = 1;
+  float inv_cell = 1.0f;
+  // CSR layout: sphere indices grouped by cell.
+  std::vector<std::uint32_t> offsets;
+  std::vector<std::uint32_t> members;
+
+  std::uint32_t clamp_coord(float v) const {
+    const auto c = static_cast<std::int64_t>(v * inv_cell);
+    return static_cast<std::uint32_t>(
+        std::clamp<std::int64_t>(c, 0, dim - 1));
+  }
+  std::uint32_t cell_of(const Sphere& s) const {
+    return (clamp_coord(s.x) * dim + clamp_coord(s.y)) * dim +
+           clamp_coord(s.z);
+  }
+};
+
+UniformGrid build_grid(const CollisionScene& scene) {
+  UniformGrid grid;
+  grid.dim = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(scene.world / scene.cell));
+  grid.inv_cell = static_cast<float>(grid.dim) / scene.world;
+  const std::size_t cells =
+      static_cast<std::size_t>(grid.dim) * grid.dim * grid.dim;
+  grid.offsets.assign(cells + 1, 0);
+  for (const Sphere& s : scene.spheres) ++grid.offsets[grid.cell_of(s) + 1];
+  for (std::size_t c = 0; c < cells; ++c) grid.offsets[c + 1] += grid.offsets[c];
+  grid.members.resize(scene.spheres.size());
+  std::vector<std::uint32_t> cursor(grid.offsets.begin(),
+                                    grid.offsets.end() - 1);
+  for (std::uint32_t i = 0; i < scene.spheres.size(); ++i) {
+    grid.members[cursor[grid.cell_of(scene.spheres[i])]++] = i;
+  }
+  return grid;
+}
+
+bool overlaps(const Sphere& a, const Sphere& b) {
+  const float dx = a.x - b.x, dy = a.y - b.y, dz = a.z - b.z;
+  const float rr = a.r + b.r;
+  return dx * dx + dy * dy + dz * dz < rr * rr;
+}
+
+}  // namespace
+
+CollisionScene make_scene(std::uint32_t n, std::uint64_t seed) {
+  CollisionScene scene;
+  Rng rng(seed);
+  scene.world = 1.0f;
+  // Density tuned so a few percent of spheres touch a neighbor.
+  const float radius =
+      0.35f / std::cbrt(static_cast<float>(std::max<std::uint32_t>(n, 1)));
+  scene.cell = std::max(0.02f, 2.5f * radius);
+  scene.spheres.resize(n);
+  for (auto& s : scene.spheres) {
+    s.x = static_cast<float>(rng.uniform());
+    s.y = static_cast<float>(rng.uniform());
+    s.z = static_cast<float>(rng.uniform());
+    s.r = radius * (0.5f + 0.5f * static_cast<float>(rng.uniform()));
+  }
+  return scene;
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> find_collisions(
+    const CollisionScene& scene, std::uint32_t grain) {
+  const UniformGrid grid = build_grid(scene);
+  using Pair = std::pair<std::uint32_t, std::uint32_t>;
+  reducer<monoid::vector_append<Pair>> hits(SrcTag{"collision hypervector"});
+
+  const auto n = static_cast<std::uint32_t>(scene.spheres.size());
+  parallel_for<std::uint32_t>(
+      0, n,
+      [&](std::uint32_t i) {
+        const Sphere& a = scene.spheres[i];
+        const std::uint32_t cx = grid.clamp_coord(a.x);
+        const std::uint32_t cy = grid.clamp_coord(a.y);
+        const std::uint32_t cz = grid.clamp_coord(a.z);
+        for (std::uint32_t x = (cx > 0 ? cx - 1 : 0);
+             x <= std::min(cx + 1, grid.dim - 1); ++x) {
+          for (std::uint32_t y = (cy > 0 ? cy - 1 : 0);
+               y <= std::min(cy + 1, grid.dim - 1); ++y) {
+            for (std::uint32_t z = (cz > 0 ? cz - 1 : 0);
+                 z <= std::min(cz + 1, grid.dim - 1); ++z) {
+              const std::uint32_t cell = (x * grid.dim + y) * grid.dim + z;
+              for (std::uint32_t k = grid.offsets[cell];
+                   k < grid.offsets[cell + 1]; ++k) {
+                const std::uint32_t j = grid.members[k];
+                // Report each pair once, owned by the lower index.
+                if (j <= i) continue;
+                if (overlaps(a, scene.spheres[j])) {
+                  hits.update(
+                      [&](std::vector<Pair>& v) {
+                        shadow_write(&v, sizeof(std::size_t),
+                                     SrcTag{"collision append"});
+                        v.emplace_back(i, j);
+                      },
+                      SrcTag{"collision append"});
+                }
+              }
+            }
+          }
+        }
+      },
+      grain);
+  sync();
+  auto result = hits.take_value(SrcTag{"collision result"});
+  // Iteration order within a sphere's neighborhood is deterministic, but
+  // normalize for comparisons with the brute-force reference.
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>> find_collisions_brute(
+    const CollisionScene& scene) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> result;
+  const auto n = static_cast<std::uint32_t>(scene.spheres.size());
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = i + 1; j < n; ++j) {
+      if (overlaps(scene.spheres[i], scene.spheres[j])) {
+        result.emplace_back(i, j);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace rader::apps

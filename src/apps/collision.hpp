@@ -1,0 +1,38 @@
+// collision benchmark: collision detection in 3-D with a "hypervector"
+// (vector-append) reducer, one of the paper's six benchmarks.
+//
+// Spheres are binned into a uniform grid (broad phase); a parallel sweep
+// over spheres tests each against the occupants of its 3×3×3 cell
+// neighborhood (narrow phase: exact sphere-sphere distance).  Colliding
+// pairs are appended to a hypervector reducer, so the output order is the
+// deterministic serial order regardless of schedule.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rader::apps {
+
+struct Sphere {
+  float x = 0, y = 0, z = 0;
+  float r = 0;
+};
+
+struct CollisionScene {
+  std::vector<Sphere> spheres;
+  float world = 1.0f;      // coordinates in [0, world)
+  float cell = 0.1f;       // grid cell edge (≥ 2·max radius)
+};
+
+/// Reproducible scene of n spheres, radius chosen so ~a few percent collide.
+CollisionScene make_scene(std::uint32_t n, std::uint64_t seed);
+
+/// Parallel broad+narrow phase; pairs (i < j) in deterministic order.
+std::vector<std::pair<std::uint32_t, std::uint32_t>> find_collisions(
+    const CollisionScene& scene, std::uint32_t grain = 32);
+
+/// Reference O(n²) narrow phase.
+std::vector<std::pair<std::uint32_t, std::uint32_t>> find_collisions_brute(
+    const CollisionScene& scene);
+
+}  // namespace rader::apps

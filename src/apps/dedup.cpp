@@ -1,0 +1,307 @@
+#include "apps/dedup.hpp"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "reducers/ostream_monoid.hpp"
+#include "runtime/api.hpp"
+#include "support/common.hpp"
+#include "support/hash.hpp"
+#include "support/rng.hpp"
+
+namespace rader::apps {
+namespace {
+
+// ---- LZ77 ---------------------------------------------------------------
+// Token stream: 0x00 <len:u16> <literal bytes>  |  0x01 <dist:u16> <len:u16>.
+constexpr std::size_t kWindow = 1 << 15;
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxMatch = 65535;
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>(v >> 8));
+}
+
+std::uint16_t get_u16(const std::string& s, std::size_t& i) {
+  RADER_CHECK_MSG(i + 2 <= s.size(), "truncated LZ77 stream");
+  const auto lo = static_cast<unsigned char>(s[i]);
+  const auto hi = static_cast<unsigned char>(s[i + 1]);
+  i += 2;
+  return static_cast<std::uint16_t>(lo | (hi << 8));
+}
+
+}  // namespace
+
+std::string lz77_compress(const char* data, std::size_t n) {
+  std::string out;
+  out.reserve(n / 2 + 16);
+  // Hash chains over 4-byte prefixes.
+  constexpr std::size_t kHashBits = 15;
+  constexpr std::size_t kHashSize = 1 << kHashBits;
+  std::vector<std::int32_t> head(kHashSize, -1);
+  std::vector<std::int32_t> prev(n, -1);
+  const auto hash4 = [&](std::size_t i) {
+    std::uint32_t v;
+    __builtin_memcpy(&v, data + i, 4);
+    return static_cast<std::size_t>((v * 2654435761u) >> (32 - kHashBits));
+  };
+
+  std::size_t i = 0;
+  std::size_t literal_start = 0;
+  const auto flush_literals = [&](std::size_t end) {
+    std::size_t pos = literal_start;
+    while (pos < end) {
+      const std::size_t len = std::min<std::size_t>(end - pos, kMaxMatch);
+      out.push_back(0x00);
+      put_u16(out, static_cast<std::uint16_t>(len));
+      out.append(data + pos, len);
+      pos += len;
+    }
+  };
+
+  while (i < n) {
+    std::size_t best_len = 0;
+    std::size_t best_dist = 0;
+    if (i + kMinMatch <= n) {
+      const std::size_t h = hash4(i);
+      int tries = 16;
+      for (std::int32_t cand = head[h]; cand >= 0 && tries-- > 0;
+           cand = prev[cand]) {
+        const auto c = static_cast<std::size_t>(cand);
+        if (i - c > kWindow) break;
+        std::size_t len = 0;
+        const std::size_t limit = std::min(n - i, kMaxMatch);
+        while (len < limit && data[c + len] == data[i + len]) ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_dist = i - c;
+        }
+      }
+      prev[i] = head[h];
+      head[h] = static_cast<std::int32_t>(i);
+    }
+    if (best_len >= kMinMatch) {
+      flush_literals(i);
+      out.push_back(0x01);
+      put_u16(out, static_cast<std::uint16_t>(best_dist));
+      put_u16(out, static_cast<std::uint16_t>(best_len));
+      // Index the skipped positions so later matches can find them.
+      const std::size_t end = i + best_len;
+      for (++i; i < end && i + kMinMatch <= n; ++i) {
+        const std::size_t h = hash4(i);
+        prev[i] = head[h];
+        head[h] = static_cast<std::int32_t>(i);
+      }
+      i = end;
+      literal_start = end;
+    } else {
+      ++i;
+    }
+  }
+  flush_literals(n);
+  return out;
+}
+
+std::string lz77_decompress(const std::string& compressed) {
+  std::string out;
+  std::size_t i = 0;
+  while (i < compressed.size()) {
+    const auto tag = static_cast<unsigned char>(compressed[i++]);
+    if (tag == 0x00) {
+      const std::uint16_t len = get_u16(compressed, i);
+      RADER_CHECK_MSG(i + len <= compressed.size(), "truncated literal run");
+      out.append(compressed, i, len);
+      i += len;
+    } else if (tag == 0x01) {
+      const std::uint16_t dist = get_u16(compressed, i);
+      const std::uint16_t len = get_u16(compressed, i);
+      RADER_CHECK_MSG(dist != 0 && dist <= out.size(), "bad match distance");
+      // Byte-by-byte: matches may overlap their own output.
+      std::size_t src = out.size() - dist;
+      for (std::uint16_t k = 0; k < len; ++k) out.push_back(out[src + k]);
+    } else {
+      RADER_UNREACHABLE("bad LZ77 token tag");
+    }
+  }
+  return out;
+}
+
+// ---- Content-defined chunking --------------------------------------------
+
+std::vector<std::uint32_t> content_chunks(const std::string& input,
+                                          const DedupParams& params) {
+  // Sliding-window polynomial rolling hash (as in LBFS/Rabin chunking): the
+  // hash depends only on the last kWindowBytes, so chunk boundaries
+  // RESYNCHRONIZE inside repeated content regardless of its offset — the
+  // property that makes deduplication effective.
+  constexpr std::uint32_t kWindowBytes = 48;
+  constexpr std::uint64_t kBase = 31;
+  std::uint64_t base_pow_w = 1;  // kBase^kWindowBytes
+  for (std::uint32_t i = 0; i < kWindowBytes; ++i) base_pow_w *= kBase;
+
+  std::vector<std::uint32_t> ends;
+  const std::uint64_t mask = (std::uint64_t{1} << params.boundary_bits) - 1;
+  std::uint64_t roll = 0;
+  std::uint32_t start = 0;
+  for (std::uint32_t i = 0; i < input.size(); ++i) {
+    roll = roll * kBase + static_cast<unsigned char>(input[i]) + 1;
+    if (i >= start + kWindowBytes) {
+      roll -= base_pow_w *
+              (static_cast<unsigned char>(input[i - kWindowBytes]) + 1);
+    }
+    const std::uint32_t len = i - start + 1;
+    const bool boundary =
+        len >= params.min_chunk && (mix64(roll) & mask) == mask;
+    if (boundary || len >= params.max_chunk) {
+      ends.push_back(i + 1);
+      start = i + 1;
+      roll = 0;
+    }
+  }
+  if (ends.empty() || ends.back() != input.size()) {
+    ends.push_back(static_cast<std::uint32_t>(input.size()));
+  }
+  return ends;
+}
+
+// ---- Compression pipeline -------------------------------------------------
+
+std::string make_dedup_input(std::size_t bytes, double dup_ratio,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  static constexpr const char* kWords[] = {
+      "stream", "chunk",  "pennant", "reducer", "monoid", "steal",
+      "strand", "worker", "view",    "sync",    "spawn",  "race"};
+  std::vector<std::string> blocks;
+  std::string out;
+  out.reserve(bytes + 1024);
+  while (out.size() < bytes) {
+    if (!blocks.empty() && rng.chance(dup_ratio)) {
+      out += blocks[rng.below(blocks.size())];
+      continue;
+    }
+    std::string block;
+    const std::size_t words = 200 + rng.below(400);
+    for (std::size_t w = 0; w < words; ++w) {
+      block += kWords[rng.below(std::size(kWords))];
+      block.push_back(rng.chance(0.15) ? '\n' : ' ');
+    }
+    out += block;
+    blocks.push_back(std::move(block));
+  }
+  out.resize(bytes);
+  return out;
+}
+
+DedupStats dedup_compress(const std::string& input, std::string& archive,
+                          const DedupParams& params) {
+  DedupStats stats;
+  stats.input_bytes = input.size();
+
+  const std::vector<std::uint32_t> ends = content_chunks(input, params);
+  const auto n_chunks = static_cast<std::uint32_t>(ends.size());
+  stats.total_chunks = n_chunks;
+
+  // Serial order-defining pass: fingerprint each chunk, assign ids, and
+  // decide first occurrences.
+  struct ChunkInfo {
+    std::uint32_t begin, end;
+    std::uint32_t ref;  // first-occurrence chunk index (== self if unique)
+  };
+  std::vector<ChunkInfo> chunks(n_chunks);
+  std::unordered_map<std::uint64_t, std::uint32_t> first_seen;
+  for (std::uint32_t c = 0; c < n_chunks; ++c) {
+    chunks[c].begin = c == 0 ? 0 : ends[c - 1];
+    chunks[c].end = ends[c];
+    const std::uint64_t fp =
+        fnv1a(input.data() + chunks[c].begin, chunks[c].end - chunks[c].begin);
+    auto [it, inserted] = first_seen.emplace(fp, c);
+    chunks[c].ref = it->second;
+    if (inserted) ++stats.unique_chunks;
+  }
+
+  // Parallel phase: compress unique chunks, emit the archive in order via
+  // the ostream reducer.
+  std::ostringstream sink;
+  {
+    ostream_reducer out(sink, SrcTag{"dedup archive stream"});
+    parallel_for<std::uint32_t>(
+        0, n_chunks,
+        [&](std::uint32_t c) {
+          const ChunkInfo& info = chunks[c];
+          if (info.ref != c) {
+            out << "R " << info.ref << "\n";
+            return;
+          }
+          const std::string packed =
+              lz77_compress(input.data() + info.begin, info.end - info.begin);
+          out << "U " << c << " " << (info.end - info.begin) << " "
+              << packed.size() << "\n";
+          out.write(packed);
+          out << "\n";
+        },
+        /*grain=*/1);
+    sync();
+    out.flush(SrcTag{"dedup final flush"});
+  }
+  archive = sink.str();
+  stats.output_bytes = archive.size();
+  return stats;
+}
+
+std::string dedup_restore(const std::string& archive) {
+  std::string out;
+  std::unordered_map<std::uint32_t, std::pair<std::size_t, std::size_t>>
+      chunk_spans;  // id -> [begin, end) in `out`
+  std::size_t i = 0;
+  const auto read_token = [&]() -> std::string {
+    while (i < archive.size() &&
+           (archive[i] == ' ' || archive[i] == '\n')) {
+      ++i;
+    }
+    std::size_t j = i;
+    while (j < archive.size() && archive[j] != ' ' && archive[j] != '\n') ++j;
+    std::string tok = archive.substr(i, j - i);
+    i = j;
+    return tok;
+  };
+  // Checked numeric parse: malformed archives must hit the panic path, not
+  // an uncaught std::stoul exception.
+  const auto read_number = [&]() -> unsigned long {
+    const std::string tok = read_token();
+    RADER_CHECK_MSG(!tok.empty() &&
+                        tok.find_first_not_of("0123456789") == std::string::npos,
+                    "malformed archive: expected a number");
+    return std::stoul(tok);
+  };
+  while (true) {
+    const std::string tag = read_token();
+    if (tag.empty()) break;
+    if (tag == "R") {
+      const auto ref = static_cast<std::uint32_t>(read_number());
+      const auto span = chunk_spans.at(ref);
+      const std::string dup = out.substr(span.first, span.second - span.first);
+      out += dup;
+    } else if (tag == "U") {
+      const auto id = static_cast<std::uint32_t>(read_number());
+      const auto raw_len = read_number();
+      const auto packed_len = read_number();
+      RADER_CHECK_MSG(i < archive.size() && archive[i] == '\n',
+                      "malformed archive header");
+      ++i;
+      RADER_CHECK_MSG(i + packed_len <= archive.size(), "truncated archive");
+      const std::string chunk =
+          lz77_decompress(archive.substr(i, packed_len));
+      RADER_CHECK_MSG(chunk.size() == raw_len, "chunk length mismatch");
+      i += packed_len;
+      chunk_spans[id] = {out.size(), out.size() + chunk.size()};
+      out += chunk;
+    } else {
+      RADER_UNREACHABLE("bad archive tag");
+    }
+  }
+  return out;
+}
+
+}  // namespace rader::apps

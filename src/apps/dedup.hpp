@@ -1,0 +1,60 @@
+// dedup benchmark: deduplicating compression, after the PARSEC `dedup`
+// kernel the paper ports to Cilk ("We converted the pipeline programs dedup
+// and ferret ... to use Cilk linguistics and a reducer_ostream to write
+// [their] output").
+//
+// Pipeline:
+//   1. content-defined chunking (rolling-hash boundaries, as in LBFS);
+//   2. chunk fingerprinting (FNV-1a 64);
+//   3. first-occurrence detection (serial, order-defining);
+//   4. parallel LZ77 compression of unique chunks;
+//   5. in-order output via an ostream reducer: `U <id> <len> <bytes>` for a
+//      unique chunk, `R <id>` for a repeat.
+//
+// A decompressor ("restore") makes the round-trip testable, and a
+// deterministic generator produces repetitive input with a controllable
+// duplicate ratio.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rader::apps {
+
+struct DedupParams {
+  std::uint32_t min_chunk = 256;
+  std::uint32_t max_chunk = 8192;
+  std::uint32_t boundary_bits = 10;  // expected chunk ≈ 2^bits bytes
+};
+
+struct DedupStats {
+  std::uint64_t input_bytes = 0;
+  std::uint64_t output_bytes = 0;
+  std::uint32_t total_chunks = 0;
+  std::uint32_t unique_chunks = 0;
+};
+
+/// Synthetic input: concatenation of paragraph-ish blocks drawn from a small
+/// dictionary, so chunking finds many duplicates (dup_ratio of blocks are
+/// repeats of earlier ones).
+std::string make_dedup_input(std::size_t bytes, double dup_ratio,
+                             std::uint64_t seed);
+
+/// Compress `input` into `archive` (parallel).  Returns statistics.
+DedupStats dedup_compress(const std::string& input, std::string& archive,
+                          const DedupParams& params = {});
+
+/// Restore the original bytes from an archive.  Aborts on malformed input.
+std::string dedup_restore(const std::string& archive);
+
+/// Plain LZ77 codec used for chunk payloads (exposed for unit tests).
+std::string lz77_compress(const char* data, std::size_t n);
+std::string lz77_decompress(const std::string& compressed);
+
+/// Content-defined chunk boundaries (exposed for unit tests): returns chunk
+/// end offsets, last == input size.
+std::vector<std::uint32_t> content_chunks(const std::string& input,
+                                          const DedupParams& params);
+
+}  // namespace rader::apps

@@ -1,0 +1,142 @@
+#include "apps/ferret.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "reducers/ostream_monoid.hpp"
+#include "reducers/reducer.hpp"
+#include "runtime/api.hpp"
+#include "support/rng.hpp"
+
+namespace rader::apps {
+
+void TopK::offer(const Hit& h) {
+  // k == 0 marks an identity view that has not yet learned its bound (the
+  // monoid's identity() cannot know k): collect unbounded, trim at merge.
+  if (k != 0 && hits.size() >= k && !(h < hits.back())) return;
+  auto pos = std::lower_bound(hits.begin(), hits.end(), h);
+  hits.insert(pos, h);
+  if (k != 0 && hits.size() > k) hits.pop_back();
+}
+
+void TopK::merge(TopK& other) {
+  if (k == 0) k = other.k;  // identity views learn k from real views
+  std::vector<Hit> merged;
+  merged.reserve(hits.size() + other.hits.size());
+  std::merge(hits.begin(), hits.end(), other.hits.begin(), other.hits.end(),
+             std::back_inserter(merged));
+  // k may STILL be 0 here (two unlearned identity views merging): stay
+  // unbounded — trimming would discard candidates before the bound is known.
+  if (k != 0 && merged.size() > k) merged.resize(k);
+  hits = std::move(merged);
+}
+
+void topk_monoid::reduce(TopK& left, TopK& right) {
+  if (left.k == 0) left.k = right.k;
+  left.merge(right);
+}
+
+namespace {
+
+float l2_sq(const Feature& a, const Feature& b) {
+  float s = 0;
+  for (std::size_t d = 0; d < kFeatureDim; ++d) {
+    const float diff = a[d] - b[d];
+    s += diff * diff;
+  }
+  return s;
+}
+
+Feature jitter(const Feature& base, Rng& rng, float amount) {
+  Feature f = base;
+  for (auto& v : f) {
+    v += amount * static_cast<float>(rng.uniform() - 0.5);
+  }
+  return f;
+}
+
+}  // namespace
+
+FerretDatabase make_ferret_db(std::uint32_t n, std::uint32_t q,
+                              std::uint64_t seed) {
+  Rng rng(seed);
+  const std::uint32_t clusters = std::max<std::uint32_t>(4, n / 64);
+  std::vector<Feature> centers(clusters);
+  for (auto& c : centers) {
+    for (auto& v : c) v = static_cast<float>(rng.uniform());
+  }
+  FerretDatabase db;
+  db.images.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    db.images.push_back(jitter(centers[rng.below(clusters)], rng, 0.15f));
+  }
+  db.queries.reserve(q);
+  for (std::uint32_t i = 0; i < q; ++i) {
+    db.queries.push_back(jitter(centers[rng.below(clusters)], rng, 0.10f));
+  }
+  return db;
+}
+
+std::vector<std::vector<std::uint32_t>> ferret_search(
+    const FerretDatabase& db, std::uint32_t k, std::string& report) {
+  std::vector<std::vector<std::uint32_t>> results(db.queries.size());
+  std::ostringstream sink;
+  {
+    ostream_reducer out(sink, SrcTag{"ferret report stream"});
+    // Outer parallelism across queries...
+    parallel_for<std::uint32_t>(
+        0, static_cast<std::uint32_t>(db.queries.size()),
+        [&](std::uint32_t qi) {
+          const Feature& query = db.queries[qi];
+          // ...inner parallelism across the database scan, merged by the
+          // user-defined top-k reducer.
+          reducer<topk_monoid> best(TopK{k, {}}, SrcTag{"ferret top-k"});
+          parallel_for<std::uint32_t>(
+              0, static_cast<std::uint32_t>(db.images.size()),
+              [&](std::uint32_t img) {
+                const float d = l2_sq(query, db.images[img]);
+                best.update(
+                    [&](TopK& view) {
+                      shadow_write(&view, sizeof(std::uint32_t),
+                                   SrcTag{"ferret topk offer"});
+                      view.offer(Hit{d, img});
+                    },
+                    SrcTag{"ferret topk offer"});
+              },
+              /*grain=*/64);
+          // No explicit sync: parallel_for joins its own frame.  A sync
+          // HERE would sync the enclosing chunk frame — with outer-loop
+          // children outstanding, the reducer reads below would then have
+          // different peer sets (a view-read race Peer-Set rightly flags).
+          const TopK top = best.get_value(SrcTag{"ferret query result"});
+          std::string line = "query " + std::to_string(qi) + ":";
+          results[qi].reserve(top.hits.size());
+          for (const Hit& h : top.hits) {
+            results[qi].push_back(h.id);
+            line += " " + std::to_string(h.id);
+          }
+          line += "\n";
+          out.write(line);
+        },
+        /*grain=*/1);
+    sync();
+    out.flush(SrcTag{"ferret final flush"});
+  }
+  report = sink.str();
+  return results;
+}
+
+std::vector<std::vector<std::uint32_t>> ferret_search_serial(
+    const FerretDatabase& db, std::uint32_t k) {
+  std::vector<std::vector<std::uint32_t>> results(db.queries.size());
+  for (std::size_t qi = 0; qi < db.queries.size(); ++qi) {
+    TopK top{k, {}};
+    for (std::uint32_t img = 0; img < db.images.size(); ++img) {
+      top.offer(Hit{l2_sq(db.queries[qi], db.images[img]), img});
+    }
+    for (const Hit& h : top.hits) results[qi].push_back(h.id);
+  }
+  return results;
+}
+
+}  // namespace rader::apps

@@ -1,0 +1,69 @@
+// ferret benchmark: content-based similarity search, after the PARSEC
+// `ferret` pipeline the paper ports to Cilk.
+//
+// The real ferret searches an image database with extracted feature vectors;
+// lacking image data, we synthesize a clustered database of 64-dimensional
+// feature histograms (the substitution preserves the code path: a parallel
+// scan ranking candidates by distance, with results merged by a user-defined
+// top-k reducer and emitted in order through an ostream reducer).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rader::apps {
+
+inline constexpr std::size_t kFeatureDim = 64;
+using Feature = std::array<float, kFeatureDim>;
+
+struct FerretDatabase {
+  std::vector<Feature> images;   // the "database"
+  std::vector<Feature> queries;  // probe images (near-cluster samples)
+};
+
+struct Hit {
+  float dist = 0;
+  std::uint32_t id = 0;
+  friend bool operator<(const Hit& a, const Hit& b) {
+    return a.dist < b.dist || (a.dist == b.dist && a.id < b.id);
+  }
+  friend bool operator==(const Hit& a, const Hit& b) {
+    return a.dist == b.dist && a.id == b.id;
+  }
+};
+
+/// Top-k view: the k best (smallest-distance) hits, sorted.  k == 0 marks
+/// an identity view that has not yet learned its bound (identity() cannot
+/// know k); it collects unbounded and is trimmed at the first merge.
+struct TopK {
+  std::uint32_t k = 0;
+  std::vector<Hit> hits;  // sorted ascending, size <= k (when k != 0)
+
+  void offer(const Hit& h);
+  void merge(TopK& other);
+};
+
+/// User-defined monoid: merge two top-k lists keeping the k best.
+struct topk_monoid {
+  using value_type = TopK;
+  static TopK identity() { return {}; }
+  static void reduce(TopK& left, TopK& right);
+};
+
+/// Reproducible clustered database (`n` images, `q` queries).
+FerretDatabase make_ferret_db(std::uint32_t n, std::uint32_t q,
+                              std::uint64_t seed);
+
+/// Parallel search: for each query, scan the database in parallel with a
+/// top-k reducer; append "query <i>: id,id,..." lines to `report` (in
+/// deterministic order via an ostream reducer).  Returns all ranked ids.
+std::vector<std::vector<std::uint32_t>> ferret_search(
+    const FerretDatabase& db, std::uint32_t k, std::string& report);
+
+/// Reference: serial scan per query.
+std::vector<std::vector<std::uint32_t>> ferret_search_serial(
+    const FerretDatabase& db, std::uint32_t k);
+
+}  // namespace rader::apps

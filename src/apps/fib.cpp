@@ -1,0 +1,56 @@
+#include "apps/fib.hpp"
+
+#include "runtime/api.hpp"
+
+namespace rader::apps {
+
+std::uint64_t fib_reducer(int n, reducer<monoid::op_add<long>>& calls,
+                          int serial_cutoff) {
+  calls += 1;
+  if (n < 2) return static_cast<std::uint64_t>(n);
+  if (n <= serial_cutoff) {
+    // Below the cutoff there is no parallelism, but still one reducer
+    // update per call (stressing the Update path, as in the paper).
+    return fib_reducer(n - 1, calls, serial_cutoff) +
+           fib_reducer(n - 2, calls, serial_cutoff);
+  }
+  std::uint64_t x = 0;
+  spawn([&] { x = fib_reducer(n - 1, calls, serial_cutoff); });
+  const std::uint64_t y = fib_reducer(n - 2, calls, serial_cutoff);
+  sync();
+  return x + y;
+}
+
+FibResult run_fib(int n, int serial_cutoff) {
+  reducer<monoid::op_add<long>> calls(SrcTag{"fib call counter"});
+  FibResult result;
+  result.value = fib_reducer(n, calls, serial_cutoff);
+  sync();
+  result.calls = calls.get_value(SrcTag{"fib final count"});
+  return result;
+}
+
+std::uint64_t fib_serial(int n) {
+  if (n < 2) return static_cast<std::uint64_t>(n);
+  std::uint64_t a = 0, b = 1;
+  for (int i = 2; i <= n; ++i) {
+    const std::uint64_t c = a + b;
+    a = b;
+    b = c;
+  }
+  return b;
+}
+
+std::uint64_t fib_call_count(int n) {
+  // calls(n) = 1 + calls(n-1) + calls(n-2) for n >= 2; calls(<2) = 1.
+  if (n < 2) return 1;
+  std::uint64_t a = 1, b = 1;  // calls(0), calls(1)
+  for (int i = 2; i <= n; ++i) {
+    const std::uint64_t c = 1 + a + b;
+    a = b;
+    b = c;
+  }
+  return b;
+}
+
+}  // namespace rader::apps

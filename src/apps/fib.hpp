@@ -1,0 +1,33 @@
+// fib benchmark: the paper's synthetic stress test.
+//
+// "The synthetic fib benchmark uses a reducer_opadd ... each function call
+// does almost no work except for updating reducers and reducing views.  The
+// overhead is thus evident — there is not much work to amortize it against."
+#pragma once
+
+#include <cstdint>
+
+#include "reducers/monoid.hpp"
+#include "reducers/reducer.hpp"
+
+namespace rader::apps {
+
+/// Recursive spawn-based Fibonacci that bumps `calls` once per invocation.
+std::uint64_t fib_reducer(int n, reducer<monoid::op_add<long>>& calls,
+                          int serial_cutoff = 2);
+
+struct FibResult {
+  std::uint64_t value = 0;
+  long calls = 0;
+};
+
+/// Run fib(n) with a fresh call-count reducer under the current engine.
+FibResult run_fib(int n, int serial_cutoff = 2);
+
+/// Reference: plain serial Fibonacci value.
+std::uint64_t fib_serial(int n);
+
+/// Reference: number of calls fib_reducer makes for n (with cutoff 2).
+std::uint64_t fib_call_count(int n);
+
+}  // namespace rader::apps

@@ -1,0 +1,93 @@
+#include "apps/graph.hpp"
+
+#include <algorithm>
+
+#include "support/common.hpp"
+#include "support/rng.hpp"
+
+namespace rader::apps {
+
+Graph Graph::from_edges(
+    std::uint32_t n,
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges) {
+  // Normalize: undirected, no self-loops, no duplicates.
+  for (auto& [a, b] : edges) {
+    if (a > b) std::swap(a, b);
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  edges.erase(std::remove_if(edges.begin(), edges.end(),
+                             [](const auto& e) { return e.first == e.second; }),
+              edges.end());
+
+  Graph g;
+  g.offsets_.assign(n + 1, 0);
+  for (const auto& [a, b] : edges) {
+    RADER_CHECK(a < n && b < n);
+    ++g.offsets_[a + 1];
+    ++g.offsets_[b + 1];
+  }
+  for (std::uint32_t v = 0; v < n; ++v) g.offsets_[v + 1] += g.offsets_[v];
+  g.targets_.resize(g.offsets_[n]);
+  std::vector<std::uint32_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [a, b] : edges) {
+    g.targets_[cursor[a]++] = b;
+    g.targets_[cursor[b]++] = a;
+  }
+  return g;
+}
+
+Graph Graph::random(std::uint32_t n, std::uint64_t m, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  edges.reserve(m);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    const auto a = static_cast<std::uint32_t>(rng.below(n));
+    const auto b = static_cast<std::uint32_t>(rng.below(n));
+    edges.emplace_back(a, b);
+  }
+  return from_edges(n, std::move(edges));
+}
+
+Graph Graph::rmat(std::uint32_t n, std::uint64_t m, std::uint64_t seed) {
+  // Round n up to a power of two for the quadrant recursion.
+  std::uint32_t bits = 0;
+  while ((std::uint32_t{1} << bits) < n) ++bits;
+  Rng rng(seed);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  edges.reserve(m);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    std::uint32_t a = 0, b = 0;
+    for (std::uint32_t bit = 0; bit < bits; ++bit) {
+      const double x = rng.uniform();
+      // Quadrant probabilities (0.45, 0.22, 0.22, 0.11) with slight noise.
+      if (x < 0.45) {
+        // top-left: neither bit set
+      } else if (x < 0.67) {
+        b |= (1u << bit);
+      } else if (x < 0.89) {
+        a |= (1u << bit);
+      } else {
+        a |= (1u << bit);
+        b |= (1u << bit);
+      }
+    }
+    if (a < n && b < n) edges.emplace_back(a, b);
+  }
+  return from_edges(n, std::move(edges));
+}
+
+Graph Graph::grid2d(std::uint32_t w, std::uint32_t h) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  edges.reserve(static_cast<std::size_t>(w) * h * 2);
+  const auto id = [w](std::uint32_t x, std::uint32_t y) { return y * w + x; };
+  for (std::uint32_t y = 0; y < h; ++y) {
+    for (std::uint32_t x = 0; x < w; ++x) {
+      if (x + 1 < w) edges.emplace_back(id(x, y), id(x + 1, y));
+      if (y + 1 < h) edges.emplace_back(id(x, y), id(x, y + 1));
+    }
+  }
+  return from_edges(w * h, std::move(edges));
+}
+
+}  // namespace rader::apps

@@ -1,0 +1,48 @@
+// Compressed-sparse-row graphs and reproducible generators for the pbfs
+// benchmark (|V| = 0.3M, |E| = 1.9M in the paper's configuration).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace rader::apps {
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Build from an edge list (deduplicated, both directions added).
+  static Graph from_edges(std::uint32_t n,
+                          std::vector<std::pair<std::uint32_t, std::uint32_t>>
+                              edges);
+
+  /// Uniformly random (Erdős–Rényi-style) undirected graph with ~m edges.
+  static Graph random(std::uint32_t n, std::uint64_t m, std::uint64_t seed);
+
+  /// RMAT-style power-law graph (a=0.45, b=c=0.22, d=0.11) with ~m edges.
+  static Graph rmat(std::uint32_t n, std::uint64_t m, std::uint64_t seed);
+
+  /// w×h 2-D grid (diameter stress for BFS).
+  static Graph grid2d(std::uint32_t w, std::uint32_t h);
+
+  std::uint32_t num_vertices() const {
+    return static_cast<std::uint32_t>(offsets_.size()) - 1;
+  }
+  std::uint64_t num_edges() const { return targets_.size(); }  // directed
+
+  std::span<const std::uint32_t> neighbors(std::uint32_t v) const {
+    return {targets_.data() + offsets_[v],
+            targets_.data() + offsets_[v + 1]};
+  }
+
+  std::uint32_t degree(std::uint32_t v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+ private:
+  std::vector<std::uint32_t> offsets_;  // size n+1
+  std::vector<std::uint32_t> targets_;  // size 2m (both directions)
+};
+
+}  // namespace rader::apps

@@ -1,0 +1,100 @@
+#include "apps/knapsack.hpp"
+
+#include <algorithm>
+
+#include "reducers/reducer.hpp"
+#include "runtime/api.hpp"
+
+namespace rader::apps {
+namespace {
+
+using BestReducer = reducer<best_solution_monoid>;
+
+struct Instance {
+  const std::vector<KnapsackItem>* items;
+  std::vector<long> value_suffix;  // value_suffix[i] = Σ value[i..n)
+};
+
+// Explore items[i..): take-or-skip with fractional-free optimistic bound.
+void explore(const Instance& inst, int i, long cap, long value,
+             BestReducer& best, int serial_cutoff) {
+  const auto& items = *inst.items;
+  const int n = static_cast<int>(items.size());
+  if (cap < 0) return;  // infeasible branch (overcommitted)
+  if (i == n) {
+    best.update(
+        [&](BestSolution& b) {
+          shadow_write(&b, sizeof(BestSolution), SrcTag{"knapsack best"});
+          if (value > b.value) {
+            b.value = value;
+            b.count = 1;
+          } else if (value == b.value) {
+            b.count += 1;
+          }
+        },
+        SrcTag{"knapsack best"});
+    return;
+  }
+  // Prune against the view-local lower bound.  The prune is strict, so a
+  // skipped subtree can contain neither a better leaf nor an optimal tie:
+  // the final (value, count) pair is deterministic even though the amount
+  // of work is schedule-dependent.
+  if (value + inst.value_suffix[i] < best.view().value) return;
+
+  if (n - i <= serial_cutoff) {
+    explore(inst, i + 1, cap - items[i].weight, value + items[i].value, best,
+            serial_cutoff);
+    explore(inst, i + 1, cap, value, best, serial_cutoff);
+    return;
+  }
+  const long take_cap = cap - items[i].weight;
+  const long take_value = value + items[i].value;
+  spawn([&inst, i, take_cap, take_value, &best, serial_cutoff] {
+    explore(inst, i + 1, take_cap, take_value, best, serial_cutoff);
+  });
+  explore(inst, i + 1, cap, value, best, serial_cutoff);
+  sync();
+}
+
+}  // namespace
+
+std::vector<KnapsackItem> knapsack_instance(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<KnapsackItem> items(n);
+  for (auto& item : items) {
+    item.value = rng.range(1, 100);
+    item.weight = rng.range(1, 100);
+  }
+  // Branch and bound works best with items in decreasing density order.
+  std::sort(items.begin(), items.end(),
+            [](const KnapsackItem& a, const KnapsackItem& b) {
+              return a.value * b.weight > b.value * a.weight;
+            });
+  return items;
+}
+
+BestSolution knapsack_parallel(const std::vector<KnapsackItem>& items,
+                               long capacity, int serial_cutoff) {
+  Instance inst;
+  inst.items = &items;
+  inst.value_suffix.assign(items.size() + 1, 0);
+  for (std::size_t i = items.size(); i-- > 0;) {
+    inst.value_suffix[i] = inst.value_suffix[i + 1] + items[i].value;
+  }
+  BestReducer best(SrcTag{"knapsack best reducer"});
+  explore(inst, 0, capacity, 0, best, serial_cutoff);
+  sync();
+  return best.get_value(SrcTag{"knapsack result"});
+}
+
+long knapsack_dp(const std::vector<KnapsackItem>& items, long capacity) {
+  std::vector<long> dp(capacity + 1, 0);
+  for (const auto& item : items) {
+    for (long c = capacity; c >= item.weight; --c) {
+      dp[c] = std::max(dp[c], dp[c - item.weight] + item.value);
+    }
+  }
+  return dp[capacity];
+}
+
+}  // namespace rader::apps

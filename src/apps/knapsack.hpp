@@ -1,0 +1,52 @@
+// knapsack benchmark: parallel branch-and-bound 0/1 knapsack.
+//
+// Port of Frigo's Cilk++ knapsack-challenge program, which the paper
+// benchmarks: the search tree is explored with spawns, and the best solution
+// found is maintained in a reducer over a USER-DEFINED STRUCT (value + the
+// number of optimal solutions seen), combined with a max-style monoid.
+// Pruning reads the *view-local* bound, so the amount of work is
+// schedule-dependent but the result is deterministic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace rader::apps {
+
+struct KnapsackItem {
+  long value = 0;
+  long weight = 0;
+};
+
+/// The user-defined reducer view: best value found plus solution count.
+struct BestSolution {
+  long value = -1;
+  long count = 0;  // number of distinct leaves achieving `value`
+};
+
+/// Monoid over BestSolution: keep the max value, summing counts on ties.
+struct best_solution_monoid {
+  using value_type = BestSolution;
+  static BestSolution identity() { return {}; }
+  static void reduce(BestSolution& left, BestSolution& right) {
+    if (right.value > left.value) {
+      left = right;
+    } else if (right.value == left.value) {
+      left.count += right.count;
+    }
+  }
+};
+
+/// Generate a reproducible instance with weights/values in [1, 100].
+std::vector<KnapsackItem> knapsack_instance(int n, std::uint64_t seed);
+
+/// Parallel branch-and-bound: best achievable value for `capacity`.
+BestSolution knapsack_parallel(const std::vector<KnapsackItem>& items,
+                               long capacity, int serial_cutoff = 6);
+
+/// Reference: dynamic-programming optimum (value only).
+long knapsack_dp(const std::vector<KnapsackItem>& items, long capacity);
+
+}  // namespace rader::apps

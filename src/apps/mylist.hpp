@@ -1,0 +1,112 @@
+// MyList: the user-defined singly linked list of the paper's Figure 1.
+//
+// "a singly linked list with a head and a tail pointer to enable fast list
+// concatenation."  insert() prepends (touching only the list struct and the
+// fresh node), while the monoid's Reduce concatenates in O(1) by writing the
+// left list's TAIL NODE's next pointer — the write that races with a
+// concurrent scan when two list objects share nodes after a shallow copy.
+//
+// Every next-pointer access is annotated, standing in for the compiled
+// ThreadSanitizer instrumentation of the paper's prototype.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/api.hpp"
+
+namespace rader::apps {
+
+struct ListNode {
+  int value = 0;
+  ListNode* next = nullptr;
+};
+
+class MyList {
+ public:
+  MyList() = default;
+
+  /// The Figure-1 bug: the copy constructor "only performs a shallow copy" —
+  /// a distinct MyList object whose head/tail point at the SAME nodes.
+  MyList(const MyList&) = default;
+  MyList& operator=(const MyList&) = default;
+
+  MyList(MyList&& other) noexcept : head_(other.head_), tail_(other.tail_) {
+    other.head_ = nullptr;
+    other.tail_ = nullptr;
+  }
+  MyList& operator=(MyList&& other) noexcept {
+    head_ = other.head_;
+    tail_ = other.tail_;
+    other.head_ = nullptr;
+    other.tail_ = nullptr;
+    return *this;
+  }
+
+  /// O(1) prepend: touches only this list object and the new node.
+  void insert(int value) {
+    auto* node = new ListNode{value, nullptr};
+    shadow_write(&node->next, sizeof(ListNode*), SrcTag{"MyList insert"});
+    node->next = head_;
+    shadow_write(&head_, sizeof(ListNode*), SrcTag{"MyList insert head"});
+    head_ = node;
+    if (tail_ == nullptr) tail_ = node;
+  }
+
+  /// O(1) concatenation: appends `rhs`'s nodes by WRITING this list's tail
+  /// node's next pointer — the Reduce-side write of Figure 1's race.
+  void concat(MyList& rhs) {
+    if (rhs.head_ == nullptr) return;
+    if (head_ == nullptr) {
+      shadow_write(&head_, sizeof(ListNode*),
+                   SrcTag{"MyList concat (Reduce, adopt)"});
+      head_ = rhs.head_;
+      tail_ = rhs.tail_;
+    } else {
+      shadow_write(&tail_->next, sizeof(ListNode*),
+                   SrcTag{"MyList concat (Reduce)"});
+      tail_->next = rhs.head_;
+      tail_ = rhs.tail_;
+    }
+    rhs.head_ = nullptr;
+    rhs.tail_ = nullptr;
+  }
+
+  /// Walk the list reading each next pointer (Figure 1's scan_list).
+  int scan(SrcTag tag = SrcTag{"scan_list"}) const {
+    int length = 0;
+    for (const ListNode* node = head_; node != nullptr;) {
+      shadow_read(&node->next, sizeof(ListNode*), tag);
+      node = node->next;
+      ++length;
+    }
+    return length;
+  }
+
+  /// Free owned nodes.  Only call on the owning list (not shallow copies).
+  void destroy() {
+    for (ListNode* node = head_; node != nullptr;) {
+      ListNode* next = node->next;
+      shadow_clear(node, sizeof(ListNode));
+      delete node;
+      node = next;
+    }
+    head_ = nullptr;
+    tail_ = nullptr;
+  }
+
+  bool empty() const { return head_ == nullptr; }
+  const ListNode* head() const { return head_; }
+
+ private:
+  ListNode* head_ = nullptr;
+  ListNode* tail_ = nullptr;
+};
+
+/// The list_monoid of Figure 1: identity = empty list, reduce = concat.
+struct list_monoid {
+  using value_type = MyList;
+  static MyList identity() { return {}; }
+  static void reduce(MyList& left, MyList& right) { left.concat(right); }
+};
+
+}  // namespace rader::apps

@@ -1,0 +1,65 @@
+#include "apps/pbfs.hpp"
+
+#include <deque>
+
+#include "apps/bag.hpp"
+#include "reducers/reducer.hpp"
+#include "runtime/api.hpp"
+
+namespace rader::apps {
+
+std::vector<std::uint32_t> pbfs(const Graph& g, std::uint32_t source,
+                                std::uint32_t grain) {
+  std::vector<std::uint32_t> dist(g.num_vertices(), kUnreached);
+  if (g.num_vertices() == 0) return dist;
+  dist[source] = 0;
+
+  Bag<std::uint32_t> layer;
+  layer.insert(source);
+  std::uint32_t d = 0;
+
+  while (!layer.empty()) {
+    reducer<bag_monoid<std::uint32_t>> next(SrcTag{"pbfs next-layer bag"});
+    const std::uint32_t next_dist = d + 1;
+    layer.process_parallel(
+        [&](std::uint32_t u) {
+          for (const std::uint32_t v : g.neighbors(u)) {
+            // Benign-race discovery, as in the PBFS paper: concurrent
+            // discoverers may both see kUnreached and both write the same
+            // next_dist / insert v twice; distances stay correct.  (The
+            // dist array is deliberately left unannotated — see DESIGN.md.)
+            if (dist[v] == kUnreached) {
+              dist[v] = next_dist;
+              next.update(
+                  [&](Bag<std::uint32_t>& b) { b.insert(v); },
+                  SrcTag{"pbfs bag insert"});
+            }
+          }
+        },
+        grain);
+    sync();
+    layer = next.take_value(SrcTag{"pbfs layer move-out"});
+    ++d;
+  }
+  return dist;
+}
+
+std::vector<std::uint32_t> serial_bfs(const Graph& g, std::uint32_t source) {
+  std::vector<std::uint32_t> dist(g.num_vertices(), kUnreached);
+  if (g.num_vertices() == 0) return dist;
+  std::deque<std::uint32_t> queue{source};
+  dist[source] = 0;
+  while (!queue.empty()) {
+    const std::uint32_t u = queue.front();
+    queue.pop_front();
+    for (const std::uint32_t v : g.neighbors(u)) {
+      if (dist[v] == kUnreached) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace rader::apps

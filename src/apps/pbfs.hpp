@@ -1,0 +1,27 @@
+// pbfs benchmark: work-efficient parallel breadth-first search with a Bag
+// reducer, after Leiserson & Schardl [27] — one of the paper's six
+// benchmarks (|V| = 0.3M, |E| = 1.9M).
+//
+// Each BFS layer is processed in parallel from a Bag; newly discovered
+// vertices are inserted into a Bag REDUCER, so concurrent discoverers each
+// fill a local view and the views are united (pennant unions — genuine user
+// Reduce code) by the runtime.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/graph.hpp"
+
+namespace rader::apps {
+
+inline constexpr std::uint32_t kUnreached = static_cast<std::uint32_t>(-1);
+
+/// Parallel BFS distances from `source` (kUnreached where unreachable).
+std::vector<std::uint32_t> pbfs(const Graph& g, std::uint32_t source,
+                                std::uint32_t grain = 128);
+
+/// Reference serial BFS.
+std::vector<std::uint32_t> serial_bfs(const Graph& g, std::uint32_t source);
+
+}  // namespace rader::apps

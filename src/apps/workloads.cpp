@@ -1,0 +1,152 @@
+#include "apps/workloads.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+
+#include "apps/collision.hpp"
+#include "apps/dedup.hpp"
+#include "apps/ferret.hpp"
+#include "apps/fib.hpp"
+#include "apps/knapsack.hpp"
+#include "apps/pbfs.hpp"
+#include "support/common.hpp"
+
+namespace rader::apps {
+namespace {
+
+Workload make_collision(double scale) {
+  auto scene = std::make_shared<CollisionScene>(
+      make_scene(static_cast<std::uint32_t>(20000 * scale), 0xc011));
+  auto out = std::make_shared<
+      std::vector<std::pair<std::uint32_t, std::uint32_t>>>();
+  Workload w;
+  w.name = "collision";
+  w.input_desc = std::to_string(scene->spheres.size()) + " spheres";
+  w.description = "Collision detection in 3D";
+  w.run = [scene, out] { *out = find_collisions(*scene); };
+  w.verify = [scene, out] { return *out == find_collisions_brute(*scene); };
+  return w;
+}
+
+Workload make_dedup(double scale) {
+  auto input = std::make_shared<std::string>(make_dedup_input(
+      static_cast<std::size_t>(4.0e6 * scale), 0.5, 0xded0));
+  auto archive = std::make_shared<std::string>();
+  Workload w;
+  w.name = "dedup";
+  w.input_desc = std::to_string(input->size() / 1024) + " KiB";
+  w.description = "Compression program";
+  w.run = [input, archive] { dedup_compress(*input, *archive); };
+  w.verify = [input, archive] { return dedup_restore(*archive) == *input; };
+  return w;
+}
+
+Workload make_ferret(double scale) {
+  auto db = std::make_shared<FerretDatabase>(
+      make_ferret_db(static_cast<std::uint32_t>(8000 * scale),
+                     static_cast<std::uint32_t>(std::max(4.0, 64 * scale)),
+                     0xfe44e7));
+  auto results =
+      std::make_shared<std::vector<std::vector<std::uint32_t>>>();
+  Workload w;
+  w.name = "ferret";
+  w.input_desc = std::to_string(db->images.size()) + " imgs / " +
+                 std::to_string(db->queries.size()) + " queries";
+  w.description = "Image similarity search";
+  w.run = [db, results] {
+    std::string report;
+    *results = ferret_search(*db, 10, report);
+  };
+  w.verify = [db, results] {
+    return *results == ferret_search_serial(*db, 10);
+  };
+  return w;
+}
+
+Workload make_fib(double scale) {
+  // fib's cost is exponential in n: scale shifts n logarithmically.
+  const int n = std::max(
+      10, 28 + static_cast<int>(std::llround(std::log2(std::max(scale, 1e-6)))));
+  auto result = std::make_shared<FibResult>();
+  Workload w;
+  w.name = "fib";
+  w.input_desc = std::to_string(n);
+  w.description = "Recursive Fibonacci";
+  w.run = [n, result] { *result = run_fib(n); };
+  w.verify = [n, result] {
+    return result->value == fib_serial(n) &&
+           static_cast<std::uint64_t>(result->calls) == fib_call_count(n);
+  };
+  return w;
+}
+
+Workload make_knapsack(double scale) {
+  const int n = std::max(
+      8, 26 + static_cast<int>(std::llround(std::log2(std::max(scale, 1e-6)))));
+  auto items =
+      std::make_shared<std::vector<KnapsackItem>>(knapsack_instance(n, 0x4a9));
+  long weight_total = 0;
+  for (const auto& item : *items) weight_total += item.weight;
+  const long capacity = weight_total / 3;
+  auto result = std::make_shared<BestSolution>();
+  Workload w;
+  w.name = "knapsack";
+  w.input_desc = std::to_string(n);
+  w.description = "Recursive knapsack";
+  w.run = [items, capacity, result] {
+    *result = knapsack_parallel(*items, capacity);
+  };
+  w.verify = [items, capacity, result] {
+    return result->value == knapsack_dp(*items, capacity);
+  };
+  return w;
+}
+
+Workload make_pbfs(double scale) {
+  const auto v = static_cast<std::uint32_t>(300000 * scale);
+  const auto e = static_cast<std::uint64_t>(1900000 * scale);
+  auto graph = std::make_shared<Graph>(
+      Graph::rmat(std::max<std::uint32_t>(v, 64), e, 0x9bf5));
+  auto dist = std::make_shared<std::vector<std::uint32_t>>();
+  Workload w;
+  w.name = "pbfs";
+  w.input_desc = "|V|=" + std::to_string(graph->num_vertices()) +
+                 ", |E|=" + std::to_string(graph->num_edges() / 2);
+  w.description = "Parallel breadth-first search";
+  w.run = [graph, dist] { *dist = pbfs(*graph, 0); };
+  w.verify = [graph, dist] { return *dist == serial_bfs(*graph, 0); };
+  return w;
+}
+
+}  // namespace
+
+std::vector<Workload> make_paper_benchmarks(double scale) {
+  std::vector<Workload> all;
+  all.push_back(make_collision(scale));
+  all.push_back(make_dedup(scale));
+  all.push_back(make_ferret(scale));
+  all.push_back(make_fib(scale));
+  all.push_back(make_knapsack(scale));
+  all.push_back(make_pbfs(scale));
+  return all;
+}
+
+const std::vector<std::string>& benchmark_names() {
+  static const std::vector<std::string> kNames = {
+      "collision", "dedup", "ferret", "fib", "knapsack", "pbfs"};
+  return kNames;
+}
+
+Workload make_benchmark(const std::string& name, double scale) {
+  if (name == "collision") return make_collision(scale);
+  if (name == "dedup") return make_dedup(scale);
+  if (name == "ferret") return make_ferret(scale);
+  if (name == "fib") return make_fib(scale);
+  if (name == "knapsack") return make_knapsack(scale);
+  if (name == "pbfs") return make_pbfs(scale);
+  RADER_UNREACHABLE("unknown benchmark name");
+}
+
+}  // namespace rader::apps

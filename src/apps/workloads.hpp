@@ -1,0 +1,38 @@
+// Uniform workload wrappers for the benchmark harness.
+//
+// Each of the paper's six benchmarks is packaged as a re-runnable callable
+// (safe to execute many times, under any engine) plus a verifier against an
+// independent reference — the harness in bench/ times them under each
+// detector configuration to regenerate Figures 7 and 8.
+//
+// `scale` trades fidelity for wall-clock: 1.0 approximates the paper's
+// input sizes (fib 28, knapsack 26, pbfs |V|=0.3M / |E|=1.9M, ...); smaller
+// values shrink inputs proportionally so the full table fits in CI.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rader::apps {
+
+struct Workload {
+  std::string name;
+  std::string input_desc;
+  std::string description;
+  std::function<void()> run;     // the timed computation (engine-agnostic)
+  std::function<bool()> verify;  // check the last run's output
+};
+
+/// The paper's six benchmarks (Figure 7 order).
+std::vector<Workload> make_paper_benchmarks(double scale);
+
+/// A single benchmark by name ("collision", "dedup", "ferret", "fib",
+/// "knapsack", "pbfs"); aborts on unknown names.
+Workload make_benchmark(const std::string& name, double scale);
+
+/// The benchmark names make_benchmark accepts, in Figure-7 order.
+const std::vector<std::string>& benchmark_names();
+
+}  // namespace rader::apps

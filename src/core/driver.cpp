@@ -1,0 +1,73 @@
+#include "core/driver.hpp"
+
+#include <algorithm>
+
+namespace rader {
+
+RaceLog Rader::check_view_read(FnView program) {
+  RaceLog log;
+  PeerSetDetector detector(&log);
+  spec::NoSteal no_steal;
+  run_serial(program, &detector, &no_steal);
+  return log;
+}
+
+RaceLog Rader::check_determinacy(FnView program,
+                                 const spec::StealSpec& steal_spec) {
+  RaceLog log;
+  SpPlusDetector detector(&log);
+  run_serial(program, &detector, &steal_spec);
+  log.stamp_found_under(steal_spec.describe());
+  return log;
+}
+
+RaceLog Rader::check_spbags(FnView program) {
+  RaceLog log;
+  SpBagsDetector detector(&log);
+  spec::NoSteal no_steal;
+  run_serial(program, &detector, &no_steal);
+  return log;
+}
+
+RaceLog Rader::check_with_family(
+    FnView program,
+    const std::vector<std::unique_ptr<spec::StealSpec>>& family) {
+  RaceLog merged;
+  for (const auto& steal_spec : family) {
+    merged.merge(check_determinacy(program, *steal_spec));
+  }
+  return merged;
+}
+
+Rader::ExhaustiveResult Rader::check_exhaustive(FnView program,
+                                                std::uint32_t k_cap,
+                                                std::uint64_t depth_cap) {
+  ExhaustiveResult result;
+
+  // Probe run: learn K and D (and find view-read races with Peer-Set).
+  {
+    PeerSetDetector peerset(&result.log);
+    spec::NoSteal no_steal;
+    result.probe_stats = run_serial(program, &peerset, &no_steal);
+  }
+  result.k = std::min<std::uint32_t>(result.probe_stats.max_sync_block, k_cap);
+  result.depth =
+      std::min<std::uint64_t>(result.probe_stats.max_spawn_depth, depth_cap);
+
+  // SP+ under no steals (== SP-bags coverage of the serial schedule).
+  {
+    spec::NoSteal no_steal;
+    result.log.merge(check_determinacy(program, no_steal));
+    ++result.spec_runs;
+  }
+
+  // The O(KD + K³) family of Section 7.
+  const auto family = spec::full_coverage_family(result.k, result.depth);
+  for (const auto& steal_spec : family) {
+    result.log.merge(check_determinacy(program, *steal_spec));
+    ++result.spec_runs;
+  }
+  return result;
+}
+
+}  // namespace rader

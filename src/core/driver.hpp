@@ -1,0 +1,72 @@
+// Rader: the top-level race-detection driver.
+//
+// Mirrors the paper's prototype workflow:
+//   * check_view_read      — one Peer-Set run (serial, no steals) detects
+//                            every view-read race (Theorem 4).
+//   * check_determinacy    — one SP+ run under a given steal specification
+//                            detects every determinacy race of that fixed
+//                            execution (Section 6).
+//   * check_with_family    — run SP+ under a family of specifications,
+//                            merging reports.
+//   * check_exhaustive     — the Section 7 recipe for ostensibly
+//                            deterministic programs: probe the program once
+//                            to learn K (max sync-block size) and D (max
+//                            spawn depth), build the O(KD + K³) family, and
+//                            run SP+ under each member, guaranteeing that
+//                            every possible view-aware strand is elicited
+//                            and every determinacy race involving a
+//                            view-oblivious strand is found.
+//
+// The program under test is a callable run (possibly) many times; it must
+// reset any state it mutates (the workload wrappers in src/apps do).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/peerset.hpp"
+#include "core/race_report.hpp"
+#include "core/spbags.hpp"
+#include "core/spplus.hpp"
+#include "runtime/run.hpp"
+#include "spec/spec_family.hpp"
+#include "spec/steal_spec.hpp"
+
+namespace rader {
+
+class Rader {
+ public:
+  /// Peer-Set over the serial execution: exact view-read race detection.
+  static RaceLog check_view_read(FnView program);
+
+  /// SP+ over the execution fixed by `steal_spec`.
+  static RaceLog check_determinacy(FnView program,
+                                   const spec::StealSpec& steal_spec);
+
+  /// Baseline: classic SP-bags (reducer-oblivious, no steals) — what Cilk
+  /// Screen / the Nondeterminator would report.
+  static RaceLog check_spbags(FnView program);
+
+  /// SP+ under every spec in `family`, merging the reports.
+  static RaceLog check_with_family(
+      FnView program,
+      const std::vector<std::unique_ptr<spec::StealSpec>>& family);
+
+  struct ExhaustiveResult {
+    RaceLog log;
+    SerialEngine::Stats probe_stats;  // from the no-steal probe run
+    std::uint64_t spec_runs = 0;      // SP+ executions performed
+    std::uint32_t k = 0;              // sync-block size used for the family
+    std::uint64_t depth = 0;          // spawn depth used for the family
+  };
+
+  /// Full Section-7 coverage: Peer-Set once + SP+ across the O(KD + K³)
+  /// family.  `k_cap` / `depth_cap` bound the family for large programs
+  /// (the guarantee then holds for sync blocks / depths within the caps).
+  static ExhaustiveResult check_exhaustive(FnView program,
+                                           std::uint32_t k_cap = 16,
+                                           std::uint64_t depth_cap = 64);
+};
+
+}  // namespace rader

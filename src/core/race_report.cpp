@@ -1,0 +1,141 @@
+#include "core/race_report.hpp"
+
+#include <sstream>
+
+namespace rader {
+
+void RaceLog::report_view_read(const ViewReadRace& r) {
+  ++view_read_count_;
+  if (!seen_reducers_.insert(r.reducer).second) return;  // dedup per reducer
+  if (view_read_races_.size() < max_stored_) view_read_races_.push_back(r);
+}
+
+void RaceLog::report_determinacy(const DeterminacyRace& r) {
+  ++determinacy_count_;
+  if (!seen_addrs_.insert(r.addr).second) return;  // dedup per location
+  if (determinacy_races_.size() < max_stored_) determinacy_races_.push_back(r);
+}
+
+void RaceLog::merge(const RaceLog& other) {
+  for (const auto& r : other.view_read_races_) {
+    if (seen_reducers_.insert(r.reducer).second &&
+        view_read_races_.size() < max_stored_) {
+      view_read_races_.push_back(r);
+    }
+  }
+  for (const auto& r : other.determinacy_races_) {
+    if (seen_addrs_.insert(r.addr).second &&
+        determinacy_races_.size() < max_stored_) {
+      determinacy_races_.push_back(r);
+    }
+  }
+  view_read_count_ += other.view_read_count_;
+  determinacy_count_ += other.determinacy_count_;
+}
+
+void RaceLog::stamp_found_under(const std::string& spec_description) {
+  for (auto& r : view_read_races_) {
+    if (r.found_under.empty()) r.found_under = spec_description;
+  }
+  for (auto& r : determinacy_races_) {
+    if (r.found_under.empty()) r.found_under = spec_description;
+  }
+}
+
+std::string RaceLog::to_string() const {
+  std::ostringstream os;
+  os << "RaceLog: " << view_read_count_ << " view-read race occurrence(s) ("
+     << view_read_races_.size() << " distinct reducer(s)), "
+     << determinacy_count_ << " determinacy race occurrence(s) ("
+     << determinacy_races_.size() << " distinct location(s))\n";
+  for (const auto& r : view_read_races_) {
+    os << "  view-read race on reducer #" << r.reducer << ": read at '"
+       << r.prior_label << "' (frame " << r.prior_frame
+       << ") has different peers than read at '" << r.current_label
+       << "' (frame " << r.current_frame << ")";
+    if (!r.found_under.empty()) os << " [replay: " << r.found_under << "]";
+    os << "\n";
+  }
+  for (const auto& r : determinacy_races_) {
+    os << "  determinacy race at 0x" << std::hex << r.addr << std::dec << ": "
+       << (r.current_kind == AccessKind::kWrite ? "write" : "read") << " ('"
+       << r.current_label << "', frame " << r.current_frame << ", "
+       << (r.current_view_aware ? "view-aware" : "view-oblivious")
+       << ") races with earlier "
+       << (r.prior_was_write ? "write" : "read") << " by frame "
+       << r.prior_frame;
+    if (!r.found_under.empty()) os << " [replay: " << r.found_under << "]";
+    os << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+void append_json_escaped(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u" << std::hex << static_cast<int>(c) << std::dec;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string RaceLog::to_json() const {
+  std::ostringstream os;
+  os << "{\"view_read_occurrences\":" << view_read_count_
+     << ",\"determinacy_occurrences\":" << determinacy_count_
+     << ",\"view_read_races\":[";
+  for (std::size_t i = 0; i < view_read_races_.size(); ++i) {
+    const auto& r = view_read_races_[i];
+    if (i != 0) os << ',';
+    os << "{\"reducer\":" << r.reducer << ",\"prior_frame\":" << r.prior_frame
+       << ",\"current_frame\":" << r.current_frame << ",\"prior_label\":";
+    append_json_escaped(os, r.prior_label);
+    os << ",\"current_label\":";
+    append_json_escaped(os, r.current_label);
+    os << ",\"found_under\":";
+    append_json_escaped(os, r.found_under);
+    os << '}';
+  }
+  os << "],\"determinacy_races\":[";
+  for (std::size_t i = 0; i < determinacy_races_.size(); ++i) {
+    const auto& r = determinacy_races_[i];
+    if (i != 0) os << ',';
+    os << "{\"addr\":" << r.addr << ",\"kind\":\""
+       << (r.current_kind == AccessKind::kWrite ? "write" : "read")
+       << "\",\"view_aware\":" << (r.current_view_aware ? "true" : "false")
+       << ",\"prior_was_write\":" << (r.prior_was_write ? "true" : "false")
+       << ",\"prior_frame\":" << r.prior_frame
+       << ",\"current_frame\":" << r.current_frame << ",\"label\":";
+    append_json_escaped(os, r.current_label);
+    os << ",\"found_under\":";
+    append_json_escaped(os, r.found_under);
+    os << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+void RaceLog::clear() {
+  view_read_count_ = 0;
+  determinacy_count_ = 0;
+  view_read_races_.clear();
+  determinacy_races_.clear();
+  seen_reducers_.clear();
+  seen_addrs_.clear();
+}
+
+}  // namespace rader

@@ -1,0 +1,90 @@
+// Race reports produced by the detection algorithms.
+//
+// Reports are deduplicated (one per raced-on reducer / memory location) so a
+// hot loop cannot flood the log, and capped in stored count while total
+// occurrences keep being tallied — mirroring how practical tools such as
+// Cilk Screen and the Nondeterminator report races.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "runtime/types.hpp"
+
+namespace rader {
+
+/// A view-read race: two reducer-reads at strands with different peer sets.
+struct ViewReadRace {
+  ReducerId reducer = kInvalidReducer;
+  FrameId prior_frame = kInvalidFrame;    // frame of the earlier reducer-read
+  FrameId current_frame = kInvalidFrame;  // frame of the later reducer-read
+  std::string prior_label;                // source tag of the earlier read
+  std::string current_label;              // source tag of the later read
+  std::string found_under;                // steal spec that elicited it
+};
+
+/// A determinacy race: two conflicting accesses on logically parallel
+/// strands (with the parallel-views condition when the later strand is
+/// view-aware).
+struct DeterminacyRace {
+  std::uintptr_t addr = 0;
+  AccessKind current_kind = AccessKind::kRead;
+  bool current_view_aware = false;
+  bool prior_was_write = false;           // which shadow space hit
+  FrameId prior_frame = kInvalidFrame;
+  FrameId current_frame = kInvalidFrame;
+  std::string current_label;
+  std::string found_under;                // steal spec that elicited it
+};
+
+class RaceLog {
+ public:
+  explicit RaceLog(std::size_t max_stored = 1024) : max_stored_(max_stored) {}
+
+  void report_view_read(const ViewReadRace& r);
+  void report_determinacy(const DeterminacyRace& r);
+
+  /// Merge another log into this one (used when checking a program under
+  /// many steal specifications).
+  void merge(const RaceLog& other);
+
+  /// Stamp every stored report that lacks one with the steal specification
+  /// it was found under — the paper's replay feature: "Rader reports the
+  /// labels corresponding to the stolen continuations that triggered the
+  /// race, making it easy to repeat the run for regression tests."
+  void stamp_found_under(const std::string& spec_description);
+
+  bool any() const {
+    return view_read_count_ != 0 || determinacy_count_ != 0;
+  }
+  std::uint64_t view_read_count() const { return view_read_count_; }
+  std::uint64_t determinacy_count() const { return determinacy_count_; }
+
+  const std::vector<ViewReadRace>& view_read_races() const {
+    return view_read_races_;
+  }
+  const std::vector<DeterminacyRace>& determinacy_races() const {
+    return determinacy_races_;
+  }
+
+  /// Human-readable multi-line summary.
+  std::string to_string() const;
+
+  /// Machine-readable JSON (counts plus the stored reports).
+  std::string to_json() const;
+
+  void clear();
+
+ private:
+  std::size_t max_stored_;
+  std::uint64_t view_read_count_ = 0;
+  std::uint64_t determinacy_count_ = 0;
+  std::vector<ViewReadRace> view_read_races_;
+  std::vector<DeterminacyRace> determinacy_races_;
+  std::unordered_set<std::uint64_t> seen_reducers_;
+  std::unordered_set<std::uintptr_t> seen_addrs_;
+};
+
+}  // namespace rader

@@ -1,0 +1,98 @@
+#include "core/spbags.hpp"
+
+namespace rader {
+
+void SpBagsDetector::on_run_begin() {
+  RADER_CHECK_MSG(granule_bits_ < 12, "granule_bits must be < 12");
+  ds_.clear();
+  stack_.clear();
+  reader_.clear();
+  writer_.clear();
+}
+
+void SpBagsDetector::on_frame_enter(FrameId frame, FrameId, FrameKind, ViewId) {
+  FrameState f;
+  f.node = ds_.make_node();
+  RADER_DCHECK(f.node == frame);  // frame IDs and DSU nodes advance together
+  (void)frame;
+  f.s = dsu::Bag(&ds_, f.node, dsu::BagKind::kS);
+  f.p = dsu::Bag(&ds_, dsu::BagKind::kP);
+  stack_.push_back(std::move(f));
+}
+
+void SpBagsDetector::on_frame_return(FrameId, FrameId, FrameKind kind) {
+  FrameState child = std::move(stack_.back());
+  stack_.pop_back();
+  if (stack_.empty()) return;  // root returned
+  FrameState& parent = stack_.back();
+  // SP-bags: "If F spawned G: F.P = F.P ∪ G.S ∪ G.P.
+  //           If F called G:  F.S = F.S ∪ G.S, F.P = F.P ∪ G.P."
+  // Reduce frames (which SP-bags does not know about) are treated like
+  // spawned children; under a no-steal spec none exist.
+  parent.p.merge_from(child.p);
+  if (kind == FrameKind::kCalled) {
+    parent.s.merge_from(child.s);
+  } else {
+    parent.p.merge_from(child.s);
+  }
+}
+
+void SpBagsDetector::on_sync(FrameId) {
+  FrameState& f = stack_.back();
+  // "F syncs: F.S = F.S ∪ F.P, F.P = ∅."
+  f.s.merge_from(f.p);
+}
+
+void SpBagsDetector::on_clear(std::uintptr_t addr, std::size_t size) {
+  if (size == 0) return;
+  const std::uintptr_t first = addr >> granule_bits_;
+  const std::uintptr_t last = (addr + size - 1) >> granule_bits_;
+  for (std::uintptr_t g = first; g <= last; ++g) {
+    reader_.set(g, shadow::ShadowSpace::kEmpty);
+    writer_.set(g, shadow::ShadowSpace::kEmpty);
+  }
+}
+
+void SpBagsDetector::on_access(AccessKind kind, std::uintptr_t addr,
+                               std::size_t size, bool, ViewId, SrcTag tag) {
+  FrameState& f = stack_.back();
+  if (size == 0) return;
+  const std::uintptr_t first = addr >> granule_bits_;
+  const std::uintptr_t last = (addr + size - 1) >> granule_bits_;
+  for (std::uintptr_t g = first; g <= last; ++g) {
+    // Representative address for reports (== the byte when granule_bits=0).
+    const std::uintptr_t b = g << granule_bits_;
+    const auto w = writer_.get(g);
+    const bool writer_parallel =
+        w != shadow::ShadowSpace::kEmpty &&
+        ds_.meta_of(w).kind == dsu::BagKind::kP;
+    if (kind == AccessKind::kRead) {
+      if (writer_parallel) {
+        log_->report_determinacy({b, kind, false, true, w,
+                                  static_cast<FrameId>(f.node), tag.label});
+      }
+      const auto r = reader_.get(g);
+      if (r == shadow::ShadowSpace::kEmpty ||
+          ds_.meta_of(r).kind == dsu::BagKind::kS) {
+        reader_.set(g, f.node);
+      }
+    } else {
+      const auto r = reader_.get(g);
+      if (r != shadow::ShadowSpace::kEmpty &&
+          ds_.meta_of(r).kind == dsu::BagKind::kP) {
+        log_->report_determinacy({b, kind, false, false, r,
+                                  static_cast<FrameId>(f.node), tag.label});
+      }
+      if (writer_parallel) {
+        log_->report_determinacy({b, kind, false, true, w,
+                                  static_cast<FrameId>(f.node), tag.label});
+      }
+      if (w == shadow::ShadowSpace::kEmpty ||
+          ds_.meta_of(w).kind == dsu::BagKind::kS) {
+        writer_.set(g, f.node);
+      }
+    }
+  }
+}
+
+}  // namespace rader

@@ -1,0 +1,143 @@
+#include "core/sporder.hpp"
+
+namespace rader {
+
+void SpOrderDetector::on_run_begin() {
+  RADER_CHECK_MSG(granule_bits_ < 12, "granule_bits must be < 12");
+  eng_.clear();
+  heb_.clear();
+  stack_.clear();
+  strands_.clear();
+  strand_frame_.clear();
+  reader_.clear();
+  writer_.clear();
+}
+
+void SpOrderDetector::new_strand_ref() {
+  FrameState& f = stack_.back();
+  top_ref_ = static_cast<std::uint32_t>(strands_.size());
+  strands_.emplace_back(f.eng, f.heb);
+  strand_frame_.push_back(f.id);
+  f.strand_ref = top_ref_;
+}
+
+void SpOrderDetector::on_frame_enter(FrameId frame, FrameId, FrameKind kind,
+                                     ViewId) {
+  if (stack_.empty()) {
+    // Root frame: first nodes of both orders.
+    FrameState root;
+    root.id = frame;
+    root.eng = eng_.make_first();
+    root.heb = heb_.make_first();
+    root.heb_frontier = root.heb;
+    stack_.push_back(root);
+    new_strand_ref();
+    return;
+  }
+
+  FrameState& parent = stack_.back();
+  FrameState child;
+  child.id = frame;
+  if (kind == FrameKind::kCalled) {
+    // Series composition: the child's first strand directly follows the
+    // caller's current strand in BOTH orders.
+    child.eng = eng_.insert_after(parent.eng);
+    child.heb = heb_.insert_after(parent.heb);
+  } else {
+    // Spawn (and runtime Reduce frames, which SP-order — being
+    // reducer-oblivious — treats like spawns, as SP-bags does):
+    //   English: spawn-strand < child < continuation;
+    //   Hebrew:  spawn-strand < continuation < child.
+    const OmNode cf_eng = eng_.insert_after(parent.eng);
+    const OmNode ct_eng = eng_.insert_after(cf_eng);
+    const OmNode ct_heb = heb_.insert_after(parent.heb);
+    const OmNode cf_heb = heb_.insert_after(ct_heb);
+    child.eng = cf_eng;
+    child.heb = cf_heb;
+    parent.eng = ct_eng;
+    parent.heb = ct_heb;
+    parent.heb_frontier = heb_.max(parent.heb_frontier, cf_heb);
+    new_strand_ref();  // the parent's continuation strand
+  }
+  child.heb_frontier = child.heb;
+  stack_.push_back(child);
+  new_strand_ref();  // the child's first strand
+}
+
+void SpOrderDetector::on_frame_return(FrameId, FrameId, FrameKind kind) {
+  const FrameState child = stack_.back();
+  stack_.pop_back();
+  if (stack_.empty()) return;  // root finished
+  FrameState& parent = stack_.back();
+  parent.heb_frontier = heb_.max(parent.heb_frontier, child.heb_frontier);
+  if (kind == FrameKind::kCalled) {
+    // Series: the caller resumes after the child's last strand.
+    parent.eng = eng_.insert_after(child.eng);
+    parent.heb = heb_.insert_after(child.heb);
+    parent.heb_frontier = heb_.max(parent.heb_frontier, parent.heb);
+  }
+  // Spawned children: the continuation strand was created at the spawn and
+  // is already the parent's current strand.
+  new_strand_ref();
+}
+
+void SpOrderDetector::on_sync(FrameId) {
+  FrameState& f = stack_.back();
+  // The sync strand follows every strand of the block in both orders: the
+  // last continuation is the English maximum, the frontier is the Hebrew
+  // maximum.
+  f.eng = eng_.insert_after(f.eng);
+  f.heb = heb_.insert_after(f.heb_frontier);
+  f.heb_frontier = f.heb;
+  new_strand_ref();
+}
+
+void SpOrderDetector::on_access(AccessKind kind, std::uintptr_t addr,
+                                std::size_t size, bool, ViewId, SrcTag tag) {
+  const FrameId fid = stack_.back().id;
+  if (size == 0) return;
+  const std::uintptr_t first = addr >> granule_bits_;
+  const std::uintptr_t last = (addr + size - 1) >> granule_bits_;
+  for (std::uintptr_t g = first; g <= last; ++g) {
+    // Representative address for reports (== the byte when granule_bits=0).
+    const std::uintptr_t b = g << granule_bits_;
+    const auto w = writer_.get(g);
+    const bool writer_parallel =
+        w != shadow::ShadowSpace::kEmpty && !in_series_with_current(w);
+    if (kind == AccessKind::kRead) {
+      if (writer_parallel) {
+        log_->report_determinacy(
+            {b, kind, false, true, strand_frame_[w], fid, tag.label, {}});
+      }
+      const auto r = reader_.get(g);
+      if (r == shadow::ShadowSpace::kEmpty || in_series_with_current(r)) {
+        reader_.set(g, top_ref_);
+      }
+    } else {
+      const auto r = reader_.get(g);
+      if (r != shadow::ShadowSpace::kEmpty && !in_series_with_current(r)) {
+        log_->report_determinacy(
+            {b, kind, false, false, strand_frame_[r], fid, tag.label, {}});
+      }
+      if (writer_parallel) {
+        log_->report_determinacy(
+            {b, kind, false, true, strand_frame_[w], fid, tag.label, {}});
+      }
+      if (w == shadow::ShadowSpace::kEmpty || in_series_with_current(w)) {
+        writer_.set(g, top_ref_);
+      }
+    }
+  }
+}
+
+void SpOrderDetector::on_clear(std::uintptr_t addr, std::size_t size) {
+  if (size == 0) return;
+  const std::uintptr_t first = addr >> granule_bits_;
+  const std::uintptr_t last = (addr + size - 1) >> granule_bits_;
+  for (std::uintptr_t g = first; g <= last; ++g) {
+    reader_.set(g, shadow::ShadowSpace::kEmpty);
+    writer_.set(g, shadow::ShadowSpace::kEmpty);
+  }
+}
+
+}  // namespace rader

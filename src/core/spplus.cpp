@@ -1,0 +1,161 @@
+#include "core/spplus.hpp"
+
+namespace rader {
+
+void SpPlusDetector::on_run_begin() {
+  RADER_CHECK_MSG(granule_bits_ < 12, "granule_bits must be < 12");
+  ds_.clear();
+  stack_.clear();
+  reader_.clear();
+  writer_.clear();
+}
+
+void SpPlusDetector::on_frame_enter(FrameId frame, FrameId, FrameKind kind,
+                                    ViewId vid) {
+  // Figure 6, "F spawns or calls G": G.S = MakeBag(G, Top(F.P).vid);
+  // G.P = ⟨MakeBag(∅, Top(F.P).vid)⟩.  The engine hands us the view ID
+  // current at entry, which equals our Top(F.P).vid invariantly.
+  FrameState g;
+  g.node = ds_.make_node();
+  RADER_DCHECK(g.node == frame);
+  (void)frame;
+  g.is_reduce = (kind == FrameKind::kReduce);
+  RADER_DCHECK(stack_.empty() || stack_.back().p_stack.back().vid() == vid);
+  g.s = dsu::Bag(&ds_, g.node, dsu::BagKind::kS, vid);
+  g.p_stack.emplace_back(&ds_, dsu::BagKind::kP, vid);
+  stack_.push_back(std::move(g));
+}
+
+void SpPlusDetector::on_frame_return(FrameId, FrameId, FrameKind kind) {
+  FrameState child = std::move(stack_.back());
+  stack_.pop_back();
+  // The implicit sync before return leaves exactly one (empty) P bag.
+  RADER_DCHECK(child.p_stack.size() == 1);
+  RADER_DCHECK(child.p_stack.back().empty());
+  if (stack_.empty()) return;  // root returned
+  FrameState& parent = stack_.back();
+  if (kind == FrameKind::kCalled) {
+    // "Called G returns to F: F.S ∪= G.S."
+    parent.s.merge_from(child.s);
+  } else {
+    // "Spawned G returns to F: Top(F.P) ∪= G.S."  Reduce invocations return
+    // the same way: the reduce strand's IDs join the merged top P bag, so
+    // the reduce strand stays parallel with other views' descendants but
+    // serializes (same vid) with the views it merged.
+    parent.p_stack.back().merge_from(child.s);
+  }
+}
+
+void SpPlusDetector::on_sync(FrameId) {
+  // "F syncs: F.S ∪= Top(F.P); Top(F.P) = MakeBag(∅, F.S.vid)."  All
+  // reduces for the sync block have been delivered, so one P bag remains.
+  FrameState& f = stack_.back();
+  RADER_DCHECK(f.p_stack.size() == 1);
+  f.s.merge_from(f.p_stack.back());
+  f.p_stack.back() = dsu::Bag(&ds_, dsu::BagKind::kP, f.s.vid());
+}
+
+void SpPlusDetector::on_steal(FrameId, std::uint32_t, ViewId new_vid) {
+  // "F executes a stolen continuation: Push(F.P, MakeBag(∅, new view ID))."
+  stack_.back().p_stack.emplace_back(&ds_, dsu::BagKind::kP, new_vid);
+}
+
+void SpPlusDetector::on_reduce(FrameId, ViewId left_vid, ViewId right_vid) {
+  // "F executes Reduce: p = Pop(F.P); Top(F.P) ∪= p."  The destination (the
+  // dominating view's bag) keeps its view ID.
+  FrameState& f = stack_.back();
+  RADER_DCHECK(f.p_stack.size() >= 2);
+  dsu::Bag popped = std::move(f.p_stack.back());
+  f.p_stack.pop_back();
+  RADER_DCHECK(popped.vid() == right_vid);
+  (void)right_vid;
+  RADER_DCHECK(f.p_stack.back().vid() == left_vid);
+  (void)left_vid;
+  f.p_stack.back().merge_from(popped);
+}
+
+bool SpPlusDetector::prior_races_oblivious(shadow::ShadowSpace::Payload prior) {
+  if (prior == shadow::ShadowSpace::kEmpty) return false;
+  return ds_.meta_of(prior).kind == dsu::BagKind::kP;
+}
+
+bool SpPlusDetector::prior_races_view_aware(
+    shadow::ShadowSpace::Payload prior, dsu::ViewId cur_vid) {
+  if (prior == shadow::ShadowSpace::kEmpty) return false;
+  const auto& meta = ds_.meta_of(prior);
+  return meta.kind == dsu::BagKind::kP && meta.vid != cur_vid;
+}
+
+void SpPlusDetector::on_clear(std::uintptr_t addr, std::size_t size) {
+  if (size == 0) return;
+  const std::uintptr_t first = addr >> granule_bits_;
+  const std::uintptr_t last = (addr + size - 1) >> granule_bits_;
+  for (std::uintptr_t g = first; g <= last; ++g) {
+    reader_.set(g, shadow::ShadowSpace::kEmpty);
+    writer_.set(g, shadow::ShadowSpace::kEmpty);
+  }
+}
+
+void SpPlusDetector::on_access(AccessKind kind, std::uintptr_t addr,
+                               std::size_t size, bool view_aware, ViewId,
+                               SrcTag tag) {
+  FrameState& f = stack_.back();
+  const dsu::ViewId cur_vid = f.p_stack.back().vid();
+  const bool in_reduce = f.is_reduce;
+  const auto fid = static_cast<FrameId>(f.node);
+
+  // Shadow replacement predicate: prior in series (S bag), or — inside a
+  // Reduce invocation — prior on the view being merged (same vid).
+  const auto should_replace = [&](shadow::ShadowSpace::Payload prior) {
+    if (prior == shadow::ShadowSpace::kEmpty) return true;
+    const auto& meta = ds_.meta_of(prior);
+    if (meta.kind == dsu::BagKind::kS) return true;
+    return in_reduce && meta.vid == cur_vid;
+  };
+
+  if (size == 0) return;
+  const std::uintptr_t first = addr >> granule_bits_;
+  const std::uintptr_t last = (addr + size - 1) >> granule_bits_;
+  for (std::uintptr_t g = first; g <= last; ++g) {
+    // Representative address for reports (== the byte when granule_bits=0).
+    const std::uintptr_t b = g << granule_bits_;
+    const auto w = writer_.get(g);
+    if (kind == AccessKind::kRead) {
+      const bool races = view_aware ? prior_races_view_aware(w, cur_vid)
+                                    : prior_races_oblivious(w);
+      if (races) {
+        log_->report_determinacy(
+            {b, kind, view_aware, true, w, fid, tag.label});
+      }
+      const auto r = reader_.get(g);
+      if (view_aware ? should_replace(r)
+                     : (r == shadow::ShadowSpace::kEmpty ||
+                        ds_.meta_of(r).kind == dsu::BagKind::kS)) {
+        reader_.set(g, f.node);
+      }
+    } else {
+      const auto r = reader_.get(g);
+      const bool reader_races = view_aware
+                                    ? prior_races_view_aware(r, cur_vid)
+                                    : prior_races_oblivious(r);
+      if (reader_races) {
+        log_->report_determinacy(
+            {b, kind, view_aware, false, r, fid, tag.label});
+      }
+      const bool writer_races = view_aware
+                                    ? prior_races_view_aware(w, cur_vid)
+                                    : prior_races_oblivious(w);
+      if (writer_races) {
+        log_->report_determinacy(
+            {b, kind, view_aware, true, w, fid, tag.label});
+      }
+      if (view_aware ? should_replace(w)
+                     : (w == shadow::ShadowSpace::kEmpty ||
+                        ds_.meta_of(w).kind == dsu::BagKind::kS)) {
+        writer_.set(g, f.node);
+      }
+    }
+  }
+}
+
+}  // namespace rader

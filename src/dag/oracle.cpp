@@ -1,0 +1,101 @@
+#include "dag/oracle.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace rader::dag {
+namespace {
+
+void check_view_reads(const PerfDag& dag, const Reachability& reach,
+                      OracleResult& out) {
+  // Group reducer-reads by reducer, then compare peer sets pairwise.
+  std::unordered_map<ReducerId, std::vector<StrandId>> reads;
+  for (const auto& r : dag.reducer_reads) reads[r.reducer].push_back(r.strand);
+  for (const auto& [h, strands] : reads) {
+    bool racing = false;
+    for (std::size_t i = 0; i < strands.size() && !racing; ++i) {
+      for (std::size_t j = i + 1; j < strands.size() && !racing; ++j) {
+        if (!reach.same_peers(strands[i], strands[j])) racing = true;
+      }
+    }
+    if (racing) {
+      out.any_view_read = true;
+      out.racing_reducers.insert(h);
+    }
+  }
+}
+
+void check_determinacy(const PerfDag& dag, const Reachability& reach,
+                       OracleResult& out) {
+  // Bucket accesses per (byte, allocation generation), preserving serial
+  // (recording) order.  A ClearEvent bumps the generation of its bytes:
+  // accesses in different generations target different objects that merely
+  // reused an address, and never race.
+  std::unordered_map<std::uintptr_t, std::uint32_t> generation;
+  std::unordered_map<std::uintptr_t,
+                     std::unordered_map<std::uint32_t, std::vector<std::size_t>>>
+      by_byte;
+  std::size_t next_clear = 0;
+  for (std::size_t i = 0; i < dag.accesses.size(); ++i) {
+    while (next_clear < dag.clears.size() &&
+           dag.clears[next_clear].before_access_index <= i) {
+      const ClearEvent& c = dag.clears[next_clear];
+      for (std::uintptr_t b = c.addr; b != c.addr + c.size; ++b) {
+        ++generation[b];
+      }
+      ++next_clear;
+    }
+    const Access& a = dag.accesses[i];
+    for (std::uintptr_t b = a.addr; b != a.addr + a.size; ++b) {
+      by_byte[b][generation[b]].push_back(i);
+    }
+  }
+  for (const auto& [byte, gens] : by_byte) {
+    bool racing = false;
+    bool racing_oblivious = false;  // some racing pair has an oblivious side
+    for (const auto& [gen, idxs] : gens) {
+      (void)gen;
+      for (std::size_t i = 0; i < idxs.size(); ++i) {
+        const Access& a1 = dag.accesses[idxs[i]];
+        for (std::size_t j = i + 1; j < idxs.size(); ++j) {
+          const Access& a2 = dag.accesses[idxs[j]];  // later in serial order
+          if (a1.strand == a2.strand) continue;
+          if (a1.kind != AccessKind::kWrite && a2.kind != AccessKind::kWrite) {
+            continue;
+          }
+          if (!reach.parallel(a1.strand, a2.strand)) continue;
+          if (a2.view_aware && a1.vid == a2.vid) continue;
+          racing = true;
+          if (!a1.view_aware || !a2.view_aware) racing_oblivious = true;
+        }
+        if (racing_oblivious) break;
+      }
+      if (racing_oblivious) break;
+    }
+    if (racing) {
+      out.any_determinacy = true;
+      out.racing_addrs.insert(byte);
+      if (racing_oblivious) out.racing_addrs_oblivious.insert(byte);
+    }
+  }
+}
+
+}  // namespace
+
+OracleResult run_oracle(const PerfDag& dag) {
+  OracleResult out;
+  const Reachability reach(dag);
+  check_view_reads(dag, reach, out);
+  check_determinacy(dag, reach, out);
+  return out;
+}
+
+OracleResult run_view_read_oracle(const PerfDag& dag) {
+  OracleResult out;
+  const Reachability reach(dag);
+  check_view_reads(dag, reach, out);
+  return out;
+}
+
+}  // namespace rader::dag

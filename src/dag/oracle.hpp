@@ -1,0 +1,48 @@
+// Brute-force race oracles: the ground truth the detectors are validated
+// against.
+//
+// Working directly from the recorded performance DAG and the paper's
+// definitions (no bags, no shadow spaces — full transitive closure instead):
+//
+//  * View-read race (Section 3): two reducer-reads of the same reducer at
+//    strands u, v with peers(u) != peers(v).
+//
+//  * Determinacy race (Section 5): accesses a1 (strand u, earlier in serial
+//    order) and a2 (strand v) overlap, at least one writes, and
+//      - a2 view-oblivious:  u ‖ v;
+//      - a2 view-aware:      u ‖ v  AND  the strands' views differ (strands
+//        on the same view are executed serially by one worker between
+//        steals and cannot race under any schedule consistent with the
+//        specification).
+//    Reduce-strand orderings are captured structurally: reduce-tree edges
+//    already serialize a reduce strand after the segments it merges.
+//
+// Complexity is O(V²) space and O(V·E + A²) time — fine for the randomized
+// property tests, hopeless for real workloads, which is exactly why the
+// paper's algorithms exist.
+#pragma once
+
+#include <unordered_set>
+
+#include "dag/graph.hpp"
+
+namespace rader::dag {
+
+struct OracleResult {
+  bool any_view_read = false;
+  bool any_determinacy = false;
+  std::unordered_set<std::uintptr_t> racing_addrs;  // byte-granular
+  // Subset of racing_addrs where some racing pair has at least one
+  // view-OBLIVIOUS access — the class Section 7's coverage guarantee is
+  // stated for.
+  std::unordered_set<std::uintptr_t> racing_addrs_oblivious;
+  std::unordered_set<ReducerId> racing_reducers;
+};
+
+/// Evaluate both race definitions on a recorded execution.
+OracleResult run_oracle(const PerfDag& dag);
+
+/// View-read oracle only (meaningful on no-steal recordings).
+OracleResult run_view_read_oracle(const PerfDag& dag);
+
+}  // namespace rader::dag

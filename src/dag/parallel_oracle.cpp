@@ -1,0 +1,126 @@
+#include "dag/parallel_oracle.hpp"
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "reducers/monoid.hpp"
+#include "reducers/reducer.hpp"
+#include "runtime/api.hpp"
+#include "sched/parallel_engine.hpp"
+
+namespace rader::dag {
+namespace {
+
+// Buckets identical to the serial oracle's: accesses per (byte, allocation
+// generation), in serial order.
+using Buckets =
+    std::unordered_map<std::uintptr_t,
+                       std::unordered_map<std::uint32_t,
+                                          std::vector<std::size_t>>>;
+
+Buckets bucket_accesses(const PerfDag& dag) {
+  Buckets by_byte;
+  std::unordered_map<std::uintptr_t, std::uint32_t> generation;
+  std::size_t next_clear = 0;
+  for (std::size_t i = 0; i < dag.accesses.size(); ++i) {
+    while (next_clear < dag.clears.size() &&
+           dag.clears[next_clear].before_access_index <= i) {
+      const ClearEvent& c = dag.clears[next_clear];
+      for (std::uintptr_t b = c.addr; b != c.addr + c.size; ++b) {
+        ++generation[b];
+      }
+      ++next_clear;
+    }
+    const Access& a = dag.accesses[i];
+    for (std::uintptr_t b = a.addr; b != a.addr + a.size; ++b) {
+      by_byte[b][generation[b]].push_back(i);
+    }
+  }
+  return by_byte;
+}
+
+bool bucket_races(const PerfDag& dag, const Reachability& reach,
+                  const std::vector<std::size_t>& idxs) {
+  for (std::size_t i = 0; i < idxs.size(); ++i) {
+    const Access& a1 = dag.accesses[idxs[i]];
+    for (std::size_t j = i + 1; j < idxs.size(); ++j) {
+      const Access& a2 = dag.accesses[idxs[j]];
+      if (a1.strand == a2.strand) continue;
+      if (a1.kind != AccessKind::kWrite && a2.kind != AccessKind::kWrite) {
+        continue;
+      }
+      if (!reach.parallel(a1.strand, a2.strand)) continue;
+      if (a2.view_aware && a1.vid == a2.vid) continue;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+OracleResult run_oracle_parallel(const PerfDag& dag, ParallelEngine& engine) {
+  OracleResult out;
+  // Phase 1: transitive closure, level-parallel.
+  const Reachability reach(dag, engine);
+
+  // Phase 2: per-reducer peer-set checks and per-location pairwise checks,
+  // each a parallel_for whose findings flow through vector-append reducers
+  // (the analysis runs on the library's own runtime).
+  std::unordered_map<ReducerId, std::vector<StrandId>> reads;
+  for (const auto& r : dag.reducer_reads) reads[r.reducer].push_back(r.strand);
+  std::vector<std::pair<ReducerId, const std::vector<StrandId>*>> read_groups;
+  read_groups.reserve(reads.size());
+  for (const auto& [h, strands] : reads) read_groups.emplace_back(h, &strands);
+
+  const Buckets by_byte = bucket_accesses(dag);
+  std::vector<std::pair<std::uintptr_t, const std::vector<std::size_t>*>>
+      bucket_list;
+  for (const auto& [byte, gens] : by_byte) {
+    for (const auto& [gen, idxs] : gens) {
+      (void)gen;
+      bucket_list.emplace_back(byte, &idxs);
+    }
+  }
+
+  engine.run([&] {
+    reducer<monoid::vector_append<ReducerId>> racing_reducers;
+    reducer<monoid::vector_append<std::uintptr_t>> racing_addrs;
+
+    parallel_for<std::size_t>(0, read_groups.size(), [&](std::size_t g) {
+      const auto& strands = *read_groups[g].second;
+      for (std::size_t i = 0; i < strands.size(); ++i) {
+        for (std::size_t j = i + 1; j < strands.size(); ++j) {
+          if (!reach.same_peers(strands[i], strands[j])) {
+            racing_reducers.update([&](std::vector<ReducerId>& v) {
+              v.push_back(read_groups[g].first);
+            });
+            return;
+          }
+        }
+      }
+    });
+    parallel_for<std::size_t>(0, bucket_list.size(), [&](std::size_t k) {
+      if (bucket_races(dag, reach, *bucket_list[k].second)) {
+        racing_addrs.update([&](std::vector<std::uintptr_t>& v) {
+          v.push_back(bucket_list[k].first);
+        });
+      }
+    });
+    sync();
+
+    for (const ReducerId h : racing_reducers.get_value()) {
+      out.racing_reducers.insert(h);
+    }
+    for (const std::uintptr_t b : racing_addrs.get_value()) {
+      out.racing_addrs.insert(b);
+    }
+  });
+
+  out.any_view_read = !out.racing_reducers.empty();
+  out.any_determinacy = !out.racing_addrs.empty();
+  return out;
+}
+
+}  // namespace rader::dag

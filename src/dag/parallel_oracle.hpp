@@ -1,0 +1,34 @@
+// Parallel offline race analysis — a prototype answer to the paper's
+// concluding question (§10): "a natural question is whether [the
+// algorithms] can be parallelized ... an efficient parallel algorithm can
+// lead to a light-weight always-on view-read race detection tool."
+//
+// The paper lays out why ON-THE-FLY parallel detection is hard (no "last
+// reader" under parallel execution; steal-specification constraints fight
+// the load balancer).  This module takes the offline route instead: record
+// the execution once (dag::Recorder), then evaluate the race definitions
+// over the performance DAG IN PARALLEL on the work-stealing engine — the
+// library analyzing itself with its own reducers:
+//
+//   * the transitive-closure sweeps parallelize across strands within a
+//     topological level (bitset rows OR in parallel);
+//   * the peer-set and per-location pairwise checks parallelize with
+//     parallel_for, collecting racing reducers/locations into
+//     vector-append reducers.
+//
+// Results are bit-identical to the serial oracle (property-tested).
+#pragma once
+
+#include "dag/oracle.hpp"
+
+namespace rader {
+class ParallelEngine;
+}  // namespace rader
+
+namespace rader::dag {
+
+/// Evaluate both race definitions on `dag` using `engine`'s workers.
+/// Equivalent to run_oracle(dag).
+OracleResult run_oracle_parallel(const PerfDag& dag, ParallelEngine& engine);
+
+}  // namespace rader::dag

@@ -1,0 +1,169 @@
+#include "dag/parse_tree.hpp"
+
+#include <utility>
+
+namespace rader::dag {
+namespace {
+
+struct Item {
+  bool spawned = false;
+  std::int32_t node = -1;
+};
+
+}  // namespace
+
+std::int32_t ParseTree::make_leaf(StrandId s) {
+  const auto idx = static_cast<std::int32_t>(nodes_.size());
+  Node n;
+  n.kind = NodeKind::kLeaf;
+  n.strand = s;
+  nodes_.push_back(n);
+  if (leaf_of_.size() <= s) leaf_of_.resize(s + 1, -1);
+  leaf_of_[s] = idx;
+  return idx;
+}
+
+std::int32_t ParseTree::make_inner(NodeKind kind, std::int32_t l,
+                                   std::int32_t r) {
+  const auto idx = static_cast<std::int32_t>(nodes_.size());
+  Node n;
+  n.kind = kind;
+  n.left = l;
+  n.right = r;
+  nodes_.push_back(n);
+  return idx;
+}
+
+ParseTree ParseTree::build(const PerfDag& dag) {
+  ParseTree tree;
+  const auto& log = dag.struct_log;
+
+  // Right-leaning chain for one sync block: node_i = kind_i(item_i, rest),
+  // where kind_i is P for a spawned child and S otherwise.
+  const auto build_block = [&tree](const std::vector<Item>& items) {
+    RADER_CHECK(!items.empty());
+    std::int32_t rest = items.back().node;
+    for (std::size_t i = items.size() - 1; i-- > 0;) {
+      rest = tree.make_inner(items[i].spawned ? NodeKind::kP : NodeKind::kS,
+                             items[i].node, rest);
+    }
+    return rest;
+  };
+  // Spine of S nodes linking the sync blocks.
+  const auto build_spine = [&tree](const std::vector<std::int32_t>& blocks) {
+    RADER_CHECK(!blocks.empty());
+    std::int32_t rest = blocks.back();
+    for (std::size_t i = blocks.size() - 1; i-- > 0;) {
+      rest = tree.make_inner(NodeKind::kS, blocks[i], rest);
+    }
+    return rest;
+  };
+
+  // Recursive descent over the structural log.  parse_frame is entered with
+  // `i` at the frame's first kStrand event and returns its subtree root,
+  // leaving `i` just past the frame's kReturn (or at end-of-log for root).
+  std::size_t i = 0;
+  auto parse_frame = [&](auto&& self) -> std::int32_t {
+    std::vector<std::int32_t> blocks;
+    std::vector<Item> items;
+    while (i < log.size()) {
+      const StructEvent ev = log[i];
+      switch (ev.op) {
+        case StructOp::kStrand:
+          items.push_back({false, tree.make_leaf(ev.strand)});
+          ++i;
+          break;
+        case StructOp::kEnterSpawned:
+        case StructOp::kEnterCalled: {
+          const bool spawned = ev.op == StructOp::kEnterSpawned;
+          ++i;  // consume the enter
+          const std::int32_t child = self(self);
+          items.push_back({spawned, child});
+          break;
+        }
+        case StructOp::kSync:
+          blocks.push_back(build_block(items));
+          items.clear();
+          ++i;  // the sync strand follows as a kStrand in the next block
+          break;
+        case StructOp::kReturn:
+          ++i;
+          blocks.push_back(build_block(items));
+          return build_spine(blocks);
+        case StructOp::kEnterRoot:
+          RADER_UNREACHABLE("nested root frame in structural log");
+        case StructOp::kEnterReduce:
+        case StructOp::kSteal:
+        case StructOp::kReduceMerge:
+          RADER_UNREACHABLE(
+              "parse trees exist only for no-steal executions "
+              "(series-parallel dags)");
+      }
+    }
+    // Root frame: log may end without an explicit kReturn.
+    blocks.push_back(build_block(items));
+    return build_spine(blocks);
+  };
+
+  RADER_CHECK(!log.empty() && log[0].op == StructOp::kEnterRoot);
+  i = 1;
+  tree.root_ = parse_frame(parse_frame);
+
+  // Fill parent/depth links iteratively.
+  tree.finalize(tree.root_, -1, 0);
+  return tree;
+}
+
+void ParseTree::finalize(std::int32_t node, std::int32_t parent,
+                         std::int32_t depth) {
+  std::vector<std::pair<std::int32_t, std::pair<std::int32_t, std::int32_t>>>
+      work{{node, {parent, depth}}};
+  while (!work.empty()) {
+    auto [n, pd] = work.back();
+    work.pop_back();
+    nodes_[n].parent = pd.first;
+    nodes_[n].depth = pd.second;
+    if (nodes_[n].left >= 0) work.push_back({nodes_[n].left, {n, pd.second + 1}});
+    if (nodes_[n].right >= 0)
+      work.push_back({nodes_[n].right, {n, pd.second + 1}});
+  }
+}
+
+std::int32_t ParseTree::lca(StrandId u, StrandId v) const {
+  std::int32_t a = leaf_of_[u];
+  std::int32_t b = leaf_of_[v];
+  RADER_CHECK(a >= 0 && b >= 0);
+  while (nodes_[a].depth > nodes_[b].depth) a = nodes_[a].parent;
+  while (nodes_[b].depth > nodes_[a].depth) b = nodes_[b].parent;
+  while (a != b) {
+    a = nodes_[a].parent;
+    b = nodes_[b].parent;
+  }
+  return a;
+}
+
+bool ParseTree::all_s_path(StrandId u, StrandId v) const {
+  if (u == v) return true;
+  const std::int32_t anc = lca(u, v);
+  if (nodes_[anc].kind != NodeKind::kS) return false;
+  for (std::int32_t n = nodes_[leaf_of_[u]].parent; n != anc;
+       n = nodes_[n].parent) {
+    if (nodes_[n].kind != NodeKind::kS) return false;
+  }
+  for (std::int32_t n = nodes_[leaf_of_[v]].parent; n != anc;
+       n = nodes_[n].parent) {
+    if (nodes_[n].kind != NodeKind::kS) return false;
+  }
+  return true;
+}
+
+std::uint32_t ParseTree::p_depth(StrandId u) const {
+  std::uint32_t count = 0;
+  for (std::int32_t n = nodes_[leaf_of_[u]].parent; n >= 0;
+       n = nodes_[n].parent) {
+    if (nodes_[n].kind == NodeKind::kP) ++count;
+  }
+  return count;
+}
+
+}  // namespace rader::dag

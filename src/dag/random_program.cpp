@@ -1,0 +1,263 @@
+#include "dag/random_program.hpp"
+
+#include <array>
+
+#include "reducers/reducer.hpp"
+#include "runtime/api.hpp"
+#include "support/common.hpp"
+#include "support/rng.hpp"
+
+namespace rader::dag {
+namespace {
+
+/// Counter monoid whose Update and Reduce code annotate the view memory —
+/// so view-aware strands produce access events, as compiled instrumentation
+/// would.
+struct Cnt {
+  long v = 0;
+  long* touch = nullptr;  // armed by kUpdateShared: Reduce re-writes it
+};
+
+struct cnt_monoid {
+  using value_type = Cnt;
+  static Cnt identity() { return {}; }
+  static void reduce(Cnt& left, Cnt& right) {
+    shadow_read(&right.v, sizeof(right.v), SrcTag{"cnt reduce (read rhs)"});
+    shadow_write(&left.v, sizeof(left.v), SrcTag{"cnt reduce (write lhs)"});
+    left.v += right.v;
+    if (right.touch != nullptr) {
+      // A view-aware write to SHARED memory that executes only when this
+      // particular reduce strand exists — the races it can cause are
+      // elicitable only by steal specifications that produce it (§7).
+      shadow_write(right.touch, sizeof(long), SrcTag{"cnt reduce touch"});
+      *right.touch += right.v;
+    }
+    if (left.touch == nullptr) left.touch = right.touch;
+  }
+};
+
+using CntReducer = reducer<cnt_monoid>;
+
+enum class ActionType : std::uint8_t {
+  kSpawn,    // spawn child frame #child_index
+  kCall,     // call child frame #child_index
+  kSync,
+  kRead,     // annotated read of pool[loc]
+  kWrite,    // annotated write of pool[loc]
+  kUpdate,   // reducer[red].update: annotated add to the view
+  kUpdateShared,  // update that also writes pool[loc] and arms Reduce
+  kGetValue, // reducer-read
+  kSetValue, // reducer-read
+  kRawRead,  // annotated read of reducer[red]'s leftmost view storage
+  kRawWrite, // annotated write of reducer[red]'s leftmost view storage
+};
+
+struct Action {
+  ActionType type;
+  std::uint32_t child = 0;  // for kSpawn / kCall
+  std::uint32_t loc = 0;    // for kRead / kWrite
+  std::uint32_t red = 0;    // reducer index
+  long amount = 0;          // update increment / set value
+};
+
+struct FrameTemplate {
+  std::vector<Action> actions;
+  std::vector<std::unique_ptr<FrameTemplate>> children;
+};
+
+}  // namespace
+
+struct RandomProgram::Impl {
+  RandomProgramParams params;
+  FrameTemplate root;
+  std::vector<long> pool;          // shared scalar locations
+  std::vector<std::unique_ptr<CntReducer>> reducers;  // live during a run
+  std::vector<long> totals;        // reducer values captured at run end
+
+  void generate(FrameTemplate& frame, Rng& rng, std::uint32_t depth);
+  void execute(const FrameTemplate& frame);
+};
+
+void RandomProgram::Impl::generate(FrameTemplate& frame, Rng& rng,
+                                   std::uint32_t depth) {
+  const std::uint32_t n_actions =
+      1 + static_cast<std::uint32_t>(rng.below(params.max_actions));
+  for (std::uint32_t i = 0; i < n_actions; ++i) {
+    double x = rng.uniform();
+    Action a{};
+    const auto pick_loc = [&] {
+      return static_cast<std::uint32_t>(rng.below(params.num_locations));
+    };
+    const auto pick_red = [&] {
+      return static_cast<std::uint32_t>(rng.below(params.num_reducers));
+    };
+    bool want_spawn = false;
+    bool want_call = false;
+    if ((x -= params.p_spawn) < 0) {
+      want_spawn = true;
+    } else if ((x -= params.p_call) < 0) {
+      want_call = true;
+    }
+    if (want_spawn || want_call) {
+      if (depth >= params.max_depth) {
+        // At the depth bound, nesting picks degrade to plain accesses so
+        // the configured action mix is otherwise preserved.
+        a.type = rng.chance(0.5) ? ActionType::kRead : ActionType::kWrite;
+        a.loc = pick_loc();
+        frame.actions.push_back(a);
+        continue;
+      }
+      a.type = want_spawn ? ActionType::kSpawn : ActionType::kCall;
+      a.child = static_cast<std::uint32_t>(frame.children.size());
+      frame.children.push_back(std::make_unique<FrameTemplate>());
+      generate(*frame.children.back(), rng, depth + 1);
+    } else if ((x -= params.p_sync) < 0) {
+      a.type = ActionType::kSync;
+    } else if ((x -= params.p_access) < 0) {
+      a.type = rng.chance(0.5) ? ActionType::kRead : ActionType::kWrite;
+      a.loc = pick_loc();
+    } else if ((x -= params.p_update) < 0) {
+      a.type = ActionType::kUpdate;
+      a.red = pick_red();
+      a.amount = rng.range(1, 9);
+    } else if ((x -= params.p_reducer_read) < 0) {
+      a.type = rng.chance(0.7) ? ActionType::kGetValue : ActionType::kSetValue;
+      a.red = pick_red();
+      a.amount = rng.range(0, 99);
+    } else if ((x -= params.p_raw_view) < 0) {
+      a.type = rng.chance(0.5) ? ActionType::kRawRead : ActionType::kRawWrite;
+      a.red = pick_red();
+    } else if ((x -= params.p_update_shared) < 0) {
+      a.type = ActionType::kUpdateShared;
+      a.red = pick_red();
+      a.loc = pick_loc();
+      a.amount = rng.range(1, 9);
+    } else {
+      // Leftover probability mass defaults to a benign update, so zeroed
+      // action classes stay genuinely absent.
+      a.type = ActionType::kUpdate;
+      a.red = pick_red();
+      a.amount = rng.range(1, 9);
+    }
+    frame.actions.push_back(a);
+  }
+}
+
+void RandomProgram::Impl::execute(const FrameTemplate& frame) {
+  for (const Action& a : frame.actions) {
+    switch (a.type) {
+      case ActionType::kSpawn:
+        spawn([this, &frame, &a] { execute(*frame.children[a.child]); });
+        break;
+      case ActionType::kCall:
+        call([this, &frame, &a] { execute(*frame.children[a.child]); });
+        break;
+      case ActionType::kSync:
+        sync();
+        break;
+      case ActionType::kRead: {
+        shadow_read(&pool[a.loc], sizeof(long), SrcTag{"pool read"});
+        volatile long sink = pool[a.loc];
+        (void)sink;
+        break;
+      }
+      case ActionType::kWrite:
+        shadow_write(&pool[a.loc], sizeof(long), SrcTag{"pool write"});
+        pool[a.loc] += 1;
+        break;
+      case ActionType::kUpdate:
+        reducers[a.red]->update(
+            [&](Cnt& c) {
+              shadow_write(&c.v, sizeof(c.v), SrcTag{"cnt update"});
+              c.v += a.amount;
+            },
+            SrcTag{"cnt update"});
+        break;
+      case ActionType::kUpdateShared:
+        reducers[a.red]->update(
+            [&](Cnt& c) {
+              shadow_write(&c.v, sizeof(c.v), SrcTag{"cnt update (shared)"});
+              c.v += a.amount;
+              shadow_write(&pool[a.loc], sizeof(long),
+                           SrcTag{"update writes pool"});
+              pool[a.loc] += 1;
+              c.touch = &pool[a.loc];
+            },
+            SrcTag{"cnt update (shared)"});
+        break;
+      case ActionType::kGetValue: {
+        volatile long sink = reducers[a.red]->get_value(SrcTag{"get_value"}).v;
+        (void)sink;
+        break;
+      }
+      case ActionType::kSetValue:
+        reducers[a.red]->set_value(Cnt{a.amount}, SrcTag{"set_value"});
+        break;
+      case ActionType::kRawRead: {
+        // The Figure-1 bug class: user code reads through a stale pointer
+        // into the reducer's underlying (leftmost-view) data, which Reduce
+        // operations mutate.
+        Cnt* raw = static_cast<Cnt*>(reducers[a.red]->hyper_leftmost());
+        shadow_read(&raw->v, sizeof(raw->v), SrcTag{"raw view read"});
+        volatile long sink = raw->v;
+        (void)sink;
+        break;
+      }
+      case ActionType::kRawWrite: {
+        Cnt* raw = static_cast<Cnt*>(reducers[a.red]->hyper_leftmost());
+        shadow_write(&raw->v, sizeof(raw->v), SrcTag{"raw view write"});
+        raw->v += 1;
+        break;
+      }
+    }
+  }
+}
+
+RandomProgram::RandomProgram(const RandomProgramParams& params)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->params = params;
+  Rng rng(params.seed);
+  impl_->generate(impl_->root, rng, 0);
+  impl_->pool.assign(params.num_locations, 0);
+}
+
+RandomProgram::~RandomProgram() = default;
+
+void RandomProgram::operator()() {
+  Impl& im = *impl_;
+  im.pool.assign(im.params.num_locations, 0);
+  im.reducers.clear();
+  for (std::uint32_t i = 0; i < im.params.num_reducers; ++i) {
+    im.reducers.push_back(std::make_unique<CntReducer>(SrcTag{"cnt reducer"}));
+  }
+  im.execute(im.root);
+  sync();  // join everything before reading final values
+  im.totals.clear();
+  for (auto& r : im.reducers) {
+    im.totals.push_back(r->get_value(SrcTag{"final get_value"}).v);
+  }
+  im.reducers.clear();  // destroy (kDestroy reducer-reads) inside the run
+}
+
+long RandomProgram::reducer_total() const {
+  long total = 0;
+  for (const long v : impl_->totals) total += v;
+  return total;
+}
+
+std::pair<std::uintptr_t, std::uintptr_t> RandomProgram::pool_range() const {
+  const auto base = reinterpret_cast<std::uintptr_t>(impl_->pool.data());
+  return {base, base + impl_->pool.size() * sizeof(long)};
+}
+
+std::size_t RandomProgram::action_count() const {
+  std::size_t count = 0;
+  const auto walk = [&](const FrameTemplate& f, auto&& self) -> void {
+    count += f.actions.size();
+    for (const auto& c : f.children) self(*c, self);
+  };
+  walk(impl_->root, walk);
+  return count;
+}
+
+}  // namespace rader::dag

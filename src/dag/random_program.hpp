@@ -1,0 +1,71 @@
+// Random-program generator for the property tests.
+//
+// Generates a deterministic (seed-derived) tree of Cilk-style actions —
+// spawns, calls, syncs, annotated reads/writes to a small shared pool,
+// reducer updates, reducer-reads, and "raw view" accesses that poke a
+// reducer's leftmost view storage directly (the Figure-1 class of bug:
+// user code holding a pointer into the data a Reduce will later mutate).
+//
+// Executing a RandomProgram under the serial engine with a detector AND the
+// Recorder attached yields, for the *same* execution, a detector verdict and
+// a ground-truth oracle verdict to compare.  The same program object can be
+// re-run under many steal specifications (state resets on each run).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "runtime/types.hpp"
+
+namespace rader::dag {
+
+struct RandomProgramParams {
+  std::uint64_t seed = 1;
+  std::uint32_t max_depth = 4;        // nesting depth of spawns/calls
+  std::uint32_t max_actions = 10;     // actions per frame
+  std::uint32_t num_reducers = 2;     // reducers created at the root
+  std::uint32_t num_locations = 8;    // shared scalar pool size
+  double p_spawn = 0.25;              // action-mix probabilities
+  double p_call = 0.10;
+  double p_sync = 0.15;
+  double p_access = 0.25;
+  double p_update = 0.15;
+  double p_reducer_read = 0.05;
+  double p_raw_view = 0.05;
+  double p_update_shared = 0.0;  // updates that ALSO write a pool slot and
+                                 // arm the reducer's Reduce to re-write it:
+                                 // view-aware strands touching shared
+                                 // memory, the Section-7 coverage target
+};
+
+class RandomProgram {
+ public:
+  explicit RandomProgram(const RandomProgramParams& params);
+  ~RandomProgram();
+
+  RandomProgram(const RandomProgram&) = delete;
+  RandomProgram& operator=(const RandomProgram&) = delete;
+
+  /// Execute under the current engine.  Re-runnable: resets shared state and
+  /// creates fresh reducers each run.
+  void operator()();
+
+  /// Sum of reducer values from the last run — used by the determinism
+  /// property (equal across all steal specifications).
+  long reducer_total() const;
+
+  /// Number of actions in the whole program (for test diagnostics).
+  std::size_t action_count() const;
+
+  /// Address range of the shared scalar pool (stable across runs), for
+  /// restricting oracle/detector comparisons to view-oblivious memory.
+  std::pair<std::uintptr_t, std::uintptr_t> pool_range() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace rader::dag

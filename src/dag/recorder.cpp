@@ -1,0 +1,202 @@
+#include "dag/recorder.hpp"
+
+namespace rader::dag {
+
+void Recorder::on_run_begin() {
+  dag_ = PerfDag{};
+  stack_.clear();
+}
+
+StrandId Recorder::new_strand(const RFrame& f, ViewId vid) {
+  const StrandId id = dag_.strands.size();
+  dag_.strands.push_back(Strand{id, f.id, vid, f.in_reduce});
+  dag_.struct_log.push_back({StructOp::kStrand, id});
+  return id;
+}
+
+StrandId Recorder::ensure_cur() {
+  RFrame& f = stack_.back();
+  if (f.cur == kInvalidStrand) {
+    // The frame was suspended while reduce operations ran: its continuation
+    // follows every tail of the (merged) current segment.
+    f.cur = new_strand(f, f.cur_vid);
+    for (const StrandId t : f.tails[f.cur_vid]) edge(t, f.cur);
+  }
+  return f.cur;
+}
+
+void Recorder::on_frame_enter(FrameId frame, FrameId parent, FrameKind kind,
+                              ViewId vid) {
+  switch (kind) {
+    case FrameKind::kRoot:
+      dag_.struct_log.push_back({StructOp::kEnterRoot, kInvalidStrand});
+      break;
+    case FrameKind::kSpawned:
+      dag_.struct_log.push_back({StructOp::kEnterSpawned, kInvalidStrand});
+      break;
+    case FrameKind::kCalled:
+      dag_.struct_log.push_back({StructOp::kEnterCalled, kInvalidStrand});
+      break;
+    case FrameKind::kReduce:
+      dag_.struct_log.push_back({StructOp::kEnterReduce, kInvalidStrand});
+      break;
+  }
+
+  RFrame g;
+  g.id = frame;
+  g.kind = kind;
+  g.cur_vid = vid;
+  g.entry_vid = vid;
+  (void)parent;
+
+  if (stack_.empty()) {
+    g.in_reduce = (kind == FrameKind::kReduce);
+    stack_.push_back(std::move(g));
+    stack_.back().cur = new_strand(stack_.back(), vid);
+    return;
+  }
+
+  if (kind == FrameKind::kReduce) {
+    // Reduce strand: in-edges from every dangling tail of the surviving
+    // segment (on_reduce already folded the dead segment's tails in).
+    [[maybe_unused]] RFrame& p = stack_.back();
+    RADER_DCHECK(p.cur_vid == vid);
+    g.in_reduce = true;
+    stack_.push_back(std::move(g));
+    RFrame& self = stack_.back();
+    self.cur = new_strand(self, vid);
+    for (const StrandId t : stack_[stack_.size() - 2].tails[vid]) {
+      edge(t, self.cur);
+    }
+    return;
+  }
+
+  RFrame& p = stack_.back();
+  const StrandId sp = ensure_cur();
+  if (kind == FrameKind::kSpawned) p.last_spawn = sp;
+  g.in_reduce = p.in_reduce;
+  stack_.push_back(std::move(g));
+  RFrame& self = stack_.back();
+  self.cur = new_strand(self, vid);
+  edge(sp, self.cur);
+}
+
+void Recorder::on_frame_return(FrameId, FrameId, FrameKind kind) {
+  dag_.struct_log.push_back({StructOp::kReturn, kInvalidStrand});
+  RFrame child = std::move(stack_.back());
+  stack_.pop_back();
+  const StrandId child_last =
+      (child.cur != kInvalidStrand) ? child.cur : kInvalidStrand;
+  RADER_DCHECK(child_last != kInvalidStrand);
+  if (stack_.empty()) return;  // root finished
+
+  RFrame& p = stack_.back();
+  switch (kind) {
+    case FrameKind::kCalled: {
+      // Series composition: continuation follows the called child.
+      const StrandId cont = new_strand(p, p.cur_vid);
+      edge(child_last, cont);
+      p.cur = cont;
+      break;
+    }
+    case FrameKind::kSpawned: {
+      // The child's last strand dangles until its segment's join point; the
+      // continuation depends only on the spawn strand.
+      p.tails[child.entry_vid].push_back(child_last);
+      const StrandId cont = new_strand(p, p.cur_vid);
+      RADER_DCHECK(p.last_spawn != kInvalidStrand);
+      edge(p.last_spawn, cont);
+      p.cur = cont;
+      break;
+    }
+    case FrameKind::kReduce: {
+      // The reduce strand becomes the sole tail of the surviving segment
+      // (everything it merged now precedes it); the parent's current
+      // continuation strand is unaffected — it runs in parallel with the
+      // reduce.
+      p.tails[child.entry_vid] = {child_last};
+      break;
+    }
+    case FrameKind::kRoot:
+      RADER_UNREACHABLE("root frame returned to a parent");
+  }
+}
+
+void Recorder::on_sync(FrameId) {
+  dag_.struct_log.push_back({StructOp::kSync, kInvalidStrand});
+  RFrame& f = stack_.back();
+  if (f.cur != kInvalidStrand) f.tails[f.cur_vid].push_back(f.cur);
+  // The sync strand joins every dangling tail.
+  f.cur = kInvalidStrand;
+  const StrandId t = new_strand(f, f.entry_vid);
+  for (auto& [vid, tails] : f.tails) {
+    for (const StrandId s : tails) edge(s, t);
+  }
+  f.tails.clear();
+  f.cur_vid = f.entry_vid;
+  f.cur = t;
+}
+
+void Recorder::on_steal(FrameId, std::uint32_t, ViewId new_vid) {
+  dag_.struct_log.push_back({StructOp::kSteal, kInvalidStrand});
+  ++dag_.steal_count;
+  RFrame& f = stack_.back();
+  if (f.cur != kInvalidStrand) f.tails[f.cur_vid].push_back(f.cur);
+  f.cur_vid = new_vid;
+  // A stolen continuation resumes from the spawn point on a thief: its only
+  // dependence is the spawn strand.
+  f.cur = kInvalidStrand;
+  const StrandId s = new_strand(f, new_vid);
+  RADER_DCHECK(f.last_spawn != kInvalidStrand);
+  edge(f.last_spawn, s);
+  f.cur = s;
+}
+
+void Recorder::on_reduce(FrameId, ViewId left_vid, ViewId right_vid) {
+  dag_.struct_log.push_back({StructOp::kReduceMerge, kInvalidStrand});
+  ++dag_.reduce_count;
+  RFrame& f = stack_.back();
+  RADER_DCHECK(f.cur_vid == right_vid);
+  // The strand executed so far belongs to the dying segment and must
+  // precede the reduce; the frame's CONTINUATION, however, depends only on
+  // it — reduce strands feed the reduce tree and the sync, never subsequent
+  // user strands ("dependencies among the reduce strands form a reduce tree
+  // before each sync node", §5), so the continuation runs logically in
+  // PARALLEL with the reduce.
+  const StrandId prev = f.cur;
+  if (prev != kInvalidStrand) f.tails[f.cur_vid].push_back(prev);
+  // Fold the dead segment's tails into the surviving segment's.
+  auto it = f.tails.find(right_vid);
+  if (it != f.tails.end()) {
+    auto dead = std::move(it->second);
+    f.tails.erase(it);
+    auto& left = f.tails[left_vid];
+    left.insert(left.end(), dead.begin(), dead.end());
+  }
+  f.cur_vid = left_vid;
+  f.cur = new_strand(f, left_vid);
+  if (prev != kInvalidStrand) edge(prev, f.cur);
+}
+
+void Recorder::on_access(AccessKind kind, std::uintptr_t addr,
+                         std::size_t size, bool view_aware, ViewId vid,
+                         SrcTag tag) {
+  const StrandId s = ensure_cur();
+  RADER_DCHECK(stack_.back().cur_vid == vid);
+  dag_.accesses.push_back(Access{s, kind, addr, static_cast<std::uint32_t>(size),
+                                 view_aware, vid, tag.label});
+}
+
+void Recorder::on_clear(std::uintptr_t addr, std::size_t size) {
+  dag_.clears.push_back(ClearEvent{dag_.accesses.size(), addr,
+                                   static_cast<std::uint32_t>(size)});
+}
+
+void Recorder::on_reducer_op(ReducerOp op, ReducerId h, SrcTag tag) {
+  const StrandId s = ensure_cur();
+  if (is_reducer_read(op)) {
+    dag_.reducer_reads.push_back(ReducerRead{s, op, h, tag.label});
+  }
+}
+
+}  // namespace rader::dag

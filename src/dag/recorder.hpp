@@ -1,0 +1,74 @@
+// Recorder: a Tool that reconstructs the performance DAG of an execution.
+//
+// The recorder consumes the same event stream as the detectors and builds
+// the PerfDag — strands, parallel-control edges, reduce strands with their
+// reduce-tree dependencies, annotated accesses and reducer-reads.  The
+// brute-force oracles (dag/oracle.hpp) then evaluate the paper's race
+// definitions directly on the DAG, giving an independent ground truth for
+// validating Peer-Set, SP-bags and SP+ on the very same execution (attach
+// both via ToolChain).
+//
+// Edge construction rules:
+//  * spawn strand → child's first strand, and spawn strand → continuation;
+//  * called child's last strand → continuation (series);
+//  * spawned child's last strand → the join point of its view segment (a
+//    reduce strand consuming that view, or the sync);
+//  * a STOLEN continuation depends only on its spawn strand (it runs on a
+//    thief, in parallel with everything the child does);
+//  * a reduce strand merging views (A, B) has in-edges from every dangling
+//    tail of segments A and B, and becomes the sole tail of A;
+//  * the sync strand has in-edges from every remaining dangling tail.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "dag/graph.hpp"
+#include "tool/tool.hpp"
+
+namespace rader::dag {
+
+class Recorder final : public Tool {
+ public:
+  const PerfDag& dag() const { return dag_; }
+  PerfDag take() { return std::move(dag_); }
+
+  void on_run_begin() override;
+  void on_frame_enter(FrameId frame, FrameId parent, FrameKind kind,
+                      ViewId vid) override;
+  void on_frame_return(FrameId frame, FrameId parent, FrameKind kind) override;
+  void on_sync(FrameId frame) override;
+  void on_steal(FrameId frame, std::uint32_t cont_index,
+                ViewId new_vid) override;
+  void on_reduce(FrameId frame, ViewId left_vid, ViewId right_vid) override;
+  void on_access(AccessKind kind, std::uintptr_t addr, std::size_t size,
+                 bool view_aware, ViewId vid, SrcTag tag) override;
+  void on_reducer_op(ReducerOp op, ReducerId h, SrcTag tag) override;
+  void on_clear(std::uintptr_t addr, std::size_t size) override;
+
+ private:
+  struct RFrame {
+    FrameId id = kInvalidFrame;
+    FrameKind kind = FrameKind::kRoot;
+    bool in_reduce = false;           // this frame or an ancestor is a Reduce
+    ViewId cur_vid = kInvalidView;
+    ViewId entry_vid = kInvalidView;
+    StrandId cur = kInvalidStrand;    // current strand (invalid = suspended)
+    StrandId last_spawn = kInvalidStrand;  // strand of the most recent spawn
+    // Dangling tails per live view segment: strands that must precede the
+    // reduce strand destroying that view (or the sync).
+    std::unordered_map<ViewId, std::vector<StrandId>> tails;
+  };
+
+  StrandId new_strand(const RFrame& f, ViewId vid);
+  void edge(StrandId a, StrandId b) { dag_.edges.emplace_back(a, b); }
+  /// Current strand of the top frame, creating one (with in-edges from the
+  /// current segment's tails) if the frame was suspended by a reduce.
+  StrandId ensure_cur();
+
+  PerfDag dag_;
+  std::vector<RFrame> stack_;
+};
+
+}  // namespace rader::dag

@@ -1,0 +1,71 @@
+#include "dsu/disjoint_set.hpp"
+
+namespace rader::dsu {
+
+Node DisjointSets::make_node() {
+  const Node n = static_cast<Node>(parent_.size());
+  RADER_CHECK_MSG(n != kInvalidNode, "disjoint-set node space exhausted");
+  parent_.push_back(n);
+  rank_.push_back(0);
+  meta_.emplace_back();
+  return n;
+}
+
+Node DisjointSets::find(Node n) {
+  RADER_DCHECK(n < parent_.size());
+  // Iterative two-pass path compression.
+  Node root = n;
+  while (parent_[root] != root) root = parent_[root];
+  while (parent_[n] != root) {
+    const Node next = parent_[n];
+    parent_[n] = root;
+    n = next;
+  }
+  return root;
+}
+
+Node DisjointSets::link(Node ra, Node rb) {
+  RADER_DCHECK(parent_[ra] == ra && parent_[rb] == rb);
+  if (ra == rb) return ra;
+  if (rank_[ra] < rank_[rb]) {
+    parent_[ra] = rb;
+    return rb;
+  }
+  if (rank_[ra] > rank_[rb]) {
+    parent_[rb] = ra;
+    return ra;
+  }
+  parent_[rb] = ra;
+  ++rank_[ra];
+  return ra;
+}
+
+void DisjointSets::clear() {
+  parent_.clear();
+  rank_.clear();
+  meta_.clear();
+}
+
+void Bag::add(Node n) {
+  RADER_DCHECK(valid());
+  if (root_ == kInvalidNode) {
+    root_ = ds_->find(n);
+  } else {
+    root_ = ds_->link(ds_->find(root_), ds_->find(n));
+  }
+  stamp();
+}
+
+void Bag::merge_from(Bag& other) {
+  RADER_DCHECK(valid());
+  if (other.root_ == kInvalidNode) return;
+  if (root_ == kInvalidNode) {
+    root_ = other.root_;
+  } else {
+    root_ = ds_->link(ds_->find(root_), ds_->find(other.root_));
+  }
+  other.root_ = kInvalidNode;
+  stamp();
+}
+
+}  // namespace rader::dsu

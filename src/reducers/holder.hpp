@@ -1,0 +1,38 @@
+// holder<T>: the holder hyperobject.
+//
+// A holder is the degenerate reducer whose reduce operation simply discards
+// the right view — (T, first, e) — giving each parallel strand what amounts
+// to deterministic "strand-local" scratch storage: a strand sees either the
+// value it last put there or a fresh identity view, never a value written
+// by a logically parallel strand.  Cilk++ shipped holders alongside
+// reducers as the other common hyperobject; they reuse this repository's
+// entire view machinery (lazy identity creation on steal, folding at sync).
+//
+// Because the final value after a sync depends on which view survives (the
+// leftmost), holders are for scratch space whose value is consumed WITHIN a
+// strand, not for results — get_value at the end simply returns the
+// leftmost view's last content, matching the serial projection.
+#pragma once
+
+#include "reducers/reducer.hpp"
+
+namespace rader {
+
+namespace monoid {
+
+/// (T, keep-left, T{}): associative — (a⊗b)⊗c = a = a⊗(b⊗c).
+template <typename T>
+struct holder_keep_left {
+  using value_type = T;
+  static T identity() { return T{}; }
+  static void reduce(T& /*left*/, T& /*right*/) {}
+};
+
+}  // namespace monoid
+
+/// Scratch-space hyperobject: use view() / update() to access the
+/// strand-local value.
+template <typename T>
+using holder = reducer<monoid::holder_keep_left<T>>;
+
+}  // namespace rader

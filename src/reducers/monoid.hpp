@@ -1,0 +1,144 @@
+// Monoid definitions for reducer hyperobjects.
+//
+// "A reducer is defined semantically in terms of an algebraic monoid: a
+// triple (T, ⊗, e), where T is a set and ⊗ is an associative binary
+// operation over T with identity e."  A monoid here is a stateless type
+// providing:
+//
+//   using value_type = T;
+//   static T identity();                    // e  (Create-Identity)
+//   static void reduce(T& left, T& right);  // left = left ⊗ right  (Reduce)
+//
+// reduce may pillage `right` (it is destroyed afterwards), which lets
+// list/vector monoids splice in O(1)/O(n) without copies.  Only
+// associativity is required — NOT commutativity — so reducers such as list
+// append and string append produce the serial-order result.
+#pragma once
+
+#include <algorithm>
+#include <concepts>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rader {
+
+template <typename M>
+concept ReducerMonoid = requires(typename M::value_type& a,
+                                 typename M::value_type& b) {
+  { M::identity() } -> std::convertible_to<typename M::value_type>;
+  M::reduce(a, b);
+};
+
+namespace monoid {
+
+/// Sum: (T, +, 0).  The Cilk Plus reducer_opadd.
+template <typename T>
+struct op_add {
+  using value_type = T;
+  static T identity() { return T{}; }
+  static void reduce(T& left, T& right) { left += right; }
+};
+
+/// Product: (T, *, 1).
+template <typename T>
+struct op_mul {
+  using value_type = T;
+  static T identity() { return T{1}; }
+  static void reduce(T& left, T& right) { left *= right; }
+};
+
+/// Minimum: (T, min, +inf).  The Cilk Plus reducer_min.
+template <typename T>
+struct op_min {
+  using value_type = T;
+  static T identity() { return std::numeric_limits<T>::max(); }
+  static void reduce(T& left, T& right) { left = std::min(left, right); }
+};
+
+/// Maximum: (T, max, -inf).
+template <typename T>
+struct op_max {
+  using value_type = T;
+  static T identity() { return std::numeric_limits<T>::lowest(); }
+  static void reduce(T& left, T& right) { left = std::max(left, right); }
+};
+
+/// Bitwise AND: (T, &, ~0).
+template <typename T>
+struct op_and {
+  using value_type = T;
+  static T identity() { return static_cast<T>(~T{}); }
+  static void reduce(T& left, T& right) { left &= right; }
+};
+
+/// Bitwise OR: (T, |, 0).
+template <typename T>
+struct op_or {
+  using value_type = T;
+  static T identity() { return T{}; }
+  static void reduce(T& left, T& right) { left |= right; }
+};
+
+/// Bitwise XOR: (T, ^, 0).
+template <typename T>
+struct op_xor {
+  using value_type = T;
+  static T identity() { return T{}; }
+  static void reduce(T& left, T& right) { left ^= right; }
+};
+
+/// Ordered concatenation of vectors — the "hypervector" the collision
+/// benchmark uses.  Associative but NOT commutative: the final vector is the
+/// serial-order concatenation of all appends.
+template <typename T>
+struct vector_append {
+  using value_type = std::vector<T>;
+  static value_type identity() { return {}; }
+  static void reduce(value_type& left, value_type& right) {
+    if (left.empty()) {
+      left = std::move(right);
+      return;
+    }
+    left.insert(left.end(), std::make_move_iterator(right.begin()),
+                std::make_move_iterator(right.end()));
+  }
+};
+
+/// Ordered string concatenation.
+struct string_append {
+  using value_type = std::string;
+  static value_type identity() { return {}; }
+  static void reduce(value_type& left, value_type& right) {
+    left += right;
+  }
+};
+
+/// Minimum with argmin payload: value_type = (key, payload).
+template <typename K, typename V>
+struct op_min_index {
+  using value_type = std::pair<K, V>;
+  static value_type identity() {
+    return {std::numeric_limits<K>::max(), V{}};
+  }
+  static void reduce(value_type& left, value_type& right) {
+    if (right.first < left.first) left = std::move(right);
+  }
+};
+
+/// Maximum with argmax payload.
+template <typename K, typename V>
+struct op_max_index {
+  using value_type = std::pair<K, V>;
+  static value_type identity() {
+    return {std::numeric_limits<K>::lowest(), V{}};
+  }
+  static void reduce(value_type& left, value_type& right) {
+    if (right.first > left.first) left = std::move(right);
+  }
+};
+
+}  // namespace monoid
+}  // namespace rader

@@ -1,0 +1,16 @@
+#include "reducers/ostream_monoid.hpp"
+
+namespace rader {
+
+void ostream_reducer::flush(SrcTag tag) {
+  Engine* e = Engine::current();
+  if (e != nullptr) e->reducer_read(&red_, ReducerOp::kGetValue, tag);
+  OstreamView& v = red_.view();
+  const std::string out = v.take();
+  if (!out.empty()) {
+    os_->write(out.data(), static_cast<std::streamsize>(out.size()));
+    bytes_written_ += out.size();
+  }
+}
+
+}  // namespace rader

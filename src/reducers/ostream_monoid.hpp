@@ -1,0 +1,94 @@
+// ostream_reducer: the analog of Cilk Plus's reducer_ostream.
+//
+// Parallel subcomputations write to their own view's buffer; reduction
+// concatenates buffers in serial order, so the final stream contents are
+// identical to a serial run.  The paper's dedup and ferret ports "use a
+// reducer_ostream to write [their] output".
+//
+// flush() and the destructor retrieve the buffered output — reducer-reads
+// that Peer-Set checks: flushing while spawned writers are outstanding is a
+// view-read race.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "reducers/reducer.hpp"
+#include "runtime/api.hpp"
+
+namespace rader {
+
+/// One view of the ostream reducer: an in-order byte buffer.  Appends
+/// annotate the view object so determinacy races on a view are detectable.
+class OstreamView {
+ public:
+  void append(std::string_view s) {
+    shadow_write(this, sizeof(std::size_t), SrcTag{"ostream-view append"});
+    buf_ += s;
+  }
+
+  const std::string& str() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+  void splice_back(OstreamView& right) {
+    shadow_write(this, sizeof(std::size_t), SrcTag{"ostream-view reduce"});
+    shadow_read(&right, sizeof(std::size_t), SrcTag{"ostream-view reduce"});
+    buf_ += right.buf_;
+  }
+
+ private:
+  std::string buf_;
+};
+
+struct ostream_append {
+  using value_type = OstreamView;
+  static value_type identity() { return {}; }
+  static void reduce(value_type& left, value_type& right) {
+    left.splice_back(right);
+  }
+};
+
+/// Reducer wrapper that targets a std::ostream.
+class ostream_reducer {
+ public:
+  explicit ostream_reducer(std::ostream& os, SrcTag tag = {"ostream_reducer"})
+      : os_(&os), red_(tag) {}
+
+  ~ostream_reducer() { flush(); }
+
+  ostream_reducer(const ostream_reducer&) = delete;
+  ostream_reducer& operator=(const ostream_reducer&) = delete;
+
+  /// Buffered, view-local write.
+  ostream_reducer& write(std::string_view s) {
+    red_.update([&](OstreamView& v) { v.append(s); });
+    return *this;
+  }
+
+  ostream_reducer& operator<<(std::string_view s) { return write(s); }
+  ostream_reducer& operator<<(const char* s) { return write(s); }
+  ostream_reducer& operator<<(char c) { return write({&c, 1}); }
+
+  template <typename T>
+    requires std::is_arithmetic_v<T>
+  ostream_reducer& operator<<(T v) {
+    return write(std::to_string(v));
+  }
+
+  /// Reducer-read: drain the (deterministic, serial-order) buffered output
+  /// to the underlying stream.
+  void flush(SrcTag tag = {"ostream flush"});
+
+  /// Bytes written so far (reducer-read).
+  std::size_t bytes_written() const { return bytes_written_; }
+
+ private:
+  std::ostream* os_;
+  reducer<ostream_append> red_;
+  std::size_t bytes_written_ = 0;
+};
+
+}  // namespace rader

@@ -1,0 +1,14 @@
+#include "reducers/reducer.hpp"
+
+namespace rader {
+
+// Explicit instantiations of the common scalar reducers: catches template
+// regressions at library build time and speeds up downstream compiles.
+template class reducer<monoid::op_add<long>>;
+template class reducer<monoid::op_add<double>>;
+template class reducer<monoid::op_max<long>>;
+template class reducer<monoid::op_min<long>>;
+template class reducer<monoid::vector_append<int>>;
+template class reducer<monoid::string_append>;
+
+}  // namespace rader

@@ -1,0 +1,6 @@
+#include "runtime/api.hpp"
+
+#include "runtime/run.hpp"
+
+// The API is header-only (templates); this translation unit pins the headers
+// so interface regressions surface as library build errors.

@@ -1,0 +1,142 @@
+// Public Cilk-style API.
+//
+// Programs are written against these free functions and run unchanged under
+// (a) plain serial C++ (no engine installed), (b) the serial detection
+// engine with simulated steals, and (c) the parallel work-stealing engine:
+//
+//   uint64_t x, y;
+//   rader::spawn([&] { x = fib(n - 1); });   // cilk_spawn
+//   y = fib(n - 2);
+//   rader::sync();                           // cilk_sync
+//
+// rader::call marks an invocation of a Cilk function (one that may spawn) so
+// that it gets its own frame, as the detection algorithms' bag bookkeeping
+// assumes.  rader::parallel_for is cilk_for, expressed with spawn/sync.
+//
+// shadow_read / shadow_write are the memory-access annotations that stand in
+// for the paper's ThreadSanitizer compiler instrumentation: programs under
+// test annotate the shared-memory accesses they want checked.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+
+#include "runtime/engine.hpp"
+#include "runtime/types.hpp"
+
+namespace rader {
+
+/// cilk_spawn: `f` may execute in parallel with the caller's continuation.
+template <typename F>
+void spawn(F&& f) {
+  Engine* e = Engine::current();
+  if (e == nullptr) {
+    f();  // serial projection
+    return;
+  }
+  if (e->inline_tasks()) {
+    e->spawn_inline(FnView(f));
+  } else {
+    e->spawn_task(Task(std::forward<F>(f)));
+  }
+}
+
+/// Invoke a Cilk function as a called child frame.
+template <typename F>
+void call(F&& f) {
+  Engine* e = Engine::current();
+  if (e == nullptr) {
+    f();
+    return;
+  }
+  e->call_inline(FnView(f));
+}
+
+/// cilk_sync: control does not pass until all children spawned by the
+/// current frame have returned (and their reducer views have been reduced).
+inline void sync() {
+  if (Engine* e = Engine::current()) e->sync();
+}
+
+/// Annotate a read of `size` bytes at `addr` (ThreadSanitizer-hook analog).
+inline void shadow_read(const void* addr, std::size_t size, SrcTag tag = {}) {
+  if (Engine* e = Engine::current()) {
+    e->access(AccessKind::kRead, reinterpret_cast<std::uintptr_t>(addr), size,
+              tag);
+  }
+}
+
+/// Annotate a write of `size` bytes at `addr`.
+inline void shadow_write(const void* addr, std::size_t size, SrcTag tag = {}) {
+  if (Engine* e = Engine::current()) {
+    e->access(AccessKind::kWrite, reinterpret_cast<std::uintptr_t>(addr), size,
+              tag);
+  }
+}
+
+/// Annotate that [addr, addr+size) was freed (the free()-hook analog):
+/// recorded access history for the range is dropped so reusing allocations
+/// do not inherit it.  Call from destructors of annotated heap structures.
+inline void shadow_clear(const void* addr, std::size_t size) {
+  if (Engine* e = Engine::current()) {
+    e->clear_shadow(reinterpret_cast<std::uintptr_t>(addr), size);
+  }
+}
+
+namespace detail {
+
+template <typename Index, typename Body>
+void pfor_impl(Index lo, Index hi, const Body& body, Index grain) {
+  // cilk_for skeleton: halve the range, spawning the left half, until the
+  // chunk is at most `grain` iterations; the local sync closes the frame's
+  // sync block.
+  while (hi - lo > grain) {
+    const Index mid = lo + (hi - lo) / 2;
+    spawn([&body, lo, mid, grain] { pfor_impl<Index, Body>(lo, mid, body, grain); });
+    lo = mid;
+  }
+  for (Index i = lo; i < hi; ++i) body(i);
+  sync();
+}
+
+}  // namespace detail
+
+/// cilk_for: all iterations of `body(i)` for i in [lo, hi) may run in
+/// parallel.  `grain` iterations run serially per leaf (0 = auto).
+template <typename Index, typename Body>
+void parallel_for(Index lo, Index hi, Body&& body, Index grain = 0) {
+  if (hi <= lo) return;
+  if (grain <= 0) {
+    const Index n = hi - lo;
+    grain = std::max<Index>(1, n / static_cast<Index>(512));
+  }
+  // The loop gets its own frame so that its implicit sync is local, exactly
+  // like cilk_for.
+  call([&] { detail::pfor_impl<Index, std::remove_reference_t<Body>>(
+      lo, hi, body, grain); });
+}
+
+/// A flat variant that spawns one child per chunk inside a single sync block
+/// of size `chunks` — used by the coverage experiments, where the sync-block
+/// size K is the controlled variable.
+template <typename Index, typename Body>
+void parallel_for_flat(Index lo, Index hi, Body&& body, Index chunks) {
+  if (hi <= lo) return;
+  if (chunks <= 0) chunks = 1;
+  call([&] {
+    const Index n = hi - lo;
+    const Index per = (n + chunks - 1) / chunks;
+    for (Index c = lo; c < hi; c += per) {
+      const Index b = c, e2 = std::min<Index>(hi, c + per);
+      spawn([&body, b, e2] {
+        for (Index i = b; i < e2; ++i) body(i);
+      });
+    }
+    sync();
+  });
+}
+
+}  // namespace rader

@@ -1,0 +1,7 @@
+#include "runtime/engine.hpp"
+
+namespace rader {
+
+thread_local Engine* Engine::tl_current_ = nullptr;
+
+}  // namespace rader

@@ -1,0 +1,19 @@
+// Convenience entry point: run a computation on a fresh serial engine.
+#pragma once
+
+#include "runtime/serial_engine.hpp"
+
+namespace rader {
+
+/// Execute `root` serially, streaming events to `tool` (may be null) and
+/// simulating steals per `steal_spec` (null = no steals).  Returns the
+/// engine's execution statistics.
+inline SerialEngine::Stats run_serial(
+    FnView root, Tool* tool = nullptr,
+    const spec::StealSpec* steal_spec = nullptr) {
+  SerialEngine engine(tool, steal_spec);
+  engine.run(root);
+  return engine.stats();
+}
+
+}  // namespace rader

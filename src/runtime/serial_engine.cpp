@@ -1,0 +1,297 @@
+#include "runtime/serial_engine.hpp"
+
+#include <algorithm>
+
+namespace rader {
+
+void SerialEngine::run(FnView root) {
+  RADER_CHECK_MSG(!running_, "SerialEngine::run is not reentrant");
+  running_ = true;
+  Engine::Scope scope(this);
+
+  stats_ = Stats{};
+  next_frame_ = 0;
+  next_vid_ = 0;
+  view_aware_depth_ = 0;
+  reducer_ids_.clear();
+  reducers_.clear();
+
+  if (tool_ != nullptr) tool_->on_run_begin();
+  epochs_.push(next_vid_++);  // base epoch (view ID 0)
+
+  enter_frame(FrameKind::kRoot);
+  root();
+  leave_frame();
+
+  RADER_CHECK(stack_.empty());
+  RADER_CHECK(epochs_.size() == 1);
+  // Entries left in the base epoch are reducers' leftmost views, owned by
+  // the reducer objects themselves; simply drop the records.
+  epochs_.pop();
+
+  if (tool_ != nullptr) tool_->on_run_end();
+  running_ = false;
+}
+
+void SerialEngine::enter_frame(FrameKind kind) {
+  Frame f;
+  f.id = next_frame_++;
+  f.kind = kind;
+  FrameId parent_id = kInvalidFrame;
+  if (!stack_.empty()) {
+    const Frame& parent = stack_.back();
+    f.as = parent.as + parent.ls;
+    parent_id = parent.id;
+  }
+  f.epoch_base = static_cast<std::uint32_t>(epochs_.size());
+  stack_.push_back(f);
+  ++stats_.frames;
+  if (tool_ != nullptr) {
+    tool_->on_frame_enter(f.id, parent_id, kind, epochs_.top_vid());
+  }
+}
+
+void SerialEngine::leave_frame() {
+  do_sync();  // the implicit cilk_sync before every return
+  const Frame f = stack_.back();
+  stack_.pop_back();
+  RADER_CHECK_MSG(epochs_.size() == f.epoch_base,
+                  "view epochs leaked across a frame boundary");
+  const FrameId parent_id = stack_.empty() ? kInvalidFrame : stack_.back().id;
+  if (tool_ != nullptr) tool_->on_frame_return(f.id, parent_id, f.kind);
+}
+
+void SerialEngine::spawn_inline(FnView fn) {
+  RADER_CHECK_MSG(running_, "spawn outside of rader::run");
+  {
+    Frame& parent = top();
+    parent.ls += 1;
+    ++stats_.spawns;
+    stats_.max_spawn_depth =
+        std::max(stats_.max_spawn_depth, parent.as + parent.ls);
+  }
+  enter_frame(FrameKind::kSpawned);
+  fn();
+  leave_frame();
+  continuation_point();
+}
+
+void SerialEngine::continuation_point() {
+  if (spec_ == nullptr) return;
+  Frame& parent = top();
+  spec::PointCtx ctx;
+  ctx.frame = parent.id;
+  ctx.sync_block = parent.sync_block;
+  ctx.cont_index = parent.ls - 1;
+  ctx.spawn_depth = parent.as + parent.ls;
+  ctx.live_epochs = live_epochs(parent);
+
+  // Reduce operations the specification wants *before* the steal decision:
+  // this is how a spec shapes the reduce tree (Theorem 7 construction).
+  std::uint32_t merges = std::min(spec_->merges_now(ctx), ctx.live_epochs);
+  while (merges-- > 0) top_merge();
+
+  ctx.live_epochs = live_epochs(top());
+  if (spec_->steal(ctx)) {
+    const ViewId vid = next_vid_++;
+    epochs_.push(vid);
+    ++stats_.steals;
+    if (tool_ != nullptr) tool_->on_steal(top().id, ctx.cont_index, vid);
+  }
+}
+
+void SerialEngine::call_inline(FnView fn) {
+  RADER_CHECK_MSG(running_, "call outside of rader::run");
+  enter_frame(FrameKind::kCalled);
+  fn();
+  leave_frame();
+}
+
+void SerialEngine::sync() {
+  if (!running_) return;  // serial fallback: sync is a no-op
+  do_sync();
+}
+
+void SerialEngine::do_sync() {
+  {
+    Frame& f = top();
+    stats_.max_sync_block = std::max(stats_.max_sync_block, f.ls);
+    if (f.ls == 0 && live_epochs(f) == 0) return;  // no-op sync
+  }
+  // All views created in this sync block must be reduced before the sync
+  // strand executes (view invariant 3): fold the remaining epochs.
+  while (live_epochs(top()) > 0) top_merge();
+  Frame& f = top();
+  f.ls = 0;
+  f.sync_block += 1;
+  ++stats_.syncs;
+  if (tool_ != nullptr) tool_->on_sync(f.id);
+}
+
+void SerialEngine::top_merge() {
+  const FrameId frame_id = top().id;
+  ViewEpochs::Epoch dead = epochs_.pop();
+  ++stats_.reduces;
+  if (tool_ != nullptr) {
+    tool_->on_reduce(frame_id, epochs_.top_vid(), dead.vid);
+  }
+  if (dead.views.empty()) return;
+
+  // Deterministic reduce order across reducers: registration order.
+  std::vector<std::pair<ReducerId, void*>> items(dead.views.begin(),
+                                                 dead.views.end());
+  std::sort(items.begin(), items.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [h, view] : items) {
+    if (void* left = epochs_.lookup_top(h)) {
+      run_user_reduce(h, left, view);
+      // The dominated view dies: drop its shadow so a reusing allocation
+      // cannot inherit its access history.
+      clear_shadow(reinterpret_cast<std::uintptr_t>(view),
+                   reducers_[h]->hyper_view_size());
+      reducers_[h]->hyper_destroy(view);
+    } else {
+      // No view of h in the dominating epoch: the dominated view survives
+      // unchanged (transplant) — no Reduce runs, matching the runtime.
+      epochs_.insert_top(h, view);
+    }
+  }
+}
+
+void SerialEngine::run_user_reduce(ReducerId h, void* left, void* right) {
+  HyperobjectBase* r = reducers_[h];
+  ++stats_.user_reduces;
+  // The Reduce operation executes as its own (view-aware) frame: its strand
+  // must end up logically in series with the two merged view subsequences
+  // but in parallel with reduce strands of other views (Section 6).
+  enter_frame(FrameKind::kReduce);
+  ++view_aware_depth_;
+  if (tool_ != nullptr) {
+    tool_->on_reducer_op(ReducerOp::kReduce, h, r->hyper_tag());
+  }
+  r->hyper_reduce(left, right);
+  --view_aware_depth_;
+  leave_frame();
+}
+
+void SerialEngine::access(AccessKind kind, std::uintptr_t addr,
+                          std::size_t size, SrcTag tag) {
+  if (tool_ == nullptr || !running_) return;
+  ++stats_.accesses;
+  tool_->on_access(kind, addr, size, view_aware_depth_ > 0, epochs_.top_vid(),
+                   tag);
+}
+
+void SerialEngine::clear_shadow(std::uintptr_t addr, std::size_t size) {
+  if (tool_ == nullptr || !running_) return;
+  tool_->on_clear(addr, size);
+}
+
+ReducerId SerialEngine::bind(HyperobjectBase* r) {
+  auto it = reducer_ids_.find(r);
+  if (it != reducer_ids_.end()) return it->second;
+  // First contact with a reducer created before run(): its leftmost view
+  // conceptually exists in the outermost (base) epoch.
+  const auto h = static_cast<ReducerId>(reducers_.size());
+  reducers_.push_back(r);
+  reducer_ids_.emplace(r, h);
+  RADER_CHECK(!epochs_.empty());
+  if (epochs_.size() == 1) {
+    epochs_.insert_top(h, r->hyper_leftmost());
+  } else {
+    // Stash the leftmost view in the base epoch without disturbing newer
+    // epochs: updates in the current epoch still get a fresh identity view.
+    epochs_.insert_base(h, r->hyper_leftmost());
+  }
+  return h;
+}
+
+void SerialEngine::register_reducer(HyperobjectBase* r, void* leftmost_view,
+                                    SrcTag tag) {
+  if (!running_) return;
+  RADER_CHECK_MSG(reducer_ids_.find(r) == reducer_ids_.end(),
+                  "reducer registered twice");
+  const auto h = static_cast<ReducerId>(reducers_.size());
+  reducers_.push_back(r);
+  reducer_ids_.emplace(r, h);
+  epochs_.insert_top(h, leftmost_view);
+  ++stats_.reducer_ops;
+  if (tool_ != nullptr) tool_->on_reducer_op(ReducerOp::kCreate, h, tag);
+}
+
+void SerialEngine::unregister_reducer(HyperobjectBase* r, SrcTag tag) {
+  if (!running_) return;
+  auto it = reducer_ids_.find(r);
+  if (it == reducer_ids_.end()) return;
+  const ReducerId h = it->second;
+  ++stats_.reducer_ops;
+  if (tool_ != nullptr) tool_->on_reducer_op(ReducerOp::kDestroy, h, tag);
+  // Fold any outstanding views into the leftmost one so the reducer's final
+  // value is the serial-order reduction.  (Destroying a reducer while views
+  // are outstanding is itself a view-read race — the kDestroy event above
+  // lets Peer-Set flag it — but the engine must not leak or misfold.)
+  std::vector<void*> views = epochs_.extract_all(h);
+  if (!views.empty()) {
+    void* left = views.front();
+    for (std::size_t i = 1; i < views.size(); ++i) {
+      ++view_aware_depth_;
+      r->hyper_reduce(left, views[i]);
+      --view_aware_depth_;
+      clear_shadow(reinterpret_cast<std::uintptr_t>(views[i]),
+                   r->hyper_view_size());
+      r->hyper_destroy(views[i]);
+    }
+    RADER_CHECK_MSG(left == r->hyper_leftmost(),
+                    "leftmost view lost during reducer teardown");
+  }
+  // The leftmost view's storage dies with the reducer: drop its shadow so a
+  // later object reusing the address (the next loop iteration's reducer on
+  // the same stack slot, say) does not inherit its access history.
+  clear_shadow(reinterpret_cast<std::uintptr_t>(r->hyper_leftmost()),
+               r->hyper_view_size());
+  reducer_ids_.erase(it);
+  reducers_[h] = nullptr;
+}
+
+void* SerialEngine::current_view(HyperobjectBase* r, SrcTag tag) {
+  RADER_CHECK(running_);
+  const ReducerId h = bind(r);
+  void* v = epochs_.lookup_top(h);
+  if (v == nullptr) {
+    // Lazy identity-view creation: the first Update access after a steal
+    // creates a new identity view (view invariant 2).  CreateIdentity runs
+    // user code and is a view-aware strand.
+    ++view_aware_depth_;
+    ++stats_.reducer_ops;
+    ++stats_.identities;
+    if (tool_ != nullptr) {
+      tool_->on_reducer_op(ReducerOp::kCreateIdentity, h, tag);
+    }
+    v = r->hyper_create_identity();
+    --view_aware_depth_;
+    epochs_.insert_top(h, v);
+  }
+  return v;
+}
+
+void SerialEngine::reducer_read(HyperobjectBase* r, ReducerOp op, SrcTag tag) {
+  if (!running_) return;
+  const ReducerId h = bind(r);
+  ++stats_.reducer_ops;
+  if (tool_ != nullptr) tool_->on_reducer_op(op, h, tag);
+}
+
+void SerialEngine::begin_update(HyperobjectBase* r, SrcTag tag) {
+  RADER_CHECK(running_);
+  const ReducerId h = bind(r);
+  ++view_aware_depth_;
+  ++stats_.reducer_ops;
+  if (tool_ != nullptr) tool_->on_reducer_op(ReducerOp::kUpdate, h, tag);
+}
+
+void SerialEngine::end_update(HyperobjectBase*) {
+  RADER_DCHECK(view_aware_depth_ > 0);
+  --view_aware_depth_;
+}
+
+}  // namespace rader

@@ -1,0 +1,128 @@
+// SerialEngine: serial execution of a Cilk-style computation with simulated
+// steals and reduce operations.
+//
+// "Like the Peer-Set and SP-bags algorithms, the SP+ algorithm is a serial
+// algorithm that evaluates the strands of a Cilk computation in their serial
+// order" — and Rader "triggers operations in the runtime system to simulate
+// steals at program points specified in a given steal specification ...
+// When the worker resumes the parent later, it acts as if it stole the
+// parent, and appropriately creates a new reducer view for the continuation."
+//
+// This engine is that simulation:
+//   * spawned and called children execute depth-first, in serial order;
+//   * at each continuation point the steal specification is consulted; a
+//     simulated steal mints a fresh view ID and pushes a view epoch;
+//   * reduce operations execute at the points the specification requests
+//     (plus, lazily, at the sync), as instrumented user code in frames of
+//     kind kReduce — so determinacy races *inside* Reduce are observable;
+//   * every frame implicitly syncs before returning (Cilk semantics), which
+//     restores the view-epoch stack to its depth at frame entry.
+//
+// Every event is streamed to the attached Tool (detector / recorder / empty
+// tool); with a null Tool the run is the "no instrumentation" baseline.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/engine.hpp"
+#include "runtime/hyperobject.hpp"
+#include "runtime/view_epochs.hpp"
+#include "spec/steal_spec.hpp"
+#include "tool/tool.hpp"
+
+namespace rader {
+
+class SerialEngine final : public Engine {
+ public:
+  /// Execution statistics, also used to size specification families
+  /// (max_sync_block is the paper's K; max_spawn_depth bounds the Theorem 6
+  /// depth classes).
+  struct Stats {
+    std::uint64_t frames = 0;
+    std::uint64_t spawns = 0;
+    std::uint64_t syncs = 0;
+    std::uint64_t steals = 0;
+    std::uint64_t reduces = 0;       // epoch merges (on_reduce events)
+    std::uint64_t user_reduces = 0;  // user Reduce invocations (kReduce frames)
+    std::uint64_t identities = 0;    // lazy Create-Identity view creations
+    std::uint64_t accesses = 0;
+    std::uint64_t reducer_ops = 0;
+    std::uint32_t max_sync_block = 0;
+    std::uint64_t max_spawn_depth = 0;
+  };
+
+  /// `tool` may be nullptr (uninstrumented baseline); `steal_spec` may be
+  /// nullptr (equivalent to spec::NoSteal).
+  explicit SerialEngine(Tool* tool = nullptr,
+                        const spec::StealSpec* steal_spec = nullptr)
+      : tool_(tool), spec_(steal_spec) {}
+
+  /// Execute `root` as the root frame of a computation.
+  void run(FnView root);
+
+  const Stats& stats() const { return stats_; }
+
+  // ---- Engine interface ----
+  bool inline_tasks() const override { return true; }
+  void spawn_inline(FnView fn) override;
+  void spawn_task(Task task) override { spawn_inline(FnView(task)); }
+  void call_inline(FnView fn) override;
+  void sync() override;
+  void access(AccessKind kind, std::uintptr_t addr, std::size_t size,
+              SrcTag tag) override;
+  void clear_shadow(std::uintptr_t addr, std::size_t size) override;
+  void register_reducer(HyperobjectBase* r, void* leftmost_view,
+                        SrcTag tag) override;
+  void unregister_reducer(HyperobjectBase* r, SrcTag tag) override;
+  void* current_view(HyperobjectBase* r, SrcTag tag) override;
+  void reducer_read(HyperobjectBase* r, ReducerOp op, SrcTag tag) override;
+  void begin_update(HyperobjectBase* r, SrcTag tag) override;
+  void end_update(HyperobjectBase* r) override;
+
+ private:
+  struct Frame {
+    FrameId id = kInvalidFrame;
+    FrameKind kind = FrameKind::kRoot;
+    std::uint32_t sync_block = 0;  // syncs executed so far in this frame
+    std::uint32_t ls = 0;          // local spawns since last sync
+    std::uint64_t as = 0;          // unsynced ancestor spawns at entry
+    std::uint32_t epoch_base = 0;  // view-epoch stack depth at entry
+  };
+
+  Frame& top() {
+    RADER_DCHECK(!stack_.empty());
+    return stack_.back();
+  }
+
+  std::uint32_t live_epochs(const Frame& f) const {
+    return static_cast<std::uint32_t>(epochs_.size()) - f.epoch_base;
+  }
+
+  void enter_frame(FrameKind kind);
+  void leave_frame();
+  void do_sync();
+  void top_merge();  // pop newest epoch, run the reduce operations
+  void run_user_reduce(ReducerId h, void* left, void* right);
+  void continuation_point();  // spec consultation after a spawned child
+
+  /// Bind `r` to this engine, assigning a dense ReducerId.  If the reducer
+  /// was created before run() (so register_reducer never saw it), its
+  /// leftmost view joins the base epoch.
+  ReducerId bind(HyperobjectBase* r);
+
+  Tool* tool_;
+  const spec::StealSpec* spec_;
+  ViewEpochs epochs_;
+  std::vector<Frame> stack_;
+  std::unordered_map<HyperobjectBase*, ReducerId> reducer_ids_;
+  std::vector<HyperobjectBase*> reducers_;
+  FrameId next_frame_ = 0;
+  ViewId next_vid_ = 0;
+  int view_aware_depth_ = 0;
+  bool running_ = false;
+  Stats stats_;
+};
+
+}  // namespace rader

@@ -1,0 +1,130 @@
+// Callable wrappers used by the runtime.
+//
+// FnView is a non-owning callable reference: the serial engine executes
+// spawned and called children *in place* (depth-first serial order), so no
+// ownership transfer is needed and spawning is allocation-free.
+//
+// Task is an owning, move-only callable with small-buffer optimization: the
+// parallel work-stealing engine must keep a spawned child alive until a
+// worker (possibly a thief) executes it, after the spawning full-expression
+// has ended.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "support/common.hpp"
+
+namespace rader {
+
+/// Non-owning type-erased reference to a callable.  The referenced callable
+/// must outlive every invocation (true for the serial engine's immediate,
+/// in-place execution).
+class FnView {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, FnView>>>
+  FnView(F&& f)  // NOLINT(google-explicit-constructor): intentional adaptor
+      : obj_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        invoke_(+[](void* o) { (*static_cast<std::remove_reference_t<F>*>(o))(); }) {}
+
+  void operator()() const { invoke_(obj_); }
+
+ private:
+  void* obj_;
+  void (*invoke_)(void*);
+};
+
+/// Owning, move-only callable with inline storage for small captures.
+class Task {
+ public:
+  Task() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, Task>>>
+  explicit Task(F&& f) {
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (storage_) Fn(std::forward<F>(f));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      *reinterpret_cast<void**>(storage_) = new Fn(std::forward<F>(f));
+      ops_ = &heap_ops<Fn>;
+    }
+  }
+
+  Task(Task&& other) noexcept { move_from(std::move(other)); }
+
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(std::move(other));
+    }
+    return *this;
+  }
+
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  ~Task() { reset(); }
+
+  bool valid() const { return ops_ != nullptr; }
+
+  void operator()() {
+    RADER_DCHECK(valid());
+    ops_->invoke(storage_);
+  }
+
+ private:
+  static constexpr std::size_t kInlineSize = 48;
+
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src);  // move-construct + destroy src
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static constexpr Ops inline_ops = {
+      [](void* p) { (*std::launder(reinterpret_cast<Fn*>(p)))(); },
+      [](void* dst, void* src) {
+        Fn* s = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*s));
+        s->~Fn();
+      },
+      [](void* p) { std::launder(reinterpret_cast<Fn*>(p))->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops heap_ops = {
+      [](void* p) { (**reinterpret_cast<Fn**>(p))(); },
+      [](void* dst, void* src) {
+        *reinterpret_cast<void**>(dst) = *reinterpret_cast<void**>(src);
+      },
+      [](void* p) { delete *reinterpret_cast<Fn**>(p); },
+  };
+
+  void move_from(Task&& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace rader

@@ -1,0 +1,71 @@
+// Core identifier and event types shared by the runtime, the tool interface,
+// the DAG recorder and the detectors.
+//
+// Terminology follows the paper:
+//  * A *frame* is one Cilk-function instantiation.  Calling or spawning a
+//    Cilk function creates a frame; the detectors assign each frame an ID.
+//  * A *strand* is a maximal instruction sequence with no parallel control.
+//    Strand boundaries are created by spawn, call, return, sync, simulated
+//    steals and reduce operations.
+//  * A *view ID* names one view of a reducer as managed by the (simulated)
+//    runtime.  A fresh view ID is minted whenever a stolen continuation
+//    would cause the runtime to create a new identity view (view invariant 2
+//    in Section 5 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rader {
+
+using FrameId = std::uint32_t;
+inline constexpr FrameId kInvalidFrame = static_cast<FrameId>(-1);
+
+using StrandId = std::uint64_t;
+inline constexpr StrandId kInvalidStrand = static_cast<StrandId>(-1);
+
+using ViewId = std::uint64_t;
+inline constexpr ViewId kInvalidView = static_cast<ViewId>(-1);
+
+using ReducerId = std::uint32_t;
+inline constexpr ReducerId kInvalidReducer = static_cast<ReducerId>(-1);
+
+/// How a frame was entered.
+enum class FrameKind : std::uint8_t {
+  kRoot,     // the root frame created by rader::run
+  kSpawned,  // entered via rader::spawn
+  kCalled,   // entered via rader::call
+  kReduce,   // a runtime-invoked Reduce operation (view-aware frame)
+};
+
+enum class AccessKind : std::uint8_t { kRead, kWrite };
+
+/// Which reducer operation a reducer-related event describes.
+///
+/// The paper distinguishes *reducer-reads* — creating a reducer, resetting
+/// its value, or querying its value — which Peer-Set checks, from the
+/// view-operating functions (CreateIdentity / Update / Reduce), which do NOT
+/// count as reducer-reads but produce *view-aware strands* that SP+ checks.
+enum class ReducerOp : std::uint8_t {
+  kCreate,          // reducer construction (a reducer-read)
+  kSetValue,        // set_value / move_in (a reducer-read)
+  kGetValue,        // get_value / move_out (a reducer-read)
+  kDestroy,         // reducer destruction (a reducer-read)
+  kUpdate,          // an Update access to the current view (view-aware)
+  kCreateIdentity,  // runtime created an identity view (view-aware)
+  kReduce,          // runtime invoked Reduce on two views (view-aware)
+};
+
+constexpr bool is_reducer_read(ReducerOp op) {
+  return op == ReducerOp::kCreate || op == ReducerOp::kSetValue ||
+         op == ReducerOp::kGetValue || op == ReducerOp::kDestroy;
+}
+
+/// A lightweight source tag carried through to race reports.  The benchmark
+/// and example programs label their interesting operations so that reports
+/// read like the paper's ("the Reduce of list_reducer races with scan_list").
+struct SrcTag {
+  const char* label = "";
+};
+
+}  // namespace rader

@@ -1,0 +1,17 @@
+#include "runtime/view_epochs.hpp"
+
+namespace rader {
+
+std::vector<void*> ViewEpochs::extract_all(ReducerId h) {
+  std::vector<void*> found;
+  for (auto& epoch : stack_) {
+    auto it = epoch.views.find(h);
+    if (it != epoch.views.end()) {
+      found.push_back(it->second);
+      epoch.views.erase(it);
+    }
+  }
+  return found;
+}
+
+}  // namespace rader

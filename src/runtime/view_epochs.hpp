@@ -1,0 +1,91 @@
+// View-epoch stack: the serial engine's model of the runtime's hypermaps.
+//
+// During parallel execution the Cilk runtime gives each worker a hypermap
+// from reducers to views; a fresh (lazily populated) hypermap comes into
+// existence at every successful steal, and hypermaps of adjacent
+// subcomputations are folded together by Reduce operations.  Under serial
+// execution with *simulated* steals this state collapses to a stack:
+//
+//   * run() pushes the base epoch (view ID 0);
+//   * every simulated steal pushes a new epoch with a fresh view ID;
+//   * every simulated reduce pops the newest epoch and folds its views into
+//     the epoch below (the dominating view survives — view invariants, §5);
+//   * because every frame implicitly syncs before returning, the epochs
+//     pushed while a frame runs are exactly the ones popped before it
+//     returns, so the stack discipline matches the frame stack.
+//
+// Lookups consult the TOP epoch only — exactly the lazy view semantics: an
+// update after a steal creates a new identity view even when an older view
+// of the same reducer exists in an outer epoch.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/types.hpp"
+#include "support/common.hpp"
+
+namespace rader {
+
+class ViewEpochs {
+ public:
+  struct Epoch {
+    ViewId vid = kInvalidView;
+    // reducer id -> view pointer.  Most epochs touch few reducers.
+    std::unordered_map<ReducerId, void*> views;
+  };
+
+  std::size_t size() const { return stack_.size(); }
+  bool empty() const { return stack_.empty(); }
+
+  void push(ViewId vid) { stack_.push_back(Epoch{vid, {}}); }
+
+  /// Pop the newest epoch and hand its contents to the caller (which drives
+  /// the reduce operations).
+  Epoch pop() {
+    RADER_DCHECK(!stack_.empty());
+    Epoch top = std::move(stack_.back());
+    stack_.pop_back();
+    return top;
+  }
+
+  ViewId top_vid() const {
+    RADER_DCHECK(!stack_.empty());
+    return stack_.back().vid;
+  }
+
+  /// View of reducer `h` in the newest epoch, or nullptr.
+  void* lookup_top(ReducerId h) const {
+    RADER_DCHECK(!stack_.empty());
+    const auto& views = stack_.back().views;
+    auto it = views.find(h);
+    return it == views.end() ? nullptr : it->second;
+  }
+
+  void insert_top(ReducerId h, void* view) {
+    RADER_DCHECK(!stack_.empty());
+    stack_.back().views[h] = view;
+  }
+
+  /// Record `view` in the base (outermost) epoch — used when a reducer that
+  /// was created before the run is first touched, so that its leftmost view
+  /// sits below every epoch a simulated steal may have pushed.
+  void insert_base(ReducerId h, void* view) {
+    RADER_DCHECK(!stack_.empty());
+    stack_.front().views[h] = view;
+  }
+
+  /// Remove every record of reducer `h`, returning its views bottom-to-top
+  /// (oldest first) so the caller can fold them.  Used at reducer
+  /// destruction.
+  std::vector<void*> extract_all(ReducerId h);
+
+  /// All epochs, bottom to top (for assertions and the recorder).
+  const std::vector<Epoch>& epochs() const { return stack_; }
+
+ private:
+  std::vector<Epoch> stack_;
+};
+
+}  // namespace rader

@@ -1,0 +1,263 @@
+#include "sched/parallel_engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace rader {
+
+thread_local ParallelEngine::WorkerState* ParallelEngine::tl_worker_ = nullptr;
+
+ParallelEngine::ParallelEngine(unsigned workers) {
+  if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
+  for (unsigned i = 0; i < workers; ++i) {
+    auto w = std::make_unique<WorkerState>();
+    w->index = i;
+    w->rng.reseed(0x9e3779b97f4a7c15ull + i);
+    workers_.push_back(std::move(w));
+  }
+  // Worker 0 is the calling thread; helpers are 1..n-1.
+  for (unsigned i = 1; i < workers; ++i) {
+    threads_.emplace_back([this, i] { helper_loop(i); });
+  }
+}
+
+ParallelEngine::~ParallelEngine() {
+  stop_.store(true, std::memory_order_release);
+  idle_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ParallelEngine::helper_loop(unsigned index) {
+  WorkerState& w = *workers_[index];
+  tl_worker_ = &w;
+  Engine::Scope scope(this);
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (ChildRecord* rec = try_get_work(w)) {
+      execute_child(w, rec);
+      continue;
+    }
+    // Nothing to steal: back off, then sleep until new work is spawned.
+    std::unique_lock<std::mutex> lock(idle_mu_);
+    sleeping_.fetch_add(1, std::memory_order_relaxed);
+    idle_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    sleeping_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  tl_worker_ = nullptr;
+}
+
+ParallelEngine::ChildRecord* ParallelEngine::try_get_work(WorkerState& w) {
+  const std::size_t n = workers_.size();
+  // A few random-victim rounds, as in the Cilk scheduler.
+  for (std::size_t attempt = 0; attempt < 2 * n; ++attempt) {
+    const auto victim = static_cast<std::size_t>(w.rng.below(n));
+    if (victim == w.index) continue;
+    if (void* task = workers_[victim]->deque.steal()) {
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return static_cast<ChildRecord*>(task);
+    }
+  }
+  return nullptr;
+}
+
+void ParallelEngine::wake_helpers() {
+  if (sleeping_.load(std::memory_order_relaxed) > 0) idle_cv_.notify_all();
+}
+
+void ParallelEngine::run(FnView root) {
+  RADER_CHECK_MSG(!running_.exchange(true), "ParallelEngine::run reentered");
+  steals_.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(reg_mu_);
+    reducer_ids_.clear();
+    reducers_.clear();
+  }
+
+  WorkerState& w = *workers_[0];
+  tl_worker_ = &w;
+  Engine::Scope scope(this);
+
+  FrameCtx frame;
+  frame.seg0 = new Hypermap();
+  frame.owns_seg0 = true;
+  frame.cur = frame.seg0;
+  w.frames.push_back(std::move(frame));
+
+  root();
+  do_sync(w);  // implicit sync of the root frame
+
+  FrameCtx done = std::move(w.frames.back());
+  w.frames.pop_back();
+  RADER_CHECK(w.frames.empty());
+
+  // Fold any views left in the root segment into their reducers' leftmost
+  // views (reducers bound lazily never had their leftmost in a segment).
+  for (auto& [h, view] : *done.seg0) {
+    HyperobjectBase* r = reducers_[h];
+    if (r == nullptr) continue;  // destroyed during the run
+    if (view != r->hyper_leftmost()) {
+      r->hyper_reduce(r->hyper_leftmost(), view);
+      r->hyper_destroy(view);
+    }
+  }
+  delete done.seg0;
+
+  tl_worker_ = nullptr;
+  running_.store(false, std::memory_order_release);
+}
+
+void ParallelEngine::spawn_inline(FnView) {
+  // Engine contract: inline_tasks() is false, so rader::spawn always hands a
+  // parallel engine an owning Task.  A non-owning FnView must never reach a
+  // deque (the referent dies with the spawning full-expression).
+  RADER_UNREACHABLE("spawn_inline on a parallel engine");
+}
+
+void ParallelEngine::spawn_task(Task task) {
+  WorkerState& w = self();
+  RADER_CHECK_MSG(!w.frames.empty(), "spawn outside of ParallelEngine::run");
+  FrameCtx& f = w.frames.back();
+  JoinItem item;
+  item.child = std::make_unique<ChildRecord>(std::move(task));
+  item.segment = std::make_unique<Hypermap>();
+  f.cur = item.segment.get();  // continuation runs in a fresh segment
+  ChildRecord* rec = item.child.get();
+  f.items.push_back(std::move(item));
+  w.deque.push(rec);
+  wake_helpers();
+}
+
+void ParallelEngine::call_inline(FnView fn) {
+  WorkerState& w = self();
+  RADER_CHECK_MSG(!w.frames.empty(), "call outside of ParallelEngine::run");
+  FrameCtx frame;
+  frame.seg0 = w.frames.back().cur;  // series: share the parent's segment
+  frame.owns_seg0 = false;
+  frame.cur = frame.seg0;
+  w.frames.push_back(std::move(frame));
+  fn();
+  do_sync(w);
+  w.frames.pop_back();
+}
+
+void ParallelEngine::execute_child(WorkerState& w, ChildRecord* rec) {
+  FrameCtx frame;
+  frame.seg0 = new Hypermap();
+  frame.owns_seg0 = true;
+  frame.cur = frame.seg0;
+  w.frames.push_back(std::move(frame));
+
+  rec->task();
+  do_sync(w);  // implicit sync before "returning"
+
+  FrameCtx done = std::move(w.frames.back());
+  w.frames.pop_back();
+  rec->result = std::move(*done.seg0);
+  delete done.seg0;
+  rec->done.store(true, std::memory_order_release);
+}
+
+void ParallelEngine::sync() {
+  WorkerState& w = self();
+  if (w.frames.empty()) return;
+  do_sync(w);
+}
+
+void ParallelEngine::do_sync(WorkerState& w) {
+  // Join: every spawned child of this frame must complete.  While waiting,
+  // keep the machine busy — pop our own deque (our children / descendants)
+  // or steal elsewhere.  Because the view fold below is positional, helping
+  // with unrelated work never perturbs reducer semantics.
+  {
+    const std::size_t frame_idx = w.frames.size() - 1;
+    for (std::size_t i = 0;; ++i) {
+      FrameCtx& f = w.frames[frame_idx];
+      if (i >= f.items.size()) break;
+      ChildRecord* child = f.items[i].child.get();
+      while (!child->done.load(std::memory_order_acquire)) {
+        if (void* task = w.deque.pop()) {
+          execute_child(w, static_cast<ChildRecord*>(task));
+        } else if (ChildRecord* stolen = try_get_work(w)) {
+          execute_child(w, stolen);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    }
+  }
+  // Fold in serial order: seg0 ⊗ child₁ ⊗ seg₁ ⊗ child₂ ⊗ seg₂ ⊗ …
+  FrameCtx& f = w.frames.back();
+  for (auto& item : f.items) {
+    fold_map(*f.seg0, item.child->result);
+    fold_map(*f.seg0, *item.segment);
+  }
+  f.items.clear();
+  f.cur = f.seg0;
+}
+
+void ParallelEngine::fold_map(Hypermap& acc, Hypermap& right) {
+  for (auto& [h, view] : right) {
+    auto it = acc.find(h);
+    if (it == acc.end()) {
+      acc.emplace(h, view);  // transplant (preserves leftmost pointers)
+      continue;
+    }
+    HyperobjectBase* r = reducers_[h];
+    RADER_CHECK_MSG(r != nullptr, "reducer destroyed with views outstanding");
+    r->hyper_reduce(it->second, view);
+    r->hyper_destroy(view);
+  }
+  right.clear();
+}
+
+ReducerId ParallelEngine::get_or_register(HyperobjectBase* r, void* leftmost) {
+  std::lock_guard<std::mutex> lock(reg_mu_);
+  auto it = reducer_ids_.find(r);
+  if (it != reducer_ids_.end()) return it->second;
+  const auto h = static_cast<ReducerId>(reducers_.size());
+  reducers_.push_back(r);
+  reducer_ids_.emplace(r, h);
+  (void)leftmost;  // lazily-bound leftmost views fold in at run() end
+  return h;
+}
+
+void ParallelEngine::register_reducer(HyperobjectBase* r, void* leftmost_view,
+                                      SrcTag) {
+  if (!running_.load(std::memory_order_acquire) || tl_worker_ == nullptr) {
+    return;  // created outside the computation: bound lazily on first use
+  }
+  const ReducerId h = get_or_register(r, leftmost_view);
+  // The leftmost view lives in the creating strand's current segment and
+  // folds leftward from there, exactly like the serial engine's base view.
+  (*self().frames.back().cur)[h] = leftmost_view;
+}
+
+void ParallelEngine::unregister_reducer(HyperobjectBase* r, SrcTag) {
+  if (!running_.load(std::memory_order_acquire) || tl_worker_ == nullptr) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(reg_mu_);
+  auto it = reducer_ids_.find(r);
+  if (it == reducer_ids_.end()) return;
+  const ReducerId h = it->second;
+  // Contract (as in Cilk): destroy a reducer only after the sync that joins
+  // all its updaters; at that point its only view is in the current segment.
+  if (tl_worker_ != nullptr && !self().frames.empty()) {
+    self().frames.back().cur->erase(h);
+  }
+  reducers_[h] = nullptr;
+  reducer_ids_.erase(it);
+}
+
+void* ParallelEngine::current_view(HyperobjectBase* r, SrcTag) {
+  const ReducerId h = get_or_register(r, r->hyper_leftmost());
+  Hypermap& m = *self().frames.back().cur;
+  auto it = m.find(h);
+  if (it != m.end()) return it->second;
+  void* view = r->hyper_create_identity();
+  m.emplace(h, view);
+  return view;
+}
+
+void ParallelEngine::reducer_read(HyperobjectBase*, ReducerOp, SrcTag) {}
+
+}  // namespace rader

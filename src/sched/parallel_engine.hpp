@@ -1,0 +1,139 @@
+// ParallelEngine: a work-stealing runtime for real parallel execution.
+//
+// This is the substrate the paper's benchmarks presume — a Cilk-style
+// work-stealing scheduler with reducer support.  The calling thread becomes
+// worker 0 and executes the root; helper threads steal from Chase–Lev
+// deques.  Scheduling is CHILD-stealing (a spawned task is pushed and the
+// continuation keeps running): continuation stealing requires compiler
+// support that a library cannot express.
+//
+// Reducer determinism under child stealing is achieved with ordered view
+// segments rather than Cilk's steal-lazy hypermaps (see DESIGN.md §2): each
+// frame keeps, in serial order, one join item per spawn — the child's
+// folded view map plus the continuation segment that follows it — and the
+// sync folds them left-to-right with the monoid's reduce.  Because the fold
+// order is positional, not temporal, any schedule produces the serial
+// projection's value for associative monoids; views are created lazily (on
+// first update within a segment), so update-free segments cost nothing.
+//
+// The detectors never run on this engine (they are serial algorithms); the
+// instrumentation entry points are no-ops here.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/engine.hpp"
+#include "runtime/hyperobject.hpp"
+#include "sched/worksteal_deque.hpp"
+#include "support/rng.hpp"
+
+namespace rader {
+
+class ParallelEngine final : public Engine {
+ public:
+  /// `workers` total workers including the calling thread (0 = hardware
+  /// concurrency).
+  explicit ParallelEngine(unsigned workers = 0);
+  ~ParallelEngine() override;
+
+  /// Execute `root` to completion using all workers.  The calling thread
+  /// participates; not reentrant.
+  void run(FnView root);
+
+  unsigned worker_count() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Total successful steals across the last run (scheduler telemetry).
+  std::uint64_t steal_count() const {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
+  // ---- Engine interface ----
+  bool inline_tasks() const override { return false; }
+  void spawn_inline(FnView fn) override;
+  void spawn_task(Task task) override;
+  void call_inline(FnView fn) override;
+  void sync() override;
+  void access(AccessKind, std::uintptr_t, std::size_t, SrcTag) override {}
+  void clear_shadow(std::uintptr_t, std::size_t) override {}
+  void register_reducer(HyperobjectBase* r, void* leftmost_view,
+                        SrcTag tag) override;
+  void unregister_reducer(HyperobjectBase* r, SrcTag tag) override;
+  void* current_view(HyperobjectBase* r, SrcTag tag) override;
+  void reducer_read(HyperobjectBase* r, ReducerOp op, SrcTag tag) override;
+  void begin_update(HyperobjectBase*, SrcTag) override {}
+  void end_update(HyperobjectBase*) override {}
+
+ private:
+  // Views of one segment, keyed by reducer.  std::map keeps the fold order
+  // deterministic (registration order) without a sort at every fold.
+  using Hypermap = std::map<ReducerId, void*>;
+
+  struct ChildRecord {
+    explicit ChildRecord(Task t) : task(std::move(t)) {}
+    Task task;
+    std::atomic<bool> done{false};
+    Hypermap result;  // child's folded views, published with `done`
+  };
+
+  struct JoinItem {
+    std::unique_ptr<ChildRecord> child;
+    std::unique_ptr<Hypermap> segment;  // continuation segment after it
+  };
+
+  struct FrameCtx {
+    Hypermap* seg0 = nullptr;  // leftmost segment (aliased for called frames)
+    bool owns_seg0 = false;
+    Hypermap* cur = nullptr;   // segment the worker is currently updating
+    std::vector<JoinItem> items;
+  };
+
+  struct WorkerState {
+    sched::WorkStealDeque deque;
+    Rng rng;
+    std::vector<FrameCtx> frames;
+    unsigned index = 0;
+  };
+
+  static thread_local WorkerState* tl_worker_;
+
+  WorkerState& self() {
+    RADER_CHECK_MSG(tl_worker_ != nullptr,
+                    "rader parallel API used off a worker thread");
+    return *tl_worker_;
+  }
+
+  void helper_loop(unsigned index);
+  ChildRecord* try_get_work(WorkerState& w);
+  void execute_child(WorkerState& w, ChildRecord* rec);
+  void do_sync(WorkerState& w);
+  void fold_map(Hypermap& acc, Hypermap& right);
+  void wake_helpers();
+
+  ReducerId get_or_register(HyperobjectBase* r, void* leftmost);
+
+  std::vector<std::unique_ptr<WorkerState>> workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+  std::atomic<int> sleeping_{0};
+  std::atomic<std::uint64_t> steals_{0};
+
+  std::mutex reg_mu_;
+  std::unordered_map<HyperobjectBase*, ReducerId> reducer_ids_;
+  std::vector<HyperobjectBase*> reducers_;
+};
+
+}  // namespace rader

@@ -1,0 +1,75 @@
+#include "sched/worksteal_deque.hpp"
+
+namespace rader::sched {
+
+WorkStealDeque::WorkStealDeque(std::size_t initial_capacity) {
+  std::size_t cap = 8;
+  while (cap < initial_capacity) cap <<= 1;
+  auto buf = std::make_unique<Buffer>(cap);
+  buffer_.store(buf.get(), std::memory_order_relaxed);
+  retired_.push_back(std::move(buf));
+}
+
+WorkStealDeque::Buffer* WorkStealDeque::grow(Buffer* buf, std::int64_t top,
+                                             std::int64_t bottom) {
+  auto bigger = std::make_unique<Buffer>(buf->capacity * 2);
+  for (std::int64_t i = top; i != bottom; ++i) bigger->put(i, buf->get(i));
+  Buffer* raw = bigger.get();
+  buffer_.store(raw, std::memory_order_release);
+  retired_.push_back(std::move(bigger));  // old buffer stays alive for thieves
+  return raw;
+}
+
+void WorkStealDeque::push(void* task) {
+  const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+  const std::int64_t t = top_.load(std::memory_order_acquire);
+  Buffer* buf = buffer_.load(std::memory_order_relaxed);
+  if (b - t > static_cast<std::int64_t>(buf->capacity) - 1) {
+    buf = grow(buf, t, b);
+  }
+  buf->put(b, task);
+  std::atomic_thread_fence(std::memory_order_release);
+  bottom_.store(b + 1, std::memory_order_relaxed);
+}
+
+void* WorkStealDeque::pop() {
+  const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+  Buffer* buf = buffer_.load(std::memory_order_relaxed);
+  bottom_.store(b, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  std::int64_t t = top_.load(std::memory_order_relaxed);
+  if (t > b) {
+    // Deque was empty: restore bottom.
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  void* task = buf->get(b);
+  if (t != b) return task;  // more than one element: no race possible
+  // Single element: race with thieves via CAS on top.
+  const bool won = top_.compare_exchange_strong(
+      t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+  bottom_.store(b + 1, std::memory_order_relaxed);
+  return won ? task : nullptr;
+}
+
+void* WorkStealDeque::steal() {
+  std::int64_t t = top_.load(std::memory_order_acquire);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  const std::int64_t b = bottom_.load(std::memory_order_acquire);
+  if (t >= b) return nullptr;  // empty
+  Buffer* buf = buffer_.load(std::memory_order_consume);
+  void* task = buf->get(t);
+  if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                    std::memory_order_relaxed)) {
+    return nullptr;  // lost the race
+  }
+  return task;
+}
+
+std::size_t WorkStealDeque::size_estimate() const {
+  const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+  const std::int64_t t = top_.load(std::memory_order_relaxed);
+  return b > t ? static_cast<std::size_t>(b - t) : 0;
+}
+
+}  // namespace rader::sched

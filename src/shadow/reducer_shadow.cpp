@@ -1,0 +1,4 @@
+#include "shadow/reducer_shadow.hpp"
+
+// Header-only today; this translation unit pins the header's compilation so
+// interface regressions surface as library build errors.

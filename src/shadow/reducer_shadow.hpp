@@ -1,0 +1,46 @@
+// Reducer shadow space for the Peer-Set algorithm.
+//
+// "The Peer-Set algorithm also maintains a shadow space of shared memory,
+// called reader, which maps each reducer to its last reader and the access
+// context.  That is, for each reducer h, reader(h) stores the ID of the Cilk
+// function F that last read h, and the associated field reader(h).s stores
+// the spawn count of F when it last read h."
+//
+// Reducer IDs are dense (assigned at registration), so this is a flat array.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dsu/disjoint_set.hpp"
+#include "runtime/types.hpp"
+
+namespace rader::shadow {
+
+/// Last-reader record per reducer: the reading frame's disjoint-set node
+/// plus the spawn count (F.as + F.ls) at the time of the read.
+class ReducerShadow {
+ public:
+  struct Entry {
+    dsu::Node reader = dsu::kInvalidNode;
+    std::uint64_t spawn_count = 0;
+    const char* label = "";  // source tag of the last read, for reports
+  };
+
+  /// Entry for reducer `h`, default-initialized on first touch.
+  Entry& operator[](ReducerId h) {
+    if (h >= entries_.size()) entries_.resize(h + 1);
+    return entries_[h];
+  }
+
+  bool has(ReducerId h) const {
+    return h < entries_.size() && entries_[h].reader != dsu::kInvalidNode;
+  }
+
+  void clear() { entries_.clear(); }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace rader::shadow

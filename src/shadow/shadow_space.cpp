@@ -1,0 +1,35 @@
+#include "shadow/shadow_space.hpp"
+
+#include <cstring>
+
+namespace rader::shadow {
+
+ShadowSpace::Page* ShadowSpace::find_page(std::uintptr_t addr) {
+  const std::uintptr_t key = page_key(addr);
+  if (key == cached_key_) return cached_page_;
+  auto it = pages_.find(key);
+  if (it == pages_.end()) return nullptr;
+  cached_key_ = key;
+  cached_page_ = it->second.get();
+  return cached_page_;
+}
+
+ShadowSpace::Page* ShadowSpace::touch_page(std::uintptr_t addr) {
+  if (Page* page = find_page(addr)) return page;
+  const std::uintptr_t key = page_key(addr);
+  auto page = std::make_unique<Page>();
+  std::memset(page->cells, 0xff, sizeof(page->cells));  // all kEmpty
+  Page* raw = page.get();
+  pages_.emplace(key, std::move(page));
+  cached_key_ = key;
+  cached_page_ = raw;
+  return raw;
+}
+
+void ShadowSpace::clear() {
+  pages_.clear();
+  cached_key_ = static_cast<std::uintptr_t>(-1);
+  cached_page_ = nullptr;
+}
+
+}  // namespace rader::shadow

@@ -1,0 +1,82 @@
+// Shadow memory spaces.
+//
+// The SP-bags and SP+ algorithms maintain "two shadow spaces of shared
+// memory, called reader and writer.  Each shadow space contains an entry for
+// each memory location that the computation accesses" storing the ID of the
+// function instantiation that last read / wrote that location.
+//
+// This implementation is a two-level paged map from byte addresses to a
+// 32-bit payload (the detectors store disjoint-set node handles).  Pages are
+// allocated lazily on first touch; a one-page lookaside cache makes the
+// common sequential-access pattern a single indexed load.
+//
+// Granularity: one entry per byte, matching the precision of the compiler
+// instrumentation the paper piggybacks on (ThreadSanitizer tracks accesses
+// with byte-accurate extents).  Range helpers iterate the bytes of an access.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "support/common.hpp"
+
+namespace rader::shadow {
+
+/// Paged address → uint32 payload map with an "empty" sentinel.
+class ShadowSpace {
+ public:
+  using Payload = std::uint32_t;
+  static constexpr Payload kEmpty = static_cast<Payload>(-1);
+
+  ShadowSpace() = default;
+
+  // Shadow spaces are large; forbid accidental copies.
+  ShadowSpace(const ShadowSpace&) = delete;
+  ShadowSpace& operator=(const ShadowSpace&) = delete;
+
+  /// Payload recorded for `addr`, or kEmpty if never set.
+  Payload get(std::uintptr_t addr) {
+    Page* page = find_page(addr);
+    return page ? page->cells[offset_in_page(addr)] : kEmpty;
+  }
+
+  /// Record `value` for `addr`.
+  void set(std::uintptr_t addr, Payload value) {
+    touch_page(addr)->cells[offset_in_page(addr)] = value;
+  }
+
+  /// Number of lazily allocated pages (for tests and space accounting).
+  std::size_t page_count() const { return pages_.size(); }
+
+  /// Bytes of shadow currently allocated.
+  std::size_t bytes() const { return pages_.size() * sizeof(Page); }
+
+  /// Forget everything (keeps allocated capacity in the page index).
+  void clear();
+
+ private:
+  static constexpr int kPageBits = 12;  // 4 KiB of address space per page
+  static constexpr std::size_t kPageSize = std::size_t{1} << kPageBits;
+
+  struct Page {
+    Payload cells[kPageSize];
+  };
+
+  static std::uintptr_t page_key(std::uintptr_t addr) {
+    return addr >> kPageBits;
+  }
+  static std::size_t offset_in_page(std::uintptr_t addr) {
+    return addr & (kPageSize - 1);
+  }
+
+  Page* find_page(std::uintptr_t addr);
+  Page* touch_page(std::uintptr_t addr);
+
+  std::unordered_map<std::uintptr_t, std::unique_ptr<Page>> pages_;
+  // Lookaside cache: last page touched.
+  std::uintptr_t cached_key_ = static_cast<std::uintptr_t>(-1);
+  Page* cached_page_ = nullptr;
+};
+
+}  // namespace rader::shadow

@@ -1,0 +1,47 @@
+#include "spec/spec_family.hpp"
+
+namespace rader::spec {
+
+std::vector<std::unique_ptr<StealSpec>> update_coverage_family(
+    std::uint64_t max_depth) {
+  std::vector<std::unique_ptr<StealSpec>> family;
+  family.reserve(max_depth + 1);
+  for (std::uint64_t d = 0; d <= max_depth; ++d) {
+    family.push_back(std::make_unique<DepthSteal>(d));
+  }
+  return family;
+}
+
+std::vector<std::unique_ptr<StealSpec>> reduce_coverage_family(
+    std::uint32_t k) {
+  std::vector<std::unique_ptr<StealSpec>> family;
+  for (std::uint32_t a = 0; a < k; ++a) {
+    for (std::uint32_t b = a + 1; b < k; ++b) {
+      // Pair spec (steals at a and b only): the sync folds the view created
+      // at b into the one created at a, then that into the leftmost view.
+      family.push_back(std::make_unique<TripleSteal>(a, b, b));
+      for (std::uint32_t c = b + 1; c < k; ++c) {
+        family.push_back(std::make_unique<TripleSteal>(a, b, c));
+      }
+    }
+  }
+  return family;
+}
+
+std::uint64_t reduce_coverage_family_size(std::uint32_t k) {
+  const std::uint64_t n = k;
+  const std::uint64_t pairs = n * (n - 1) / 2;
+  const std::uint64_t triples = (n >= 3) ? n * (n - 1) * (n - 2) / 6 : 0;
+  return pairs + triples;
+}
+
+std::vector<std::unique_ptr<StealSpec>> full_coverage_family(
+    std::uint32_t k, std::uint64_t max_depth) {
+  auto family = update_coverage_family(max_depth);
+  auto reduces = reduce_coverage_family(k);
+  family.reserve(family.size() + reduces.size());
+  for (auto& s : reduces) family.push_back(std::move(s));
+  return family;
+}
+
+}  // namespace rader::spec

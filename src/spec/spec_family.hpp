@@ -1,0 +1,47 @@
+// Specification families for the coverage guarantees of Section 7.
+//
+// For an *ostensibly deterministic* Cilk program (its view-oblivious strands
+// are fixed across schedules and its reducers are semantically associative),
+// the paper shows:
+//
+//  * Theorem 6: all possible *update* strands can be elicited with Θ(M)
+//    steal specifications, where M is the maximum number of pending
+//    continuations along any path — continuations are stolen breadth-first,
+//    grouping continuations by the number of P nodes on their root-to-strand
+//    parse-tree path (== the spawn depth the engine tracks).
+//
+//  * Theorem 7: Ω(K³) reduce trees are necessary and O(K³) suffice to elicit
+//    every *reduce* strand over a sync block with K continuations — one
+//    specification per triple a < b < c, each eliciting the reduce of update
+//    subsequences [a,b) and [b,c).
+//
+// Together, O(KD + K³) specifications exhaustively check for determinacy
+// races between view-oblivious and view-aware strands.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "spec/steal_spec.hpp"
+
+namespace rader::spec {
+
+/// Theorem 6 family: one DepthSteal spec per spawn-depth class 0..max_depth.
+std::vector<std::unique_ptr<StealSpec>> update_coverage_family(
+    std::uint64_t max_depth);
+
+/// Theorem 7 family: one TripleSteal spec per triple 0 <= a < b < c < k,
+/// i.e. C(k,3) specifications.  Also includes the pair specs (a < b = c) so
+/// that reduces into the leftmost view of two-steal schedules are covered.
+std::vector<std::unique_ptr<StealSpec>> reduce_coverage_family(
+    std::uint32_t k);
+
+/// Number of specs reduce_coverage_family(k) produces (for the Θ(K³) bench).
+std::uint64_t reduce_coverage_family_size(std::uint32_t k);
+
+/// The full O(KD + K³) family of Section 7.
+std::vector<std::unique_ptr<StealSpec>> full_coverage_family(
+    std::uint32_t k, std::uint64_t max_depth);
+
+}  // namespace rader::spec

@@ -1,0 +1,113 @@
+#include "spec/steal_spec.hpp"
+
+#include <algorithm>
+
+#include "support/common.hpp"
+#include "support/hash.hpp"
+
+namespace rader::spec {
+namespace {
+
+/// Deterministic per-point hash: the only randomness source for randomized
+/// specs, so that a (seed, program) pair always replays the same schedule.
+std::uint64_t point_hash(std::uint64_t seed, FrameId frame,
+                         std::uint32_t sync_block, std::uint64_t salt) {
+  std::uint64_t h = mix64(seed ^ 0x5851f42d4c957f2dull);
+  h = hash_combine(h, mix64(frame));
+  h = hash_combine(h, mix64(sync_block));
+  h = hash_combine(h, mix64(salt));
+  return mix64(h);
+}
+
+}  // namespace
+
+TripleSteal::TripleSteal(std::uint32_t a, std::uint32_t b, std::uint32_t c)
+    : a_(a), b_(b), c_(c) {
+  // Normalize to a <= b <= c; the construction only needs the sorted order.
+  std::uint32_t v[3] = {a_, b_, c_};
+  std::sort(v, v + 3);
+  a_ = v[0];
+  b_ = v[1];
+  c_ = v[2];
+}
+
+bool TripleSteal::steal(const PointCtx& ctx) const {
+  return ctx.cont_index == a_ || ctx.cont_index == b_ || ctx.cont_index == c_;
+}
+
+std::uint32_t TripleSteal::merges_now(const PointCtx& ctx) const {
+  // After steals at a and b, the two newest epochs hold the update
+  // subsequences [a,b) and [b,·).  Merging them at the pre-steal point of
+  // continuation c elicits the reduce strand ⟨k_a..k_{b-1}⟩ ⊗ ⟨k_b..k_{c-1}⟩.
+  if (ctx.cont_index == c_ && c_ > b_ && b_ > a_ && ctx.live_epochs >= 2) {
+    return 1;
+  }
+  return 0;
+}
+
+std::string TripleSteal::describe() const {
+  return "steal-triple(" + std::to_string(a_) + "," + std::to_string(b_) +
+         "," + std::to_string(c_) + ")";
+}
+
+std::string DepthSteal::describe() const {
+  return "steal-depth(" + std::to_string(depth_) + ")";
+}
+
+RandomTripleSteal::RandomTripleSteal(std::uint64_t seed,
+                                     std::uint32_t max_sync_block)
+    : seed_(seed), max_k_(std::max<std::uint32_t>(1, max_sync_block)) {}
+
+RandomTripleSteal::Triple RandomTripleSteal::triple_for(
+    const PointCtx& ctx) const {
+  std::uint32_t v[3];
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    v[i] = static_cast<std::uint32_t>(
+        point_hash(seed_, ctx.frame, ctx.sync_block, i) % max_k_);
+  }
+  std::sort(v, v + 3);
+  return Triple{v[0], v[1], v[2]};
+}
+
+bool RandomTripleSteal::steal(const PointCtx& ctx) const {
+  const Triple t = triple_for(ctx);
+  return ctx.cont_index == t.a || ctx.cont_index == t.b ||
+         ctx.cont_index == t.c;
+}
+
+std::uint32_t RandomTripleSteal::merges_now(const PointCtx& ctx) const {
+  const Triple t = triple_for(ctx);
+  if (ctx.cont_index == t.c && t.c > t.b && t.b > t.a &&
+      ctx.live_epochs >= 2) {
+    return 1;
+  }
+  return 0;
+}
+
+std::string RandomTripleSteal::describe() const {
+  return "steal-random(seed=" + std::to_string(seed_) +
+         ",K=" + std::to_string(max_k_) + ")";
+}
+
+bool BernoulliSteal::steal(const PointCtx& ctx) const {
+  const std::uint64_t h =
+      point_hash(seed_, ctx.frame, ctx.sync_block, 0x100000000ull + ctx.cont_index);
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < p_;
+}
+
+std::uint32_t BernoulliSteal::merges_now(const PointCtx& ctx) const {
+  if (ctx.live_epochs == 0) return 0;
+  const std::uint64_t h =
+      point_hash(seed_ ^ 0xabcdefull, ctx.frame, ctx.sync_block,
+                 0x200000000ull + ctx.cont_index);
+  // A random number of eager top-merges in [0, live_epochs]: explores many
+  // reduce-tree shapes across seeds.
+  return static_cast<std::uint32_t>(h % (ctx.live_epochs + 1));
+}
+
+std::string BernoulliSteal::describe() const {
+  return "steal-bernoulli(seed=" + std::to_string(seed_) +
+         ",p=" + std::to_string(p_) + ")";
+}
+
+}  // namespace rader::spec

@@ -1,0 +1,167 @@
+// Steal specifications.
+//
+// "The SP+ algorithm takes as input a Cilk program, its input, and a steal
+// specification that effectively fixes the schedule.  That is, a steal
+// specification specifies the program points at which steals occur and which
+// reduce operations execute."  (Section 1)
+//
+// A specification answers two questions as the serial engine executes:
+//
+//  1. At each continuation point (just after a spawned child returns):
+//     is this continuation *stolen*?  A stolen continuation makes the engine
+//     mint a fresh view ID and push a new view epoch — the serial simulation
+//     of the runtime creating an identity view (view invariant 2, §5).
+//
+//  2. At each continuation point (before the steal decision) and at each
+//     sync: how many *top-merges* should the runtime perform now?  A
+//     top-merge reduces the two newest view epochs of the current frame —
+//     exactly the "runtime always reduces adjacent pairs of views" behavior.
+//     Since the engine executes serially, choosing *when* merges happen
+//     determines the shape of the reduce tree, which is how the Θ(K³)
+//     specification family of Theorem 7 elicits every possible reduce strand
+//     (every reduce of adjacent subsequences ⟨k_a..k_{b-1}⟩ ⊗ ⟨k_b..k_{c-1}⟩).
+//     Merges that a spec does not request are performed automatically at the
+//     sync (right-to-left fold), mirroring lazy/opportunistic reduction.
+//
+// Following Section 8, specifications are constant-space: "the steal
+// specification can be as simple as specifying which three continuations to
+// steal in a sync block ... or a random seed and the maximum sync block
+// size".  Every concrete spec here is a few words of state.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "runtime/types.hpp"
+
+namespace rader::spec {
+
+/// Context describing one continuation point (or sync) to a specification.
+struct PointCtx {
+  FrameId frame = kInvalidFrame;
+  std::uint32_t sync_block = 0;   // index of the current sync block in frame
+  std::uint32_t cont_index = 0;   // continuations executed in this sync block
+                                  // (== index of this continuation, 0-based)
+  std::uint64_t spawn_depth = 0;  // unsynced spawns by this frame + ancestors
+                                  // (the paper's "continuation depth": the
+                                  // number of P nodes on the root-to-strand
+                                  // path in the canonical SP parse tree)
+  std::uint32_t live_epochs = 0;  // un-reduced view epochs of this frame
+};
+
+/// Abstract steal specification.  Implementations must be deterministic
+/// functions of the context (so a run is exactly reproducible).
+class StealSpec {
+ public:
+  virtual ~StealSpec() = default;
+
+  /// Should the continuation described by `ctx` be stolen?
+  virtual bool steal(const PointCtx& ctx) const = 0;
+
+  /// Number of top-merge reduce operations to perform at this point, before
+  /// the steal decision (continuation points) or before completing the sync.
+  /// The engine caps the answer at ctx.live_epochs and, at a sync, performs
+  /// any remaining merges itself.  Default: fully lazy (merge only at sync).
+  virtual std::uint32_t merges_now(const PointCtx& ctx) const {
+    (void)ctx;
+    return 0;
+  }
+
+  /// Human-readable description for reports and benchmark tables.
+  virtual std::string describe() const = 0;
+};
+
+/// No steals: the plain serial execution.  SP+ under this spec degenerates to
+/// the SP-bags algorithm (the paper's "No steals" column in Figures 7/8).
+class NoSteal final : public StealSpec {
+ public:
+  bool steal(const PointCtx&) const override { return false; }
+  std::string describe() const override { return "no-steals"; }
+};
+
+/// Steal every continuation (maximum view churn; useful for stress tests).
+class StealAll final : public StealSpec {
+ public:
+  bool steal(const PointCtx&) const override { return true; }
+  std::string describe() const override { return "steal-all"; }
+};
+
+/// Steal the continuations at indices {a, b, c} of every sync block, and
+/// merge so that the reduce of the views created at `a` and `b` — i.e. the
+/// reduce strand combining update subsequences [a,b) and [b,c) — is elicited
+/// directly (the Theorem 7 construction).  Pass a==b==c to steal one point.
+class TripleSteal final : public StealSpec {
+ public:
+  TripleSteal(std::uint32_t a, std::uint32_t b, std::uint32_t c);
+
+  bool steal(const PointCtx& ctx) const override;
+  std::uint32_t merges_now(const PointCtx& ctx) const override;
+  std::string describe() const override;
+
+  std::uint32_t a() const { return a_; }
+  std::uint32_t b() const { return b_; }
+  std::uint32_t c() const { return c_; }
+
+ private:
+  std::uint32_t a_, b_, c_;
+};
+
+/// Steal every continuation whose spawn depth equals `depth` — the
+/// breadth-first classes of Theorem 6, which elicit every possible *update*
+/// strand across the family depth = 0..D (the paper's "Check updates"
+/// configuration steals "at continuation depth that's half of the maximum
+/// sync block size").
+class DepthSteal final : public StealSpec {
+ public:
+  explicit DepthSteal(std::uint64_t depth) : depth_(depth) {}
+
+  bool steal(const PointCtx& ctx) const override {
+    return ctx.spawn_depth == depth_;
+  }
+  std::string describe() const override;
+
+ private:
+  std::uint64_t depth_;
+};
+
+/// Randomized spec as shipped in Rader: "a random seed and the maximum sync
+/// block size, in which case three different points are chosen randomly for
+/// each sync block".  The three indices for a sync block are a deterministic
+/// hash of (seed, frame, sync_block), so the run is reproducible from the
+/// seed alone; merges are requested so the (a,b,c) reduce strand is elicited.
+class RandomTripleSteal final : public StealSpec {
+ public:
+  RandomTripleSteal(std::uint64_t seed, std::uint32_t max_sync_block);
+
+  bool steal(const PointCtx& ctx) const override;
+  std::uint32_t merges_now(const PointCtx& ctx) const override;
+  std::string describe() const override;
+
+ private:
+  struct Triple {
+    std::uint32_t a, b, c;
+  };
+  Triple triple_for(const PointCtx& ctx) const;
+
+  std::uint64_t seed_;
+  std::uint32_t max_k_;
+};
+
+/// Steal each continuation independently with probability `p` (derived from
+/// a deterministic hash, so still reproducible).  Used by the property tests
+/// to explore schedule space.
+class BernoulliSteal final : public StealSpec {
+ public:
+  BernoulliSteal(std::uint64_t seed, double p) : seed_(seed), p_(p) {}
+
+  bool steal(const PointCtx& ctx) const override;
+  std::uint32_t merges_now(const PointCtx& ctx) const override;
+  std::string describe() const override;
+
+ private:
+  std::uint64_t seed_;
+  double p_;
+};
+
+}  // namespace rader::spec

@@ -1,0 +1,34 @@
+// Common support utilities: checked assertions and failure reporting.
+//
+// RADER_CHECK is an always-on invariant check (detection algorithms must not
+// silently corrupt their bookkeeping); RADER_DCHECK compiles out in NDEBUG
+// builds and is used on hot paths.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace rader {
+
+/// Print a diagnostic (file:line, message) to stderr and abort.
+[[noreturn]] void panic(const char* file, int line, std::string_view msg);
+
+#define RADER_CHECK(cond)                                                    \
+  do {                                                                       \
+    if (!(cond)) ::rader::panic(__FILE__, __LINE__, "check failed: " #cond); \
+  } while (0)
+
+#define RADER_CHECK_MSG(cond, msg)                                   \
+  do {                                                               \
+    if (!(cond)) ::rader::panic(__FILE__, __LINE__, (msg));          \
+  } while (0)
+
+#ifdef NDEBUG
+#define RADER_DCHECK(cond) ((void)0)
+#else
+#define RADER_DCHECK(cond) RADER_CHECK(cond)
+#endif
+
+#define RADER_UNREACHABLE(msg) ::rader::panic(__FILE__, __LINE__, (msg))
+
+}  // namespace rader

@@ -1,0 +1,38 @@
+// Small hashing utilities shared by the shadow spaces and the dedup app.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace rader {
+
+/// 64-bit FNV-1a over a byte range.
+constexpr std::uint64_t fnv1a(const void* data, std::size_t n,
+                              std::uint64_t seed = 0xcbf29ce484222325ull) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a(std::string_view s) {
+  return fnv1a(s.data(), s.size());
+}
+
+/// Strong 64-bit integer mix (final avalanche of splitmix64).
+constexpr std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Combine two hashes (boost-style, 64-bit).
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ull + (a << 12) + (a >> 4));
+}
+
+}  // namespace rader

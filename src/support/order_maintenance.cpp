@@ -1,0 +1,137 @@
+#include "support/order_maintenance.hpp"
+
+namespace rader {
+namespace {
+
+constexpr std::uint64_t kMaxTag = ~std::uint64_t{0};
+
+}  // namespace
+
+OrderMaintenance::Node OrderMaintenance::make_first() {
+  RADER_CHECK_MSG(nodes_.empty(), "make_first on a non-empty order");
+  nodes_.push_back(Entry{kMaxTag / 2, kInvalid, kInvalid});
+  head_ = 0;
+  return 0;
+}
+
+OrderMaintenance::Node OrderMaintenance::insert_after(Node n) {
+  RADER_DCHECK(n < nodes_.size());
+  const Node fresh = static_cast<Node>(nodes_.size());
+  nodes_.push_back(Entry{});
+
+  Entry& prev = nodes_[n];
+  const Node next = prev.next;
+  const std::uint64_t lo = prev.tag;
+  const std::uint64_t hi = (next == kInvalid) ? kMaxTag : nodes_[next].tag;
+  if (hi - lo < 2) {
+    // No gap: open one by relabeling a region around n, then retry the
+    // arithmetic (links have not changed).
+    rebalance_around(n);
+    const std::uint64_t lo2 = nodes_[n].tag;
+    const std::uint64_t hi2 =
+        (nodes_[n].next == kInvalid) ? kMaxTag : nodes_[nodes_[n].next].tag;
+    RADER_CHECK_MSG(hi2 - lo2 >= 2, "order-maintenance rebalance failed");
+    nodes_[fresh].tag = lo2 + (hi2 - lo2) / 2;
+  } else {
+    nodes_[fresh].tag = lo + (hi - lo) / 2;
+  }
+
+  // Splice into the linked list.
+  nodes_[fresh].prev = n;
+  nodes_[fresh].next = next;
+  nodes_[n].next = fresh;
+  if (next != kInvalid) nodes_[next].prev = fresh;
+  return fresh;
+}
+
+void OrderMaintenance::rebalance_around(Node n) {
+  // Classic list-labeling: grow a window around n until its density drops
+  // below a geometrically decreasing threshold, then spread its nodes
+  // evenly over the enclosing tag range.  Window bounds use 128-bit
+  // arithmetic: for tags in the topmost aligned block, base + range is
+  // exactly 2^64 and must not wrap.
+  ++relabels_;
+  Node left = n;
+  Node right = n;
+  std::size_t count = 1;
+  double threshold = 1.0;
+  constexpr double kDensityBase = 1.3;
+
+  for (std::size_t level = 1; level < 64; ++level) {
+    const std::uint64_t range = std::uint64_t{1} << level;
+    // Window = nodes whose tags share the top (64 - level) bits with n.
+    const std::uint64_t base = nodes_[n].tag & ~(range - 1);
+    const auto end = static_cast<unsigned __int128>(base) + range;
+    while (nodes_[left].prev != kInvalid &&
+           nodes_[nodes_[left].prev].tag >= base) {
+      left = nodes_[left].prev;
+      ++count;
+    }
+    while (nodes_[right].next != kInvalid &&
+           static_cast<unsigned __int128>(nodes_[nodes_[right].next].tag) <
+               end &&
+           nodes_[nodes_[right].next].tag >= base) {
+      right = nodes_[right].next;
+      ++count;
+    }
+    threshold /= kDensityBase;
+    if (static_cast<double>(count) / static_cast<double>(range) < threshold &&
+        range >= 2 * (count + 2)) {
+      // Spread the window's nodes evenly across [base, base + range).
+      const std::uint64_t step =
+          range / (static_cast<std::uint64_t>(count) + 1);
+      std::uint64_t tag = base + step;
+      for (Node it = left;; it = nodes_[it].next) {
+        nodes_[it].tag = tag;
+        tag += step;
+        if (it == right) break;
+      }
+      return;
+    }
+  }
+
+  // Fallback: relabel the ENTIRE list evenly across the full tag space.
+  // Reached only when the list is dense in every aligned window around n
+  // (possible after adversarially skewed insertions drive tags into one
+  // region); O(n), amortized away by the doubling structure above.
+  Node head = n;
+  while (nodes_[head].prev != kInvalid) head = nodes_[head].prev;
+  std::size_t total = 0;
+  for (Node it = head; it != kInvalid; it = nodes_[it].next) ++total;
+  RADER_CHECK_MSG(total < (std::uint64_t{1} << 62),
+                  "order-maintenance list too large to relabel");
+  const std::uint64_t step = kMaxTag / (static_cast<std::uint64_t>(total) + 1);
+  RADER_CHECK_MSG(step >= 2, "order-maintenance tag space exhausted");
+  std::uint64_t tag = step;
+  for (Node it = head; it != kInvalid; it = nodes_[it].next) {
+    nodes_[it].tag = tag;
+    tag += step;
+  }
+}
+
+void OrderMaintenance::clear() {
+  nodes_.clear();
+  head_ = kInvalid;
+  relabels_ = 0;
+}
+
+bool OrderMaintenance::check_invariants() const {
+  if (nodes_.empty()) return true;
+  Node it = head_;
+  std::size_t seen = 0;
+  std::uint64_t last = 0;
+  bool first = true;
+  while (it != kInvalid) {
+    if (!first && nodes_[it].tag <= last) return false;
+    last = nodes_[it].tag;
+    first = false;
+    ++seen;
+    if (nodes_[it].next != kInvalid && nodes_[nodes_[it].next].prev != it) {
+      return false;
+    }
+    it = nodes_[it].next;
+  }
+  return seen == nodes_.size();
+}
+
+}  // namespace rader

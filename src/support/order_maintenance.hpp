@@ -1,0 +1,70 @@
+// Order-maintenance data structure.
+//
+// Maintains a total order under "insert x after y" with O(1) order queries,
+// via the classic list-labeling scheme [Dietz & Sleator; Bender et al.]:
+// nodes carry 64-bit tags; an insertion with no tag gap between neighbors
+// relabels the smallest enclosing tag range whose density is below a
+// geometrically decreasing threshold, giving O(log n) amortized relabels.
+//
+// This is the substrate of the SP-order determinacy-race detector [3]
+// (Bender, Fineman, Gilbert, Leiserson, SPAA'04), which the paper cites as
+// maintaining series-parallel relationships "in a concurrent
+// order-maintenance data structure" — and notes that, to the authors'
+// knowledge, no implementation existed.  src/core/sporder.hpp implements
+// the serial variant on top of this structure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace rader {
+
+class OrderMaintenance {
+ public:
+  using Node = std::uint32_t;
+  static constexpr Node kInvalid = static_cast<Node>(-1);
+
+  OrderMaintenance() = default;
+
+  /// Create the first node of the order (list must be empty).
+  Node make_first();
+
+  /// Insert a fresh node immediately after `n` in the order.
+  Node insert_after(Node n);
+
+  /// True iff `a` precedes `b` in the maintained order.
+  bool precedes(Node a, Node b) const {
+    RADER_DCHECK(a < nodes_.size() && b < nodes_.size());
+    return nodes_[a].tag < nodes_[b].tag;
+  }
+
+  /// The later of two nodes in the maintained order.
+  Node max(Node a, Node b) const { return precedes(a, b) ? b : a; }
+
+  std::size_t size() const { return nodes_.size(); }
+  std::uint64_t relabel_count() const { return relabels_; }
+
+  void clear();
+
+  /// Internal invariant check (for tests): tags strictly increase along the
+  /// linked list.
+  bool check_invariants() const;
+
+ private:
+  struct Entry {
+    std::uint64_t tag = 0;
+    Node next = kInvalid;
+    Node prev = kInvalid;
+  };
+
+  // Rebalance so that a gap opens after `n`; returns nothing (tags change).
+  void rebalance_around(Node n);
+
+  std::vector<Entry> nodes_;
+  Node head_ = kInvalid;
+  std::uint64_t relabels_ = 0;
+};
+
+}  // namespace rader

@@ -1,0 +1,15 @@
+#include "support/common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rader {
+
+void panic(const char* file, int line, std::string_view msg) {
+  std::fprintf(stderr, "rader: %s:%d: %.*s\n", file, line,
+               static_cast<int>(msg.size()), msg.data());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace rader

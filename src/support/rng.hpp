@@ -1,0 +1,53 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// Every randomized component in this repository — workload generators, random
+// steal specifications, the random-program generator used by the property
+// tests — takes an explicit seed and derives all randomness from this
+// generator, so every experiment and test is reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace rader {
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, 2^256-1 period.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  /// Re-initialize the state from a single seed via splitmix64.
+  void reseed(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  // UniformRandomBitGenerator interface (usable with <random> distributions).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  result_type operator()() { return next(); }
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Derive an independent child generator (for per-task determinism).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace rader

@@ -1,0 +1,21 @@
+#include "support/timer.hpp"
+
+#include <algorithm>
+
+#include "support/common.hpp"
+
+namespace rader {
+
+double time_best_of(int reps, const std::function<void()>& fn) {
+  RADER_CHECK(reps > 0);
+  double best = 0.0;
+  for (int i = 0; i < reps; ++i) {
+    Timer t;
+    fn();
+    const double s = t.seconds();
+    best = (i == 0) ? s : std::min(best, s);
+  }
+  return best;
+}
+
+}  // namespace rader

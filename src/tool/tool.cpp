@@ -1,0 +1,3 @@
+#include "tool/tool.hpp"
+
+// Tool and ToolChain are header-only; this translation unit pins them.

@@ -1,0 +1,3 @@
+#include "tool/tracked.hpp"
+
+// Header-only; this translation unit pins the header's compilation.

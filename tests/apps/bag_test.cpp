@@ -1,0 +1,143 @@
+#include "apps/bag.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "runtime/run.hpp"
+#include "support/rng.hpp"
+
+namespace rader::apps {
+namespace {
+
+std::vector<std::uint32_t> drain(const Bag<std::uint32_t>& bag) {
+  std::vector<std::uint32_t> out;
+  bag.for_each([&](std::uint32_t v) { out.push_back(v); });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(Bag, StartsEmpty) {
+  Bag<std::uint32_t> bag;
+  EXPECT_TRUE(bag.empty());
+  EXPECT_EQ(bag.size(), 0u);
+}
+
+TEST(Bag, InsertAndVisit) {
+  Bag<std::uint32_t> bag;
+  for (std::uint32_t i = 0; i < 100; ++i) bag.insert(i);
+  EXPECT_EQ(bag.size(), 100u);
+  std::vector<std::uint32_t> expected(100);
+  for (std::uint32_t i = 0; i < 100; ++i) expected[i] = i;
+  EXPECT_EQ(drain(bag), expected);
+}
+
+TEST(Bag, PennantStructureIsBinaryCounter) {
+  // Sizes that are powers of two occupy exactly one pennant; this is
+  // observable through insert cost being amortized O(1) — we check the
+  // element count across carry cascades.
+  Bag<std::uint32_t> bag;
+  for (std::uint32_t i = 0; i < 1023; ++i) bag.insert(i);
+  EXPECT_EQ(bag.size(), 1023u);
+  bag.insert(1023);  // full carry cascade into one pennant of 1024
+  EXPECT_EQ(bag.size(), 1024u);
+  EXPECT_EQ(drain(bag).size(), 1024u);
+}
+
+TEST(Bag, MergeCombinesAndDrainsSource) {
+  Bag<std::uint32_t> a, b;
+  for (std::uint32_t i = 0; i < 37; ++i) a.insert(i);
+  for (std::uint32_t i = 100; i < 177; ++i) b.insert(i);
+  a.merge(std::move(b));
+  EXPECT_EQ(a.size(), 37u + 77u);
+  EXPECT_TRUE(b.empty());  // NOLINT(bugprone-use-after-move): checked drain
+  const auto all = drain(a);
+  EXPECT_EQ(all.size(), 114u);
+  EXPECT_TRUE(std::is_sorted(all.begin(), all.end()));
+  EXPECT_EQ(all.front(), 0u);
+  EXPECT_EQ(all.back(), 176u);
+}
+
+TEST(Bag, MergeWithEmptyEitherWay) {
+  Bag<std::uint32_t> a, b;
+  a.insert(1);
+  a.merge(std::move(b));
+  EXPECT_EQ(a.size(), 1u);
+  Bag<std::uint32_t> c;
+  c.merge(std::move(a));
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(Bag, RandomizedMergesPreserveMultiset) {
+  Rng rng(55);
+  std::vector<Bag<std::uint32_t>> bags(8);
+  std::multiset<std::uint32_t> expected;
+  std::uint32_t next = 0;
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t which = rng.below(bags.size());
+    if (rng.chance(0.7)) {
+      bags[which].insert(next);
+      expected.insert(next);
+      ++next;
+    } else {
+      const std::size_t other = rng.below(bags.size());
+      if (other != which) bags[which].merge(std::move(bags[other]));
+    }
+  }
+  Bag<std::uint32_t> all;
+  for (auto& b : bags) all.merge(std::move(b));
+  EXPECT_EQ(all.size(), expected.size());
+  const auto got = drain(all);
+  EXPECT_TRUE(std::equal(got.begin(), got.end(), expected.begin()));
+}
+
+TEST(Bag, MoveConstructorTransfers) {
+  Bag<std::uint32_t> a;
+  a.insert(5);
+  Bag<std::uint32_t> b(std::move(a));
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(Bag, ProcessParallelVisitsEveryElementOnce) {
+  Bag<std::uint32_t> bag;
+  constexpr std::uint32_t kN = 777;
+  for (std::uint32_t i = 0; i < kN; ++i) bag.insert(i);
+  std::vector<std::atomic<int>> hits(kN);
+  run_serial([&] {
+    bag.process_parallel([&](std::uint32_t v) { hits[v].fetch_add(1); },
+                         /*grain=*/16);
+  });
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "element " << i;
+  }
+}
+
+TEST(Bag, ClearReleasesAndResets) {
+  Bag<std::uint32_t> bag;
+  for (std::uint32_t i = 0; i < 50; ++i) bag.insert(i);
+  bag.clear();
+  EXPECT_TRUE(bag.empty());
+  bag.insert(9);
+  EXPECT_EQ(drain(bag), std::vector<std::uint32_t>{9});
+}
+
+TEST(BagMonoid, SatisfiesIdentityAndMergeLaws) {
+  using M = bag_monoid<std::uint32_t>;
+  Bag<std::uint32_t> x;
+  x.insert(1);
+  x.insert(2);
+  Bag<std::uint32_t> e = M::identity();
+  M::reduce(x, e);
+  EXPECT_EQ(x.size(), 2u);
+  Bag<std::uint32_t> y;
+  y.insert(3);
+  M::reduce(x, y);
+  EXPECT_EQ(x.size(), 3u);
+}
+
+}  // namespace
+}  // namespace rader::apps

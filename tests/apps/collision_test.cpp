@@ -1,0 +1,85 @@
+#include "apps/collision.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/driver.hpp"
+#include "runtime/run.hpp"
+#include "sched/parallel_engine.hpp"
+
+namespace rader::apps {
+namespace {
+
+TEST(Collision, BruteForceOnHandmadeScene) {
+  CollisionScene scene;
+  scene.world = 1.0f;
+  scene.cell = 0.25f;
+  scene.spheres = {
+      {0.10f, 0.10f, 0.10f, 0.05f},
+      {0.16f, 0.10f, 0.10f, 0.05f},  // overlaps sphere 0
+      {0.90f, 0.90f, 0.90f, 0.05f},  // isolated
+  };
+  const auto brute = find_collisions_brute(scene);
+  ASSERT_EQ(brute.size(), 1u);
+  EXPECT_EQ(brute[0], (std::pair<std::uint32_t, std::uint32_t>{0, 1}));
+}
+
+TEST(Collision, GridMatchesBruteForceOnHandmadeScene) {
+  CollisionScene scene;
+  scene.world = 1.0f;
+  scene.cell = 0.2f;
+  scene.spheres = {
+      {0.10f, 0.10f, 0.10f, 0.06f},
+      {0.19f, 0.10f, 0.10f, 0.06f},
+      {0.21f, 0.10f, 0.10f, 0.06f},  // crosses a cell boundary
+      {0.55f, 0.55f, 0.55f, 0.02f},
+  };
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  run_serial([&] { pairs = find_collisions(scene); });
+  EXPECT_EQ(pairs, find_collisions_brute(scene));
+}
+
+TEST(Collision, GridMatchesBruteForceOnRandomScenes) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto scene = make_scene(300, seed);
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+    run_serial([&] { pairs = find_collisions(scene); });
+    EXPECT_EQ(pairs, find_collisions_brute(scene)) << "seed " << seed;
+  }
+}
+
+TEST(Collision, SceneActuallyHasCollisions) {
+  const auto scene = make_scene(500, 2);
+  EXPECT_FALSE(find_collisions_brute(scene).empty())
+      << "scene density too low to exercise the hypervector reducer";
+}
+
+TEST(Collision, ParallelEngineProducesSameSet) {
+  const auto scene = make_scene(400, 6);
+  const auto expected = find_collisions_brute(scene);
+  ParallelEngine engine(4);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  engine.run([&] { pairs = find_collisions(scene); });
+  EXPECT_EQ(pairs, expected);
+}
+
+TEST(Collision, EmptySceneYieldsNothing) {
+  CollisionScene scene;
+  scene.spheres.clear();
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  run_serial([&] { pairs = find_collisions(scene); });
+  EXPECT_TRUE(pairs.empty());
+}
+
+TEST(Collision, CleanUnderDetectors) {
+  const auto scene = make_scene(120, 8);
+  const auto program = [&] {
+    volatile std::size_t n = find_collisions(scene).size();
+    (void)n;
+  };
+  EXPECT_FALSE(Rader::check_view_read(program).any());
+  spec::RandomTripleSteal spec(5, 16);
+  EXPECT_FALSE(Rader::check_determinacy(program, spec).any());
+}
+
+}  // namespace
+}  // namespace rader::apps

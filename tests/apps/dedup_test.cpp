@@ -1,0 +1,143 @@
+#include "apps/dedup.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/driver.hpp"
+#include "runtime/run.hpp"
+#include "sched/parallel_engine.hpp"
+#include "support/rng.hpp"
+
+namespace rader::apps {
+namespace {
+
+TEST(Lz77, RoundTripsEmptyAndTiny) {
+  for (const std::string s : {"", "a", "ab", "aaaa", "abcabcabc"}) {
+    const std::string packed = lz77_compress(s.data(), s.size());
+    EXPECT_EQ(lz77_decompress(packed), s);
+  }
+}
+
+TEST(Lz77, RoundTripsRandomData) {
+  Rng rng(12);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::string s;
+    const std::size_t n = 100 + rng.below(5000);
+    for (std::size_t i = 0; i < n; ++i) {
+      s.push_back(static_cast<char>(rng.below(8) + 'a'));  // compressible
+    }
+    const std::string packed = lz77_compress(s.data(), s.size());
+    EXPECT_EQ(lz77_decompress(packed), s) << "trial " << trial;
+  }
+}
+
+TEST(Lz77, RoundTripsIncompressibleData) {
+  Rng rng(13);
+  std::string s;
+  for (int i = 0; i < 4096; ++i) {
+    s.push_back(static_cast<char>(rng.below(256)));
+  }
+  const std::string packed = lz77_compress(s.data(), s.size());
+  EXPECT_EQ(lz77_decompress(packed), s);
+}
+
+TEST(Lz77, CompressesRepetitiveInput) {
+  std::string s;
+  for (int i = 0; i < 200; ++i) s += "the quick brown fox ";
+  const std::string packed = lz77_compress(s.data(), s.size());
+  EXPECT_LT(packed.size(), s.size() / 4);
+}
+
+TEST(Lz77, HandlesOverlappingMatches) {
+  const std::string s(10000, 'x');
+  const std::string packed = lz77_compress(s.data(), s.size());
+  EXPECT_EQ(lz77_decompress(packed), s);
+  EXPECT_LT(packed.size(), 200u);
+}
+
+TEST(ContentChunks, BoundariesAreContentDefined) {
+  const std::string input = make_dedup_input(200000, 0.0, 1);
+  DedupParams params;
+  const auto ends = content_chunks(input, params);
+  ASSERT_FALSE(ends.empty());
+  EXPECT_EQ(ends.back(), input.size());
+  std::uint32_t prev = 0;
+  for (const std::uint32_t e : ends) {
+    EXPECT_GT(e, prev);
+    const bool is_last = (e == input.size());
+    if (!is_last) {
+      EXPECT_GE(e - prev, params.min_chunk);
+      EXPECT_LE(e - prev, params.max_chunk);
+    }
+    prev = e;
+  }
+}
+
+TEST(ContentChunks, IdenticalContentGivesIdenticalBoundaries) {
+  // Shift-invariance is the point of content-defined chunking: the same
+  // block yields the same chunks wherever it appears after alignment.
+  const std::string input = make_dedup_input(100000, 0.8, 2);
+  DedupParams params;
+  const auto a = content_chunks(input, params);
+  const auto b = content_chunks(input, params);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Dedup, RoundTripSerial) {
+  const std::string input = make_dedup_input(300000, 0.6, 3);
+  std::string archive;
+  DedupStats stats;
+  run_serial([&] { stats = dedup_compress(input, archive); });
+  EXPECT_EQ(dedup_restore(archive), input);
+  EXPECT_EQ(stats.input_bytes, input.size());
+  EXPECT_GT(stats.total_chunks, 10u);
+  EXPECT_LT(stats.unique_chunks, stats.total_chunks);  // dup_ratio worked
+  EXPECT_LT(stats.output_bytes, stats.input_bytes);    // actually compresses
+}
+
+TEST(Dedup, RoundTripParallelEngineMatchesSerialArchive) {
+  const std::string input = make_dedup_input(200000, 0.5, 4);
+  std::string serial_archive;
+  run_serial([&] { dedup_compress(input, serial_archive); });
+
+  ParallelEngine engine(4);
+  std::string parallel_archive;
+  engine.run([&] { dedup_compress(input, parallel_archive); });
+  // The ostream reducer makes the archive bit-identical, not just valid.
+  EXPECT_EQ(parallel_archive, serial_archive);
+  EXPECT_EQ(dedup_restore(parallel_archive), input);
+}
+
+TEST(Dedup, ArchiveInvariantUnderStealSpecs) {
+  const std::string input = make_dedup_input(120000, 0.5, 5);
+  std::string expected;
+  run_serial([&] { dedup_compress(input, expected); });
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    spec::BernoulliSteal b(seed, 0.4);
+    SerialEngine engine(nullptr, &b);
+    std::string archive;
+    engine.run([&] { dedup_compress(input, archive); });
+    EXPECT_EQ(archive, expected) << seed;
+  }
+}
+
+TEST(Dedup, NoDuplicatesInput) {
+  const std::string input = make_dedup_input(100000, 0.0, 6);
+  std::string archive;
+  DedupStats stats;
+  run_serial([&] { stats = dedup_compress(input, archive); });
+  EXPECT_EQ(dedup_restore(archive), input);
+}
+
+TEST(Dedup, CleanUnderDetectors) {
+  const std::string input = make_dedup_input(60000, 0.5, 7);
+  const auto program = [&] {
+    std::string archive;
+    dedup_compress(input, archive);
+  };
+  EXPECT_FALSE(Rader::check_view_read(program).any());
+  spec::TripleSteal triple(0, 1, 2);
+  EXPECT_FALSE(Rader::check_determinacy(program, triple).any());
+}
+
+}  // namespace
+}  // namespace rader::apps

@@ -1,0 +1,121 @@
+#include "apps/ferret.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/driver.hpp"
+#include "runtime/run.hpp"
+#include "sched/parallel_engine.hpp"
+
+namespace rader::apps {
+namespace {
+
+TEST(TopK, OfferKeepsKBest) {
+  TopK top{3, {}};
+  for (std::uint32_t id = 0; id < 10; ++id) {
+    top.offer(Hit{static_cast<float>(10 - id), id});
+  }
+  ASSERT_EQ(top.hits.size(), 3u);
+  EXPECT_EQ(top.hits[0].id, 9u);  // dist 1
+  EXPECT_EQ(top.hits[1].id, 8u);
+  EXPECT_EQ(top.hits[2].id, 7u);
+}
+
+TEST(TopK, TieBreaksById) {
+  TopK top{2, {}};
+  top.offer(Hit{1.0f, 5});
+  top.offer(Hit{1.0f, 2});
+  top.offer(Hit{1.0f, 9});
+  ASSERT_EQ(top.hits.size(), 2u);
+  EXPECT_EQ(top.hits[0].id, 2u);
+  EXPECT_EQ(top.hits[1].id, 5u);
+}
+
+TEST(TopK, IdentityViewLearnsKOnMerge) {
+  TopK identity = topk_monoid::identity();
+  EXPECT_EQ(identity.k, 0u);
+  identity.offer(Hit{3.0f, 1});  // unbounded until merged
+  identity.offer(Hit{1.0f, 2});
+  TopK real{1, {}};
+  real.offer(Hit{2.0f, 3});
+  topk_monoid::reduce(real, identity);
+  ASSERT_EQ(real.hits.size(), 1u);
+  EXPECT_EQ(real.hits[0].id, 2u);
+}
+
+TEST(TopK, MergeEqualsOfferingAll) {
+  TopK a{4, {}}, b{4, {}}, all{4, {}};
+  for (std::uint32_t id = 0; id < 16; ++id) {
+    const Hit h{static_cast<float>((id * 7) % 13), id};
+    ((id % 2 == 0) ? a : b).offer(h);
+    all.offer(h);
+  }
+  topk_monoid::reduce(a, b);
+  EXPECT_EQ(a.hits, all.hits);
+}
+
+TEST(Ferret, DatabaseIsReproducible) {
+  const auto a = make_ferret_db(100, 5, 9);
+  const auto b = make_ferret_db(100, 5, 9);
+  EXPECT_EQ(a.images.size(), 100u);
+  EXPECT_EQ(a.queries.size(), 5u);
+  EXPECT_EQ(a.images[17], b.images[17]);
+}
+
+TEST(Ferret, ParallelSearchMatchesSerial) {
+  const auto db = make_ferret_db(400, 8, 10);
+  std::string report;
+  std::vector<std::vector<std::uint32_t>> results;
+  run_serial([&] { results = ferret_search(db, 5, report); });
+  EXPECT_EQ(results, ferret_search_serial(db, 5));
+  EXPECT_FALSE(report.empty());
+}
+
+TEST(Ferret, ReportLinesAreInQueryOrder) {
+  const auto db = make_ferret_db(200, 6, 11);
+  std::string report;
+  run_serial([&] { ferret_search(db, 3, report); });
+  std::size_t pos = 0;
+  for (int q = 0; q < 6; ++q) {
+    const std::string prefix = "query " + std::to_string(q) + ":";
+    const std::size_t found = report.find(prefix, pos);
+    ASSERT_NE(found, std::string::npos) << prefix;
+    pos = found + 1;
+  }
+}
+
+TEST(Ferret, ParallelEngineSameResultsAndReport) {
+  const auto db = make_ferret_db(300, 6, 12);
+  std::string serial_report;
+  std::vector<std::vector<std::uint32_t>> expected;
+  run_serial([&] { expected = ferret_search(db, 4, serial_report); });
+
+  ParallelEngine engine(4);
+  std::string report;
+  std::vector<std::vector<std::uint32_t>> results;
+  engine.run([&] { results = ferret_search(db, 4, report); });
+  EXPECT_EQ(results, expected);
+  EXPECT_EQ(report, serial_report);
+}
+
+TEST(Ferret, CleanUnderDetectors) {
+  const auto db = make_ferret_db(80, 3, 13);
+  const auto program = [&] {
+    std::string report;
+    volatile std::size_t n = ferret_search(db, 4, report).size();
+    (void)n;
+  };
+  EXPECT_FALSE(Rader::check_view_read(program).any());
+  spec::RandomTripleSteal spec(21, 16);
+  EXPECT_FALSE(Rader::check_determinacy(program, spec).any());
+}
+
+TEST(Ferret, KLargerThanDatabase) {
+  const auto db = make_ferret_db(5, 2, 14);
+  std::string report;
+  std::vector<std::vector<std::uint32_t>> results;
+  run_serial([&] { results = ferret_search(db, 50, report); });
+  for (const auto& r : results) EXPECT_EQ(r.size(), 5u);
+}
+
+}  // namespace
+}  // namespace rader::apps

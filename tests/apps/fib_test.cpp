@@ -1,0 +1,60 @@
+#include "apps/fib.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/driver.hpp"
+#include "runtime/run.hpp"
+#include "sched/parallel_engine.hpp"
+
+namespace rader::apps {
+namespace {
+
+TEST(Fib, SerialReferenceValues) {
+  EXPECT_EQ(fib_serial(0), 0u);
+  EXPECT_EQ(fib_serial(1), 1u);
+  EXPECT_EQ(fib_serial(10), 55u);
+  EXPECT_EQ(fib_serial(28), 317811u);
+}
+
+TEST(Fib, CallCountRecurrence) {
+  EXPECT_EQ(fib_call_count(0), 1u);
+  EXPECT_EQ(fib_call_count(1), 1u);
+  EXPECT_EQ(fib_call_count(2), 3u);
+  EXPECT_EQ(fib_call_count(5), 1u + fib_call_count(4) + fib_call_count(3));
+}
+
+TEST(Fib, ReducerCountsCallsUnderSerialEngine) {
+  FibResult result;
+  run_serial([&] { result = run_fib(15); });
+  EXPECT_EQ(result.value, fib_serial(15));
+  EXPECT_EQ(static_cast<std::uint64_t>(result.calls), fib_call_count(15));
+}
+
+TEST(Fib, ReducerCountsCallsUnderParallelEngine) {
+  ParallelEngine engine(4);
+  FibResult result;
+  engine.run([&] { result = run_fib(18); });
+  EXPECT_EQ(result.value, fib_serial(18));
+  EXPECT_EQ(static_cast<std::uint64_t>(result.calls), fib_call_count(18));
+}
+
+TEST(Fib, CleanUnderDetectors) {
+  const auto program = [] {
+    volatile std::uint64_t v = run_fib(10).value;
+    (void)v;
+  };
+  EXPECT_FALSE(Rader::check_view_read(program).any());
+  spec::RandomTripleSteal spec(3, 8);
+  EXPECT_FALSE(Rader::check_determinacy(program, spec).any());
+}
+
+TEST(Fib, CutoffDoesNotChangeCounts) {
+  FibResult a, b;
+  run_serial([&] { a = run_fib(14, 2); });
+  run_serial([&] { b = run_fib(14, 6); });
+  EXPECT_EQ(a.value, b.value);
+  EXPECT_EQ(a.calls, b.calls);
+}
+
+}  // namespace
+}  // namespace rader::apps

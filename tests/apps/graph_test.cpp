@@ -1,0 +1,70 @@
+#include "apps/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rader::apps {
+namespace {
+
+TEST(Graph, FromEdgesBuildsSymmetricCsr) {
+  auto g = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 6u);  // both directions
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 2u);
+  const auto n1 = g.neighbors(1);
+  const std::set<std::uint32_t> got(n1.begin(), n1.end());
+  EXPECT_EQ(got, (std::set<std::uint32_t>{0, 2}));
+}
+
+TEST(Graph, DeduplicatesAndDropsSelfLoops) {
+  auto g = Graph::from_edges(3, {{0, 1}, {1, 0}, {0, 1}, {2, 2}});
+  EXPECT_EQ(g.num_edges(), 2u);  // single undirected edge 0-1
+  EXPECT_EQ(g.degree(2), 0u);
+}
+
+TEST(Graph, RandomGraphIsReproducible) {
+  const auto a = Graph::random(100, 300, 7);
+  const auto b = Graph::random(100, 300, 7);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (std::uint32_t v = 0; v < 100; ++v) {
+    const auto na = a.neighbors(v);
+    const auto nb = b.neighbors(v);
+    ASSERT_EQ(na.size(), nb.size());
+    for (std::size_t i = 0; i < na.size(); ++i) EXPECT_EQ(na[i], nb[i]);
+  }
+  const auto c = Graph::random(100, 300, 8);
+  EXPECT_NE(c.num_edges(), 0u);
+}
+
+TEST(Graph, RmatHasSkewedDegrees) {
+  const auto g = Graph::rmat(1024, 8192, 3);
+  std::uint32_t max_deg = 0;
+  std::uint64_t total = 0;
+  for (std::uint32_t v = 0; v < g.num_vertices(); ++v) {
+    max_deg = std::max(max_deg, g.degree(v));
+    total += g.degree(v);
+  }
+  EXPECT_EQ(total, g.num_edges());
+  // Power-law-ish: the max degree far exceeds the average.
+  EXPECT_GT(max_deg, 4 * total / g.num_vertices());
+}
+
+TEST(Graph, Grid2dStructure) {
+  const auto g = Graph::grid2d(3, 3);
+  EXPECT_EQ(g.num_vertices(), 9u);
+  EXPECT_EQ(g.num_edges(), 24u);  // 12 undirected edges
+  EXPECT_EQ(g.degree(4), 4u);     // center
+  EXPECT_EQ(g.degree(0), 2u);     // corner
+}
+
+TEST(Graph, EmptyGraph) {
+  const auto g = Graph::from_edges(5, {});
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.neighbors(0).empty());
+}
+
+}  // namespace
+}  // namespace rader::apps

@@ -1,0 +1,86 @@
+#include "apps/knapsack.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/driver.hpp"
+#include "runtime/run.hpp"
+#include "sched/parallel_engine.hpp"
+
+namespace rader::apps {
+namespace {
+
+TEST(Knapsack, DpReferenceOnTinyInstance) {
+  const std::vector<KnapsackItem> items = {{60, 10}, {100, 20}, {120, 30}};
+  EXPECT_EQ(knapsack_dp(items, 50), 220);
+  EXPECT_EQ(knapsack_dp(items, 10), 60);
+  EXPECT_EQ(knapsack_dp(items, 0), 0);
+}
+
+TEST(Knapsack, ParallelMatchesDpAcrossInstances) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto items = knapsack_instance(14, seed);
+    long weight = 0;
+    for (const auto& item : items) weight += item.weight;
+    const long cap = weight / 3;
+    BestSolution best;
+    run_serial([&] { best = knapsack_parallel(items, cap); });
+    EXPECT_EQ(best.value, knapsack_dp(items, cap)) << "seed " << seed;
+    EXPECT_GE(best.count, 1);
+  }
+}
+
+TEST(Knapsack, ParallelEngineMatchesToo) {
+  const auto items = knapsack_instance(18, 42);
+  long weight = 0;
+  for (const auto& item : items) weight += item.weight;
+  const long cap = weight / 3;
+  const long expected = knapsack_dp(items, cap);
+  ParallelEngine engine(4);
+  BestSolution best;
+  engine.run([&] { best = knapsack_parallel(items, cap); });
+  EXPECT_EQ(best.value, expected);
+}
+
+TEST(Knapsack, SolutionCountDeterministicUnderSpecs) {
+  const auto items = knapsack_instance(12, 5);
+  const long cap = 200;
+  BestSolution expected;
+  run_serial([&] { expected = knapsack_parallel(items, cap); });
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    spec::BernoulliSteal b(seed, 0.5);
+    SerialEngine engine(nullptr, &b);
+    BestSolution got;
+    engine.run([&] { got = knapsack_parallel(items, cap); });
+    EXPECT_EQ(got.value, expected.value) << seed;
+    EXPECT_EQ(got.count, expected.count) << seed;
+  }
+}
+
+TEST(Knapsack, InstanceIsDensitySorted) {
+  const auto items = knapsack_instance(30, 9);
+  for (std::size_t i = 1; i < items.size(); ++i) {
+    EXPECT_GE(items[i - 1].value * items[i].weight,
+              items[i].value * items[i - 1].weight);
+  }
+}
+
+TEST(Knapsack, NoRacesReported) {
+  const auto items = knapsack_instance(10, 3);
+  const auto program = [&] {
+    volatile long v = knapsack_parallel(items, 150).value;
+    (void)v;
+  };
+  EXPECT_FALSE(Rader::check_view_read(program).any());
+  spec::TripleSteal triple(0, 1, 2);
+  EXPECT_FALSE(Rader::check_determinacy(program, triple).any());
+}
+
+TEST(Knapsack, ZeroCapacity) {
+  const auto items = knapsack_instance(8, 1);
+  BestSolution best;
+  run_serial([&] { best = knapsack_parallel(items, 0); });
+  EXPECT_EQ(best.value, 0);  // only the empty solution fits
+}
+
+}  // namespace
+}  // namespace rader::apps

@@ -1,0 +1,135 @@
+// LZ77 codec boundary conditions: token-format limits, window edges, and
+// adversarial inputs.  (The dedup benchmark's correctness rests on these.)
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "apps/dedup.hpp"
+#include "runtime/run.hpp"
+#include "support/rng.hpp"
+
+namespace rader::apps {
+namespace {
+
+std::string roundtrip(const std::string& s) {
+  return lz77_decompress(lz77_compress(s.data(), s.size()));
+}
+
+TEST(Lz77Edge, MatchLengthAtU16Boundary) {
+  // A run longer than the 65535 max match length must split into several
+  // match tokens and still round-trip.
+  const std::string s(70000, 'z');
+  const std::string packed = lz77_compress(s.data(), s.size());
+  EXPECT_EQ(lz77_decompress(packed), s);
+  EXPECT_LT(packed.size(), 64u);  // a handful of tokens
+}
+
+TEST(Lz77Edge, LiteralRunAtU16Boundary) {
+  // >65535 bytes with no 4-byte match anywhere: literals must chunk.
+  Rng rng(99);
+  std::string s;
+  s.reserve(70000);
+  // 3-byte unique blocks prevent 4-byte matches... build from a counter.
+  for (int i = 0; s.size() < 70000; ++i) {
+    s.push_back(static_cast<char>(i & 0xff));
+    s.push_back(static_cast<char>((i >> 8) & 0xff));
+    s.push_back(static_cast<char>((i >> 16) | 0x80));
+  }
+  EXPECT_EQ(roundtrip(s), s);
+}
+
+TEST(Lz77Edge, MatchJustInsideAndOutsideWindow) {
+  // A repeat at distance exactly 2^15 is representable; beyond it the
+  // match must be dropped (re-emitted), but round-trip must hold.
+  const std::string pattern = "ABCDEFGHIJKLMNOP";
+  for (const std::size_t gap : {std::size_t{32751}, std::size_t{32768},
+                                std::size_t{40000}}) {
+    std::string s = pattern;
+    s.append(gap, 'x');
+    s += pattern;
+    EXPECT_EQ(roundtrip(s), s) << "gap " << gap;
+  }
+}
+
+TEST(Lz77Edge, OverlappingSelfCopyAllDistances) {
+  for (int dist = 1; dist <= 8; ++dist) {
+    std::string s;
+    for (int i = 0; i < dist; ++i) s.push_back(static_cast<char>('A' + i));
+    std::string big;
+    for (int rep = 0; rep < 1000; ++rep) big += s;
+    EXPECT_EQ(roundtrip(big), big) << "period " << dist;
+  }
+}
+
+TEST(Lz77Edge, BinaryDataWithEmbeddedTokenBytes) {
+  // Payload bytes that collide with token tags (0x00 / 0x01) must survive.
+  std::string s;
+  Rng rng(5);
+  for (int i = 0; i < 20000; ++i) {
+    s.push_back(static_cast<char>(rng.below(3)));  // 0x00,0x01,0x02 heavy
+  }
+  EXPECT_EQ(roundtrip(s), s);
+}
+
+TEST(Lz77Edge, DecompressRejectsTruncatedStreams) {
+  const std::string s = "hello hello hello hello";
+  const std::string packed = lz77_compress(s.data(), s.size());
+  ASSERT_GT(packed.size(), 4u);
+  const std::string truncated = packed.substr(0, packed.size() - 3);
+  EXPECT_DEATH((void)lz77_decompress(truncated), "truncated|bad");
+}
+
+TEST(Lz77Edge, DecompressRejectsBadDistance) {
+  // Hand-craft a match token pointing before the start of output.
+  std::string bogus;
+  bogus.push_back(0x01);  // match tag
+  bogus.push_back(0x10);  // dist = 16 (but no output yet)
+  bogus.push_back(0x00);
+  bogus.push_back(0x04);  // len = 4
+  bogus.push_back(0x00);
+  EXPECT_DEATH((void)lz77_decompress(bogus), "distance");
+}
+
+TEST(ContentChunksEdge, MinEqualsMaxForcesFixedChunks) {
+  DedupParams params;
+  params.min_chunk = 100;
+  params.max_chunk = 100;
+  const std::string input = make_dedup_input(5000, 0.3, 8);
+  const auto ends = content_chunks(input, params);
+  std::uint32_t prev = 0;
+  for (std::size_t i = 0; i + 1 < ends.size(); ++i) {
+    EXPECT_EQ(ends[i] - prev, 100u);
+    prev = ends[i];
+  }
+  EXPECT_EQ(ends.back(), input.size());
+}
+
+TEST(ContentChunksEdge, TinyInputsAreOneChunk) {
+  DedupParams params;
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1},
+                              std::size_t{100}}) {
+    const std::string input(n, 'q');
+    const auto ends = content_chunks(input, params);
+    ASSERT_EQ(ends.size(), 1u);
+    EXPECT_EQ(ends[0], n);
+  }
+}
+
+TEST(DedupEdge, EmptyInputRoundTrips) {
+  std::string archive;
+  run_serial([&] {
+    const std::string empty;
+    dedup_compress(empty, archive);
+  });
+  EXPECT_EQ(dedup_restore(archive), "");
+}
+
+TEST(DedupEdge, SingleByteInput) {
+  std::string archive;
+  const std::string input = "x";
+  run_serial([&] { dedup_compress(input, archive); });
+  EXPECT_EQ(dedup_restore(archive), input);
+}
+
+}  // namespace
+}  // namespace rader::apps

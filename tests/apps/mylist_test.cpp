@@ -1,0 +1,115 @@
+#include "apps/mylist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "reducers/reducer.hpp"
+#include "runtime/run.hpp"
+#include "spec/steal_spec.hpp"
+
+namespace rader::apps {
+namespace {
+
+TEST(MyList, InsertPrepends) {
+  MyList list;
+  list.insert(1);
+  list.insert(2);
+  list.insert(3);
+  EXPECT_EQ(list.scan(), 3);
+  EXPECT_EQ(list.head()->value, 3);  // prepend order
+  list.destroy();
+}
+
+TEST(MyList, ScanCountsNodes) {
+  MyList list;
+  EXPECT_EQ(list.scan(), 0);
+  for (int i = 0; i < 10; ++i) list.insert(i);
+  EXPECT_EQ(list.scan(), 10);
+  list.destroy();
+}
+
+TEST(MyList, ConcatSplicesInO1) {
+  MyList a, b;
+  a.insert(1);
+  b.insert(2);
+  b.insert(3);
+  a.concat(b);
+  EXPECT_EQ(a.scan(), 3);
+  EXPECT_TRUE(b.empty());
+  a.destroy();
+}
+
+TEST(MyList, ConcatIntoEmptyAdopts) {
+  MyList a, b;
+  b.insert(7);
+  a.concat(b);
+  EXPECT_EQ(a.scan(), 1);
+  EXPECT_EQ(a.head()->value, 7);
+  a.destroy();
+}
+
+TEST(MyList, ShallowCopySharesNodes) {
+  MyList a;
+  a.insert(5);
+  MyList copy(a);  // the Figure 1 bug
+  EXPECT_EQ(copy.head(), a.head());
+  a.destroy();
+}
+
+TEST(ListMonoid, ReducerPreservesContentUnderSteals) {
+  // Figure 1's list reducer: insert PREPENDS into the view (touching only
+  // fresh nodes) and Reduce concatenates.  The element multiset is
+  // schedule-invariant; element ORDER is not (prepends are not expressible
+  // as right-multiplications of the concat monoid), which is fine for the
+  // example — and one more reason reads mid-flight are view-read races.
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    spec::BernoulliSteal b(seed, 0.5);
+    SerialEngine engine(nullptr, &b);
+    std::multiset<int> values;
+    engine.run([&] {
+      reducer<list_monoid> red;
+      MyList init;
+      init.insert(-1);
+      red.set_value(init);
+      for (int i = 0; i < 8; ++i) {
+        spawn([&red, i] {
+          red.update([&](MyList& view) { view.insert(i); });
+        });
+      }
+      sync();
+      MyList result = red.take_value();
+      for (const ListNode* n = result.head(); n != nullptr; n = n->next) {
+        values.insert(n->value);
+      }
+      result.destroy();
+    });
+    const std::multiset<int> expected{-1, 0, 1, 2, 3, 4, 5, 6, 7};
+    EXPECT_EQ(values, expected) << "seed " << seed;
+  }
+}
+
+TEST(ListMonoid, NoStealProjectionIsPlainPrependOrder) {
+  spec::NoSteal none;
+  SerialEngine engine(nullptr, &none);
+  std::vector<int> values;
+  engine.run([&] {
+    reducer<list_monoid> red;
+    for (int i = 0; i < 4; ++i) {
+      spawn([&red, i] {
+        red.update([&](MyList& view) { view.insert(i); });
+      });
+    }
+    sync();
+    MyList result = red.take_value();
+    for (const ListNode* n = result.head(); n != nullptr; n = n->next) {
+      values.push_back(n->value);
+    }
+    result.destroy();
+  });
+  EXPECT_EQ(values, (std::vector<int>{3, 2, 1, 0}));
+}
+
+}  // namespace
+}  // namespace rader::apps

@@ -1,0 +1,81 @@
+#include "apps/pbfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/driver.hpp"
+#include "runtime/run.hpp"
+#include "sched/parallel_engine.hpp"
+
+namespace rader::apps {
+namespace {
+
+TEST(SerialBfs, PathGraphDistances) {
+  const auto g = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  const auto d = serial_bfs(g, 0);
+  EXPECT_EQ(d, (std::vector<std::uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(SerialBfs, UnreachableVerticesStayMarked) {
+  const auto g = Graph::from_edges(4, {{0, 1}});
+  const auto d = serial_bfs(g, 0);
+  EXPECT_EQ(d[2], kUnreached);
+  EXPECT_EQ(d[3], kUnreached);
+}
+
+TEST(Pbfs, MatchesSerialOnGrid) {
+  const auto g = Graph::grid2d(20, 20);
+  std::vector<std::uint32_t> par;
+  run_serial([&] { par = pbfs(g, 0, /*grain=*/8); });
+  EXPECT_EQ(par, serial_bfs(g, 0));
+}
+
+TEST(Pbfs, MatchesSerialOnRandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto g = Graph::random(500, 1500, seed);
+    std::vector<std::uint32_t> par;
+    run_serial([&] { par = pbfs(g, 0); });
+    EXPECT_EQ(par, serial_bfs(g, 0)) << "seed " << seed;
+  }
+}
+
+TEST(Pbfs, MatchesSerialOnRmatUnderParallelEngine) {
+  const auto g = Graph::rmat(2048, 10000, 11);
+  const auto expected = serial_bfs(g, 0);
+  ParallelEngine engine(4);
+  for (int rep = 0; rep < 3; ++rep) {
+    std::vector<std::uint32_t> par;
+    engine.run([&] { par = pbfs(g, 0); });
+    EXPECT_EQ(par, expected) << "rep " << rep;
+  }
+}
+
+TEST(Pbfs, SingleVertexAndEmptyNeighborhoods) {
+  const auto g = Graph::from_edges(1, {});
+  std::vector<std::uint32_t> par;
+  run_serial([&] { par = pbfs(g, 0); });
+  EXPECT_EQ(par, std::vector<std::uint32_t>{0});
+}
+
+TEST(Pbfs, DistancesInvariantUnderStealSpecs) {
+  const auto g = Graph::random(200, 600, 3);
+  const auto expected = serial_bfs(g, 0);
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    spec::BernoulliSteal b(seed, 0.4);
+    SerialEngine engine(nullptr, &b);
+    std::vector<std::uint32_t> par;
+    engine.run([&] { par = pbfs(g, 0); });
+    EXPECT_EQ(par, expected) << seed;
+  }
+}
+
+TEST(Pbfs, NoViewReadRaces) {
+  const auto g = Graph::random(100, 250, 9);
+  const RaceLog log = Rader::check_view_read([&] {
+    volatile std::uint32_t v = pbfs(g, 0)[0];
+    (void)v;
+  });
+  EXPECT_FALSE(log.any());
+}
+
+}  // namespace
+}  // namespace rader::apps

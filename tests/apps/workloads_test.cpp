@@ -1,0 +1,58 @@
+#include "apps/workloads.hpp"
+
+#include <gtest/gtest.h>
+
+#include "runtime/run.hpp"
+#include "sched/parallel_engine.hpp"
+
+namespace rader::apps {
+namespace {
+
+TEST(Workloads, PaperSuiteHasTheSixBenchmarks) {
+  const auto all = make_paper_benchmarks(0.01);
+  ASSERT_EQ(all.size(), 6u);
+  EXPECT_EQ(all[0].name, "collision");
+  EXPECT_EQ(all[1].name, "dedup");
+  EXPECT_EQ(all[2].name, "ferret");
+  EXPECT_EQ(all[3].name, "fib");
+  EXPECT_EQ(all[4].name, "knapsack");
+  EXPECT_EQ(all[5].name, "pbfs");
+}
+
+TEST(Workloads, EveryBenchmarkRunsAndVerifiesSerially) {
+  for (auto& w : make_paper_benchmarks(0.01)) {
+    run_serial([&] { w.run(); });
+    EXPECT_TRUE(w.verify()) << w.name;
+  }
+}
+
+TEST(Workloads, EveryBenchmarkRunsAndVerifiesInParallel) {
+  ParallelEngine engine(4);
+  for (auto& w : make_paper_benchmarks(0.01)) {
+    engine.run([&] { w.run(); });
+    EXPECT_TRUE(w.verify()) << w.name;
+  }
+}
+
+TEST(Workloads, RunsAreRepeatable) {
+  auto w = make_benchmark("pbfs", 0.005);
+  for (int rep = 0; rep < 3; ++rep) {
+    run_serial([&] { w.run(); });
+    EXPECT_TRUE(w.verify()) << "rep " << rep;
+  }
+}
+
+TEST(Workloads, ByNameLookup) {
+  EXPECT_EQ(make_benchmark("fib", 0.01).name, "fib");
+  EXPECT_EQ(make_benchmark("dedup", 0.01).name, "dedup");
+}
+
+TEST(Workloads, InputDescriptionsAreFilled) {
+  for (const auto& w : make_paper_benchmarks(0.01)) {
+    EXPECT_FALSE(w.input_desc.empty()) << w.name;
+    EXPECT_FALSE(w.description.empty()) << w.name;
+  }
+}
+
+}  // namespace
+}  // namespace rader::apps

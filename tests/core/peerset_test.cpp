@@ -1,0 +1,232 @@
+#include "core/peerset.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/driver.hpp"
+#include "reducers/monoid.hpp"
+#include "reducers/reducer.hpp"
+#include "runtime/api.hpp"
+
+namespace rader {
+namespace {
+
+using SumReducer = reducer<monoid::op_add<long>>;
+
+TEST(PeerSet, CorrectUsagePattern) {
+  // Figure 1's update_list discipline: set before any spawn, get after the
+  // sync — "does not contain a view-read race".
+  const RaceLog log = Rader::check_view_read([] {
+    SumReducer sum;
+    sum.set_value(1);
+    spawn([&] { sum += 2; });
+    parallel_for_flat<int>(0, 8, [&](int) { sum += 1; }, 4);
+    sync();
+    volatile long v = sum.get_value();
+    (void)v;
+  });
+  EXPECT_FALSE(log.any());
+}
+
+TEST(PeerSet, GetBeforeSyncRaces) {
+  const RaceLog log = Rader::check_view_read([] {
+    SumReducer sum;
+    spawn([&] { sum += 1; });
+    volatile long v = sum.get_value(SrcTag{"premature get"});
+    (void)v;
+    sync();
+  });
+  EXPECT_TRUE(log.any());
+  ASSERT_FALSE(log.view_read_races().empty());
+  EXPECT_EQ(log.view_read_races()[0].current_label, "premature get");
+}
+
+TEST(PeerSet, SetAfterSpawnRaces) {
+  // "suppose that the programmer moves the call to set_value to after
+  // cilk_spawn ... thereby creating a view-read race" — even when benign.
+  const RaceLog log = Rader::check_view_read([] {
+    SumReducer sum;
+    spawn([] { /* does not touch sum */ });
+    sum.set_value(3);
+    sync();
+  });
+  EXPECT_TRUE(log.any());
+}
+
+TEST(PeerSet, UpdatesAreNotReads) {
+  // Updates from parallel strands are exactly what reducers are for.
+  const RaceLog log = Rader::check_view_read([] {
+    SumReducer sum;
+    for (int i = 0; i < 5; ++i) {
+      spawn([&sum] { sum += 1; });
+    }
+    sync();
+    volatile long v = sum.get_value();
+    (void)v;
+  });
+  EXPECT_FALSE(log.any());
+}
+
+TEST(PeerSet, ReadsInSameSyncBlockNoSpawnsBetween) {
+  const RaceLog log = Rader::check_view_read([] {
+    SumReducer sum;
+    volatile long a = sum.get_value();
+    volatile long b = sum.get_value();
+    (void)a;
+    (void)b;
+  });
+  EXPECT_FALSE(log.any());
+}
+
+TEST(PeerSet, ReadsAcrossSyncSharePeers) {
+  // Sync strands of the same frame have the same (empty) peer set as the
+  // first strand: reading before any spawn and after each sync is clean.
+  const RaceLog log = Rader::check_view_read([] {
+    SumReducer sum;
+    volatile long a = sum.get_value();
+    spawn([&] { sum += 1; });
+    sync();
+    volatile long b = sum.get_value();
+    spawn([&] { sum += 1; });
+    sync();
+    volatile long c = sum.get_value();
+    (void)a, (void)b, (void)c;
+  });
+  EXPECT_FALSE(log.any());
+}
+
+TEST(PeerSet, ReadInsideSpawnedChildRacesWithRootRead) {
+  // Analog of "strands 1 and 9": reads in a spawned child vs the root have
+  // different peer sets.
+  const RaceLog log = Rader::check_view_read([] {
+    SumReducer sum;
+    volatile long a = sum.get_value();
+    (void)a;
+    spawn([&] {
+      volatile long b = sum.get_value(SrcTag{"read in spawned child"});
+      (void)b;
+    });
+    sync();
+  });
+  EXPECT_TRUE(log.any());
+}
+
+TEST(PeerSet, ReadInCalledChildSharesPeersWhenNoSpawnsOutstanding) {
+  // A called child's first strand has the same peers as the caller's first
+  // strand (Figure 3: G.SS merges into F.SS when F.ls == 0).
+  const RaceLog log = Rader::check_view_read([] {
+    SumReducer sum;
+    volatile long a = sum.get_value();
+    (void)a;
+    call([&] {
+      volatile long b = sum.get_value();
+      (void)b;
+    });
+    volatile long c = sum.get_value();
+    (void)c;
+  });
+  EXPECT_FALSE(log.any());
+}
+
+TEST(PeerSet, ReadInCalledChildWithOutstandingSpawnStillMatchesCaller) {
+  // With an outstanding spawn, a called child's first strand shares peers
+  // with the caller's LAST CONTINUATION strand (the SP-bag case): a read
+  // there matches a read in the continuation itself.
+  const RaceLog log = Rader::check_view_read([] {
+    SumReducer sum;
+    spawn([&] { sum += 1; });
+    volatile long a = sum.get_value(SrcTag{"continuation read"});
+    (void)a;
+    call([&] {
+      volatile long b = sum.get_value(SrcTag{"called child read"});
+      (void)b;
+    });
+    sync();
+  });
+  // One race: the construction-time read vs the continuation read.  The
+  // called-child read does NOT add a second racing reducer... but the log
+  // dedups per reducer anyway; assert the pair continuation/called-child
+  // alone is clean via a fresh reducer created after the spawn.
+  EXPECT_TRUE(log.any());
+
+  const RaceLog log2 = Rader::check_view_read([] {
+    spawn([] {});
+    {
+      // Created, read (directly and via a called child), and destroyed all
+      // within the same continuation: every reducer-read shares one peer
+      // set, so this is clean even though a spawn is outstanding.
+      SumReducer sum;
+      volatile long a = sum.get_value();
+      (void)a;
+      call([&] {
+        volatile long b = sum.get_value();
+        (void)b;
+      });
+    }
+    sync();
+  });
+  EXPECT_FALSE(log2.any());
+}
+
+TEST(PeerSet, DestroyAfterSyncRacesWithMidBlockCreate) {
+  // A reducer created while a spawn is outstanding but destroyed after the
+  // sync: the create-read and destroy-read have different peer sets — a
+  // view-read race by the paper's strict definition.
+  const RaceLog log = Rader::check_view_read([] {
+    spawn([] {});
+    SumReducer sum;  // create-read with the spawned child as a peer
+    sync();
+    // destructor runs at scope end, after the sync: empty peer set.
+  });
+  EXPECT_TRUE(log.any());
+}
+
+TEST(PeerSet, SecondSpawnChangesPeersWithinBlock) {
+  // Reads in the same sync block but separated by another spawn differ in
+  // peers (the spawn count check in Figure 3).
+  const RaceLog log = Rader::check_view_read([] {
+    SumReducer sum;
+    spawn([&] { sum += 1; });
+    volatile long a = sum.get_value();
+    (void)a;
+    spawn([&] { sum += 1; });
+    volatile long b = sum.get_value();
+    (void)b;
+    sync();
+  });
+  EXPECT_TRUE(log.any());
+}
+
+TEST(PeerSet, TwoReducersReportedIndependently) {
+  const RaceLog log = Rader::check_view_read([] {
+    SumReducer clean, racy;
+    spawn([&] { racy += 1; });
+    volatile long v = racy.get_value();  // race on `racy` only
+    (void)v;
+    sync();
+    volatile long c = clean.get_value();
+    (void)c;
+  });
+  EXPECT_EQ(log.view_read_races().size(), 1u);
+}
+
+TEST(PeerSet, DeepNestingCleanDiscipline) {
+  const RaceLog log = Rader::check_view_read([] {
+    SumReducer sum;
+    spawn([&] {
+      spawn([&] { sum += 1; });
+      sum += 2;
+      sync();
+      volatile long inner = sum.get_value(SrcTag{"inner read"});
+      (void)inner;
+    });
+    sync();
+    volatile long outer = sum.get_value(SrcTag{"outer read"});
+    (void)outer;
+  });
+  // The inner read happens inside a SPAWNED child: its peer set differs
+  // from the construction read / outer read.
+  EXPECT_TRUE(log.any());
+}
+
+}  // namespace
+}  // namespace rader

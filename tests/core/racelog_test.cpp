@@ -1,0 +1,101 @@
+// RaceLog bookkeeping: dedup, caps, merge, clear, serialization.
+#include "core/race_report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rader {
+namespace {
+
+DeterminacyRace det(std::uintptr_t addr, FrameId cur = 2) {
+  DeterminacyRace r;
+  r.addr = addr;
+  r.current_kind = AccessKind::kWrite;
+  r.prior_frame = 1;
+  r.current_frame = cur;
+  r.current_label = "label";
+  return r;
+}
+
+TEST(RaceLog, CountsOccurrencesButStoresDistinct) {
+  RaceLog log;
+  for (int i = 0; i < 10; ++i) log.report_determinacy(det(0x100));
+  log.report_determinacy(det(0x200));
+  EXPECT_EQ(log.determinacy_count(), 11u);
+  EXPECT_EQ(log.determinacy_races().size(), 2u);
+}
+
+TEST(RaceLog, StorageCapLimitsReportsNotCounts) {
+  RaceLog log(/*max_stored=*/3);
+  for (std::uintptr_t a = 0; a < 10; ++a) log.report_determinacy(det(a));
+  EXPECT_EQ(log.determinacy_count(), 10u);
+  EXPECT_EQ(log.determinacy_races().size(), 3u);
+}
+
+TEST(RaceLog, ViewReadDedupPerReducer) {
+  RaceLog log;
+  ViewReadRace r;
+  r.reducer = 5;
+  log.report_view_read(r);
+  log.report_view_read(r);
+  r.reducer = 6;
+  log.report_view_read(r);
+  EXPECT_EQ(log.view_read_count(), 3u);
+  EXPECT_EQ(log.view_read_races().size(), 2u);
+}
+
+TEST(RaceLog, MergeDedupsAcrossLogs) {
+  RaceLog a, b;
+  a.report_determinacy(det(0x1));
+  b.report_determinacy(det(0x1));
+  b.report_determinacy(det(0x2));
+  a.merge(b);
+  EXPECT_EQ(a.determinacy_count(), 3u);
+  EXPECT_EQ(a.determinacy_races().size(), 2u);
+}
+
+TEST(RaceLog, ClearResetsEverything) {
+  RaceLog log;
+  log.report_determinacy(det(0x1));
+  ViewReadRace r;
+  r.reducer = 1;
+  log.report_view_read(r);
+  log.clear();
+  EXPECT_FALSE(log.any());
+  EXPECT_TRUE(log.determinacy_races().empty());
+  EXPECT_TRUE(log.view_read_races().empty());
+  // Dedup sets must be reset too: the same address reports again.
+  log.report_determinacy(det(0x1));
+  EXPECT_EQ(log.determinacy_races().size(), 1u);
+}
+
+TEST(RaceLog, StampOnlyFillsEmptyFields) {
+  RaceLog log;
+  auto r = det(0x1);
+  r.found_under = "original";
+  log.report_determinacy(r);
+  log.report_determinacy(det(0x2));
+  log.stamp_found_under("fresh");
+  EXPECT_EQ(log.determinacy_races()[0].found_under, "original");
+  EXPECT_EQ(log.determinacy_races()[1].found_under, "fresh");
+}
+
+TEST(RaceLog, JsonEscapesLabels) {
+  RaceLog log;
+  auto r = det(0x1);
+  r.current_label = "quote\" backslash\\ newline\n";
+  log.report_determinacy(r);
+  const std::string json = log.to_json();
+  EXPECT_NE(json.find("quote\\\" backslash\\\\ newline\\n"),
+            std::string::npos);
+}
+
+TEST(RaceLog, EmptyLogSerializes) {
+  RaceLog log;
+  EXPECT_EQ(log.to_json(),
+            "{\"view_read_occurrences\":0,\"determinacy_occurrences\":0,"
+            "\"view_read_races\":[],\"determinacy_races\":[]}");
+  EXPECT_NE(log.to_string().find("0 view-read"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rader

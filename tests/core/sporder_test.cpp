@@ -1,0 +1,178 @@
+#include "core/sporder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "core/spbags.hpp"
+#include "runtime/api.hpp"
+#include "runtime/run.hpp"
+#include "spec/steal_spec.hpp"
+
+namespace rader {
+namespace {
+
+RaceLog check(FnView program) {
+  RaceLog log;
+  SpOrderDetector detector(&log);
+  spec::NoSteal none;
+  run_serial(program, &detector, &none);
+  return log;
+}
+
+TEST(SpOrder, CleanSpawnSyncProgram) {
+  int x = 0;
+  EXPECT_FALSE(check([&] {
+    shadow_write(&x, 4);
+    spawn([] {});
+    sync();
+    shadow_read(&x, 4);
+  }).any());
+}
+
+TEST(SpOrder, DetectsWriteReadRace) {
+  int x = 0;
+  const RaceLog log = check([&] {
+    spawn([&] { shadow_write(&x, 4, SrcTag{"w"}); });
+    shadow_read(&x, 4, SrcTag{"r"});
+    sync();
+  });
+  EXPECT_EQ(log.determinacy_count(), 4u);
+}
+
+TEST(SpOrder, SiblingSpawnsRace) {
+  int x = 0;
+  EXPECT_TRUE(check([&] {
+    spawn([&] { shadow_write(&x, 4); });
+    spawn([&] { shadow_write(&x, 4); });
+    sync();
+  }).any());
+}
+
+TEST(SpOrder, SyncSerializes) {
+  int x = 0;
+  EXPECT_FALSE(check([&] {
+    spawn([&] { shadow_write(&x, 4); });
+    sync();
+    spawn([&] { shadow_write(&x, 4); });
+    sync();
+    shadow_write(&x, 4);
+  }).any());
+}
+
+TEST(SpOrder, CalledChildrenAreSerial) {
+  int x = 0;
+  EXPECT_FALSE(check([&] {
+    call([&] { shadow_write(&x, 4); });
+    call([&] { shadow_write(&x, 4); });
+    shadow_write(&x, 4);
+  }).any());
+}
+
+TEST(SpOrder, SpawnInsideCalledChildRaces) {
+  int x = 0;
+  EXPECT_TRUE(check([&] {
+    call([&] {
+      spawn([&] { shadow_write(&x, 4); });
+      shadow_read(&x, 4);
+      sync();
+    });
+  }).any());
+}
+
+TEST(SpOrder, InnerSyncDoesNotJoinToUncle) {
+  int x = 0;
+  EXPECT_TRUE(check([&] {
+    spawn([&] {
+      spawn([&] { shadow_write(&x, 4); });
+      sync();  // joins grandchild to the child only
+    });
+    shadow_read(&x, 4);
+    sync();
+  }).any());
+}
+
+TEST(SpOrder, AccessAfterChildReturnButBeforeSyncStillRaces) {
+  // The continuation resumes the SAME logical strand interval created at
+  // the spawn: still parallel with the child.
+  int x = 0;
+  EXPECT_TRUE(check([&] {
+    spawn([&] { shadow_write(&x, 4); });
+    // (child has returned in serial execution order, but no sync yet)
+    shadow_read(&x, 4);
+    sync();
+  }).any());
+}
+
+TEST(SpOrder, SameStrandRepeatedAccessesAreFine) {
+  int x = 0;
+  EXPECT_FALSE(check([&] {
+    shadow_write(&x, 4);
+    shadow_write(&x, 4);
+    shadow_read(&x, 4);
+    spawn([] {});
+    sync();
+    shadow_write(&x, 4);
+    shadow_write(&x, 4);
+  }).any());
+}
+
+TEST(SpOrder, SeparatedSiblingSubtreesDeepRace) {
+  int x = 0;
+  EXPECT_TRUE(check([&] {
+    spawn([&] {
+      call([&] {
+        spawn([&] { shadow_write(&x, 4); });
+        sync();
+      });
+    });
+    spawn([&] {
+      call([&] { shadow_read(&x, 4); });
+    });
+    sync();
+  }).any());
+}
+
+TEST(SpOrder, AgreesWithSpBagsVerdictOnMixedPrograms) {
+  int x = 0, y = 0;
+  const auto programs = {
+      std::function<void()>([&] {
+        spawn([&] { shadow_write(&x, 4); });
+        shadow_write(&y, 4);
+        sync();
+        shadow_read(&x, 4);
+      }),
+      std::function<void()>([&] {
+        for (int i = 0; i < 4; ++i) {
+          spawn([&] { shadow_read(&x, 4); });
+        }
+        shadow_write(&x, 4);
+        sync();
+      }),
+      std::function<void()>([&] {
+        call([&] {
+          spawn([&] { shadow_write(&y, 4); });
+          sync();
+        });
+        shadow_write(&y, 4);
+      }),
+  };
+  for (const auto& p : programs) {
+    RaceLog bags_log, order_log;
+    {
+      SpBagsDetector d(&bags_log);
+      spec::NoSteal none;
+      run_serial([&] { p(); }, &d, &none);
+    }
+    {
+      SpOrderDetector d(&order_log);
+      spec::NoSteal none;
+      run_serial([&] { p(); }, &d, &none);
+    }
+    EXPECT_EQ(bags_log.any(), order_log.any());
+    EXPECT_EQ(bags_log.determinacy_count(), order_log.determinacy_count());
+  }
+}
+
+}  // namespace
+}  // namespace rader

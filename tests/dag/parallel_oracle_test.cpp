@@ -1,0 +1,86 @@
+// The parallel offline analysis must agree exactly with the serial oracle —
+// on both race kinds, for recorded executions of random programs under
+// random steal specifications, at several worker counts.
+#include "dag/parallel_oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dag/random_program.hpp"
+#include "dag/recorder.hpp"
+#include "runtime/serial_engine.hpp"
+#include "sched/parallel_engine.hpp"
+#include "spec/steal_spec.hpp"
+
+namespace rader::dag {
+namespace {
+
+PerfDag record_random(std::uint64_t seed, const spec::StealSpec& steal_spec) {
+  RandomProgramParams params;
+  params.seed = seed;
+  params.max_depth = 4;
+  params.max_actions = 8;
+  params.num_reducers = 2;
+  params.num_locations = 6;
+  params.p_access = 0.25;
+  params.p_update = 0.15;
+  params.p_raw_view = 0.05;
+  params.p_reducer_read = 0.10;
+  RandomProgram program(params);
+  Recorder recorder;
+  SerialEngine engine(&recorder, &steal_spec);
+  engine.run([&] { program(); });
+  return recorder.take();
+}
+
+TEST(ParallelOracle, ParallelReachabilityMatchesSerial) {
+  spec::BernoulliSteal steal_spec(5, 0.4);
+  const PerfDag dag = record_random(77, steal_spec);
+  const Reachability serial(dag);
+  ParallelEngine engine(4);
+  const Reachability parallel(dag, engine);
+  for (StrandId u = 0; u < dag.size(); ++u) {
+    for (StrandId v = 0; v < dag.size(); ++v) {
+      ASSERT_EQ(serial.parallel(u, v), parallel.parallel(u, v))
+          << u << "," << v;
+      ASSERT_EQ(serial.same_peers(u, v), parallel.same_peers(u, v))
+          << u << "," << v;
+    }
+  }
+}
+
+class ParallelOracleProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ParallelOracleProperty, AgreesWithSerialOracle) {
+  const std::uint64_t seed = GetParam();
+  const spec::NoSteal none;
+  const spec::BernoulliSteal random(seed, 0.5);
+  const spec::StealSpec* specs[] = {&none, &random};
+  ParallelEngine engine(3);
+  for (const auto* steal_spec : specs) {
+    const PerfDag dag = record_random(seed, *steal_spec);
+    const OracleResult serial = run_oracle(dag);
+    const OracleResult parallel = run_oracle_parallel(dag, engine);
+    EXPECT_EQ(parallel.any_view_read, serial.any_view_read) << seed;
+    EXPECT_EQ(parallel.any_determinacy, serial.any_determinacy) << seed;
+    EXPECT_EQ(parallel.racing_reducers, serial.racing_reducers) << seed;
+    EXPECT_EQ(parallel.racing_addrs, serial.racing_addrs) << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelOracleProperty,
+                         ::testing::Range<std::uint64_t>(5000, 5040));
+
+TEST(ParallelOracle, EmptyDagIsClean) {
+  Recorder recorder;
+  spec::NoSteal none;
+  SerialEngine engine(&recorder, &none);
+  engine.run([] {});
+  ParallelEngine pool(2);
+  const OracleResult result = run_oracle_parallel(recorder.dag(), pool);
+  EXPECT_FALSE(result.any_view_read);
+  EXPECT_FALSE(result.any_determinacy);
+}
+
+}  // namespace
+}  // namespace rader::dag

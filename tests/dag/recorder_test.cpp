@@ -1,0 +1,210 @@
+#include "dag/recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dag/graph.hpp"
+#include "reducers/monoid.hpp"
+#include "reducers/reducer.hpp"
+#include "runtime/api.hpp"
+#include "runtime/serial_engine.hpp"
+#include "spec/steal_spec.hpp"
+
+namespace rader::dag {
+namespace {
+
+PerfDag record(FnView program, const spec::StealSpec& s) {
+  Recorder rec;
+  SerialEngine engine(&rec, &s);
+  engine.run(program);
+  return rec.take();
+}
+
+TEST(Recorder, TrivialProgramIsOneStrand) {
+  spec::NoSteal none;
+  const PerfDag dag = record([] {}, none);
+  EXPECT_EQ(dag.size(), 1u);
+  EXPECT_TRUE(dag.edges.empty());
+}
+
+TEST(Recorder, SpawnSyncShapesTheDiamond) {
+  spec::NoSteal none;
+  const PerfDag dag = record(
+      [] {
+        spawn([] {});
+        sync();
+      },
+      none);
+  // Strands: root-first (spawn strand), child, continuation, sync strand.
+  ASSERT_EQ(dag.size(), 4u);
+  const Reachability r(dag);
+  EXPECT_TRUE(r.precedes(0, 1));   // spawn -> child
+  EXPECT_TRUE(r.precedes(0, 2));   // spawn -> continuation
+  EXPECT_TRUE(r.parallel(1, 2));   // child || continuation
+  EXPECT_TRUE(r.precedes(1, 3));   // child -> sync
+  EXPECT_TRUE(r.precedes(2, 3));   // continuation -> sync
+}
+
+TEST(Recorder, CalledChildIsInSeries) {
+  spec::NoSteal none;
+  const PerfDag dag = record([] { call([] {}); }, none);
+  // root-first, child, continuation: a pure chain.
+  ASSERT_EQ(dag.size(), 3u);
+  const Reachability r(dag);
+  EXPECT_TRUE(r.precedes(0, 1));
+  EXPECT_TRUE(r.precedes(1, 2));
+  EXPECT_FALSE(r.parallel(0, 2));
+}
+
+TEST(Recorder, TwoSpawnsAreMutuallyParallel) {
+  spec::NoSteal none;
+  const PerfDag dag = record(
+      [] {
+        spawn([] {});
+        spawn([] {});
+        sync();
+      },
+      none);
+  const Reachability r(dag);
+  // Strands: 0 spawn1, 1 child1, 2 cont (spawn2), 3 child2, 4 cont, 5 sync.
+  ASSERT_EQ(dag.size(), 6u);
+  EXPECT_TRUE(r.parallel(1, 3));
+  EXPECT_TRUE(r.parallel(1, 4));
+  EXPECT_TRUE(r.precedes(1, 5));
+  EXPECT_TRUE(r.precedes(3, 5));
+}
+
+TEST(Recorder, AccessesAttachToTheRightStrand) {
+  spec::NoSteal none;
+  int x = 0;
+  const PerfDag dag = record(
+      [&] {
+        shadow_write(&x, sizeof(x), SrcTag{"before"});
+        spawn([&] { shadow_read(&x, sizeof(x), SrcTag{"in child"}); });
+        sync();
+      },
+      none);
+  ASSERT_EQ(dag.accesses.size(), 2u);
+  EXPECT_EQ(dag.accesses[0].strand, 0u);
+  EXPECT_EQ(dag.accesses[0].kind, AccessKind::kWrite);
+  EXPECT_EQ(dag.accesses[1].strand, 1u);
+  EXPECT_EQ(dag.accesses[1].kind, AccessKind::kRead);
+  EXPECT_EQ(dag.accesses[1].addr, reinterpret_cast<std::uintptr_t>(&x));
+}
+
+TEST(Recorder, ReducerReadsAreRecorded) {
+  spec::NoSteal none;
+  const PerfDag dag = record(
+      [] {
+        reducer<monoid::op_add<long>> sum;   // kCreate
+        sum += 1;                            // update: NOT a reducer-read
+        volatile long v = sum.get_value();   // kGetValue
+        (void)v;
+      },
+      none);
+  // create + get + destroy = 3 reads, all on strand 0.
+  ASSERT_EQ(dag.reducer_reads.size(), 3u);
+  EXPECT_EQ(dag.reducer_reads[0].op, ReducerOp::kCreate);
+  EXPECT_EQ(dag.reducer_reads[1].op, ReducerOp::kGetValue);
+  EXPECT_EQ(dag.reducer_reads[2].op, ReducerOp::kDestroy);
+}
+
+TEST(Recorder, StolenContinuationDependsOnlyOnSpawnStrand) {
+  spec::StealAll all;
+  int x = 0;
+  const PerfDag dag = record(
+      [&] {
+        spawn([&] { shadow_write(&x, 4, SrcTag{"child write"}); });
+        shadow_read(&x, 4, SrcTag{"stolen continuation read"});
+        sync();
+      },
+      all);
+  // Find the two access strands.
+  ASSERT_EQ(dag.accesses.size(), 2u);
+  const StrandId child = dag.accesses[0].strand;
+  const StrandId cont = dag.accesses[1].strand;
+  const Reachability r(dag);
+  EXPECT_TRUE(r.parallel(child, cont));
+  EXPECT_NE(dag.strands[child].vid, dag.strands[cont].vid);  // fresh view
+}
+
+TEST(Recorder, ReduceStrandJoinsBothSegments) {
+  spec::StealAll all;
+  const PerfDag dag = record(
+      [] {
+        reducer<monoid::op_add<long>> sum;
+        sum += 1;
+        spawn([&] { sum += 10; });
+        sum += 100;  // stolen continuation: new view
+        sync();
+        volatile long v = sum.get_value();
+        (void)v;
+      },
+      all);
+  EXPECT_EQ(dag.steal_count, 1u);
+  EXPECT_EQ(dag.reduce_count, 1u);
+  // Exactly one strand is marked as reduce-invocation code.
+  StrandId reduce_strand = kInvalidStrand;
+  for (const auto& s : dag.strands) {
+    if (s.in_reduce) {
+      reduce_strand = s.id;
+      break;
+    }
+  }
+  ASSERT_NE(reduce_strand, kInvalidStrand);
+  const Reachability r(dag);
+  // Every update access precedes the reduce strand.
+  for (const auto& a : dag.accesses) {
+    if (a.view_aware && a.strand != reduce_strand &&
+        !dag.strands[a.strand].in_reduce) {
+      EXPECT_TRUE(r.precedes(a.strand, reduce_strand))
+          << "update strand " << a.strand;
+    }
+  }
+}
+
+TEST(Recorder, PeerCountsMatchDefinition) {
+  spec::NoSteal none;
+  const PerfDag dag = record(
+      [] {
+        spawn([] {});
+        spawn([] {});
+        sync();
+      },
+      none);
+  const Reachability r(dag);
+  // Strands: 0 spawn1, 1 child1, 2 cont(spawn2), 3 child2, 4 cont, 5 sync.
+  for (StrandId u = 0; u < dag.size(); ++u) {
+    std::size_t expected = 0;
+    for (StrandId v = 0; v < dag.size(); ++v) {
+      expected += (u != v && r.parallel(u, v));
+    }
+    EXPECT_EQ(r.peer_count(u), expected) << "strand " << u;
+  }
+  EXPECT_EQ(r.peer_count(1), 3u);  // child1 || {cont1, child2, cont2}
+  EXPECT_EQ(r.peer_count(5), 0u);  // the sync strand has no peers
+}
+
+TEST(Recorder, EdgesRespectSerialOrder) {
+  spec::BernoulliSteal b(3, 0.5);
+  const PerfDag dag = record(
+      [] {
+        reducer<monoid::op_add<long>> sum;
+        for (int i = 0; i < 6; ++i) {
+          spawn([&sum] { sum += 1; });
+          if (i == 3) sync();
+        }
+        sync();
+        volatile long v = sum.get_value();
+        (void)v;
+      },
+      b);
+  for (const auto& [from, to] : dag.edges) {
+    EXPECT_LT(from, to);
+  }
+  // Reachability construction itself re-checks this invariant.
+  const Reachability r(dag);
+  EXPECT_TRUE(r.precedes(0, dag.size() - 1));
+}
+
+}  // namespace
+}  // namespace rader::dag

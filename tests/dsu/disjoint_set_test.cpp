@@ -1,0 +1,186 @@
+#include "dsu/disjoint_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace rader::dsu {
+namespace {
+
+TEST(DisjointSets, SingletonsAreTheirOwnRoots) {
+  DisjointSets ds;
+  const Node a = ds.make_node();
+  const Node b = ds.make_node();
+  EXPECT_EQ(ds.find(a), a);
+  EXPECT_EQ(ds.find(b), b);
+  EXPECT_NE(ds.find(a), ds.find(b));
+}
+
+TEST(DisjointSets, LinkUnionsTwoSets) {
+  DisjointSets ds;
+  const Node a = ds.make_node();
+  const Node b = ds.make_node();
+  const Node root = ds.link(a, b);
+  EXPECT_EQ(ds.find(a), root);
+  EXPECT_EQ(ds.find(b), root);
+}
+
+TEST(DisjointSets, LinkSameRootIsIdempotent) {
+  DisjointSets ds;
+  const Node a = ds.make_node();
+  EXPECT_EQ(ds.link(a, a), a);
+}
+
+TEST(DisjointSets, MetadataLivesOnRoots) {
+  DisjointSets ds;
+  const Node a = ds.make_node();
+  ds.meta(a).kind = BagKind::kS;
+  ds.meta(a).vid = 42;
+  EXPECT_EQ(ds.meta_of(a).kind, BagKind::kS);
+  EXPECT_EQ(ds.meta_of(a).vid, 42u);
+}
+
+TEST(DisjointSets, ChainUnionFindsSingleRoot) {
+  DisjointSets ds;
+  std::vector<Node> nodes;
+  for (int i = 0; i < 100; ++i) nodes.push_back(ds.make_node());
+  Node root = nodes[0];
+  for (int i = 1; i < 100; ++i) root = ds.link(root, ds.find(nodes[i]));
+  for (const Node n : nodes) EXPECT_EQ(ds.find(n), root);
+}
+
+TEST(DisjointSets, ClearInvalidatesEverything) {
+  DisjointSets ds;
+  ds.make_node();
+  ds.make_node();
+  ds.clear();
+  EXPECT_EQ(ds.node_count(), 0u);
+  const Node fresh = ds.make_node();
+  EXPECT_EQ(fresh, 0u);
+}
+
+TEST(Bag, EmptyBagHasMetadataButNoRoot) {
+  DisjointSets ds;
+  Bag p(&ds, BagKind::kP, 7);
+  EXPECT_TRUE(p.valid());
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.kind(), BagKind::kP);
+  EXPECT_EQ(p.vid(), 7u);
+}
+
+TEST(Bag, SingletonBagStampsRootMetadata) {
+  DisjointSets ds;
+  const Node n = ds.make_node();
+  Bag s(&ds, n, BagKind::kS, 3);
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(ds.meta_of(n).kind, BagKind::kS);
+  EXPECT_EQ(ds.meta_of(n).vid, 3u);
+}
+
+TEST(Bag, AddPutsNodeInBag) {
+  DisjointSets ds;
+  Bag p(&ds, BagKind::kP, 9);
+  const Node a = ds.make_node();
+  const Node b = ds.make_node();
+  p.add(a);
+  p.add(b);
+  EXPECT_EQ(ds.find(a), ds.find(b));
+  EXPECT_EQ(ds.meta_of(a).kind, BagKind::kP);
+  EXPECT_EQ(ds.meta_of(b).vid, 9u);
+}
+
+TEST(Bag, MergePreservesDestinationMetadata) {
+  // "when a P bag is unioned into another P bag, the bags are unioned, and
+  // the view ID of the destination P bag is preserved."
+  DisjointSets ds;
+  const Node a = ds.make_node();
+  const Node b = ds.make_node();
+  Bag dst(&ds, a, BagKind::kP, 1);
+  Bag src(&ds, b, BagKind::kP, 2);
+  dst.merge_from(src);
+  EXPECT_TRUE(src.empty());
+  EXPECT_EQ(ds.find(a), ds.find(b));
+  EXPECT_EQ(ds.meta_of(b).kind, BagKind::kP);
+  EXPECT_EQ(ds.meta_of(b).vid, 1u);  // destination vid survives
+}
+
+TEST(Bag, MergeSBagAbsorbsPBagKeepingSKind) {
+  // SP+ sync: F.S ∪= Top(F.P) — members become "in series".
+  DisjointSets ds;
+  const Node f = ds.make_node();
+  const Node child = ds.make_node();
+  Bag s(&ds, f, BagKind::kS, 0);
+  Bag p(&ds, child, BagKind::kP, 5);
+  s.merge_from(p);
+  EXPECT_EQ(ds.meta_of(child).kind, BagKind::kS);
+  EXPECT_EQ(ds.meta_of(child).vid, 0u);
+}
+
+TEST(Bag, MergeIntoEmptyBagRetagsSource) {
+  DisjointSets ds;
+  const Node n = ds.make_node();
+  Bag src(&ds, n, BagKind::kSS, kNoView);
+  Bag dst(&ds, BagKind::kP, 11);
+  dst.merge_from(src);
+  EXPECT_FALSE(dst.empty());
+  EXPECT_EQ(ds.meta_of(n).kind, BagKind::kP);
+  EXPECT_EQ(ds.meta_of(n).vid, 11u);
+}
+
+TEST(Bag, MergeEmptyIntoBagIsNoOp) {
+  DisjointSets ds;
+  const Node n = ds.make_node();
+  Bag dst(&ds, n, BagKind::kS, 0);
+  Bag src(&ds, BagKind::kP, 4);
+  dst.merge_from(src);
+  EXPECT_EQ(ds.meta_of(n).kind, BagKind::kS);
+}
+
+TEST(Bag, SetVidRestampsRoot) {
+  DisjointSets ds;
+  const Node n = ds.make_node();
+  Bag p(&ds, n, BagKind::kP, 1);
+  p.set_vid(99);
+  EXPECT_EQ(ds.meta_of(n).vid, 99u);
+}
+
+// Randomized: metadata queries always reflect the last bag a node was
+// merged into, across thousands of operations.
+TEST(Bag, RandomizedMergeStress) {
+  Rng rng(123);
+  DisjointSets ds;
+  std::vector<Bag> bags;
+  std::vector<int> owner;  // node -> index of bag currently holding it
+  std::vector<Node> nodes;
+  std::vector<bool> live;
+  for (int i = 0; i < 50; ++i) {
+    const Node n = ds.make_node();
+    nodes.push_back(n);
+    bags.emplace_back(&ds, n,
+                      rng.chance(0.5) ? BagKind::kS : BagKind::kP,
+                      static_cast<ViewId>(i));
+    owner.push_back(i);
+    live.push_back(true);
+  }
+  for (int step = 0; step < 500; ++step) {
+    const int a = static_cast<int>(rng.below(bags.size()));
+    const int b = static_cast<int>(rng.below(bags.size()));
+    if (a == b || !live[a] || !live[b]) continue;
+    bags[a].merge_from(bags[b]);
+    live[b] = false;
+    for (auto& o : owner) {
+      if (o == b) o = a;
+    }
+    for (std::size_t n = 0; n < nodes.size(); ++n) {
+      const Bag& holder = bags[static_cast<std::size_t>(owner[n])];
+      EXPECT_EQ(ds.meta_of(nodes[n]).kind, holder.kind());
+      EXPECT_EQ(ds.meta_of(nodes[n]).vid, holder.vid());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rader::dsu

@@ -1,0 +1,200 @@
+// Engine hardening: misuse diagnostics, deep structures, reentrancy
+// boundaries, and allocator-facing edge cases.
+#include <gtest/gtest.h>
+
+#include "core/spplus.hpp"
+#include "reducers/monoid.hpp"
+#include "reducers/reducer.hpp"
+#include "runtime/api.hpp"
+#include "runtime/run.hpp"
+#include "runtime/serial_engine.hpp"
+#include "sched/parallel_engine.hpp"
+#include "spec/steal_spec.hpp"
+
+namespace rader {
+namespace {
+
+TEST(EngineEdge, SpawnOutsideRunDiesWithDiagnostic) {
+  SerialEngine engine;
+  Engine::Scope scope(&engine);
+  EXPECT_DEATH(spawn([] {}), "spawn outside");
+}
+
+TEST(EngineEdge, NestedRunDies) {
+  SerialEngine engine;
+  EXPECT_DEATH(engine.run([&] { engine.run([] {}); }), "not reentrant");
+}
+
+TEST(EngineEdge, SyncWithNoEngineIsANoOp) {
+  sync();  // must not crash
+  SUCCEED();
+}
+
+TEST(EngineEdge, DeepSpawnNesting) {
+  // 2000-deep spawn chain: one unsynced spawn per level.
+  std::function<void(int)> deep = [&](int n) {
+    if (n == 0) return;
+    spawn([&deep, n] { deep(n - 1); });
+    sync();
+  };
+  SerialEngine engine;
+  engine.run([&] { deep(2000); });
+  EXPECT_EQ(engine.stats().max_spawn_depth, 2000u);
+}
+
+TEST(EngineEdge, WideSyncBlock) {
+  spec::StealAll all;
+  SerialEngine stealing(nullptr, &all);
+  long total = 0;
+  stealing.run([&] {
+    reducer<monoid::op_add<long>> sum;
+    for (int i = 0; i < 5000; ++i) {
+      spawn([&sum] { sum += 1; });
+    }
+    sync();
+    total = sum.get_value();
+  });
+  EXPECT_EQ(total, 5000);
+  EXPECT_EQ(stealing.stats().steals, 5000u);
+  EXPECT_EQ(stealing.stats().max_sync_block, 5000u);
+}
+
+TEST(EngineEdge, NestedReducerUpdates) {
+  // An update that itself updates ANOTHER reducer: the view-aware bracket
+  // nests; both values must come out right.
+  spec::StealAll all;
+  SerialEngine stealing(nullptr, &all);
+  long a_val = 0, b_val = 0;
+  stealing.run([&] {
+    reducer<monoid::op_add<long>> a, b;
+    for (int i = 0; i < 10; ++i) {
+      spawn([&] {
+        a.update([&](long& av) {
+          av += 1;
+          b.update([&](long& bv) { bv += 2; });
+        });
+      });
+    }
+    sync();
+    a_val = a.get_value();
+    b_val = b.get_value();
+  });
+  EXPECT_EQ(a_val, 10);
+  EXPECT_EQ(b_val, 20);
+}
+
+TEST(EngineEdge, ReducerCreatedInsideUpdateOfAnother) {
+  // Degenerate but legal: Create a reducer inside a view-aware bracket.
+  long inner_total = 0;
+  run_serial([&] {
+    reducer<monoid::op_add<long>> outer;
+    outer.update([&](long& v) {
+      reducer<monoid::op_add<long>> inner;
+      inner += 5;
+      inner_total = inner.get_value();
+      v += inner_total;
+    });
+  });
+  EXPECT_EQ(inner_total, 5);
+}
+
+TEST(EngineEdge, ManySequentialRunsDoNotLeakState) {
+  SerialEngine engine;
+  for (int rep = 0; rep < 50; ++rep) {
+    long total = 0;
+    engine.run([&] {
+      reducer<monoid::op_add<long>> sum;
+      parallel_for<int>(0, 64, [&](int) { sum += 1; }, 8);
+      sync();
+      total = sum.get_value();
+    });
+    ASSERT_EQ(total, 64);
+    ASSERT_EQ(engine.stats().frames, engine.stats().frames);  // stats fresh
+  }
+}
+
+TEST(EngineEdge, AlternatingEnginesShareNothing) {
+  SerialEngine serial;
+  ParallelEngine parallel(2);
+  reducer<monoid::op_add<long>> sum;  // bound lazily per engine run
+  serial.run([&] {
+    spawn([&] { sum += 1; });
+    sync();
+  });
+  parallel.run([&] {
+    parallel_for<int>(0, 10, [&](int) { sum += 1; }, 2);
+    sync();
+  });
+  serial.run([&] {
+    spawn([&] { sum += 1; });
+    sync();
+  });
+  EXPECT_EQ(sum.get_value(), 12);
+}
+
+TEST(EngineEdge, ParallelForGrainLargerThanRange) {
+  int count = 0;
+  run_serial([&] {
+    parallel_for<int>(0, 5, [&](int) { ++count; }, 100);
+  });
+  EXPECT_EQ(count, 5);
+}
+
+TEST(EngineEdge, ParallelForNegativeAndReversedRanges) {
+  int count = 0;
+  run_serial([&] {
+    parallel_for<int>(-10, -2, [&](int) { ++count; }, 2);
+    parallel_for<int>(7, 3, [&](int) { ++count; });  // empty
+  });
+  EXPECT_EQ(count, 8);
+}
+
+TEST(EngineEdge, StealSpecConsultedInsideReduceFramesIsHarmless) {
+  // A spec that steals EVERYTHING also fires inside frames entered for
+  // Reduce operations; the engine must keep its epoch discipline.
+  struct SpawningReduceMonoid {
+    using value_type = long;
+    static long identity() { return 0; }
+    static void reduce(long& l, long& r) {
+      // Reduce code that itself spawns (the paper assumes serial reduce
+      // code; the engine still handles it).
+      long extra = 0;
+      spawn([&extra] { extra = 1; });
+      sync();
+      l += r + extra - 1;
+    }
+  };
+  spec::StealAll all;
+  SerialEngine engine(nullptr, &all);
+  long total = 0;
+  engine.run([&] {
+    reducer<SpawningReduceMonoid> sum;
+    for (int i = 0; i < 4; ++i) {
+      spawn([&sum] {
+        sum.update([](long& v) { v += 1; });
+      });
+      sum.update([](long& v) { v += 1; });
+    }
+    sync();
+    total = sum.get_value();
+  });
+  EXPECT_EQ(total, 8);
+}
+
+TEST(EngineEdge, ZeroSizedAccessIsIgnoredByDetectors) {
+  int x = 0;
+  RaceLog log;
+  SpPlusDetector detector(&log);
+  spec::NoSteal none;
+  run_serial(
+      [&] {
+        spawn([&] { shadow_write(&x, 0); });  // zero-sized
+        shadow_read(&x, 0);
+        sync();
+      },
+      &detector, &none);
+  EXPECT_FALSE(log.any());
+}
+
+}  // namespace
+}  // namespace rader

@@ -1,0 +1,351 @@
+// Litmus corpus: small programs with hand-derived race verdicts.
+//
+// Each case fixes three expectations:
+//   * peerset     — does Peer-Set report a view-read race?
+//   * sp_serial   — does SP+ report a determinacy race on the SERIAL
+//                   schedule (no steals)?  This is what a Cilk-Screen-style
+//                   serial checker can see.
+//   * sp_family   — does SP+ report a determinacy race under the Section-7
+//                   exhaustive family?  (⊇ sp_serial.)
+//
+// The gap between sp_serial and sp_family is precisely the class of bugs
+// the paper exists for: racing instructions that execute only on stolen
+// schedules.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "apps/mylist.hpp"
+#include "reducers/holder.hpp"
+#include "reducers/ostream_monoid.hpp"
+#include "reducers/reducer.hpp"
+#include "runtime/api.hpp"
+#include "tool/tracked.hpp"
+
+namespace rader::litmus {
+
+struct Case {
+  std::string name;
+  std::string why;               // one-line rationale for the verdicts
+  std::function<void()> program; // re-runnable
+  bool peerset = false;          // view-read race expected?
+  bool sp_serial = false;        // determinacy race on the serial schedule?
+  bool sp_family = false;        // determinacy race under the O(KD+K³) family?
+};
+
+inline std::vector<Case> all_cases() {
+  std::vector<Case> cases;
+  const auto add = [&](Case c) { cases.push_back(std::move(c)); };
+
+  // ---- Plain determinacy-race litmus (no reducers) -----------------------
+
+  add({"clean-spawn-sync",
+       "write, spawn an untouching child, sync, read: fully serialized",
+       [] {
+         static int x;
+         shadow_write(&x, 4);
+         spawn([] {});
+         sync();
+         shadow_read(&x, 4);
+       },
+       false, false, false});
+
+  add({"write-read-race",
+       "spawned writer parallel with the continuation's read",
+       [] {
+         static int x;
+         spawn([] { shadow_write(&x, 4); });
+         shadow_read(&x, 4);
+         sync();
+       },
+       false, true, true});
+
+  add({"write-write-race", "two sibling spawns write the same word",
+       [] {
+         static int x;
+         spawn([] { shadow_write(&x, 4); });
+         spawn([] { shadow_write(&x, 4); });
+         sync();
+       },
+       false, true, true});
+
+  add({"parallel-reads-clean", "readers never race with readers",
+       [] {
+         static int x;
+         spawn([] { shadow_read(&x, 4); });
+         spawn([] { shadow_read(&x, 4); });
+         shadow_read(&x, 4);
+         sync();
+       },
+       false, false, false});
+
+  add({"sync-serializes", "a sync between conflicting accesses removes the race",
+       [] {
+         static int x;
+         spawn([] { shadow_write(&x, 4); });
+         sync();
+         spawn([] { shadow_write(&x, 4); });
+         sync();
+       },
+       false, false, false});
+
+  add({"called-children-serial", "called (not spawned) children are in series",
+       [] {
+         static int x;
+         call([] { shadow_write(&x, 4); });
+         call([] { shadow_write(&x, 4); });
+       },
+       false, false, false});
+
+  add({"grandchild-escapes-inner-sync",
+       "inner sync joins the grandchild to its parent, not to the root",
+       [] {
+         static int x;
+         spawn([] {
+           spawn([] { shadow_write(&x, 4); });
+           sync();
+         });
+         shadow_read(&x, 4);
+         sync();
+       },
+       false, true, true});
+
+  add({"disjoint-locations-clean", "parallel writes to different words",
+       [] {
+         static int x, y;
+         spawn([] { shadow_write(&x, 4); });
+         shadow_write(&y, 4);
+         sync();
+       },
+       false, false, false});
+
+  add({"tracked-wrapper-race", "the annotation wrapper reports like raw hooks",
+       [] {
+         static tracked<int> x;
+         spawn([] { x = 1; });
+         volatile int v = x;
+         (void)v;
+         sync();
+       },
+       false, true, true});
+
+  add({"freed-memory-reuse-clean",
+       "shadow_clear between generations: address reuse is not a race",
+       [] {
+         auto* p = new int(0);
+         spawn([p] { shadow_write(p, 4); });
+         sync();
+         shadow_clear(p, 4);
+         delete p;
+         auto* q = new int(0);
+         shadow_write(q, 4);
+         spawn([] {});
+         sync();
+         shadow_clear(q, 4);
+         delete q;
+       },
+       false, false, false});
+
+  // ---- View-read-race litmus (Peer-Set) ----------------------------------
+
+  add({"reducer-correct-discipline",
+       "set before spawns, get after the sync: Figure 1's update_list shape",
+       [] {
+         reducer<monoid::op_add<long>> sum;
+         sum.set_value(1);
+         spawn([&] { sum += 2; });
+         sum += 3;
+         sync();
+         volatile long v = sum.get_value();
+         (void)v;
+       },
+       false, false, false});
+
+  add({"get-before-sync",
+       "reading with a spawned updater outstanding: nondeterministic view",
+       [] {
+         reducer<monoid::op_add<long>> sum;
+         spawn([&] { sum += 1; });
+         volatile long v = sum.get_value();
+         (void)v;
+         sync();
+       },
+       true, false, false});
+
+  add({"set-after-spawn",
+       "§3: moving set_value after a spawn is a view-read race even if benign",
+       [] {
+         reducer<monoid::op_add<long>> sum;
+         spawn([] {});
+         sum.set_value(7);
+         sync();
+       },
+       true, false, false});
+
+  add({"destroy-after-sync-created-mid-block",
+       "create-read and destroy-read see different peer sets",
+       [] {
+         spawn([] {});
+         auto sum = std::make_unique<reducer<monoid::op_add<long>>>();
+         sync();
+         sum.reset();  // destroy-read after the sync: peers changed
+       },
+       true, false, false});
+
+  add({"read-in-spawned-child",
+       "the paper's strands-1-and-9 example: child read vs root read",
+       [] {
+         reducer<monoid::op_add<long>> sum;
+         spawn([&] {
+           volatile long v = sum.get_value();
+           (void)v;
+         });
+         sync();
+       },
+       true, false, false});
+
+  add({"ostream-flush-after-sync-clean",
+       "buffered reducer output drained at a peer-stable point",
+       [] {
+         static std::ostringstream sink;
+         sink.str("");
+         ostream_reducer out(sink);
+         for (int i = 0; i < 4; ++i) {
+           spawn([&out, i] { out << i; });
+         }
+         sync();
+         out.flush();
+       },
+       false, false, false});
+
+  add({"ostream-flush-before-sync",
+       "draining the stream while writers are outstanding",
+       [] {
+         static std::ostringstream sink;
+         sink.str("");
+         ostream_reducer out(sink);
+         spawn([&out] { out << 1; });
+         out.flush();  // reducer-read with an outstanding updater
+         sync();
+       },
+       true, false, false});
+
+  // ---- Reducer determinacy litmus (SP+) ----------------------------------
+
+  add({"parallel-updates-same-view-clean",
+       "updates through the reducer are what reducers are FOR",
+       [] {
+         reducer<monoid::op_add<long>> sum;
+         for (int i = 0; i < 4; ++i) {
+           spawn([&sum] { sum += 1; });
+           sum += 1;
+         }
+         sync();
+         volatile long v = sum.get_value();
+         (void)v;
+       },
+       false, false, false});
+
+  add({"raw-view-read-vs-update",
+       "a stale pointer into the leftmost view races with a parallel update",
+       [] {
+         reducer<monoid::op_add<long>> sum;
+         spawn([&sum] { sum += 1; });
+         shadow_read(sum.hyper_leftmost(), sizeof(long));
+         sync();
+       },
+       false, true, true});
+
+  add({"fig1-list-reduce-race",
+       "the Reduce's splice races with a scan; the Reduce exists only on "
+       "stolen schedules",
+       [] {
+         static apps::MyList owned;
+         if (owned.empty()) {
+           for (int i = 0; i < 6; ++i) owned.insert(100 + i);
+         }
+         apps::MyList working = owned;
+         apps::MyList copy(working);
+         int len = 0;
+         spawn([&] { len = working.scan(); });
+         call([&] {
+           reducer<apps::list_monoid> red;
+           red.set_value(copy);
+           parallel_for_flat<int>(
+               0, 6,
+               [&](int i) {
+                 red.update([&](apps::MyList& v) { v.insert(i); });
+               },
+               6);
+           sync();
+           copy = red.take_value();
+         });
+         sync();
+         (void)len;
+       },
+       false, false, true});
+
+  add({"lazy-init-update-race",
+       "per-view initialization touches shared state: exists only on stolen "
+       "schedules (the Theorem-6 target)",
+       [] {
+         static long header;
+         reducer<monoid::vector_append<int>> log_red;
+         const auto append = [&](int i) {
+           log_red.update([&](std::vector<int>& v) {
+             if (v.empty()) {
+               shadow_write(&header, sizeof(header));
+               header += 1;
+             }
+             v.push_back(i);
+           });
+         };
+         append(-1);
+         spawn([&] { shadow_read(&header, sizeof(header)); });
+         for (int i = 0; i < 4; ++i) {
+           spawn([] {});
+           append(i);
+         }
+         sync();
+       },
+       false, false, true});
+
+  add({"holder-scratch-clean", "holder views are strand-local scratch",
+       [] {
+         holder<std::vector<int>> scratch;
+         for (int i = 0; i < 4; ++i) {
+           spawn([&scratch, i] {
+             scratch.update([&](std::vector<int>& buf) { buf.assign(2, i); });
+           });
+         }
+         sync();
+       },
+       false, false, false});
+
+  add({"map-merge-reducer-clean", "user-defined monoid, update-only usage",
+       [] {
+         struct merge_monoid {
+           using value_type = std::vector<int>;
+           static value_type identity() { return {}; }
+           static void reduce(value_type& l, value_type& r) {
+             l.insert(l.end(), r.begin(), r.end());
+           }
+         };
+         reducer<merge_monoid> acc;
+         parallel_for_flat<int>(
+             0, 8, [&](int i) {
+               acc.update([&](std::vector<int>& v) { v.push_back(i); });
+             },
+             4);
+         sync();
+         volatile std::size_t n = acc.get_value().size();
+         (void)n;
+       },
+       false, false, false});
+
+  return cases;
+}
+
+}  // namespace rader::litmus

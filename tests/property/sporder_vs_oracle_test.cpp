@@ -1,0 +1,76 @@
+// Property test: the SP-order detector against the brute-force DAG oracle
+// AND against SP-bags, on random no-steal (series-parallel) programs.
+//
+// SP-order and SP-bags maintain the same series-parallel relation with
+// different machinery (order-maintenance labels vs disjoint-set bags); on
+// reducer-free view-oblivious access streams their verdicts must be
+// identical, and both must match the reachability ground truth.
+#include <gtest/gtest.h>
+
+#include "core/spbags.hpp"
+#include "core/sporder.hpp"
+#include "dag/oracle.hpp"
+#include "dag/random_program.hpp"
+#include "dag/recorder.hpp"
+#include "runtime/serial_engine.hpp"
+#include "spec/steal_spec.hpp"
+
+namespace rader {
+namespace {
+
+class SpOrderVsOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SpOrderVsOracle, MatchesOracleAndSpBags) {
+  dag::RandomProgramParams params;
+  params.seed = GetParam();
+  params.max_depth = 4;
+  params.max_actions = 8;
+  params.num_reducers = 1;
+  params.num_locations = 5;
+  // Plain accesses only — SP-order is reducer-oblivious by design.  The
+  // probabilities sum to 1 so no leftover mass falls through to updates.
+  params.p_spawn = 0.25;
+  params.p_call = 0.10;
+  params.p_sync = 0.15;
+  params.p_access = 0.50;
+  params.p_update = 0.0;
+  params.p_raw_view = 0.0;
+  params.p_reducer_read = 0.0;
+  dag::RandomProgram program(params);
+
+  spec::NoSteal none;
+  RaceLog order_log, bags_log;
+  dag::Recorder recorder;
+  {
+    SpOrderDetector detector(&order_log);
+    ToolChain chain;
+    chain.add(&detector);
+    chain.add(&recorder);
+    SerialEngine engine(&chain, &none);
+    engine.run([&] { program(); });
+  }
+  {
+    SpBagsDetector detector(&bags_log);
+    SerialEngine engine(&detector, &none);
+    engine.run([&] { program(); });
+  }
+  const dag::OracleResult oracle = dag::run_oracle(recorder.dag());
+
+  // Soundness per address, against ground truth.
+  for (const auto& race : order_log.determinacy_races()) {
+    EXPECT_TRUE(oracle.racing_addrs.count(race.addr) > 0)
+        << "seed " << GetParam() << ": SP-order false positive";
+  }
+  // Completeness per execution.
+  EXPECT_EQ(order_log.determinacy_count() > 0, oracle.any_determinacy)
+      << "seed " << GetParam();
+  // Exact agreement with SP-bags (same relation, different machinery).
+  EXPECT_EQ(order_log.determinacy_count(), bags_log.determinacy_count())
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpOrderVsOracle,
+                         ::testing::Range<std::uint64_t>(3000, 3120));
+
+}  // namespace
+}  // namespace rader

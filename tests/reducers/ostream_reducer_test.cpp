@@ -1,0 +1,87 @@
+#include "reducers/ostream_monoid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "runtime/api.hpp"
+#include "runtime/run.hpp"
+#include "runtime/serial_engine.hpp"
+#include "spec/steal_spec.hpp"
+
+namespace rader {
+namespace {
+
+TEST(OstreamReducer, SerialWritesPassThroughOnFlush) {
+  std::ostringstream sink;
+  {
+    ostream_reducer out(sink);
+    out << "hello" << ' ' << "world";
+    out << 42;
+  }  // destructor flushes
+  EXPECT_EQ(sink.str(), "hello world42");
+}
+
+TEST(OstreamReducer, ParallelWritersKeepSerialOrder) {
+  std::ostringstream sink;
+  run_serial([&] {
+    ostream_reducer out(sink);
+    for (int i = 0; i < 10; ++i) {
+      spawn([&out, i] { out << i << ","; });
+    }
+    sync();
+    out.flush();
+  });
+  EXPECT_EQ(sink.str(), "0,1,2,3,4,5,6,7,8,9,");
+}
+
+TEST(OstreamReducer, OrderPreservedUnderEverySteal) {
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    spec::BernoulliSteal b(seed, 0.5);
+    SerialEngine engine(nullptr, &b);
+    std::ostringstream sink;
+    engine.run([&] {
+      ostream_reducer out(sink);
+      for (int i = 0; i < 12; ++i) {
+        spawn([&out, i] { out << static_cast<char>('a' + i); });
+        if (i % 4 == 3) sync();
+      }
+      sync();
+      out.flush();
+    });
+    EXPECT_EQ(sink.str(), "abcdefghijkl") << b.describe();
+  }
+}
+
+TEST(OstreamReducer, BytesWrittenCountsFlushedOutput) {
+  std::ostringstream sink;
+  ostream_reducer out(sink);
+  out << "abcd";
+  EXPECT_EQ(out.bytes_written(), 0u);  // still buffered
+  out.flush();
+  EXPECT_EQ(out.bytes_written(), 4u);
+  out << "ef";
+  out.flush();
+  EXPECT_EQ(out.bytes_written(), 6u);
+}
+
+TEST(OstreamReducer, FlushTwiceEmitsOnce) {
+  std::ostringstream sink;
+  ostream_reducer out(sink);
+  out << "x";
+  out.flush();
+  out.flush();
+  EXPECT_EQ(sink.str(), "x");
+}
+
+TEST(OstreamReducer, NumericInsertion) {
+  std::ostringstream sink;
+  {
+    ostream_reducer out(sink);
+    out << 3 << ' ' << 2.5 << ' ' << static_cast<std::size_t>(7);
+  }
+  EXPECT_EQ(sink.str(), "3 2.500000 7");
+}
+
+}  // namespace
+}  // namespace rader

@@ -1,0 +1,187 @@
+#include "reducers/reducer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "runtime/api.hpp"
+#include "runtime/run.hpp"
+#include "spec/steal_spec.hpp"
+#include "../test_util.hpp"
+
+namespace rader {
+namespace {
+
+using testing::EventLogTool;
+
+TEST(Reducer, SerialFallbackActsAsPlainValue) {
+  reducer<monoid::op_add<long>> sum;
+  EXPECT_EQ(sum.get_value(), 0);
+  sum += 5;
+  sum.update([](long& v) { v *= 2; });
+  EXPECT_EQ(sum.get_value(), 10);
+  sum.set_value(3);
+  EXPECT_EQ(sum.get_value(), 3);
+}
+
+TEST(Reducer, InitialValueConstructor) {
+  reducer<monoid::op_add<long>> sum(100L);
+  EXPECT_EQ(sum.get_value(), 100);
+}
+
+TEST(Reducer, ParallelUpdatesFoldToSerialValue) {
+  long result = -1;
+  run_serial([&] {
+    reducer<monoid::op_add<long>> sum;
+    for (int i = 1; i <= 10; ++i) {
+      spawn([&sum, i] { sum += i; });
+    }
+    sync();
+    result = sum.get_value();
+  });
+  EXPECT_EQ(result, 55);
+}
+
+TEST(Reducer, ViewAccessorReturnsCurrentView) {
+  run_serial([&] {
+    reducer<monoid::op_add<long>> sum;
+    sum += 4;
+    EXPECT_EQ(sum.view(), 4);
+  });
+}
+
+TEST(Reducer, IncludeFoldsCandidatesForMinMax) {
+  long best = 0;
+  run_serial([&] {
+    reducer<monoid::op_max<long>> m;
+    for (const long v : {3L, 9L, 1L, 7L}) {
+      spawn([&m, v] { m.include(v); });
+    }
+    sync();
+    best = m.get_value();
+  });
+  EXPECT_EQ(best, 9);
+}
+
+TEST(Reducer, LifecycleEventsReachTool) {
+  EventLogTool log;
+  SerialEngine engine(&log);
+  engine.run([&] {
+    reducer<monoid::op_add<long>> sum;
+    sum.set_value(1);
+    volatile long v = sum.get_value();
+    (void)v;
+  });
+  EXPECT_EQ(log.count_prefix("redop(create,h0)"), 1);
+  EXPECT_EQ(log.count_prefix("redop(set,h0)"), 1);
+  EXPECT_EQ(log.count_prefix("redop(get,h0)"), 1);
+  EXPECT_EQ(log.count_prefix("redop(destroy,h0)"), 1);
+}
+
+TEST(Reducer, UpdateIsNotAReducerRead) {
+  EventLogTool log;
+  SerialEngine engine(&log);
+  engine.run([&] {
+    reducer<monoid::op_add<long>> sum;
+    sum += 1;
+  });
+  EXPECT_EQ(log.count_prefix("redop(update,h0)"), 1);
+  EXPECT_EQ(log.count_prefix("redop(get"), 0);
+  EXPECT_EQ(log.count_prefix("redop(set"), 0);
+}
+
+TEST(Reducer, TakeValueMovesOutMoveOnlyFriendlyViews) {
+  std::string got;
+  run_serial([&] {
+    reducer<monoid::string_append> s;
+    s.update([](std::string& v) { v = "payload"; });
+    got = s.take_value();
+    EXPECT_TRUE(s.view().empty());  // moved-from view
+  });
+  EXPECT_EQ(got, "payload");
+}
+
+TEST(Reducer, TwoReducersAreIndependent) {
+  long a_val = 0, b_val = 0;
+  run_serial([&] {
+    reducer<monoid::op_add<long>> a, b;
+    spawn([&] { a += 1; });
+    spawn([&] { b += 10; });
+    sync();
+    a_val = a.get_value();
+    b_val = b.get_value();
+  });
+  EXPECT_EQ(a_val, 1);
+  EXPECT_EQ(b_val, 10);
+}
+
+TEST(Reducer, ReusedAcrossRunsAccumulates) {
+  reducer<monoid::op_add<long>> sum;
+  SerialEngine engine;
+  for (int rep = 0; rep < 3; ++rep) {
+    engine.run([&] {
+      spawn([&] { sum += 1; });
+      sync();
+    });
+  }
+  EXPECT_EQ(sum.get_value(), 3);
+}
+
+TEST(Reducer, NestedSyncBlocksFoldCorrectlyUnderSteals) {
+  spec::StealAll all;
+  SerialEngine engine(nullptr, &all);
+  std::string result;
+  engine.run([&] {
+    reducer<monoid::string_append> s;
+    spawn([&] {
+      s.update([](std::string& v) { v += "a"; });
+      spawn([&] { s.update([](std::string& v) { v += "b"; }); });
+      s.update([](std::string& v) { v += "c"; });
+      sync();
+    });
+    s.update([](std::string& v) { v += "d"; });
+    sync();
+    spawn([&] { s.update([](std::string& v) { v += "e"; }); });
+    s.update([](std::string& v) { v += "f"; });
+    sync();
+    result = s.get_value();
+  });
+  EXPECT_EQ(result, "abcdef");
+}
+
+TEST(Reducer, DestroyAfterSyncLeavesCleanState) {
+  SerialEngine engine;
+  long observed = 0;
+  engine.run([&] {
+    auto* sum = new reducer<monoid::op_add<long>>();
+    spawn([sum] { *sum += 7; });
+    sync();
+    observed = sum->get_value();
+    delete sum;  // destroyed inside the run, after the sync
+  });
+  EXPECT_EQ(observed, 7);
+}
+
+TEST(Reducer, MoveInMoveOutAliases) {
+  long got = 0;
+  run_serial([&] {
+    reducer<monoid::op_add<long>> sum;
+    sum.move_in(40);
+    sum += 2;
+    got = sum.move_out();
+  });
+  EXPECT_EQ(got, 42);
+}
+
+TEST(Reducer, OperatorSugarRequiresMatchingMonoid) {
+  // Compile-time contract: op_add supports +=, string_append does not
+  // support *=.  (Presence checked via requires-expressions.)
+  static_assert(requires(reducer<monoid::op_add<long>>& r) { r += 1L; });
+  static_assert(requires(reducer<monoid::op_mul<long>>& r) { r *= 2L; });
+  // (The negative case — string_append has no *= — is enforced by the
+  // operator's requires-clause; GCC 12 hard-errors on the probe in a
+  // non-template context, so it is not asserted here.)
+}
+
+}  // namespace
+}  // namespace rader

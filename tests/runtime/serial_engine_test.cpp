@@ -1,0 +1,175 @@
+#include "runtime/serial_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "runtime/api.hpp"
+#include "runtime/run.hpp"
+#include "spec/steal_spec.hpp"
+#include "../test_util.hpp"
+
+namespace rader {
+namespace {
+
+using testing::EventLogTool;
+
+TEST(SerialEngine, RunsRootToCompletion) {
+  int x = 0;
+  run_serial([&] { x = 42; });
+  EXPECT_EQ(x, 42);
+}
+
+TEST(SerialEngine, SerialProjectionWithoutEngine) {
+  // Without run(), the API degrades to plain serial C++.
+  int order = 0;
+  int child_at = 0, cont_at = 0;
+  spawn([&] { child_at = ++order; });
+  cont_at = ++order;
+  sync();
+  EXPECT_EQ(child_at, 1);  // child before continuation: serial order
+  EXPECT_EQ(cont_at, 2);
+}
+
+TEST(SerialEngine, SpawnExecutesChildDepthFirst) {
+  std::vector<int> trace;
+  run_serial([&] {
+    trace.push_back(0);
+    spawn([&] { trace.push_back(1); });
+    trace.push_back(2);
+    sync();
+    trace.push_back(3);
+  });
+  EXPECT_EQ(trace, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(SerialEngine, FrameEventsAreWellNested) {
+  EventLogTool log;
+  SerialEngine engine(&log);
+  engine.run([&] {
+    spawn([&] { call([] {}); });
+    sync();
+  });
+  const auto& ev = log.events();
+  ASSERT_EQ(ev.size(), 7u);
+  EXPECT_EQ(ev[0], "enter(0,from=-1,root,v0)");
+  EXPECT_EQ(ev[1], "enter(1,from=0,spawned,v0)");
+  EXPECT_EQ(ev[2], "enter(2,from=1,called,v0)");
+  EXPECT_EQ(ev[3], "return(2,called)");
+  EXPECT_EQ(ev[4], "return(1,spawned)");
+  EXPECT_EQ(ev[5], "sync(0)");
+  // The implicit pre-return sync is a no-op after the explicit one.
+  EXPECT_EQ(ev[6], "return(0,root)");
+}
+
+TEST(SerialEngine, ImplicitSyncBeforeReturnWhenSpawned) {
+  EventLogTool log;
+  SerialEngine engine(&log);
+  engine.run([&] {
+    spawn([] {});
+    // No explicit sync: Cilk functions sync implicitly before returning.
+  });
+  EXPECT_EQ(log.count_prefix("sync(0)"), 1);
+}
+
+TEST(SerialEngine, NoOpSyncEmitsNoEvent) {
+  EventLogTool log;
+  SerialEngine engine(&log);
+  engine.run([&] {
+    sync();  // nothing outstanding
+    sync();
+  });
+  EXPECT_EQ(log.count_prefix("sync"), 0);
+}
+
+TEST(SerialEngine, StatsCountControlEvents) {
+  SerialEngine engine;
+  engine.run([&] {
+    for (int i = 0; i < 3; ++i) spawn([] {});
+    sync();
+    spawn([] {});
+    sync();
+    call([] {});
+  });
+  const auto& st = engine.stats();
+  EXPECT_EQ(st.spawns, 4u);
+  EXPECT_EQ(st.syncs, 2u);
+  EXPECT_EQ(st.frames, 6u);  // root + 4 spawned + 1 called
+  EXPECT_EQ(st.max_sync_block, 3u);
+  // Three unsynced spawns in one block: the third continuation sits under
+  // three P nodes, so the maximum spawn depth is 3.
+  EXPECT_EQ(st.max_spawn_depth, 3u);
+  EXPECT_EQ(st.steals, 0u);
+}
+
+TEST(SerialEngine, SpawnDepthTracksNesting) {
+  SerialEngine engine;
+  engine.run([&] {
+    spawn([&] {
+      spawn([&] { spawn([] {}); });
+    });
+  });
+  EXPECT_EQ(engine.stats().max_spawn_depth, 3u);
+}
+
+TEST(SerialEngine, AccessEventsCarryTagAndView) {
+  EventLogTool log;
+  SerialEngine engine(&log);
+  int x = 0;
+  engine.run([&] {
+    shadow_write(&x, sizeof(x), SrcTag{"tagged write"});
+    shadow_read(&x, sizeof(x), SrcTag{"tagged read"});
+  });
+  EXPECT_EQ(log.count_prefix("write(4,vo,v0,tagged write)"), 1);
+  EXPECT_EQ(log.count_prefix("read(4,vo,v0,tagged read)"), 1);
+}
+
+TEST(SerialEngine, UninstrumentedRunSkipsAccessBookkeeping) {
+  SerialEngine engine(nullptr);
+  int x = 0;
+  engine.run([&] { shadow_write(&x, 4); });
+  EXPECT_EQ(engine.stats().accesses, 0u);
+}
+
+TEST(SerialEngine, ParallelForCoversRange) {
+  std::vector<int> hits(100, 0);
+  run_serial([&] {
+    parallel_for<int>(0, 100, [&](int i) { hits[i] += 1; }, /*grain=*/3);
+  });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(SerialEngine, ParallelForFlatCoversRangeInOneSyncBlock) {
+  std::vector<int> hits(50, 0);
+  SerialEngine engine;
+  engine.run([&] {
+    parallel_for_flat<int>(0, 50, [&](int i) { hits[i] += 1; }, /*chunks=*/10);
+  });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+  EXPECT_EQ(engine.stats().max_sync_block, 10u);
+}
+
+TEST(SerialEngine, ParallelForEmptyRange) {
+  int count = 0;
+  run_serial([&] {
+    parallel_for<int>(5, 5, [&](int) { ++count; });
+    parallel_for_flat<int>(9, 3, [&](int) { ++count; }, 4);
+  });
+  EXPECT_EQ(count, 0);
+}
+
+TEST(SerialEngine, RunIsRepeatable) {
+  SerialEngine engine;
+  for (int rep = 0; rep < 3; ++rep) {
+    int sum = 0;
+    engine.run([&] {
+      spawn([&] { sum += 1; });
+      sync();
+    });
+    EXPECT_EQ(sum, 1);
+    EXPECT_EQ(engine.stats().spawns, 1u);  // stats reset per run
+  }
+}
+
+}  // namespace
+}  // namespace rader

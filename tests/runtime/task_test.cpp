@@ -1,0 +1,111 @@
+#include "runtime/task.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rader {
+namespace {
+
+TEST(FnView, InvokesReferencedCallable) {
+  int x = 0;
+  auto fn = [&] { x = 5; };
+  FnView view(fn);
+  view();
+  EXPECT_EQ(x, 5);
+  view();
+  EXPECT_EQ(x, 5);
+}
+
+TEST(FnView, WorksWithMutableLambdas) {
+  int calls = 0;
+  auto fn = [&calls, n = 0]() mutable { calls = ++n; };
+  FnView view(fn);
+  view();
+  view();
+  EXPECT_EQ(calls, 2);  // state lives in the referenced lambda
+}
+
+TEST(Task, DefaultIsInvalid) {
+  Task t;
+  EXPECT_FALSE(t.valid());
+}
+
+TEST(Task, SmallCaptureStaysInline) {
+  int x = 0;
+  Task t([&x] { x = 7; });
+  ASSERT_TRUE(t.valid());
+  t();
+  EXPECT_EQ(x, 7);
+}
+
+TEST(Task, LargeCaptureGoesToHeap) {
+  std::vector<int> big(1000, 3);
+  int sum = 0;
+  Task t([big, &sum] {
+    for (const int v : big) sum += v;
+  });
+  t();
+  EXPECT_EQ(sum, 3000);
+}
+
+TEST(Task, MoveTransfersOwnership) {
+  int x = 0;
+  Task a([&x] { ++x; });
+  Task b(std::move(a));
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): intentional
+  ASSERT_TRUE(b.valid());
+  b();
+  EXPECT_EQ(x, 1);
+}
+
+TEST(Task, MoveAssignReplacesAndDestroysOld) {
+  auto counter = std::make_shared<int>(0);
+  Task a([counter] { ++*counter; });
+  EXPECT_EQ(counter.use_count(), 2);
+  Task b([] {});
+  a = std::move(b);
+  EXPECT_EQ(counter.use_count(), 1);  // old callable destroyed
+}
+
+TEST(Task, DestructorReleasesCapture) {
+  auto counter = std::make_shared<int>(0);
+  {
+    Task t([counter] {});
+    EXPECT_EQ(counter.use_count(), 2);
+  }
+  EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(Task, MoveOnlyCapture) {
+  auto p = std::make_unique<int>(11);
+  int got = 0;
+  Task t([p = std::move(p), &got] { got = *p; });
+  t();
+  EXPECT_EQ(got, 11);
+}
+
+TEST(Task, SelfMoveAssignIsSafe) {
+  int x = 0;
+  Task t([&x] { ++x; });
+  Task& ref = t;
+  t = std::move(ref);
+  ASSERT_TRUE(t.valid());
+  t();
+  EXPECT_EQ(x, 1);
+}
+
+TEST(Task, ManyTasksStress) {
+  std::vector<Task> tasks;
+  long sum = 0;
+  for (int i = 0; i < 1000; ++i) {
+    tasks.emplace_back(Task([&sum, i] { sum += i; }));
+  }
+  for (auto& t : tasks) t();
+  EXPECT_EQ(sum, 999L * 1000 / 2);
+}
+
+}  // namespace
+}  // namespace rader

@@ -1,0 +1,119 @@
+#include "sched/worksteal_deque.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace rader::sched {
+namespace {
+
+TEST(WorkStealDeque, EmptyPopAndSteal) {
+  WorkStealDeque d;
+  EXPECT_EQ(d.pop(), nullptr);
+  EXPECT_EQ(d.steal(), nullptr);
+  EXPECT_EQ(d.size_estimate(), 0u);
+}
+
+TEST(WorkStealDeque, PushPopIsLifo) {
+  WorkStealDeque d;
+  int items[3];
+  for (int i = 0; i < 3; ++i) d.push(&items[i]);
+  EXPECT_EQ(d.pop(), &items[2]);
+  EXPECT_EQ(d.pop(), &items[1]);
+  EXPECT_EQ(d.pop(), &items[0]);
+  EXPECT_EQ(d.pop(), nullptr);
+}
+
+TEST(WorkStealDeque, StealIsFifo) {
+  WorkStealDeque d;
+  int items[3];
+  for (int i = 0; i < 3; ++i) d.push(&items[i]);
+  EXPECT_EQ(d.steal(), &items[0]);
+  EXPECT_EQ(d.steal(), &items[1]);
+  EXPECT_EQ(d.steal(), &items[2]);
+  EXPECT_EQ(d.steal(), nullptr);
+}
+
+TEST(WorkStealDeque, GrowsPastInitialCapacity) {
+  WorkStealDeque d(8);
+  std::vector<std::uintptr_t> items(1000);
+  for (auto& it : items) d.push(&it);
+  EXPECT_EQ(d.size_estimate(), 1000u);
+  for (std::size_t i = items.size(); i-- > 0;) {
+    EXPECT_EQ(d.pop(), &items[i]);
+  }
+}
+
+TEST(WorkStealDeque, MixedOwnerOps) {
+  WorkStealDeque d;
+  int a, b, c;
+  d.push(&a);
+  d.push(&b);
+  EXPECT_EQ(d.pop(), &b);
+  d.push(&c);
+  EXPECT_EQ(d.steal(), &a);
+  EXPECT_EQ(d.pop(), &c);
+  EXPECT_EQ(d.pop(), nullptr);
+}
+
+// Concurrency: one owner pushing/popping, several thieves stealing; every
+// item must be consumed exactly once.
+TEST(WorkStealDeque, ConcurrentStealStress) {
+  constexpr int kItems = 200000;
+  constexpr int kThieves = 3;
+  WorkStealDeque d;
+  std::vector<std::uint32_t> items(kItems);
+  std::atomic<std::uint64_t> consumed_sum{0};
+  std::atomic<int> consumed_count{0};
+  std::atomic<bool> done{false};
+
+  for (std::uint32_t i = 0; i < kItems; ++i) items[i] = i;
+
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        if (void* p = d.steal()) {
+          consumed_sum.fetch_add(*static_cast<std::uint32_t*>(p));
+          consumed_count.fetch_add(1);
+        }
+      }
+      // Final drain.
+      while (void* p = d.steal()) {
+        consumed_sum.fetch_add(*static_cast<std::uint32_t*>(p));
+        consumed_count.fetch_add(1);
+      }
+    });
+  }
+
+  // Owner: interleave pushes with occasional pops.
+  std::uint64_t owner_sum = 0;
+  int owner_count = 0;
+  for (int i = 0; i < kItems; ++i) {
+    d.push(&items[i]);
+    if (i % 3 == 0) {
+      if (void* p = d.pop()) {
+        owner_sum += *static_cast<std::uint32_t*>(p);
+        ++owner_count;
+      }
+    }
+  }
+  while (void* p = d.pop()) {
+    owner_sum += *static_cast<std::uint32_t*>(p);
+    ++owner_count;
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : thieves) t.join();
+
+  EXPECT_EQ(owner_count + consumed_count.load(), kItems);
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(kItems - 1) * kItems / 2;
+  EXPECT_EQ(owner_sum + consumed_sum.load(), expected);
+}
+
+}  // namespace
+}  // namespace rader::sched

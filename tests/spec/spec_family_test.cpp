@@ -1,0 +1,72 @@
+#include "spec/spec_family.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rader::spec {
+namespace {
+
+TEST(SpecFamily, UpdateFamilyHasOneSpecPerDepth) {
+  const auto family = update_coverage_family(5);
+  ASSERT_EQ(family.size(), 6u);  // depths 0..5
+  PointCtx ctx;
+  for (std::uint64_t d = 0; d <= 5; ++d) {
+    ctx.spawn_depth = d;
+    int stealers = 0;
+    for (const auto& s : family) stealers += s->steal(ctx);
+    EXPECT_EQ(stealers, 1) << "depth " << d;  // classes partition depths
+  }
+}
+
+TEST(SpecFamily, ReduceFamilySizeMatchesFormula) {
+  for (const std::uint32_t k : {0u, 1u, 2u, 3u, 4u, 8u, 16u}) {
+    EXPECT_EQ(reduce_coverage_family(k).size(),
+              reduce_coverage_family_size(k))
+        << "k=" << k;
+  }
+}
+
+TEST(SpecFamily, ReduceFamilyIsCubic) {
+  // C(k,2) + C(k,3) = Θ(k³): check the exact closed form at a few points.
+  EXPECT_EQ(reduce_coverage_family_size(3), 3u + 1u);
+  EXPECT_EQ(reduce_coverage_family_size(4), 6u + 4u);
+  EXPECT_EQ(reduce_coverage_family_size(10), 45u + 120u);
+  // Growth ratio approaches 8 when k doubles.
+  const double r = static_cast<double>(reduce_coverage_family_size(64)) /
+                   static_cast<double>(reduce_coverage_family_size(32));
+  EXPECT_GT(r, 6.5);
+  EXPECT_LT(r, 8.5);
+}
+
+TEST(SpecFamily, ReduceFamilyCoversEveryTriple) {
+  constexpr std::uint32_t k = 6;
+  const auto family = reduce_coverage_family(k);
+  // Every a<b<c triple appears as some spec's sorted values.
+  for (std::uint32_t a = 0; a < k; ++a) {
+    for (std::uint32_t b = a + 1; b < k; ++b) {
+      for (std::uint32_t c = b + 1; c < k; ++c) {
+        bool found = false;
+        for (const auto& s : family) {
+          const auto* t = dynamic_cast<const TripleSteal*>(s.get());
+          ASSERT_NE(t, nullptr);
+          if (t->a() == a && t->b() == b && t->c() == c) found = true;
+        }
+        EXPECT_TRUE(found) << a << "," << b << "," << c;
+      }
+    }
+  }
+}
+
+TEST(SpecFamily, FullFamilyIsUnionOfBoth) {
+  const auto full = full_coverage_family(5, 7);
+  EXPECT_EQ(full.size(),
+            update_coverage_family(7).size() + reduce_coverage_family_size(5));
+}
+
+TEST(SpecFamily, EmptyParameters) {
+  EXPECT_EQ(reduce_coverage_family(0).size(), 0u);
+  EXPECT_EQ(reduce_coverage_family(1).size(), 0u);
+  EXPECT_EQ(update_coverage_family(0).size(), 1u);  // depth 0 only
+}
+
+}  // namespace
+}  // namespace rader::spec

@@ -1,0 +1,138 @@
+#include "spec/steal_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rader::spec {
+namespace {
+
+PointCtx ctx(FrameId frame, std::uint32_t block, std::uint32_t cont,
+             std::uint64_t depth = 0, std::uint32_t live = 0) {
+  PointCtx c;
+  c.frame = frame;
+  c.sync_block = block;
+  c.cont_index = cont;
+  c.spawn_depth = depth;
+  c.live_epochs = live;
+  return c;
+}
+
+TEST(NoSteal, NeverSteals) {
+  NoSteal s;
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    EXPECT_FALSE(s.steal(ctx(0, 0, i)));
+    EXPECT_EQ(s.merges_now(ctx(0, 0, i, 0, 5)), 0u);
+  }
+}
+
+TEST(StealAll, AlwaysSteals) {
+  StealAll s;
+  for (std::uint32_t i = 0; i < 100; ++i) EXPECT_TRUE(s.steal(ctx(1, 2, i)));
+}
+
+TEST(TripleSteal, StealsExactlyTheTriple) {
+  TripleSteal s(1, 4, 9);
+  std::set<std::uint32_t> stolen;
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    if (s.steal(ctx(0, 0, i))) stolen.insert(i);
+  }
+  EXPECT_EQ(stolen, (std::set<std::uint32_t>{1, 4, 9}));
+}
+
+TEST(TripleSteal, NormalizesOrder) {
+  TripleSteal s(9, 1, 4);
+  EXPECT_EQ(s.a(), 1u);
+  EXPECT_EQ(s.b(), 4u);
+  EXPECT_EQ(s.c(), 9u);
+}
+
+TEST(TripleSteal, MergesOnlyAtThirdPointWithTwoLiveEpochs) {
+  TripleSteal s(1, 4, 9);
+  EXPECT_EQ(s.merges_now(ctx(0, 0, 9, 0, 2)), 1u);
+  EXPECT_EQ(s.merges_now(ctx(0, 0, 9, 0, 1)), 0u);  // not enough epochs
+  EXPECT_EQ(s.merges_now(ctx(0, 0, 4, 0, 2)), 0u);  // wrong point
+  EXPECT_EQ(s.merges_now(ctx(0, 0, 8, 0, 2)), 0u);
+}
+
+TEST(TripleSteal, DegenerateTripleNeverMerges) {
+  TripleSteal s(3, 3, 3);
+  EXPECT_TRUE(s.steal(ctx(0, 0, 3)));
+  EXPECT_EQ(s.merges_now(ctx(0, 0, 3, 0, 5)), 0u);
+}
+
+TEST(DepthSteal, StealsExactlyItsDepthClass) {
+  DepthSteal s(3);
+  EXPECT_FALSE(s.steal(ctx(0, 0, 0, 2)));
+  EXPECT_TRUE(s.steal(ctx(0, 0, 0, 3)));
+  EXPECT_FALSE(s.steal(ctx(0, 0, 0, 4)));
+}
+
+TEST(RandomTripleSteal, DeterministicPerPoint) {
+  RandomTripleSteal a(42, 16), b(42, 16);
+  for (std::uint32_t f = 0; f < 5; ++f) {
+    for (std::uint32_t i = 0; i < 16; ++i) {
+      EXPECT_EQ(a.steal(ctx(f, 0, i)), b.steal(ctx(f, 0, i)));
+    }
+  }
+}
+
+TEST(RandomTripleSteal, StealsAtMostThreePointsPerBlock) {
+  RandomTripleSteal s(7, 32);
+  for (std::uint32_t f = 0; f < 10; ++f) {
+    int stolen = 0;
+    for (std::uint32_t i = 0; i < 32; ++i) stolen += s.steal(ctx(f, 0, i));
+    EXPECT_GE(stolen, 1);
+    EXPECT_LE(stolen, 3);
+  }
+}
+
+TEST(RandomTripleSteal, DifferentSeedsDiffer) {
+  RandomTripleSteal a(1, 64), b(2, 64);
+  int diff = 0;
+  for (std::uint32_t f = 0; f < 20; ++f) {
+    for (std::uint32_t i = 0; i < 64; ++i) {
+      diff += a.steal(ctx(f, 0, i)) != b.steal(ctx(f, 0, i));
+    }
+  }
+  EXPECT_GT(diff, 0);
+}
+
+TEST(BernoulliSteal, ProbabilityExtremes) {
+  BernoulliSteal never(3, 0.0), always(3, 1.0);
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    EXPECT_FALSE(never.steal(ctx(0, 0, i)));
+    EXPECT_TRUE(always.steal(ctx(0, 0, i)));
+  }
+}
+
+TEST(BernoulliSteal, RoughlyMatchesProbability) {
+  BernoulliSteal s(5, 0.3);
+  int stolen = 0;
+  for (std::uint32_t f = 0; f < 100; ++f) {
+    for (std::uint32_t i = 0; i < 100; ++i) stolen += s.steal(ctx(f, 0, i));
+  }
+  EXPECT_NEAR(stolen, 3000, 300);
+}
+
+TEST(BernoulliSteal, MergesBoundedByLiveEpochs) {
+  BernoulliSteal s(9, 0.5);
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    EXPECT_LE(s.merges_now(ctx(0, 0, i, 0, 3)), 3u);
+    EXPECT_EQ(s.merges_now(ctx(0, 0, i, 0, 0)), 0u);
+  }
+}
+
+TEST(Describe, AllSpecsAreSelfDescribing) {
+  EXPECT_EQ(NoSteal().describe(), "no-steals");
+  EXPECT_EQ(StealAll().describe(), "steal-all");
+  EXPECT_EQ(TripleSteal(1, 2, 3).describe(), "steal-triple(1,2,3)");
+  EXPECT_EQ(DepthSteal(4).describe(), "steal-depth(4)");
+  EXPECT_NE(RandomTripleSteal(1, 8).describe().find("steal-random"),
+            std::string::npos);
+  EXPECT_NE(BernoulliSteal(1, 0.5).describe().find("steal-bernoulli"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace rader::spec

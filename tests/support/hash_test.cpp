@@ -1,0 +1,49 @@
+#include "support/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace rader {
+namespace {
+
+TEST(Fnv1a, KnownVector) {
+  // FNV-1a 64 of empty input is the offset basis.
+  EXPECT_EQ(fnv1a(nullptr, 0), 0xcbf29ce484222325ull);
+  // Standard test vector: "a" -> 0xaf63dc4c8601ec8c.
+  EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cull);
+}
+
+TEST(Fnv1a, SensitiveToEveryByte) {
+  const std::string base = "hello world";
+  const std::uint64_t h = fnv1a(base);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    std::string tweaked = base;
+    tweaked[i] ^= 1;
+    EXPECT_NE(fnv1a(tweaked), h) << "byte " << i;
+  }
+}
+
+TEST(Mix64, BijectiveOnSamples) {
+  std::set<std::uint64_t> out;
+  for (std::uint64_t i = 0; i < 10000; ++i) out.insert(mix64(i));
+  EXPECT_EQ(out.size(), 10000u);  // no collisions on consecutive inputs
+}
+
+TEST(Mix64, AvalanchesLowBits) {
+  // Flipping one input bit should flip roughly half the output bits.
+  int total_flips = 0;
+  for (std::uint64_t i = 1; i <= 64; ++i) {
+    total_flips += __builtin_popcountll(mix64(i) ^ mix64(i ^ 1));
+  }
+  EXPECT_GT(total_flips / 64, 20);
+  EXPECT_LT(total_flips / 64, 44);
+}
+
+TEST(HashCombine, OrderSensitive) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+}  // namespace
+}  // namespace rader

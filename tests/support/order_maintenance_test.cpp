@@ -1,0 +1,142 @@
+#include "support/order_maintenance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <list>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace rader {
+namespace {
+
+TEST(OrderMaintenance, SingleNode) {
+  OrderMaintenance om;
+  const auto a = om.make_first();
+  EXPECT_FALSE(om.precedes(a, a));
+  EXPECT_TRUE(om.check_invariants());
+}
+
+TEST(OrderMaintenance, InsertAfterOrders) {
+  OrderMaintenance om;
+  const auto a = om.make_first();
+  const auto b = om.insert_after(a);
+  const auto c = om.insert_after(b);
+  EXPECT_TRUE(om.precedes(a, b));
+  EXPECT_TRUE(om.precedes(b, c));
+  EXPECT_TRUE(om.precedes(a, c));
+  EXPECT_FALSE(om.precedes(c, a));
+  EXPECT_TRUE(om.check_invariants());
+}
+
+TEST(OrderMaintenance, InsertBetween) {
+  OrderMaintenance om;
+  const auto a = om.make_first();
+  const auto c = om.insert_after(a);
+  const auto b = om.insert_after(a);  // now a < b < c
+  EXPECT_TRUE(om.precedes(a, b));
+  EXPECT_TRUE(om.precedes(b, c));
+  EXPECT_TRUE(om.check_invariants());
+}
+
+TEST(OrderMaintenance, MaxPicksLater) {
+  OrderMaintenance om;
+  const auto a = om.make_first();
+  const auto b = om.insert_after(a);
+  EXPECT_EQ(om.max(a, b), b);
+  EXPECT_EQ(om.max(b, a), b);
+}
+
+TEST(OrderMaintenance, AdversarialSameSpotInsertions) {
+  // Repeatedly inserting at the same spot exhausts local gaps and forces
+  // relabeling — the structure must stay consistent.
+  OrderMaintenance om;
+  const auto first = om.make_first();
+  std::vector<OrderMaintenance::Node> chain{first};
+  for (int i = 0; i < 20000; ++i) {
+    chain.push_back(om.insert_after(first));
+  }
+  EXPECT_TRUE(om.check_invariants());
+  EXPECT_GT(om.relabel_count(), 0u);
+  // Every later insertion lands between `first` and the previous one:
+  // chain[k] > first, and chain[k] < chain[k-1] for k >= 2.
+  for (std::size_t k = 1; k < chain.size(); ++k) {
+    EXPECT_TRUE(om.precedes(first, chain[k]));
+    if (k >= 2) EXPECT_TRUE(om.precedes(chain[k], chain[k - 1]));
+  }
+}
+
+TEST(OrderMaintenance, AppendHeavyWorkload) {
+  OrderMaintenance om;
+  auto tail = om.make_first();
+  std::vector<OrderMaintenance::Node> order{tail};
+  for (int i = 0; i < 50000; ++i) {
+    tail = om.insert_after(tail);
+    order.push_back(tail);
+  }
+  EXPECT_TRUE(om.check_invariants());
+  for (std::size_t i = 1; i < order.size(); i += 97) {
+    EXPECT_TRUE(om.precedes(order[i - 1], order[i]));
+  }
+}
+
+TEST(OrderMaintenance, MatchesReferenceListUnderRandomOps) {
+  Rng rng(321);
+  OrderMaintenance om;
+  std::list<OrderMaintenance::Node> ref;  // reference total order
+  std::vector<std::list<OrderMaintenance::Node>::iterator> where;
+  const auto first = om.make_first();
+  ref.push_back(first);
+  where.push_back(ref.begin());
+
+  for (int i = 0; i < 5000; ++i) {
+    const auto at = static_cast<std::size_t>(rng.below(where.size()));
+    const auto fresh = om.insert_after(static_cast<OrderMaintenance::Node>(at));
+    auto it = where[at];
+    auto inserted = ref.insert(std::next(it), fresh);
+    where.push_back(inserted);
+  }
+  ASSERT_TRUE(om.check_invariants());
+
+  // Spot-check precedes() against positions in the reference list.
+  std::vector<OrderMaintenance::Node> linear(ref.begin(), ref.end());
+  std::vector<std::size_t> pos(linear.size());
+  for (std::size_t i = 0; i < linear.size(); ++i) pos[linear[i]] = i;
+  for (int trial = 0; trial < 20000; ++trial) {
+    const auto a =
+        static_cast<OrderMaintenance::Node>(rng.below(linear.size()));
+    const auto b =
+        static_cast<OrderMaintenance::Node>(rng.below(linear.size()));
+    EXPECT_EQ(om.precedes(a, b), pos[a] < pos[b]);
+  }
+}
+
+TEST(OrderMaintenance, TopBlockOverflowRegression) {
+  // Appends drive tags toward the top of the 64-bit space; windows around
+  // such tags end exactly at 2^64, which must not wrap (this aborted the
+  // SP-order detector on pbfs-sized strand counts before the fix).
+  OrderMaintenance om;
+  auto tail = om.make_first();
+  for (int i = 0; i < 400000; ++i) tail = om.insert_after(tail);
+  EXPECT_TRUE(om.check_invariants());
+  // Now hammer one spot near the very top.
+  auto prev = tail;
+  for (int i = 0; i < 5000; ++i) {
+    const auto fresh = om.insert_after(prev);
+    ASSERT_TRUE(om.precedes(prev, fresh));
+  }
+  EXPECT_TRUE(om.check_invariants());
+}
+
+TEST(OrderMaintenance, ClearResets) {
+  OrderMaintenance om;
+  om.make_first();
+  om.clear();
+  EXPECT_EQ(om.size(), 0u);
+  const auto again = om.make_first();
+  EXPECT_EQ(again, 0u);
+}
+
+}  // namespace
+}  // namespace rader

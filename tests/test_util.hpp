@@ -1,0 +1,104 @@
+// Shared test helpers: an event-logging Tool and small program builders.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tool/tool.hpp"
+
+namespace rader::testing {
+
+/// Records every instrumentation event as a compact string, e.g.
+/// "enter(1,spawned,v0)", "steal(0,c1,v3)", "reduce(0,v0<-v3)".
+class EventLogTool final : public Tool {
+ public:
+  const std::vector<std::string>& events() const { return events_; }
+
+  std::string joined() const {
+    std::string all;
+    for (const auto& e : events_) {
+      all += e;
+      all += '\n';
+    }
+    return all;
+  }
+
+  /// Count of events whose string starts with `prefix`.
+  int count_prefix(const std::string& prefix) const {
+    int n = 0;
+    for (const auto& e : events_) {
+      if (e.rfind(prefix, 0) == 0) ++n;
+    }
+    return n;
+  }
+
+  void on_run_begin() override { events_.clear(); }
+
+  void on_frame_enter(FrameId f, FrameId p, FrameKind kind,
+                      ViewId vid) override {
+    std::ostringstream os;
+    os << "enter(" << f << ",from=" << static_cast<std::int64_t>(
+        p == kInvalidFrame ? -1 : static_cast<std::int64_t>(p))
+       << "," << kind_name(kind) << ",v" << vid << ")";
+    events_.push_back(os.str());
+  }
+  void on_frame_return(FrameId f, FrameId, FrameKind kind) override {
+    std::ostringstream os;
+    os << "return(" << f << "," << kind_name(kind) << ")";
+    events_.push_back(os.str());
+  }
+  void on_sync(FrameId f) override {
+    events_.push_back("sync(" + std::to_string(f) + ")");
+  }
+  void on_steal(FrameId f, std::uint32_t c, ViewId vid) override {
+    std::ostringstream os;
+    os << "steal(" << f << ",c" << c << ",v" << vid << ")";
+    events_.push_back(os.str());
+  }
+  void on_reduce(FrameId f, ViewId l, ViewId r) override {
+    std::ostringstream os;
+    os << "reduce(" << f << ",v" << l << "<-v" << r << ")";
+    events_.push_back(os.str());
+  }
+  void on_access(AccessKind kind, std::uintptr_t, std::size_t size,
+                 bool view_aware, ViewId vid, SrcTag tag) override {
+    std::ostringstream os;
+    os << (kind == AccessKind::kWrite ? "write(" : "read(") << size
+       << (view_aware ? ",va" : ",vo") << ",v" << vid << "," << tag.label
+       << ")";
+    events_.push_back(os.str());
+  }
+  void on_reducer_op(ReducerOp op, ReducerId h, SrcTag) override {
+    std::ostringstream os;
+    os << "redop(" << op_name(op) << ",h" << h << ")";
+    events_.push_back(os.str());
+  }
+
+ private:
+  static const char* kind_name(FrameKind k) {
+    switch (k) {
+      case FrameKind::kRoot: return "root";
+      case FrameKind::kSpawned: return "spawned";
+      case FrameKind::kCalled: return "called";
+      case FrameKind::kReduce: return "reduce";
+    }
+    return "?";
+  }
+  static const char* op_name(ReducerOp op) {
+    switch (op) {
+      case ReducerOp::kCreate: return "create";
+      case ReducerOp::kSetValue: return "set";
+      case ReducerOp::kGetValue: return "get";
+      case ReducerOp::kDestroy: return "destroy";
+      case ReducerOp::kUpdate: return "update";
+      case ReducerOp::kCreateIdentity: return "identity";
+      case ReducerOp::kReduce: return "reduce";
+    }
+    return "?";
+  }
+
+  std::vector<std::string> events_;
+};
+
+}  // namespace rader::testing

@@ -1,0 +1,185 @@
+// rader — command-line front end for the race detectors.
+//
+// Runs one of the bundled benchmark programs (or the Figure 1 demo) under a
+// chosen detection algorithm and steal specification, and prints the race
+// report — the prototype-tool workflow of Section 8: "Rader takes as an
+// input either three values specifying the continuations to be stolen, or a
+// random seed and the maximum sync block size ...  If a race is detected,
+// Rader reports the labels corresponding to the stolen continuations that
+// triggered the race, making it easy to repeat the run for regression
+// tests."
+//
+// Usage:
+//   rader --program=NAME [--scale=S] --check=ALGO [--spec=SPEC] [--k-cap=N]
+//
+//   NAME: collision | dedup | ferret | fib | knapsack | pbfs | fig1
+//   ALGO: peerset     view-read races (Peer-Set, Section 3)
+//         sp+         determinacy races under --spec (SP+, Section 5)
+//         spbags      reducer-oblivious SP-bags baseline [Feng–Leiserson]
+//         sporder     reducer-oblivious SP-order baseline [Bender et al.]
+//         exhaustive  Peer-Set + SP+ over the O(KD + K^3) family (Section 7)
+//   SPEC: none | all | triple:A,B,C | depth:D | random:SEED,K | bern:SEED,P
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "apps/mylist.hpp"
+#include "apps/workloads.hpp"
+#include "core/driver.hpp"
+#include "core/sporder.hpp"
+#include "reducers/reducer.hpp"
+#include "runtime/api.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+using namespace rader;
+
+std::string arg_value(int argc, char** argv, const std::string& key,
+                      const std::string& fallback) {
+  const std::string prefix = "--" + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return fallback;
+}
+
+[[noreturn]] void usage_and_exit() {
+  std::fprintf(
+      stderr,
+      "usage: rader --program=NAME [--scale=S] --check=ALGO [--spec=SPEC]\n"
+      "             [--k-cap=N]\n"
+      "  NAME: collision|dedup|ferret|fib|knapsack|pbfs|fig1\n"
+      "  ALGO: peerset|sp+|spbags|sporder|exhaustive\n"
+      "  SPEC: none|all|triple:A,B,C|depth:D|random:SEED,K|bern:SEED,P\n");
+  std::exit(2);
+}
+
+std::unique_ptr<spec::StealSpec> parse_spec(const std::string& text) {
+  if (text == "none") return std::make_unique<spec::NoSteal>();
+  if (text == "all") return std::make_unique<spec::StealAll>();
+  const auto colon = text.find(':');
+  if (colon == std::string::npos) usage_and_exit();
+  const std::string kind = text.substr(0, colon);
+  const std::string args = text.substr(colon + 1);
+  if (kind == "triple") {
+    unsigned a = 0, b = 0, c = 0;
+    if (std::sscanf(args.c_str(), "%u,%u,%u", &a, &b, &c) != 3) {
+      usage_and_exit();
+    }
+    return std::make_unique<spec::TripleSteal>(a, b, c);
+  }
+  if (kind == "depth") {
+    return std::make_unique<spec::DepthSteal>(std::stoull(args));
+  }
+  if (kind == "random") {
+    unsigned long long seed = 0;
+    unsigned k = 0;
+    if (std::sscanf(args.c_str(), "%llu,%u", &seed, &k) != 2) usage_and_exit();
+    return std::make_unique<spec::RandomTripleSteal>(seed, k);
+  }
+  if (kind == "bern") {
+    unsigned long long seed = 0;
+    double p = 0;
+    if (std::sscanf(args.c_str(), "%llu,%lf", &seed, &p) != 2) usage_and_exit();
+    return std::make_unique<spec::BernoulliSteal>(seed, p);
+  }
+  usage_and_exit();
+}
+
+// The Figure 1 program, packaged for the CLI (known-racy demo target).
+struct Fig1Program {
+  apps::MyList owned;
+  Fig1Program() {
+    for (int i = 0; i < 12; ++i) owned.insert(100 + i);
+  }
+  ~Fig1Program() { owned.destroy(); }
+  void operator()() {
+    apps::MyList working = owned;
+    apps::MyList copy(working);
+    int len = 0;
+    spawn([&] { len = working.scan(SrcTag{"scan_list"}); });
+    call([&] {
+      reducer<apps::list_monoid> red(SrcTag{"list_reducer"});
+      red.set_value(copy, SrcTag{"set_value(list)"});
+      parallel_for_flat<int>(
+          0, 8,
+          [&](int i) {
+            red.update([&](apps::MyList& v) { v.insert(i); },
+                       SrcTag{"list insert"});
+          },
+          /*chunks=*/8);
+      rader::sync();
+      copy = red.take_value(SrcTag{"get_value()"});
+    });
+    rader::sync();
+    (void)len;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string name = arg_value(argc, argv, "program", "");
+  const std::string algo = arg_value(argc, argv, "check", "exhaustive");
+  const std::string spec_text = arg_value(argc, argv, "spec", "random:1,16");
+  const double scale = std::stod(arg_value(argc, argv, "scale", "0.02"));
+  const auto k_cap = static_cast<std::uint32_t>(
+      std::stoul(arg_value(argc, argv, "k-cap", "8")));
+  if (name.empty()) usage_and_exit();
+
+  // Assemble the program under test.
+  std::function<void()> program;
+  Fig1Program fig1;
+  apps::Workload workload;
+  if (name == "fig1") {
+    program = [&fig1] { fig1(); };
+  } else {
+    bool known = false;
+    for (const std::string& k : apps::benchmark_names()) known |= (name == k);
+    if (!known) {
+      std::fprintf(stderr, "rader: unknown program '%s'\n", name.c_str());
+      usage_and_exit();
+    }
+    workload = apps::make_benchmark(name, scale);
+    program = workload.run;
+    std::printf("program: %s (%s)\n", workload.name.c_str(),
+                workload.input_desc.c_str());
+  }
+
+  Timer timer;
+  RaceLog log;
+  if (algo == "peerset") {
+    log = Rader::check_view_read([&] { program(); });
+  } else if (algo == "sp+") {
+    const auto steal_spec = parse_spec(spec_text);
+    std::printf("spec: %s\n", steal_spec->describe().c_str());
+    log = Rader::check_determinacy([&] { program(); }, *steal_spec);
+  } else if (algo == "spbags") {
+    log = Rader::check_spbags([&] { program(); });
+  } else if (algo == "sporder") {
+    SpOrderDetector detector(&log);
+    spec::NoSteal none;
+    run_serial([&] { program(); }, &detector, &none);
+  } else if (algo == "exhaustive") {
+    const auto result = Rader::check_exhaustive([&] { program(); }, k_cap);
+    std::printf("probe: K=%u D=%llu; %llu SP+ runs over the O(KD+K^3) "
+                "family\n",
+                result.k, static_cast<unsigned long long>(result.depth),
+                static_cast<unsigned long long>(result.spec_runs));
+    log = result.log;
+  } else {
+    usage_and_exit();
+  }
+
+  const std::string format = arg_value(argc, argv, "format", "text");
+  if (format == "json") {
+    std::printf("%s\n", log.to_json().c_str());
+  } else {
+    std::printf("checked in %.3fs\n%s", timer.seconds(),
+                log.to_string().c_str());
+  }
+  return log.any() ? 1 : 0;
+}
