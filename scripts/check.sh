@@ -1,26 +1,43 @@
 #!/usr/bin/env bash
-# One-command gate: configure, build, test, smoke-run examples and benches.
+# One-command gate.
+#
+#   scripts/check.sh          fast gate: build, fast-label tests, 30 s fuzz
+#   scripts/check.sh --full   everything: all test labels (fast + slow +
+#                             stress), examples, bench smoke
+#
+# Test labels (set in tests/CMakeLists.txt): `ctest -L fast|slow|stress`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
-ctest --test-dir build --output-on-failure
+FULL=0
+[[ "${1:-}" == "--full" ]] && FULL=1
 
-echo "== examples =="
-./build/examples/quickstart
-./build/examples/view_read_race
-./build/examples/fig1_list_race
-./build/examples/schedule_dependent_bug
-./build/examples/wordcount >/dev/null && echo "wordcount ok"
-./build/examples/pbfs_demo 5000 30000
+cmake -B build -S .
+cmake --build build -j
+
+if [[ "$FULL" == 1 ]]; then
+  ctest --test-dir build --output-on-failure
+else
+  ctest --test-dir build -L fast --output-on-failure
+fi
 
 echo "== fuzz smoke =="
-./build/tools/fuzz_detectors --seconds=3
+./build/tools/fuzz_detectors --seconds=30
 
-echo "== bench smoke =="
-./build/bench/thm6_update_coverage
-./build/bench/thm7_reduce_coverage
-./build/bench/fig7_overhead --scale=0.02 --reps=1
+if [[ "$FULL" == 1 ]]; then
+  echo "== examples =="
+  ./build/examples/quickstart
+  ./build/examples/view_read_race
+  ./build/examples/fig1_list_race
+  ./build/examples/schedule_dependent_bug
+  ./build/examples/wordcount >/dev/null && echo "wordcount ok"
+  ./build/examples/pbfs_demo 5000 30000
+
+  echo "== bench smoke =="
+  ./build/bench/thm6_update_coverage
+  ./build/bench/thm7_reduce_coverage
+  ./build/bench/sweep_scaling
+  ./build/bench/fig7_overhead --scale=0.02 --reps=1
+fi
 
 echo "ALL CHECKS PASSED"

@@ -39,6 +39,29 @@ RaceLog Rader::check_with_family(
   return merged;
 }
 
+SweepResult Rader::check_with_family(
+    const ProgramFactory& make_program,
+    const std::vector<std::unique_ptr<spec::StealSpec>>& family,
+    const SweepOptions& options) {
+  return sweep_family(make_program, family, options);
+}
+
+namespace {
+
+/// The Section-7 coverage family with the no-steal spec prepended (SP-bags
+/// coverage of the serial schedule), sized by the probe run's K and D.
+std::vector<std::unique_ptr<spec::StealSpec>> exhaustive_family(
+    std::uint32_t k, std::uint64_t depth) {
+  std::vector<std::unique_ptr<spec::StealSpec>> family;
+  family.push_back(std::make_unique<spec::NoSteal>());
+  auto coverage = spec::full_coverage_family(k, depth);
+  family.reserve(1 + coverage.size());
+  for (auto& steal_spec : coverage) family.push_back(std::move(steal_spec));
+  return family;
+}
+
+}  // namespace
+
 Rader::ExhaustiveResult Rader::check_exhaustive(FnView program,
                                                 std::uint32_t k_cap,
                                                 std::uint64_t depth_cap) {
@@ -54,19 +77,41 @@ Rader::ExhaustiveResult Rader::check_exhaustive(FnView program,
   result.depth =
       std::min<std::uint64_t>(result.probe_stats.max_spawn_depth, depth_cap);
 
-  // SP+ under no steals (== SP-bags coverage of the serial schedule).
-  {
-    spec::NoSteal no_steal;
-    result.log.merge(check_determinacy(program, no_steal));
-    ++result.spec_runs;
-  }
-
-  // The O(KD + K³) family of Section 7.
-  const auto family = spec::full_coverage_family(result.k, result.depth);
+  // No-steal spec + the O(KD + K³) family of Section 7.
+  const auto family = exhaustive_family(result.k, result.depth);
   for (const auto& steal_spec : family) {
     result.log.merge(check_determinacy(program, *steal_spec));
     ++result.spec_runs;
   }
+  return result;
+}
+
+Rader::ExhaustiveResult Rader::check_exhaustive(
+    const ProgramFactory& make_program, const SweepOptions& options,
+    std::uint32_t k_cap, std::uint64_t depth_cap) {
+  ExhaustiveResult result;
+
+  // Serial probe on the calling thread: learn K and D, catch view-read
+  // races with Peer-Set.
+  auto probe_program = make_program();
+  {
+    PeerSetDetector peerset(&result.log);
+    spec::NoSteal no_steal;
+    result.probe_stats = run_serial(probe_program, &peerset, &no_steal);
+  }
+  result.k = std::min<std::uint32_t>(result.probe_stats.max_sync_block, k_cap);
+  result.depth =
+      std::min<std::uint64_t>(result.probe_stats.max_spawn_depth, depth_cap);
+
+  const auto family = exhaustive_family(result.k, result.depth);
+  if (options.stop_after_first_race && result.log.any()) {
+    result.specs_skipped = family.size();
+    return result;
+  }
+  SweepResult sweep = sweep_family(make_program, family, options);
+  result.log.merge(sweep.log);
+  result.spec_runs = sweep.spec_runs;
+  result.specs_skipped = sweep.specs_skipped;
   return result;
 }
 

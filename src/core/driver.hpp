@@ -29,6 +29,7 @@
 #include "core/race_report.hpp"
 #include "core/spbags.hpp"
 #include "core/spplus.hpp"
+#include "core/sweep.hpp"
 #include "runtime/run.hpp"
 #include "spec/spec_family.hpp"
 #include "spec/steal_spec.hpp"
@@ -48,15 +49,26 @@ class Rader {
   /// Screen / the Nondeterminator would report.
   static RaceLog check_spbags(FnView program);
 
-  /// SP+ under every spec in `family`, merging the reports.
+  /// SP+ under every spec in `family`, merging the reports through the
+  /// dedup layer (one report per race, carrying its eliciting specs).
   static RaceLog check_with_family(
       FnView program,
       const std::vector<std::unique_ptr<spec::StealSpec>>& family);
+
+  /// Parallel sweep variant: shards `family` across `options.threads`
+  /// workers (core/sweep.hpp).  Each worker materializes its own program
+  /// instance from `make_program`; the merged log is identical to the
+  /// serial overload's for every thread count.
+  static SweepResult check_with_family(
+      const ProgramFactory& make_program,
+      const std::vector<std::unique_ptr<spec::StealSpec>>& family,
+      const SweepOptions& options);
 
   struct ExhaustiveResult {
     RaceLog log;
     SerialEngine::Stats probe_stats;  // from the no-steal probe run
     std::uint64_t spec_runs = 0;      // SP+ executions performed
+    std::uint64_t specs_skipped = 0;  // family members skipped (budget/stop)
     std::uint32_t k = 0;              // sync-block size used for the family
     std::uint64_t depth = 0;          // spawn depth used for the family
   };
@@ -65,6 +77,15 @@ class Rader {
   /// family.  `k_cap` / `depth_cap` bound the family for large programs
   /// (the guarantee then holds for sync blocks / depths within the caps).
   static ExhaustiveResult check_exhaustive(FnView program,
+                                           std::uint32_t k_cap = 16,
+                                           std::uint64_t depth_cap = 64);
+
+  /// Parallel Section-7 coverage: the Peer-Set probe runs serially on one
+  /// instance from `make_program`, then the O(KD + K³) family is swept in
+  /// parallel per `options`.  With options.stop_after_first_race, a racy
+  /// probe skips the family sweep entirely.
+  static ExhaustiveResult check_exhaustive(const ProgramFactory& make_program,
+                                           const SweepOptions& options,
                                            std::uint32_t k_cap = 16,
                                            std::uint64_t depth_cap = 64);
 };

@@ -74,9 +74,9 @@ void PeerSetDetector::on_reducer_op(ReducerOp op, ReducerId h, SrcTag tag) {
     const bool prior_in_p_bag =
         ds_.meta_of(entry.reader).kind == dsu::BagKind::kP;
     if (prior_in_p_bag || entry.spawn_count != spawn_count) {
-      log_->report_view_read({h, static_cast<FrameId>(entry.reader),
-                              static_cast<FrameId>(f.node), entry.label,
-                              tag.label});
+      log_->report_view_read(make_view_read_race(
+          h, static_cast<FrameId>(entry.reader),
+          static_cast<FrameId>(f.node), entry.label, tag.label));
     }
   }
   auto& entry = reader_[h];

@@ -1,59 +1,137 @@
 #include "core/race_report.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 namespace rader {
 
+namespace {
+
+/// Append `spec` to `specs` unless already present (specs stay in first-seen
+/// order, so specs[0] == found_under for stamped reports).
+void add_spec(std::vector<std::string>& specs, const std::string& spec) {
+  if (spec.empty()) return;
+  if (std::find(specs.begin(), specs.end(), spec) != specs.end()) return;
+  specs.push_back(spec);
+}
+
+std::size_t combine(std::size_t seed, std::size_t v) {
+  return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace
+
+std::size_t RaceLog::KeyHash::operator()(const ViewReadKey& k) const {
+  std::size_t h = std::hash<ReducerId>{}(k.reducer);
+  h = combine(h, std::hash<std::string>{}(k.prior_label));
+  h = combine(h, std::hash<std::string>{}(k.current_label));
+  return h;
+}
+
+std::size_t RaceLog::KeyHash::operator()(const DeterminacyKey& k) const {
+  std::size_t h = std::hash<std::uintptr_t>{}(k.addr);
+  h = combine(h, static_cast<std::size_t>(k.current_kind));
+  h = combine(h, (k.current_view_aware ? 2u : 0u) |
+                     (k.prior_was_write ? 1u : 0u));
+  h = combine(h, std::hash<std::string>{}(k.current_label));
+  return h;
+}
+
+void RaceLog::absorb_view_read(const ViewReadRace& r) {
+  ViewReadKey key{r.reducer, r.prior_label, r.current_label};
+  const auto it = seen_view_reads_.find(key);
+  if (it == seen_view_reads_.end()) {
+    std::size_t idx = kDropped;
+    if (view_read_races_.size() < max_stored_) {
+      idx = view_read_races_.size();
+      view_read_races_.push_back(r);
+      add_spec(view_read_races_.back().eliciting_specs, r.found_under);
+    }
+    seen_view_reads_.emplace(std::move(key), idx);
+    return;
+  }
+  if (it->second == kDropped) return;
+  ViewReadRace& stored = view_read_races_[it->second];
+  stored.occurrences += r.occurrences;
+  add_spec(stored.eliciting_specs, r.found_under);
+  for (const auto& s : r.eliciting_specs) add_spec(stored.eliciting_specs, s);
+}
+
+void RaceLog::absorb_determinacy(const DeterminacyRace& r) {
+  DeterminacyKey key{r.addr, r.current_kind, r.current_view_aware,
+                     r.prior_was_write, r.current_label};
+  const auto it = seen_determinacy_.find(key);
+  if (it == seen_determinacy_.end()) {
+    std::size_t idx = kDropped;
+    if (determinacy_races_.size() < max_stored_) {
+      idx = determinacy_races_.size();
+      determinacy_races_.push_back(r);
+      add_spec(determinacy_races_.back().eliciting_specs, r.found_under);
+    }
+    seen_determinacy_.emplace(std::move(key), idx);
+    return;
+  }
+  if (it->second == kDropped) return;
+  DeterminacyRace& stored = determinacy_races_[it->second];
+  stored.occurrences += r.occurrences;
+  add_spec(stored.eliciting_specs, r.found_under);
+  for (const auto& s : r.eliciting_specs) add_spec(stored.eliciting_specs, s);
+}
+
 void RaceLog::report_view_read(const ViewReadRace& r) {
-  ++view_read_count_;
-  if (!seen_reducers_.insert(r.reducer).second) return;  // dedup per reducer
-  if (view_read_races_.size() < max_stored_) view_read_races_.push_back(r);
+  view_read_count_ += r.occurrences;
+  absorb_view_read(r);
 }
 
 void RaceLog::report_determinacy(const DeterminacyRace& r) {
-  ++determinacy_count_;
-  if (!seen_addrs_.insert(r.addr).second) return;  // dedup per location
-  if (determinacy_races_.size() < max_stored_) determinacy_races_.push_back(r);
+  determinacy_count_ += r.occurrences;
+  absorb_determinacy(r);
 }
 
 void RaceLog::merge(const RaceLog& other) {
-  for (const auto& r : other.view_read_races_) {
-    if (seen_reducers_.insert(r.reducer).second &&
-        view_read_races_.size() < max_stored_) {
-      view_read_races_.push_back(r);
-    }
-  }
-  for (const auto& r : other.determinacy_races_) {
-    if (seen_addrs_.insert(r.addr).second &&
-        determinacy_races_.size() < max_stored_) {
-      determinacy_races_.push_back(r);
-    }
-  }
   view_read_count_ += other.view_read_count_;
   determinacy_count_ += other.determinacy_count_;
+  for (const auto& r : other.view_read_races_) absorb_view_read(r);
+  for (const auto& r : other.determinacy_races_) absorb_determinacy(r);
 }
 
 void RaceLog::stamp_found_under(const std::string& spec_description) {
   for (auto& r : view_read_races_) {
     if (r.found_under.empty()) r.found_under = spec_description;
+    if (r.eliciting_specs.empty()) r.eliciting_specs.push_back(spec_description);
   }
   for (auto& r : determinacy_races_) {
     if (r.found_under.empty()) r.found_under = spec_description;
+    if (r.eliciting_specs.empty()) r.eliciting_specs.push_back(spec_description);
   }
 }
+
+namespace {
+
+/// " [replay: SPEC]" plus, when the race was elicited under several specs,
+/// " (+N more specs)" — the dedup layer's footprint in the text report.
+void append_replay(std::ostringstream& os,
+                   const std::string& found_under,
+                   const std::vector<std::string>& specs) {
+  if (found_under.empty()) return;
+  os << " [replay: " << found_under << "]";
+  if (specs.size() > 1) os << " (+" << specs.size() - 1 << " more specs)";
+}
+
+}  // namespace
 
 std::string RaceLog::to_string() const {
   std::ostringstream os;
   os << "RaceLog: " << view_read_count_ << " view-read race occurrence(s) ("
-     << view_read_races_.size() << " distinct reducer(s)), "
+     << view_read_races_.size() << " distinct report(s)), "
      << determinacy_count_ << " determinacy race occurrence(s) ("
-     << determinacy_races_.size() << " distinct location(s))\n";
+     << determinacy_races_.size() << " distinct report(s))\n";
   for (const auto& r : view_read_races_) {
     os << "  view-read race on reducer #" << r.reducer << ": read at '"
        << r.prior_label << "' (frame " << r.prior_frame
        << ") has different peers than read at '" << r.current_label
        << "' (frame " << r.current_frame << ")";
-    if (!r.found_under.empty()) os << " [replay: " << r.found_under << "]";
+    append_replay(os, r.found_under, r.eliciting_specs);
     os << "\n";
   }
   for (const auto& r : determinacy_races_) {
@@ -64,7 +142,7 @@ std::string RaceLog::to_string() const {
        << ") races with earlier "
        << (r.prior_was_write ? "write" : "read") << " by frame "
        << r.prior_frame;
-    if (!r.found_under.empty()) os << " [replay: " << r.found_under << "]";
+    append_replay(os, r.found_under, r.eliciting_specs);
     os << "\n";
   }
   return os.str();
@@ -91,6 +169,16 @@ void append_json_escaped(std::ostringstream& os, const std::string& s) {
   os << '"';
 }
 
+void append_json_specs(std::ostringstream& os,
+                       const std::vector<std::string>& specs) {
+  os << ",\"eliciting_specs\":[";
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (i != 0) os << ',';
+    append_json_escaped(os, specs[i]);
+  }
+  os << ']';
+}
+
 }  // namespace
 
 std::string RaceLog::to_json() const {
@@ -102,12 +190,14 @@ std::string RaceLog::to_json() const {
     const auto& r = view_read_races_[i];
     if (i != 0) os << ',';
     os << "{\"reducer\":" << r.reducer << ",\"prior_frame\":" << r.prior_frame
-       << ",\"current_frame\":" << r.current_frame << ",\"prior_label\":";
+       << ",\"current_frame\":" << r.current_frame
+       << ",\"occurrences\":" << r.occurrences << ",\"prior_label\":";
     append_json_escaped(os, r.prior_label);
     os << ",\"current_label\":";
     append_json_escaped(os, r.current_label);
     os << ",\"found_under\":";
     append_json_escaped(os, r.found_under);
+    append_json_specs(os, r.eliciting_specs);
     os << '}';
   }
   os << "],\"determinacy_races\":[";
@@ -119,10 +209,12 @@ std::string RaceLog::to_json() const {
        << "\",\"view_aware\":" << (r.current_view_aware ? "true" : "false")
        << ",\"prior_was_write\":" << (r.prior_was_write ? "true" : "false")
        << ",\"prior_frame\":" << r.prior_frame
-       << ",\"current_frame\":" << r.current_frame << ",\"label\":";
+       << ",\"current_frame\":" << r.current_frame
+       << ",\"occurrences\":" << r.occurrences << ",\"label\":";
     append_json_escaped(os, r.current_label);
     os << ",\"found_under\":";
     append_json_escaped(os, r.found_under);
+    append_json_specs(os, r.eliciting_specs);
     os << '}';
   }
   os << "]}";
@@ -134,8 +226,8 @@ void RaceLog::clear() {
   determinacy_count_ = 0;
   view_read_races_.clear();
   determinacy_races_.clear();
-  seen_reducers_.clear();
-  seen_addrs_.clear();
+  seen_view_reads_.clear();
+  seen_determinacy_.clear();
 }
 
 }  // namespace rader

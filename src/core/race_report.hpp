@@ -1,14 +1,23 @@
 // Race reports produced by the detection algorithms.
 //
-// Reports are deduplicated (one per raced-on reducer / memory location) so a
-// hot loop cannot flood the log, and capped in stored count while total
-// occurrences keep being tallied — mirroring how practical tools such as
-// Cilk Screen and the Nondeterminator report races.
+// Reports are deduplicated so a hot loop cannot flood the log, and capped in
+// stored count while total occurrences keep being tallied — mirroring how
+// practical tools such as Cilk Screen and the Nondeterminator report races.
+//
+// Deduplication key (the *race identity*): the raced-on location, the labels
+// and kinds of the two accesses — NOT the frame ids, which are execution
+// artifacts that shift between steal specifications (simulated steals insert
+// kReduce frames and renumber everything after them).  Merging the per-spec
+// logs of a specification-family sweep therefore collapses the same race
+// elicited under many specs into ONE stored report that carries the full set
+// of eliciting specifications (`eliciting_specs`) and the total number of
+// dynamic observations (`occurrences`); `found_under` stays the first
+// eliciting spec, the paper's replay handle.
 #pragma once
 
 #include <cstdint>
 #include <string>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
 #include "runtime/types.hpp"
@@ -22,7 +31,9 @@ struct ViewReadRace {
   FrameId current_frame = kInvalidFrame;  // frame of the later reducer-read
   std::string prior_label;                // source tag of the earlier read
   std::string current_label;              // source tag of the later read
-  std::string found_under;                // steal spec that elicited it
+  std::string found_under;                // first steal spec that elicited it
+  std::vector<std::string> eliciting_specs;  // every spec that elicited it
+  std::uint64_t occurrences = 1;          // dynamic observations collapsed in
 };
 
 /// A determinacy race: two conflicting accesses on logically parallel
@@ -36,8 +47,44 @@ struct DeterminacyRace {
   FrameId prior_frame = kInvalidFrame;
   FrameId current_frame = kInvalidFrame;
   std::string current_label;
-  std::string found_under;                // steal spec that elicited it
+  std::string found_under;                // first steal spec that elicited it
+  std::vector<std::string> eliciting_specs;  // every spec that elicited it
+  std::uint64_t occurrences = 1;          // dynamic observations collapsed in
 };
+
+/// Detector-side constructors (the remaining fields — found_under,
+/// eliciting_specs, occurrences — are filled by stamping and merging).
+inline ViewReadRace make_view_read_race(ReducerId reducer,
+                                        FrameId prior_frame,
+                                        FrameId current_frame,
+                                        std::string prior_label,
+                                        std::string current_label) {
+  ViewReadRace r;
+  r.reducer = reducer;
+  r.prior_frame = prior_frame;
+  r.current_frame = current_frame;
+  r.prior_label = std::move(prior_label);
+  r.current_label = std::move(current_label);
+  return r;
+}
+
+inline DeterminacyRace make_determinacy_race(std::uintptr_t addr,
+                                             AccessKind current_kind,
+                                             bool current_view_aware,
+                                             bool prior_was_write,
+                                             FrameId prior_frame,
+                                             FrameId current_frame,
+                                             std::string current_label) {
+  DeterminacyRace r;
+  r.addr = addr;
+  r.current_kind = current_kind;
+  r.current_view_aware = current_view_aware;
+  r.prior_was_write = prior_was_write;
+  r.prior_frame = prior_frame;
+  r.current_frame = current_frame;
+  r.current_label = std::move(current_label);
+  return r;
+}
 
 class RaceLog {
  public:
@@ -47,13 +94,17 @@ class RaceLog {
   void report_determinacy(const DeterminacyRace& r);
 
   /// Merge another log into this one (used when checking a program under
-  /// many steal specifications).
+  /// many steal specifications).  Stored reports deduplicate by race
+  /// identity; a duplicate's eliciting specs are unioned into the stored
+  /// report and its occurrences added, so a family sweep yields one report
+  /// per race no matter how many specifications elicit it.
   void merge(const RaceLog& other);
 
-  /// Stamp every stored report that lacks one with the steal specification
-  /// it was found under — the paper's replay feature: "Rader reports the
-  /// labels corresponding to the stolen continuations that triggered the
-  /// race, making it easy to repeat the run for regression tests."
+  /// Stamp every stored report with the steal specification it was found
+  /// under — the paper's replay feature: "Rader reports the labels
+  /// corresponding to the stolen continuations that triggered the race,
+  /// making it easy to repeat the run for regression tests."  Fills
+  /// `found_under` (if empty) and seeds `eliciting_specs` (if empty).
   void stamp_found_under(const std::string& spec_description);
 
   bool any() const {
@@ -78,13 +129,45 @@ class RaceLog {
   void clear();
 
  private:
+  // Race-identity keys: location + access labels + kinds, frame-free (see
+  // the file comment).  Real equality, not raw hashes, so the dedup cannot
+  // be fooled by a 64-bit collision.
+  struct ViewReadKey {
+    ReducerId reducer;
+    std::string prior_label;
+    std::string current_label;
+    bool operator==(const ViewReadKey&) const = default;
+  };
+  struct DeterminacyKey {
+    std::uintptr_t addr;
+    AccessKind current_kind;
+    bool current_view_aware;
+    bool prior_was_write;
+    std::string current_label;
+    bool operator==(const DeterminacyKey&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const ViewReadKey& k) const;
+    std::size_t operator()(const DeterminacyKey& k) const;
+  };
+
+  // Sentinel index: race identity seen but its report was dropped by the
+  // storage cap (occurrences for it still tally in the global counters).
+  static constexpr std::size_t kDropped = static_cast<std::size_t>(-1);
+
+  /// Store `r` or fold it into the stored report with the same identity.
+  /// Does NOT touch the occurrence counters (callers differ: a detector
+  /// report adds `r.occurrences`; a merge adds the whole other log's total).
+  void absorb_view_read(const ViewReadRace& r);
+  void absorb_determinacy(const DeterminacyRace& r);
+
   std::size_t max_stored_;
   std::uint64_t view_read_count_ = 0;
   std::uint64_t determinacy_count_ = 0;
   std::vector<ViewReadRace> view_read_races_;
   std::vector<DeterminacyRace> determinacy_races_;
-  std::unordered_set<std::uint64_t> seen_reducers_;
-  std::unordered_set<std::uintptr_t> seen_addrs_;
+  std::unordered_map<ViewReadKey, std::size_t, KeyHash> seen_view_reads_;
+  std::unordered_map<DeterminacyKey, std::size_t, KeyHash> seen_determinacy_;
 };
 
 }  // namespace rader

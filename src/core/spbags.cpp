@@ -68,8 +68,8 @@ void SpBagsDetector::on_access(AccessKind kind, std::uintptr_t addr,
         ds_.meta_of(w).kind == dsu::BagKind::kP;
     if (kind == AccessKind::kRead) {
       if (writer_parallel) {
-        log_->report_determinacy({b, kind, false, true, w,
-                                  static_cast<FrameId>(f.node), tag.label});
+        log_->report_determinacy(make_determinacy_race(
+            b, kind, false, true, w, static_cast<FrameId>(f.node), tag.label));
       }
       const auto r = reader_.get(g);
       if (r == shadow::ShadowSpace::kEmpty ||
@@ -80,12 +80,12 @@ void SpBagsDetector::on_access(AccessKind kind, std::uintptr_t addr,
       const auto r = reader_.get(g);
       if (r != shadow::ShadowSpace::kEmpty &&
           ds_.meta_of(r).kind == dsu::BagKind::kP) {
-        log_->report_determinacy({b, kind, false, false, r,
-                                  static_cast<FrameId>(f.node), tag.label});
+        log_->report_determinacy(make_determinacy_race(
+            b, kind, false, false, r, static_cast<FrameId>(f.node), tag.label));
       }
       if (writer_parallel) {
-        log_->report_determinacy({b, kind, false, true, w,
-                                  static_cast<FrameId>(f.node), tag.label});
+        log_->report_determinacy(make_determinacy_race(
+            b, kind, false, true, w, static_cast<FrameId>(f.node), tag.label));
       }
       if (w == shadow::ShadowSpace::kEmpty ||
           ds_.meta_of(w).kind == dsu::BagKind::kS) {

@@ -106,8 +106,8 @@ void SpOrderDetector::on_access(AccessKind kind, std::uintptr_t addr,
         w != shadow::ShadowSpace::kEmpty && !in_series_with_current(w);
     if (kind == AccessKind::kRead) {
       if (writer_parallel) {
-        log_->report_determinacy(
-            {b, kind, false, true, strand_frame_[w], fid, tag.label, {}});
+        log_->report_determinacy(make_determinacy_race(
+            b, kind, false, true, strand_frame_[w], fid, tag.label));
       }
       const auto r = reader_.get(g);
       if (r == shadow::ShadowSpace::kEmpty || in_series_with_current(r)) {
@@ -116,12 +116,12 @@ void SpOrderDetector::on_access(AccessKind kind, std::uintptr_t addr,
     } else {
       const auto r = reader_.get(g);
       if (r != shadow::ShadowSpace::kEmpty && !in_series_with_current(r)) {
-        log_->report_determinacy(
-            {b, kind, false, false, strand_frame_[r], fid, tag.label, {}});
+        log_->report_determinacy(make_determinacy_race(
+            b, kind, false, false, strand_frame_[r], fid, tag.label));
       }
       if (writer_parallel) {
-        log_->report_determinacy(
-            {b, kind, false, true, strand_frame_[w], fid, tag.label, {}});
+        log_->report_determinacy(make_determinacy_race(
+            b, kind, false, true, strand_frame_[w], fid, tag.label));
       }
       if (w == shadow::ShadowSpace::kEmpty || in_series_with_current(w)) {
         writer_.set(g, top_ref_);

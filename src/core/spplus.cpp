@@ -124,8 +124,8 @@ void SpPlusDetector::on_access(AccessKind kind, std::uintptr_t addr,
       const bool races = view_aware ? prior_races_view_aware(w, cur_vid)
                                     : prior_races_oblivious(w);
       if (races) {
-        log_->report_determinacy(
-            {b, kind, view_aware, true, w, fid, tag.label});
+        log_->report_determinacy(make_determinacy_race(
+            b, kind, view_aware, true, w, fid, tag.label));
       }
       const auto r = reader_.get(g);
       if (view_aware ? should_replace(r)
@@ -139,15 +139,15 @@ void SpPlusDetector::on_access(AccessKind kind, std::uintptr_t addr,
                                     ? prior_races_view_aware(r, cur_vid)
                                     : prior_races_oblivious(r);
       if (reader_races) {
-        log_->report_determinacy(
-            {b, kind, view_aware, false, r, fid, tag.label});
+        log_->report_determinacy(make_determinacy_race(
+            b, kind, view_aware, false, r, fid, tag.label));
       }
       const bool writer_races = view_aware
                                     ? prior_races_view_aware(w, cur_vid)
                                     : prior_races_oblivious(w);
       if (writer_races) {
-        log_->report_determinacy(
-            {b, kind, view_aware, true, w, fid, tag.label});
+        log_->report_determinacy(make_determinacy_race(
+            b, kind, view_aware, true, w, fid, tag.label));
       }
       if (view_aware ? should_replace(w)
                      : (w == shadow::ShadowSpace::kEmpty ||

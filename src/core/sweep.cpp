@@ -1,0 +1,80 @@
+#include "core/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "core/spplus.hpp"
+#include "runtime/run.hpp"
+
+namespace rader {
+
+ProgramFactory shared_program(std::function<void()> program) {
+  return [program = std::move(program)] { return program; };
+}
+
+SweepResult sweep_family(
+    const ProgramFactory& make_program,
+    const std::vector<std::unique_ptr<spec::StealSpec>>& family,
+    const SweepOptions& options) {
+  SweepResult result;
+  const std::size_t total = family.size();
+  const std::size_t n =
+      (options.budget != 0 && options.budget < total)
+          ? static_cast<std::size_t>(options.budget)
+          : total;
+  if (n == 0) {
+    result.specs_skipped = total;
+    return result;
+  }
+
+  unsigned threads = options.threads != 0
+                         ? options.threads
+                         : std::max(1u, std::thread::hardware_concurrency());
+  threads = static_cast<unsigned>(
+      std::min<std::size_t>(threads, n));
+
+  // One log per family member, merged in family order afterwards: the sweep
+  // result is deterministic and identical to the serial sweep's regardless
+  // of thread count or scheduling.
+  std::vector<RaceLog> per_spec(n);
+  std::vector<char> ran(n, 0);
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> stop{false};
+
+  const auto worker = [&] {
+    std::function<void()> program;  // this worker's own program instance
+    for (;;) {
+      if (stop.load(std::memory_order_relaxed)) break;
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      if (!program) program = make_program();
+      SpPlusDetector detector(&per_spec[i]);
+      run_serial(program, &detector, family[i].get());
+      per_spec[i].stamp_found_under(family[i]->describe());
+      ran[i] = 1;
+      if (options.stop_after_first_race && per_spec[i].any()) {
+        stop.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ran[i] == 0) continue;
+    result.log.merge(per_spec[i]);
+    ++result.spec_runs;
+  }
+  result.specs_skipped = total - result.spec_runs;
+  return result;
+}
+
+}  // namespace rader

@@ -1,0 +1,80 @@
+// Parallel steal-specification sweep engine.
+//
+// The Section-7 coverage recipe runs SP+ under O(KD + K³) steal
+// specifications.  Each run is an independent serial-engine execution of the
+// same program under a different fixed schedule, so the sweep is
+// embarrassingly parallel: this engine shards the family across a worker
+// pool, giving each worker its own SerialEngine + SP+ detector instance and
+// a thread-local RaceLog per specification, then merges the per-spec logs —
+// in family order, so the result is bit-for-bit what the serial sweep
+// produces — through RaceLog's deduplication layer (core/race_report.hpp),
+// which collapses the same race elicited under many specs into one report
+// carrying the set of eliciting specifications.
+//
+// Thread-safety model: the detector stack (SerialEngine, SpPlusDetector,
+// ShadowSpace, the DSU) has no global state, and the engine installation is
+// thread-local (Engine::Scope), so concurrent serial-engine runs never
+// interact.  The program under test, however, usually mutates captured state
+// when it runs, so workers must not share one instance: the sweep takes a
+// *program factory* and each worker materializes its own instance (programs
+// must be re-runnable, as for the serial driver — not thread-safe).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/race_report.hpp"
+#include "spec/steal_spec.hpp"
+
+namespace rader {
+
+/// Options controlling a specification-family sweep.
+struct SweepOptions {
+  /// Worker threads.  0 = std::thread::hardware_concurrency(); 1 = run the
+  /// sweep on the calling thread (no pool).
+  unsigned threads = 1;
+
+  /// Maximum number of SP+ executions (0 = the whole family).  Members past
+  /// the budget are skipped, counted in SweepResult::specs_skipped — the
+  /// coverage guarantee then holds only for the members that ran.
+  std::uint64_t budget = 0;
+
+  /// Stop handing out family members as soon as one run reports a race.
+  /// In-flight runs finish; which later members get skipped depends on
+  /// timing, but every log that is merged is a complete run.
+  bool stop_after_first_race = false;
+};
+
+/// Factory producing a fresh instance of the program under test.  Called at
+/// most once per sweep worker; the returned callable is only ever run by
+/// that worker, one execution at a time.
+using ProgramFactory = std::function<std::function<void()>()>;
+
+/// Wrap a program that is safe to share across workers (stateless, or run
+/// concurrently without interference) as a factory.
+ProgramFactory shared_program(std::function<void()> program);
+
+struct SweepResult {
+  RaceLog log;                      // deduplicated union over executed specs
+  std::uint64_t spec_runs = 0;      // SP+ executions performed
+  std::uint64_t specs_skipped = 0;  // members skipped (budget / early stop)
+};
+
+/// Run SP+ under every member of `family` (subject to `options`), sharding
+/// the members across `options.threads` workers, and merge the per-spec race
+/// logs in family order.  With the same family and factory, the merged log
+/// is identical for every thread count whenever the racing addresses are
+/// stable across program instances (shared_program, globals/statics).  When
+/// instances race on their own heap addresses, entries split by instance —
+/// the dedup key includes the address — but the race set is still identical
+/// up to that renaming: per normalized identity, the occurrence totals and
+/// eliciting-spec sets are the same at every thread count (each family
+/// member's log lands in exactly one stored entry).
+SweepResult sweep_family(
+    const ProgramFactory& make_program,
+    const std::vector<std::unique_ptr<spec::StealSpec>>& family,
+    const SweepOptions& options = {});
+
+}  // namespace rader

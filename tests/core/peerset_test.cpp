@@ -206,7 +206,12 @@ TEST(PeerSet, TwoReducersReportedIndependently) {
     volatile long c = clean.get_value();
     (void)c;
   });
-  EXPECT_EQ(log.view_read_races().size(), 1u);
+  // Reports (one per racing access pair) may repeat the reducer, but only
+  // `racy` — constructed second, so reducer #1 — may appear.
+  ASSERT_FALSE(log.view_read_races().empty());
+  for (const auto& r : log.view_read_races()) {
+    EXPECT_EQ(r.reducer, 1u) << "only `racy` may be reported";
+  }
 }
 
 TEST(PeerSet, DeepNestingCleanDiscipline) {

@@ -1,0 +1,148 @@
+// Regression tests for the specification-sweep engine (core/sweep.hpp) and
+// its deduplication layer (core/race_report.hpp).
+//
+// A family sweep re-elicits the same race under many steal specifications;
+// the merged log must collapse each (location, access-pair, kind) identity
+// into ONE stored report that carries every eliciting spec and the total
+// occurrence count — while the parallel sweep must produce a log identical
+// to the serial sweep's at every thread count.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/driver.hpp"
+#include "core/sweep.hpp"
+#include "runtime/api.hpp"
+#include "spec/steal_spec.hpp"
+
+namespace rader {
+namespace {
+
+// Shared across program instances on purpose: the racing address is stable,
+// so parallel-sweep logs can be compared byte-for-byte with serial ones.
+// The program only ANNOTATES accesses (shadow_read/shadow_write record, they
+// do not touch memory), so concurrent sweep workers are safe.
+int g_x = 0;
+int g_y = 0;
+
+void racy_two_reads() {
+  spawn([] { shadow_write(&g_x, 4, SrcTag{"writer"}); });
+  shadow_read(&g_x, 4, SrcTag{"first read"});
+  shadow_read(&g_x, 4, SrcTag{"second read"});
+  sync();
+}
+
+void clean_disjoint() {
+  spawn([] { shadow_write(&g_x, 4, SrcTag{"writer"}); });
+  shadow_read(&g_y, 4, SrcTag{"reader"});
+  sync();
+}
+
+std::vector<std::unique_ptr<spec::StealSpec>> three_specs() {
+  std::vector<std::unique_ptr<spec::StealSpec>> family;
+  family.push_back(std::make_unique<spec::NoSteal>());
+  family.push_back(std::make_unique<spec::DepthSteal>(1));
+  family.push_back(std::make_unique<spec::StealAll>());
+  return family;
+}
+
+TEST(SweepDedup, CheckWithFamilyCollapsesPerSpecDuplicates) {
+  // Two racing access pairs (writer/first read, writer/second read) on a
+  // 4-byte word, tracked at byte granularity: 8 distinct (address, label)
+  // identities per run.  Each is elicited by all three specs, so the merged
+  // log stores exactly those 8 — each with occurrences == 3 and the full
+  // eliciting-spec set — while the global counter still tallies every
+  // dynamic observation (8 x 3 specs).
+  const auto family = three_specs();
+  const RaceLog log =
+      Rader::check_with_family([] { racy_two_reads(); }, family);
+
+  EXPECT_EQ(log.determinacy_count(), 24u);
+  ASSERT_EQ(log.determinacy_races().size(), 8u);
+  for (std::size_t j = 0; j < log.determinacy_races().size(); ++j) {
+    const auto& race = log.determinacy_races()[j];
+    EXPECT_EQ(race.occurrences, 3u) << race.current_label;
+    EXPECT_EQ(race.found_under, family[0]->describe());
+    ASSERT_EQ(race.eliciting_specs.size(), 3u) << race.current_label;
+    for (std::size_t i = 0; i < family.size(); ++i) {
+      EXPECT_EQ(race.eliciting_specs[i], family[i]->describe());
+    }
+    EXPECT_EQ(race.current_label, j < 4 ? "first read" : "second read");
+    EXPECT_EQ(race.addr,
+              reinterpret_cast<std::uintptr_t>(&g_x) + (j % 4));
+  }
+}
+
+TEST(SweepDedup, ParallelSweepLogIdenticalToSerialAtEveryThreadCount) {
+  const auto family = three_specs();
+  const RaceLog serial =
+      Rader::check_with_family([] { racy_two_reads(); }, family);
+  const ProgramFactory factory = shared_program([] { racy_two_reads(); });
+
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    SweepOptions options;
+    options.threads = threads;
+    const SweepResult result =
+        Rader::check_with_family(factory, family, options);
+    EXPECT_EQ(result.spec_runs, family.size()) << threads << " thread(s)";
+    EXPECT_EQ(result.specs_skipped, 0u);
+    EXPECT_EQ(result.log.to_json(), serial.to_json())
+        << threads << " thread(s)";
+  }
+}
+
+TEST(SweepDedup, BudgetCapsRunsAndCountsSkips) {
+  const auto family = three_specs();
+  SweepOptions options;
+  options.budget = 2;
+  const SweepResult result = Rader::check_with_family(
+      shared_program([] { racy_two_reads(); }), family, options);
+  EXPECT_EQ(result.spec_runs, 2u);
+  EXPECT_EQ(result.specs_skipped, 1u);
+  ASSERT_EQ(result.log.determinacy_races().size(), 8u);
+  for (const auto& race : result.log.determinacy_races()) {
+    EXPECT_EQ(race.occurrences, 2u);  // only the two budgeted specs ran
+    EXPECT_EQ(race.eliciting_specs.size(), 2u);
+  }
+}
+
+TEST(SweepDedup, StopAfterFirstRaceSkipsTheTail) {
+  const auto family = three_specs();
+  SweepOptions options;
+  options.stop_after_first_race = true;
+  const SweepResult result = Rader::check_with_family(
+      shared_program([] { racy_two_reads(); }), family, options);
+  EXPECT_TRUE(result.log.any());
+  EXPECT_EQ(result.spec_runs, 1u);  // the very first spec already races
+  EXPECT_EQ(result.specs_skipped, 2u);
+}
+
+TEST(SweepDedup, CleanProgramSweepsWholeFamilyQuietly) {
+  const auto family = three_specs();
+  const SweepResult result = Rader::check_with_family(
+      shared_program([] { clean_disjoint(); }), family, SweepOptions{});
+  EXPECT_FALSE(result.log.any());
+  EXPECT_EQ(result.spec_runs, family.size());
+  EXPECT_EQ(result.specs_skipped, 0u);
+}
+
+TEST(SweepDedup, ParallelExhaustiveMatchesSerialExhaustive) {
+  const auto serial = Rader::check_exhaustive([] { racy_two_reads(); });
+  for (const unsigned threads : {1u, 4u}) {
+    SweepOptions options;
+    options.threads = threads;
+    const auto parallel = Rader::check_exhaustive(
+        shared_program([] { racy_two_reads(); }), options);
+    EXPECT_EQ(parallel.k, serial.k);
+    EXPECT_EQ(parallel.depth, serial.depth);
+    EXPECT_EQ(parallel.spec_runs, serial.spec_runs);
+    EXPECT_EQ(parallel.specs_skipped, 0u);
+    EXPECT_EQ(parallel.log.to_json(), serial.log.to_json())
+        << threads << " thread(s)";
+  }
+}
+
+}  // namespace
+}  // namespace rader

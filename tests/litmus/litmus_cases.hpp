@@ -26,6 +26,28 @@
 
 namespace rader::litmus {
 
+namespace detail {
+
+/// Shared word written by noisy_monoid::reduce — the Reduce-strand footprint
+/// for the reduce-touches-shared-state case.
+inline long reduce_footprint = 0;
+
+/// A sum monoid whose reduce also writes shared memory: the misuse class
+/// where the REDUCE operation itself races, which no serial schedule can
+/// exhibit (Reduce strands exist only on stolen schedules).
+struct noisy_monoid {
+  using value_type = long;
+  static long identity() { return 0; }
+  static void reduce(long& l, long& r) {
+    shadow_write(&reduce_footprint, sizeof(reduce_footprint),
+                 SrcTag{"reduce writes shared word"});
+    reduce_footprint += 1;
+    l += r;
+  }
+};
+
+}  // namespace detail
+
 struct Case {
   std::string name;
   std::string why;               // one-line rationale for the verdicts
@@ -344,6 +366,122 @@ inline std::vector<Case> all_cases() {
          (void)n;
        },
        false, false, false});
+
+  // ---- Section-2 reducer-misuse litmus -----------------------------------
+  // The misuse catalogue of the paper's motivating section: view-reads
+  // (set_value / get_value / take_value / construction / destruction) placed
+  // against outstanding parallel updaters, plus the precision cases showing
+  // the detectors stay quiet on the disciplined variants.
+
+  add({"get-parallel-with-updates",
+       "§2's canonical misuse: get_value while spawned updates are in "
+       "flight — the observed value depends on the schedule",
+       [] {
+         reducer<monoid::op_add<long>> sum;
+         spawn([&] { sum += 1; });
+         spawn([&] { sum += 2; });
+         volatile long v = sum.get_value(SrcTag{"get amid updates"});
+         (void)v;
+         sync();
+       },
+       true, false, false});
+
+  add({"reducer-constructed-in-spawned-child",
+       "a reducer created, updated, read, and destroyed inside ONE spawned "
+       "child: every view-read shares that strand's peer set (precision)",
+       [] {
+         spawn([] {
+           reducer<monoid::op_add<long>> local;
+           local += 1;
+           volatile long v = local.get_value();
+           (void)v;
+         });
+         spawn([] {});
+         sync();
+       },
+       false, false, false});
+
+  add({"holder-get-after-sync-clean",
+       "disciplined holder use: strand-local scratch, value read only at "
+       "the peer-stable point after the sync",
+       [] {
+         holder<long> scratch;
+         parallel_for_flat<int>(
+             0, 4, [&](int i) { scratch.update([&](long& v) { v = i; }); },
+             4);
+         sync();
+         volatile long v = scratch.get_value();
+         (void)v;
+       },
+       false, false, false});
+
+  add({"set-value-after-sync-clean",
+       "set_value once the sync has drained every updater: peers unchanged "
+       "since the first strand",
+       [] {
+         reducer<monoid::op_add<long>> sum;
+         spawn([&] { sum += 1; });
+         sync();
+         sum.set_value(42);
+         volatile long v = sum.get_value();
+         (void)v;
+       },
+       false, false, false});
+
+  add({"set-value-before-sync",
+       "§2: set_value while a spawned updater is outstanding clobbers a "
+       "nondeterministically-chosen view",
+       [] {
+         reducer<monoid::op_add<long>> sum;
+         spawn([&] { sum += 1; });
+         sum.set_value(5, SrcTag{"set with updater outstanding"});
+         sync();
+       },
+       true, false, false});
+
+  add({"take-value-mid-block",
+       "take_value is a view-read too: draining the reducer before the sync "
+       "races with the outstanding updates",
+       [] {
+         reducer<monoid::op_add<long>> sum;
+         spawn([&] { sum += 3; });
+         volatile long v = sum.take_value(SrcTag{"take before sync"});
+         (void)v;
+         sync();
+       },
+       true, false, false});
+
+  add({"destroy-before-sync",
+       "destruction is the last view-read: destroying the reducer while a "
+       "spawned updater is outstanding has schedule-dependent meaning",
+       [] {
+         auto sum = std::make_unique<reducer<monoid::op_add<long>>>();
+         spawn([&] { *sum += 1; });
+         sum.reset();  // destroy-read with the updater still outstanding
+         sync();
+       },
+       true, false, false});
+
+  add({"reduce-touches-shared-state",
+       "the monoid's reduce writes a word a parallel strand reads; Reduce "
+       "strands exist only on stolen schedules (family-only, like Figure 1)",
+       [] {
+         spawn([] {
+           shadow_read(&detail::reduce_footprint,
+                       sizeof(detail::reduce_footprint),
+                       SrcTag{"parallel footprint read"});
+         });
+         call([] {
+           reducer<detail::noisy_monoid> acc;
+           for (int i = 0; i < 4; ++i) {
+             spawn([] {});
+             acc.update([](long& v) { v += 1; });
+           }
+           sync();
+         });
+         sync();
+       },
+       false, false, true});
 
   return cases;
 }

@@ -11,6 +11,7 @@
 //
 // Usage:
 //   rader --program=NAME [--scale=S] --check=ALGO [--spec=SPEC] [--k-cap=N]
+//         [--jobs=J] [--budget=B] [--stop-first=0|1]
 //
 //   NAME: collision | dedup | ferret | fib | knapsack | pbfs | fig1
 //   ALGO: peerset     view-read races (Peer-Set, Section 3)
@@ -19,6 +20,12 @@
 //         sporder     reducer-oblivious SP-order baseline [Bender et al.]
 //         exhaustive  Peer-Set + SP+ over the O(KD + K^3) family (Section 7)
 //   SPEC: none | all | triple:A,B,C | depth:D | random:SEED,K | bern:SEED,P
+//
+// The exhaustive family sweep is parallel: --jobs=J shards the family over J
+// worker threads (0 = all hardware threads), --budget=B caps the number of
+// SP+ runs, --stop-first=1 stops handing out specs once a race is found.
+// Each worker checks its own instance of the program; merged reports are
+// deduplicated (one per race, listing every spec that elicited it).
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -50,10 +57,11 @@ std::string arg_value(int argc, char** argv, const std::string& key,
   std::fprintf(
       stderr,
       "usage: rader --program=NAME [--scale=S] --check=ALGO [--spec=SPEC]\n"
-      "             [--k-cap=N]\n"
+      "             [--k-cap=N] [--jobs=J] [--budget=B] [--stop-first=0|1]\n"
       "  NAME: collision|dedup|ferret|fib|knapsack|pbfs|fig1\n"
       "  ALGO: peerset|sp+|spbags|sporder|exhaustive\n"
-      "  SPEC: none|all|triple:A,B,C|depth:D|random:SEED,K|bern:SEED,P\n");
+      "  SPEC: none|all|triple:A,B,C|depth:D|random:SEED,K|bern:SEED,P\n"
+      "  JOBS: exhaustive-sweep worker threads (0 = hardware threads)\n");
   std::exit(2);
 }
 
@@ -128,6 +136,12 @@ int main(int argc, char** argv) {
   const double scale = std::stod(arg_value(argc, argv, "scale", "0.02"));
   const auto k_cap = static_cast<std::uint32_t>(
       std::stoul(arg_value(argc, argv, "k-cap", "8")));
+  SweepOptions sweep;
+  sweep.threads =
+      static_cast<unsigned>(std::stoul(arg_value(argc, argv, "jobs", "1")));
+  sweep.budget = std::stoull(arg_value(argc, argv, "budget", "0"));
+  sweep.stop_after_first_race =
+      arg_value(argc, argv, "stop-first", "0") != "0";
   if (name.empty()) usage_and_exit();
 
   // Assemble the program under test.
@@ -164,11 +178,29 @@ int main(int argc, char** argv) {
     spec::NoSteal none;
     run_serial([&] { program(); }, &detector, &none);
   } else if (algo == "exhaustive") {
-    const auto result = Rader::check_exhaustive([&] { program(); }, k_cap);
+    // The sweep shards specs across workers, and each worker must check its
+    // own instance of the program — hand the driver a factory, not the
+    // shared `program` closure.
+    ProgramFactory factory;
+    if (name == "fig1") {
+      factory = [] {
+        auto p = std::make_shared<Fig1Program>();
+        return std::function<void()>([p] { (*p)(); });
+      };
+    } else {
+      factory = [name, scale] {
+        auto w = std::make_shared<apps::Workload>(
+            apps::make_benchmark(name, scale));
+        return std::function<void()>([w] { w->run(); });
+      };
+    }
+    const auto result = Rader::check_exhaustive(factory, sweep, k_cap);
     std::printf("probe: K=%u D=%llu; %llu SP+ runs over the O(KD+K^3) "
-                "family\n",
+                "family (%u job(s), %llu spec(s) skipped)\n",
                 result.k, static_cast<unsigned long long>(result.depth),
-                static_cast<unsigned long long>(result.spec_runs));
+                static_cast<unsigned long long>(result.spec_runs),
+                sweep.threads,
+                static_cast<unsigned long long>(result.specs_skipped));
     log = result.log;
   } else {
     usage_and_exit();
