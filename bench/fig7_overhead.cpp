@@ -2,11 +2,38 @@
 // instrumentation."  One row per benchmark, four detector configurations,
 // overheads relative to the uninstrumented serial run.
 //
+// Also measures the observability layer's emission overhead: the same SP+ /
+// no-steals detection run with and without an installed metrics::Registry
+// (support/metrics.hpp).  The budget is <= 5% (geomean): bump() must stay a
+// thread-local load plus one branch.
+//
 // Usage: fig7_overhead [--scale=S] [--reps=N]
 //   S scales input sizes toward the paper's (default keeps CI fast).
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "support/metrics.hpp"
+
+namespace {
+
+/// SP+ / no-steals with a metrics registry installed for the whole run.
+double time_spplus_with_metrics(rader::apps::Workload& w, int reps) {
+  rader::spec::NoSteal none;
+  rader::RaceLog log;
+  rader::SpPlusDetector spplus(&log);
+  rader::metrics::Registry reg;
+  rader::metrics::Scope scope(&reg);
+  return rader::bench::time_config(w, &spplus, &none, reps);
+}
+
+double time_spplus_without_metrics(rader::apps::Workload& w, int reps) {
+  rader::spec::NoSteal none;
+  rader::RaceLog log;
+  rader::SpPlusDetector spplus(&log);
+  return rader::bench::time_config(w, &spplus, &none, reps);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const double scale = rader::bench::parse_scale(argc, argv, 0.05);
@@ -14,15 +41,31 @@ int main(int argc, char** argv) {
   std::printf("fig7_overhead: scale=%.3g reps=%d\n", scale, reps);
 
   std::vector<rader::bench::Row> rows;
+  std::vector<double> metrics_ratios;
+  std::vector<std::string> metrics_names;
   for (auto& w : rader::apps::make_paper_benchmarks(scale)) {
     std::printf("  measuring %-10s (%s)...\n", w.name.c_str(),
                 w.input_desc.c_str());
     std::fflush(stdout);
     rows.push_back(rader::bench::measure_workload(w, reps));
+    const double off = time_spplus_without_metrics(w, reps);
+    const double on = time_spplus_with_metrics(w, reps);
+    metrics_ratios.push_back(on / off);
+    metrics_names.push_back(w.name);
   }
   rader::bench::print_table(
       "Figure 7 — overhead over NO INSTRUMENTATION", "no instrumentation",
       rows, [](const rader::bench::Row& r) { return r.t_none; });
+
+  std::printf("\nmetrics-emission overhead (SP+ no-steals, registry "
+              "installed vs not):\n");
+  for (std::size_t i = 0; i < metrics_ratios.size(); ++i) {
+    std::printf("  %-10s %.3fx\n", metrics_names[i].c_str(),
+                metrics_ratios[i]);
+  }
+  const double metrics_geomean = rader::bench::geomean(metrics_ratios);
+  std::printf("  %-10s %.3fx  (budget: <= 1.05)\n", "geomean",
+              metrics_geomean);
 
   std::printf("\nabsolute uninstrumented times:\n");
   for (const auto& r : rows) {

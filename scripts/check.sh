@@ -21,6 +21,49 @@ else
   ctest --test-dir build -L fast --output-on-failure
 fi
 
+echo "== json report smoke =="
+# One known-racy litmus run through --format=json: validate the rader.report
+# schema with a real JSON parser, then round-trip a replay handle and check
+# the replay reproduces the same deduplicated race set (labels + kinds; raw
+# heap addresses differ between process invocations).
+RJ1=build/report_sp.json
+RJ2=build/report_replay.json
+./build/tools/rader --program=fig1 --check=sp+ --spec=triple:0,1,2 \
+  --format=json >"$RJ1" 2>/dev/null || true
+HANDLE=$(python3 - "$RJ1" <<'PY'
+import json, sys
+r = json.load(open(sys.argv[1]))
+for key in ("schema", "schema_version", "program", "check", "spec",
+            "races", "replay_handles", "metrics"):
+    assert key in r, f"missing key: {key}"
+assert r["schema"] == "rader.report" and r["schema_version"] == 1
+races = r["races"]
+for key in ("view_read_occurrences", "determinacy_occurrences",
+            "view_read_races", "determinacy_races"):
+    assert key in races, f"missing races key: {key}"
+assert races["determinacy_races"], "expected fig1 to race"
+assert r["replay_handles"], "expected a replay handle"
+assert "counters" in r["metrics"] and "phase_seconds" in r["metrics"]
+print(r["replay_handles"][0])
+PY
+)
+./build/tools/rader --program=fig1 "--replay=$HANDLE" \
+  --format=json >"$RJ2" 2>/dev/null || true
+python3 - "$RJ1" "$RJ2" <<'PY'
+import json, sys
+a = json.load(open(sys.argv[1]))
+b = json.load(open(sys.argv[2]))
+assert b["check"] == "replay", b["check"]
+def identities(r):
+    return sorted((d["kind"], d["label"], d["prior_was_write"],
+                   d["view_aware"]) for d in r["races"]["determinacy_races"])
+assert identities(a) == identities(b), \
+    "replay did not reproduce the deduplicated race set"
+assert b["metrics"]["counters"]["spec_runs"] >= 1
+print("json + replay round-trip ok: %d deduplicated race(s) reproduced "
+      "under %s" % (len(b["races"]["determinacy_races"]), b["spec"]))
+PY
+
 echo "== fuzz smoke =="
 ./build/tools/fuzz_detectors --seconds=30
 

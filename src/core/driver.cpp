@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "support/metrics.hpp"
+
 namespace rader {
 
 RaceLog Rader::check_view_read(FnView program) {
@@ -16,7 +18,11 @@ RaceLog Rader::check_determinacy(FnView program,
                                  const spec::StealSpec& steal_spec) {
   RaceLog log;
   SpPlusDetector detector(&log);
-  run_serial(program, &detector, &steal_spec);
+  {
+    metrics::PhaseTimer timer(metrics::Phase::kExecute);
+    run_serial(program, &detector, &steal_spec);
+  }
+  metrics::bump(metrics::Counter::kSpecRuns);
   log.stamp_found_under(steal_spec.describe());
   return log;
 }
@@ -69,6 +75,7 @@ Rader::ExhaustiveResult Rader::check_exhaustive(FnView program,
 
   // Probe run: learn K and D (and find view-read races with Peer-Set).
   {
+    metrics::PhaseTimer timer(metrics::Phase::kProbe);
     PeerSetDetector peerset(&result.log);
     spec::NoSteal no_steal;
     result.probe_stats = run_serial(program, &peerset, &no_steal);
@@ -95,6 +102,7 @@ Rader::ExhaustiveResult Rader::check_exhaustive(
   // races with Peer-Set.
   auto probe_program = make_program();
   {
+    metrics::PhaseTimer timer(metrics::Phase::kProbe);
     PeerSetDetector peerset(&result.log);
     spec::NoSteal no_steal;
     result.probe_stats = run_serial(probe_program, &peerset, &no_steal);

@@ -1,5 +1,7 @@
 #include "core/peerset.hpp"
 
+#include "support/metrics.hpp"
+
 namespace rader {
 
 void PeerSetDetector::on_run_begin() {
@@ -10,6 +12,7 @@ void PeerSetDetector::on_run_begin() {
 
 void PeerSetDetector::on_frame_enter(FrameId frame, FrameId, FrameKind kind,
                                      ViewId) {
+  metrics::bump(metrics::Counter::kFramesEntered);
   // Figure 3, "F calls or spawns G", lines 1–4 (spawn bookkeeping in F):
   if (!stack_.empty() && kind == FrameKind::kSpawned) {
     FrameState& parent = stack_.back();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "support/metrics.hpp"
+
 namespace rader {
 
 namespace {
@@ -41,6 +43,7 @@ void RaceLog::absorb_view_read(const ViewReadRace& r) {
   ViewReadKey key{r.reducer, r.prior_label, r.current_label};
   const auto it = seen_view_reads_.find(key);
   if (it == seen_view_reads_.end()) {
+    metrics::bump(metrics::Counter::kRacesReported);
     std::size_t idx = kDropped;
     if (view_read_races_.size() < max_stored_) {
       idx = view_read_races_.size();
@@ -50,6 +53,7 @@ void RaceLog::absorb_view_read(const ViewReadRace& r) {
     seen_view_reads_.emplace(std::move(key), idx);
     return;
   }
+  metrics::bump(metrics::Counter::kRacesDeduped);
   if (it->second == kDropped) return;
   ViewReadRace& stored = view_read_races_[it->second];
   stored.occurrences += r.occurrences;
@@ -62,6 +66,7 @@ void RaceLog::absorb_determinacy(const DeterminacyRace& r) {
                      r.prior_was_write, r.current_label};
   const auto it = seen_determinacy_.find(key);
   if (it == seen_determinacy_.end()) {
+    metrics::bump(metrics::Counter::kRacesReported);
     std::size_t idx = kDropped;
     if (determinacy_races_.size() < max_stored_) {
       idx = determinacy_races_.size();
@@ -71,6 +76,7 @@ void RaceLog::absorb_determinacy(const DeterminacyRace& r) {
     seen_determinacy_.emplace(std::move(key), idx);
     return;
   }
+  metrics::bump(metrics::Counter::kRacesDeduped);
   if (it->second == kDropped) return;
   DeterminacyRace& stored = determinacy_races_[it->second];
   stored.occurrences += r.occurrences;

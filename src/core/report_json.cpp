@@ -1,0 +1,80 @@
+#include "core/report_json.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rader {
+
+namespace {
+
+void append_escaped(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u00" << std::hex << static_cast<int>(c) << std::dec;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void add_handle(std::vector<std::string>& handles, const std::string& h) {
+  if (h.empty()) return;
+  if (std::find(handles.begin(), handles.end(), h) != handles.end()) return;
+  handles.push_back(h);
+}
+
+}  // namespace
+
+std::vector<std::string> replay_handles(const RaceLog& log) {
+  std::vector<std::string> handles;
+  for (const auto& r : log.view_read_races()) add_handle(handles, r.found_under);
+  for (const auto& r : log.determinacy_races()) {
+    add_handle(handles, r.found_under);
+  }
+  return handles;
+}
+
+std::string report_json(const ReportMeta& meta, const RaceLog& log,
+                        const metrics::Snapshot* metrics_snapshot) {
+  std::ostringstream os;
+  os << "{\"schema\":\"" << kReportSchemaName
+     << "\",\"schema_version\":" << kReportSchemaVersion << ",\"program\":";
+  append_escaped(os, meta.program);
+  os << ",\"check\":";
+  append_escaped(os, meta.check);
+  if (!meta.spec.empty()) {
+    os << ",\"spec\":";
+    append_escaped(os, meta.spec);
+  }
+  if (meta.has_sweep) {
+    os << ",\"sweep\":{\"jobs\":" << meta.jobs << ",\"budget\":" << meta.budget
+       << ",\"stop_first\":" << (meta.stop_first ? "true" : "false")
+       << ",\"k\":" << meta.k << ",\"depth\":" << meta.depth
+       << ",\"spec_runs\":" << meta.spec_runs
+       << ",\"specs_skipped\":" << meta.specs_skipped << '}';
+  }
+  os << ",\"races\":" << log.to_json();
+  os << ",\"replay_handles\":[";
+  const auto handles = replay_handles(log);
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    if (i != 0) os << ',';
+    append_escaped(os, handles[i]);
+  }
+  os << ']';
+  if (metrics_snapshot != nullptr) {
+    os << ",\"metrics\":" << metrics_snapshot->to_json();
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace rader

@@ -1,0 +1,60 @@
+// Machine-readable run reports with a versioned schema.
+//
+// Serializes a whole detection run — the deduplicated RaceLog, the sweep
+// accounting (SweepResult / ExhaustiveResult fields), and a run-metrics
+// snapshot — to one JSON object, so CI and external tooling can consume
+// verdicts without scraping text.  Each stored race carries its
+// `found_under` spec handle; feeding that handle back through
+// `rader --replay <handle>` (spec::from_description) re-runs exactly that
+// one specification and must reproduce the identical deduplicated race set.
+//
+// Schema (documented in docs/API.md; validated by scripts/check.sh --json):
+//   {
+//     "schema": "rader.report", "schema_version": 1,
+//     "program": "...", "check": "...",
+//     "spec": "...",                   // single-spec runs and replays only
+//     "sweep": {"jobs":J,"budget":B,"stop_first":bool,"k":K,"depth":D,
+//               "spec_runs":N,"specs_skipped":M},   // sweep runs only
+//     "races": { ...RaceLog::to_json()... },
+//     "replay_handles": ["<spec handle>", ...],
+//     "metrics": { ...metrics::Snapshot::to_json()... }  // when captured
+//   }
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/race_report.hpp"
+#include "support/metrics.hpp"
+
+namespace rader {
+
+inline constexpr const char* kReportSchemaName = "rader.report";
+inline constexpr int kReportSchemaVersion = 1;
+
+/// Context describing the run that produced a report.
+struct ReportMeta {
+  std::string program;            // program under test
+  std::string check;              // algorithm / mode (peerset, sp+, replay…)
+  std::string spec;               // spec handle for single-spec runs
+  bool has_sweep = false;         // emit the "sweep" block
+  unsigned jobs = 0;
+  std::uint64_t budget = 0;
+  bool stop_first = false;
+  std::uint32_t k = 0;
+  std::uint64_t depth = 0;
+  std::uint64_t spec_runs = 0;
+  std::uint64_t specs_skipped = 0;
+};
+
+/// The `found_under` spec handle of every stored race, in report order,
+/// deduplicated — each is a valid `--replay` argument.
+std::vector<std::string> replay_handles(const RaceLog& log);
+
+/// Serialize one complete run to the versioned JSON schema above.
+/// `metrics_snapshot` may be nullptr (the "metrics" key is then omitted).
+std::string report_json(const ReportMeta& meta, const RaceLog& log,
+                        const metrics::Snapshot* metrics_snapshot = nullptr);
+
+}  // namespace rader

@@ -1,5 +1,9 @@
 #include "core/spbags.hpp"
 
+#include <algorithm>
+
+#include "support/metrics.hpp"
+
 namespace rader {
 
 void SpBagsDetector::on_run_begin() {
@@ -11,6 +15,7 @@ void SpBagsDetector::on_run_begin() {
 }
 
 void SpBagsDetector::on_frame_enter(FrameId frame, FrameId, FrameKind, ViewId) {
+  metrics::bump(metrics::Counter::kFramesEntered);
   FrameState f;
   f.node = ds_.make_node();
   RADER_DCHECK(f.node == frame);  // frame IDs and DSU nodes advance together
@@ -46,10 +51,13 @@ void SpBagsDetector::on_sync(FrameId) {
 void SpBagsDetector::on_clear(std::uintptr_t addr, std::size_t size) {
   if (size == 0) return;
   const std::uintptr_t first = addr >> granule_bits_;
-  const std::uintptr_t last = (addr + size - 1) >> granule_bits_;
-  for (std::uintptr_t g = first; g <= last; ++g) {
+  const std::uintptr_t last = access_last_byte(addr, size) >> granule_bits_;
+  // `last` may be the top granule index; a `g <= last` condition would wrap
+  // g past it and never terminate, so break after processing `last`.
+  for (std::uintptr_t g = first;; ++g) {
     reader_.set(g, shadow::ShadowSpace::kEmpty);
     writer_.set(g, shadow::ShadowSpace::kEmpty);
+    if (g == last) break;
   }
 }
 
@@ -57,11 +65,17 @@ void SpBagsDetector::on_access(AccessKind kind, std::uintptr_t addr,
                                std::size_t size, bool, ViewId, SrcTag tag) {
   FrameState& f = stack_.back();
   if (size == 0) return;
+  metrics::bump(metrics::Counter::kAccessesInstrumented);
   const std::uintptr_t first = addr >> granule_bits_;
-  const std::uintptr_t last = (addr + size - 1) >> granule_bits_;
-  for (std::uintptr_t g = first; g <= last; ++g) {
-    // Representative address for reports (== the byte when granule_bits=0).
-    const std::uintptr_t b = g << granule_bits_;
+  const std::uintptr_t last = access_last_byte(addr, size) >> granule_bits_;
+  // `last` may be the top granule index; a `g <= last` condition would wrap
+  // g past it and never terminate, so break after processing `last`.
+  for (std::uintptr_t g = first;; ++g) {
+    // Reported address: the first byte of THIS access within granule g (==
+    // the byte itself when granule_bits=0).  Reporting the granule base
+    // would collapse distinct races within one granule to one frame-free
+    // dedup identity in core/race_report.
+    const std::uintptr_t b = std::max(addr, g << granule_bits_);
     const auto w = writer_.get(g);
     const bool writer_parallel =
         w != shadow::ShadowSpace::kEmpty &&
@@ -92,6 +106,7 @@ void SpBagsDetector::on_access(AccessKind kind, std::uintptr_t addr,
         writer_.set(g, f.node);
       }
     }
+    if (g == last) break;
   }
 }
 

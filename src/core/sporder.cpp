@@ -1,5 +1,9 @@
 #include "core/sporder.hpp"
 
+#include <algorithm>
+
+#include "support/metrics.hpp"
+
 namespace rader {
 
 void SpOrderDetector::on_run_begin() {
@@ -23,6 +27,7 @@ void SpOrderDetector::new_strand_ref() {
 
 void SpOrderDetector::on_frame_enter(FrameId frame, FrameId, FrameKind kind,
                                      ViewId) {
+  metrics::bump(metrics::Counter::kFramesEntered);
   if (stack_.empty()) {
     // Root frame: first nodes of both orders.
     FrameState root;
@@ -96,11 +101,16 @@ void SpOrderDetector::on_access(AccessKind kind, std::uintptr_t addr,
                                 std::size_t size, bool, ViewId, SrcTag tag) {
   const FrameId fid = stack_.back().id;
   if (size == 0) return;
+  metrics::bump(metrics::Counter::kAccessesInstrumented);
   const std::uintptr_t first = addr >> granule_bits_;
-  const std::uintptr_t last = (addr + size - 1) >> granule_bits_;
-  for (std::uintptr_t g = first; g <= last; ++g) {
-    // Representative address for reports (== the byte when granule_bits=0).
-    const std::uintptr_t b = g << granule_bits_;
+  const std::uintptr_t last = access_last_byte(addr, size) >> granule_bits_;
+  // `last` may be the top granule index; a `g <= last` condition would wrap
+  // g past it and never terminate, so break after processing `last`.
+  for (std::uintptr_t g = first;; ++g) {
+    // Reported address: the first byte of THIS access within granule g (==
+    // the byte itself when granule_bits=0), so distinct races inside one
+    // granule keep distinct dedup identities.
+    const std::uintptr_t b = std::max(addr, g << granule_bits_);
     const auto w = writer_.get(g);
     const bool writer_parallel =
         w != shadow::ShadowSpace::kEmpty && !in_series_with_current(w);
@@ -127,16 +137,20 @@ void SpOrderDetector::on_access(AccessKind kind, std::uintptr_t addr,
         writer_.set(g, top_ref_);
       }
     }
+    if (g == last) break;
   }
 }
 
 void SpOrderDetector::on_clear(std::uintptr_t addr, std::size_t size) {
   if (size == 0) return;
   const std::uintptr_t first = addr >> granule_bits_;
-  const std::uintptr_t last = (addr + size - 1) >> granule_bits_;
-  for (std::uintptr_t g = first; g <= last; ++g) {
+  const std::uintptr_t last = access_last_byte(addr, size) >> granule_bits_;
+  // `last` may be the top granule index; a `g <= last` condition would wrap
+  // g past it and never terminate, so break after processing `last`.
+  for (std::uintptr_t g = first;; ++g) {
     reader_.set(g, shadow::ShadowSpace::kEmpty);
     writer_.set(g, shadow::ShadowSpace::kEmpty);
+    if (g == last) break;
   }
 }
 

@@ -1,5 +1,9 @@
 #include "core/spplus.hpp"
 
+#include <algorithm>
+
+#include "support/metrics.hpp"
+
 namespace rader {
 
 void SpPlusDetector::on_run_begin() {
@@ -12,6 +16,7 @@ void SpPlusDetector::on_run_begin() {
 
 void SpPlusDetector::on_frame_enter(FrameId frame, FrameId, FrameKind kind,
                                     ViewId vid) {
+  metrics::bump(metrics::Counter::kFramesEntered);
   // Figure 6, "F spawns or calls G": G.S = MakeBag(G, Top(F.P).vid);
   // G.P = ⟨MakeBag(∅, Top(F.P).vid)⟩.  The engine hands us the view ID
   // current at entry, which equals our Top(F.P).vid invariantly.
@@ -89,10 +94,13 @@ bool SpPlusDetector::prior_races_view_aware(
 void SpPlusDetector::on_clear(std::uintptr_t addr, std::size_t size) {
   if (size == 0) return;
   const std::uintptr_t first = addr >> granule_bits_;
-  const std::uintptr_t last = (addr + size - 1) >> granule_bits_;
-  for (std::uintptr_t g = first; g <= last; ++g) {
+  const std::uintptr_t last = access_last_byte(addr, size) >> granule_bits_;
+  // `last` may be the top granule index; a `g <= last` condition would wrap
+  // g past it and never terminate, so break after processing `last`.
+  for (std::uintptr_t g = first;; ++g) {
     reader_.set(g, shadow::ShadowSpace::kEmpty);
     writer_.set(g, shadow::ShadowSpace::kEmpty);
+    if (g == last) break;
   }
 }
 
@@ -114,11 +122,16 @@ void SpPlusDetector::on_access(AccessKind kind, std::uintptr_t addr,
   };
 
   if (size == 0) return;
+  metrics::bump(metrics::Counter::kAccessesInstrumented);
   const std::uintptr_t first = addr >> granule_bits_;
-  const std::uintptr_t last = (addr + size - 1) >> granule_bits_;
-  for (std::uintptr_t g = first; g <= last; ++g) {
-    // Representative address for reports (== the byte when granule_bits=0).
-    const std::uintptr_t b = g << granule_bits_;
+  const std::uintptr_t last = access_last_byte(addr, size) >> granule_bits_;
+  // `last` may be the top granule index; a `g <= last` condition would wrap
+  // g past it and never terminate, so break after processing `last`.
+  for (std::uintptr_t g = first;; ++g) {
+    // Reported address: the first byte of THIS access within granule g (==
+    // the byte itself when granule_bits=0), so distinct races inside one
+    // granule keep distinct dedup identities.
+    const std::uintptr_t b = std::max(addr, g << granule_bits_);
     const auto w = writer_.get(g);
     if (kind == AccessKind::kRead) {
       const bool races = view_aware ? prior_races_view_aware(w, cur_vid)
@@ -155,6 +168,7 @@ void SpPlusDetector::on_access(AccessKind kind, std::uintptr_t addr,
         writer_.set(g, f.node);
       }
     }
+    if (g == last) break;
   }
 }
 

@@ -6,6 +6,7 @@
 
 #include "core/spplus.hpp"
 #include "runtime/run.hpp"
+#include "support/common.hpp"
 
 namespace rader {
 
@@ -39,41 +40,80 @@ SweepResult sweep_family(
   // of thread count or scheduling.
   std::vector<RaceLog> per_spec(n);
   std::vector<char> ran(n, 0);
+  std::vector<metrics::Snapshot> worker_metrics(threads);
   std::atomic<std::size_t> next{0};
-  std::atomic<bool> stop{false};
+  // Lowest family index whose run reported a race (n = none yet).  Under
+  // stop_after_first_race, "first" means lowest FAMILY INDEX, not first in
+  // wall-clock order: the result is the prefix [0, first_racy], so it is
+  // invariant across thread counts.  The value only decreases; a skipped
+  // index never runs, so it can never become first_racy itself.
+  std::atomic<std::size_t> first_racy{n};
 
-  const auto worker = [&] {
+  const auto worker = [&](unsigned widx) {
+    metrics::Registry reg;
+    metrics::Scope scope(&reg);
     std::function<void()> program;  // this worker's own program instance
     for (;;) {
-      if (stop.load(std::memory_order_relaxed)) break;
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) break;
+      // Indices above the current minimum racy index can never join the
+      // result prefix (first_racy is monotonically decreasing), so abandon
+      // them; indices at or below it always run, which guarantees the whole
+      // prefix [0, final first_racy] executes at every thread count.
+      if (i > first_racy.load(std::memory_order_relaxed)) break;
       if (!program) program = make_program();
       SpPlusDetector detector(&per_spec[i]);
-      run_serial(program, &detector, family[i].get());
+      {
+        metrics::PhaseTimer timer(metrics::Phase::kExecute);
+        run_serial(program, &detector, family[i].get());
+      }
+      metrics::bump(metrics::Counter::kSpecRuns);
       per_spec[i].stamp_found_under(family[i]->describe());
       ran[i] = 1;
       if (options.stop_after_first_race && per_spec[i].any()) {
-        stop.store(true, std::memory_order_relaxed);
+        std::size_t cur = first_racy.load(std::memory_order_relaxed);
+        while (i < cur && !first_racy.compare_exchange_weak(
+                              cur, i, std::memory_order_relaxed)) {
+        }
       }
     }
+    worker_metrics[widx] = reg.snapshot();
   };
 
   if (threads <= 1) {
-    worker();
+    worker(0);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker, t);
     for (auto& th : pool) th.join();
   }
 
-  for (std::size_t i = 0; i < n; ++i) {
-    if (ran[i] == 0) continue;
-    result.log.merge(per_spec[i]);
-    ++result.spec_runs;
+  // Merge exactly the deterministic prefix: everything up to and including
+  // the lowest racy index (or the whole budgeted family when no run raced).
+  // Runs beyond the prefix — workers that were mid-flight on a higher index
+  // when the race landed — are discarded, so race identity, spec_runs, and
+  // specs_skipped are byte-identical at every thread count.
+  const std::size_t lowest = first_racy.load(std::memory_order_relaxed);
+  const std::size_t limit = lowest < n ? lowest + 1 : n;
+  metrics::Registry merge_reg;
+  {
+    metrics::Scope scope(&merge_reg);
+    metrics::PhaseTimer timer(metrics::Phase::kMerge);
+    for (std::size_t i = 0; i < limit; ++i) {
+      RADER_CHECK_MSG(ran[i] != 0, "sweep prefix member did not run");
+      result.log.merge(per_spec[i]);
+      ++result.spec_runs;
+    }
   }
   result.specs_skipped = total - result.spec_runs;
+  for (const auto& wm : worker_metrics) result.metrics.add(wm);
+  result.metrics.add(merge_reg.snapshot());
+  // Forward the aggregate to the caller's registry (if one is installed) so
+  // an outer Scope sees probe + sweep + merge in one snapshot.
+  if (metrics::Registry* outer = metrics::current()) {
+    outer->absorb(result.metrics);
+  }
   return result;
 }
 

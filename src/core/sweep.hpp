@@ -27,6 +27,7 @@
 
 #include "core/race_report.hpp"
 #include "spec/steal_spec.hpp"
+#include "support/metrics.hpp"
 
 namespace rader {
 
@@ -41,9 +42,15 @@ struct SweepOptions {
   /// coverage guarantee then holds only for the members that ran.
   std::uint64_t budget = 0;
 
-  /// Stop handing out family members as soon as one run reports a race.
-  /// In-flight runs finish; which later members get skipped depends on
-  /// timing, but every log that is merged is a complete run.
+  /// Stop the sweep at the first racy family member, where "first" means
+  /// LOWEST FAMILY INDEX — not first in wall-clock order.  The result is
+  /// the deterministic prefix [0, r] of the (budgeted) family, r being the
+  /// lowest index whose run reports a race: every member below r still
+  /// runs and merges, members above r are skipped, and in-flight runs on
+  /// higher indices are discarded.  Race identity, spec_runs, and
+  /// specs_skipped are therefore byte-identical at every thread count and
+  /// equal to the serial sweep's (tests/core/sweep_dedup_test,
+  /// tests/property/sweep_equivalence_test).
   bool stop_after_first_race = false;
 };
 
@@ -58,8 +65,15 @@ ProgramFactory shared_program(std::function<void()> program);
 
 struct SweepResult {
   RaceLog log;                      // deduplicated union over executed specs
-  std::uint64_t spec_runs = 0;      // SP+ executions performed
+  std::uint64_t spec_runs = 0;      // SP+ executions merged into the result
   std::uint64_t specs_skipped = 0;  // members skipped (budget / early stop)
+
+  /// Aggregate run metrics: worker counters/timers summed, plus the merge
+  /// phase.  Unlike the fields above, metrics measure the work actually
+  /// performed (including stop-first runs discarded from the result), so
+  /// they legitimately vary with thread count.  Also forwarded to the
+  /// calling thread's metrics::Registry when one is installed.
+  metrics::Snapshot metrics;
 };
 
 /// Run SP+ under every member of `family` (subject to `options`), sharding

@@ -1,5 +1,7 @@
 #include "dsu/disjoint_set.hpp"
 
+#include "support/metrics.hpp"
+
 namespace rader::dsu {
 
 Node DisjointSets::make_node() {
@@ -13,6 +15,7 @@ Node DisjointSets::make_node() {
 
 Node DisjointSets::find(Node n) {
   RADER_DCHECK(n < parent_.size());
+  metrics::bump(metrics::Counter::kDsuFinds);
   // Iterative two-pass path compression.
   Node root = n;
   while (parent_[root] != root) root = parent_[root];
@@ -27,6 +30,7 @@ Node DisjointSets::find(Node n) {
 Node DisjointSets::link(Node ra, Node rb) {
   RADER_DCHECK(parent_[ra] == ra && parent_[rb] == rb);
   if (ra == rb) return ra;
+  metrics::bump(metrics::Counter::kDsuUnions);
   if (rank_[ra] < rank_[rb]) {
     parent_[ra] = rb;
     return rb;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "support/metrics.hpp"
+
 namespace rader {
 
 void SerialEngine::run(FnView root) {
@@ -129,6 +131,7 @@ void SerialEngine::do_sync() {
 }
 
 void SerialEngine::top_merge() {
+  metrics::PhaseTimer timer(metrics::Phase::kReduce);
   const FrameId frame_id = top().id;
   ViewEpochs::Epoch dead = epochs_.pop();
   ++stats_.reduces;

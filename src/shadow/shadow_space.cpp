@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "support/metrics.hpp"
+
 namespace rader::shadow {
 
 ShadowSpace::Page* ShadowSpace::find_page(std::uintptr_t addr) {
@@ -16,6 +18,7 @@ ShadowSpace::Page* ShadowSpace::find_page(std::uintptr_t addr) {
 
 ShadowSpace::Page* ShadowSpace::touch_page(std::uintptr_t addr) {
   if (Page* page = find_page(addr)) return page;
+  metrics::bump(metrics::Counter::kShadowPagesTouched);
   const std::uintptr_t key = page_key(addr);
   auto page = std::make_unique<Page>();
   std::memset(page->cells, 0xff, sizeof(page->cells));  // all kEmpty

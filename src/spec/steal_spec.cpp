@@ -1,6 +1,7 @@
 #include "spec/steal_spec.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "support/common.hpp"
 #include "support/hash.hpp"
@@ -108,6 +109,35 @@ std::uint32_t BernoulliSteal::merges_now(const PointCtx& ctx) const {
 std::string BernoulliSteal::describe() const {
   return "steal-bernoulli(seed=" + std::to_string(seed_) +
          ",p=" + std::to_string(p_) + ")";
+}
+
+std::unique_ptr<StealSpec> from_description(const std::string& text) {
+  if (text == "no-steals") return std::make_unique<NoSteal>();
+  if (text == "steal-all") return std::make_unique<StealAll>();
+  // sscanf with a trailing %c probe: the probe must NOT match, so handles
+  // with junk after the closing parenthesis are rejected.
+  unsigned a = 0, b = 0, c = 0;
+  char junk = 0;
+  if (std::sscanf(text.c_str(), "steal-triple(%u,%u,%u)%c", &a, &b, &c,
+                  &junk) == 3) {
+    return std::make_unique<TripleSteal>(a, b, c);
+  }
+  unsigned long long depth = 0;
+  if (std::sscanf(text.c_str(), "steal-depth(%llu)%c", &depth, &junk) == 1) {
+    return std::make_unique<DepthSteal>(depth);
+  }
+  unsigned long long seed = 0;
+  unsigned k = 0;
+  if (std::sscanf(text.c_str(), "steal-random(seed=%llu,K=%u)%c", &seed, &k,
+                  &junk) == 2) {
+    return std::make_unique<RandomTripleSteal>(seed, k);
+  }
+  double p = 0;
+  if (std::sscanf(text.c_str(), "steal-bernoulli(seed=%llu,p=%lf)%c", &seed,
+                  &p, &junk) == 2) {
+    return std::make_unique<BernoulliSteal>(seed, p);
+  }
+  return nullptr;
 }
 
 }  // namespace rader::spec

@@ -164,4 +164,14 @@ class BernoulliSteal final : public StealSpec {
   double p_;
 };
 
+/// Parse a `describe()` string back into the specification it names — the
+/// inverse of StealSpec::describe(), used by `rader --replay <handle>` to
+/// re-run exactly one eliciting specification from a prior report
+/// (`found_under` / `replay_handles`).  Recognized handles: "no-steals",
+/// "steal-all", "steal-triple(a,b,c)", "steal-depth(d)",
+/// "steal-random(seed=S,K=K)", "steal-bernoulli(seed=S,p=P)".  Returns
+/// nullptr when `text` is not a recognized handle.  (Bernoulli handles
+/// round-trip p through its 6-decimal rendering.)
+std::unique_ptr<StealSpec> from_description(const std::string& text);
+
 }  // namespace rader::spec

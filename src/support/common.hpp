@@ -5,6 +5,7 @@
 // builds and is used on hot paths.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string_view>
 
@@ -30,5 +31,15 @@ namespace rader {
 #endif
 
 #define RADER_UNREACHABLE(msg) ::rader::panic(__FILE__, __LINE__, (msg))
+
+/// Last byte of the access [addr, addr+size), clamped to UINTPTR_MAX so an
+/// access extending past the top of the address space cannot wrap around.
+/// Without the clamp, `addr + size - 1` overflows to a tiny value, the
+/// detectors' granule range loops see last < first, and the access is
+/// silently untracked.  `size` must be nonzero (callers return early on 0).
+inline std::uintptr_t access_last_byte(std::uintptr_t addr, std::size_t size) {
+  const std::uintptr_t last = addr + (size - 1);
+  return last < addr ? ~std::uintptr_t{0} : last;
+}
 
 }  // namespace rader

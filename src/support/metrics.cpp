@@ -1,0 +1,92 @@
+#include "support/metrics.hpp"
+
+#include <chrono>
+#include <sstream>
+
+namespace rader::metrics {
+
+namespace {
+
+std::uint64_t now_nanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+const char* counter_name(Counter c) {
+  switch (c) {
+    case Counter::kAccessesInstrumented: return "accesses_instrumented";
+    case Counter::kShadowPagesTouched: return "shadow_pages_touched";
+    case Counter::kDsuFinds: return "dsu_finds";
+    case Counter::kDsuUnions: return "dsu_unions";
+    case Counter::kFramesEntered: return "frames_entered";
+    case Counter::kRacesReported: return "races_reported";
+    case Counter::kRacesDeduped: return "races_deduped";
+    case Counter::kSpecRuns: return "spec_runs";
+  }
+  return "unknown";
+}
+
+const char* phase_name(Phase p) {
+  switch (p) {
+    case Phase::kProbe: return "probe";
+    case Phase::kExecute: return "execute";
+    case Phase::kReduce: return "reduce";
+    case Phase::kMerge: return "merge";
+  }
+  return "unknown";
+}
+
+void Snapshot::add(const Snapshot& other) {
+  for (unsigned i = 0; i < kCounterCount; ++i) {
+    counters[i] += other.counters[i];
+  }
+  for (unsigned i = 0; i < kPhaseCount; ++i) {
+    phase_nanos[i] += other.phase_nanos[i];
+  }
+}
+
+bool Snapshot::empty() const {
+  for (unsigned i = 0; i < kCounterCount; ++i) {
+    if (counters[i] != 0) return false;
+  }
+  for (unsigned i = 0; i < kPhaseCount; ++i) {
+    if (phase_nanos[i] != 0) return false;
+  }
+  return true;
+}
+
+std::string Snapshot::to_json() const {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  for (unsigned i = 0; i < kCounterCount; ++i) {
+    if (i != 0) os << ',';
+    os << '"' << counter_name(static_cast<Counter>(i)) << "\":"
+       << counters[i];
+  }
+  os << "},\"phase_seconds\":{";
+  os.precision(9);
+  os << std::fixed;
+  for (unsigned i = 0; i < kPhaseCount; ++i) {
+    if (i != 0) os << ',';
+    os << '"' << phase_name(static_cast<Phase>(i)) << "\":"
+       << phase_seconds(static_cast<Phase>(i));
+  }
+  os << "}}";
+  return os.str();
+}
+
+PhaseTimer::PhaseTimer(Phase p) : reg_(current()), phase_(p) {
+  if (reg_ != nullptr) start_nanos_ = now_nanos();
+}
+
+PhaseTimer::~PhaseTimer() {
+  if (reg_ != nullptr) {
+    reg_->add_phase_nanos(phase_, now_nanos() - start_nanos_);
+  }
+}
+
+}  // namespace rader::metrics

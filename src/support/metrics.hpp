@@ -1,0 +1,141 @@
+// Run-metrics registry: counters and phase timers for the observability
+// layer.
+//
+// Sampling-based and vector-clock race detectors expose per-run accounting
+// (accesses seen, shadow cells touched, per-phase costs) so that partial
+// monitoring is trustworthy and overhead is localizable; this registry gives
+// Rader the same footing.  Every detector (SP-bags, Peer-Set, SP+,
+// SP-order), the shadow spaces, the disjoint-set substrate, the RaceLog
+// dedup layer, and the sweep engine feed it.
+//
+// Design: a plain per-thread sink.  A `Registry` is a flat array of uint64
+// counters plus per-phase nanosecond accumulators; `Scope` installs one as
+// the calling thread's current sink (RAII, nestable — the previous sink is
+// restored).  The hot-path helper `bump()` is a thread-local load and a
+// predictable branch when no registry is installed, so instrumented code
+// pays ~nothing unless someone is listening (the ≤5% emission-overhead
+// budget is checked by bench/fig7_overhead).
+//
+// Threading: a Registry is single-thread; parallel consumers (the sweep
+// engine) give each worker its own Registry and fold the snapshots together
+// with `Snapshot::add` after joining.  A sweep also forwards its aggregate
+// into the *calling* thread's current registry, so an outer Scope (e.g. the
+// CLI's) observes the whole run: probe + workers + merge.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rader::metrics {
+
+/// Counter identities.  Names (for JSON emission) in counter_name().
+enum class Counter : unsigned {
+  kAccessesInstrumented,  // on_access events a detector processed
+  kShadowPagesTouched,    // shadow pages lazily allocated
+  kDsuFinds,              // disjoint-set find() calls
+  kDsuUnions,             // disjoint-set link() calls
+  kFramesEntered,         // frames a detector tracked
+  kRacesReported,         // distinct race identities stored
+  kRacesDeduped,          // duplicate reports folded into a stored identity
+  kSpecRuns,              // SP+ executions performed by sweeps
+};
+inline constexpr unsigned kCounterCount = 8;
+const char* counter_name(Counter c);
+
+/// Wall-clock phases.  kExecute brackets whole detector runs, so it
+/// *includes* the kReduce time spent delivering simulated reduce
+/// operations inside those runs; kMerge is RaceLog merging, outside runs.
+enum class Phase : unsigned {
+  kProbe,    // the serial Peer-Set probe of check_exhaustive
+  kExecute,  // detector executions (sweep workers / family loops)
+  kReduce,   // simulated reduce delivery inside the serial engine
+  kMerge,    // folding per-spec RaceLogs into the result
+};
+inline constexpr unsigned kPhaseCount = 4;
+const char* phase_name(Phase p);
+
+/// A value snapshot: plain data, addable, serializable.
+struct Snapshot {
+  std::uint64_t counters[kCounterCount] = {};
+  std::uint64_t phase_nanos[kPhaseCount] = {};
+
+  std::uint64_t counter(Counter c) const {
+    return counters[static_cast<unsigned>(c)];
+  }
+  double phase_seconds(Phase p) const {
+    return static_cast<double>(phase_nanos[static_cast<unsigned>(p)]) * 1e-9;
+  }
+
+  /// Elementwise accumulate `other` into this snapshot.
+  void add(const Snapshot& other);
+
+  /// True when every counter and timer is zero.
+  bool empty() const;
+
+  /// {"counters":{...},"phase_seconds":{...}} — the metrics block of the
+  /// report schema (docs/API.md).
+  std::string to_json() const;
+};
+
+/// A mutable per-thread sink.
+class Registry {
+ public:
+  void bump(Counter c, std::uint64_t n = 1) {
+    snap_.counters[static_cast<unsigned>(c)] += n;
+  }
+  void add_phase_nanos(Phase p, std::uint64_t nanos) {
+    snap_.phase_nanos[static_cast<unsigned>(p)] += nanos;
+  }
+  void absorb(const Snapshot& s) { snap_.add(s); }
+  const Snapshot& snapshot() const { return snap_; }
+  void reset() { snap_ = Snapshot{}; }
+
+ private:
+  Snapshot snap_;
+};
+
+namespace detail {
+inline thread_local Registry* tl_current = nullptr;
+}  // namespace detail
+
+/// The calling thread's current sink (nullptr = metrics off).
+inline Registry* current() { return detail::tl_current; }
+inline bool enabled() { return detail::tl_current != nullptr; }
+
+/// Hot-path increment: no-op unless a Registry is installed.
+inline void bump(Counter c, std::uint64_t n = 1) {
+  if (Registry* r = detail::tl_current) r->bump(c, n);
+}
+
+/// RAII: install `r` as the calling thread's sink for the scope's lifetime.
+class Scope {
+ public:
+  explicit Scope(Registry* r) : prev_(detail::tl_current) {
+    detail::tl_current = r;
+  }
+  ~Scope() { detail::tl_current = prev_; }
+
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+  Registry* prev_;
+};
+
+/// RAII: accumulate the scope's wall time into phase `p` of the registry
+/// current at construction.  Free (no clock reads) when metrics are off.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(Phase p);
+  ~PhaseTimer();
+
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  Registry* reg_;
+  Phase phase_;
+  std::uint64_t start_nanos_ = 0;
+};
+
+}  // namespace rader::metrics

@@ -113,6 +113,52 @@ TEST(Granularity, ClearRespectsGranules) {
   EXPECT_FALSE(log.any());
 }
 
+TEST(Granularity, DistinctRacesInOneGranuleKeepDistinctReports) {
+  // Two different bytes of one word each race with a word-wide writer,
+  // under the SAME label.  Coarse mode must report each at its true byte
+  // address (clamped to the access extent), not at the granule base —
+  // otherwise the two collapse into one frame-free dedup identity.
+  alignas(8) char buf[8] = {};
+  const RaceLog log = check_spplus(
+      [&] {
+        spawn([&] { shadow_write(&buf[0], 8, SrcTag{"word writer"}); });
+        shadow_read(&buf[1], 1, SrcTag{"byte read"});
+        shadow_read(&buf[5], 1, SrcTag{"byte read"});
+        sync();
+      },
+      3);
+  EXPECT_EQ(log.determinacy_count(), 2u);
+  ASSERT_EQ(log.determinacy_races().size(), 2u);
+  EXPECT_EQ(log.determinacy_races()[0].addr,
+            reinterpret_cast<std::uintptr_t>(&buf[1]));
+  EXPECT_EQ(log.determinacy_races()[1].addr,
+            reinterpret_cast<std::uintptr_t>(&buf[5]));
+}
+
+TEST(Granularity, AccessAtTopOfAddressSpaceDoesNotWrap) {
+  // An 8-byte access whose extent would overflow uintptr_t (regression: the
+  // pre-clamp range loop computed last < first and silently tracked
+  // nothing, so the race vanished).  Annotation-only accesses, so the bogus
+  // address is never dereferenced.
+  void* const top = reinterpret_cast<void*>(~std::uintptr_t{0} - 2);
+  const auto program = [&] {
+    spawn([&] { shadow_write(top, 8); });
+    shadow_read(top, 8);
+    sync();
+  };
+  for (const unsigned bits : {0u, 3u}) {
+    const RaceLog log = check_spplus(program, bits);
+    EXPECT_TRUE(log.any()) << "sp+ granule_bits=" << bits;
+  }
+  {
+    RaceLog log;
+    SpBagsDetector detector(&log);
+    spec::NoSteal none;
+    run_serial(program, &detector, &none);
+    EXPECT_TRUE(log.any()) << "spbags";
+  }
+}
+
 TEST(Granularity, SpBagsSupportsCoarseModeToo) {
   int x = 0;
   RaceLog log;

@@ -14,6 +14,7 @@
 
 #include "core/driver.hpp"
 #include "core/sweep.hpp"
+#include "reducers/reducer.hpp"
 #include "runtime/api.hpp"
 #include "spec/steal_spec.hpp"
 
@@ -45,6 +46,58 @@ std::vector<std::unique_ptr<spec::StealSpec>> three_specs() {
   family.push_back(std::make_unique<spec::NoSteal>());
   family.push_back(std::make_unique<spec::DepthSteal>(1));
   family.push_back(std::make_unique<spec::StealAll>());
+  return family;
+}
+
+// --- A program racy only under SOME specs (the schedule-dependent bug of
+// core/schedule_bug_test.cpp, mutation-free so sweep workers can run it
+// concurrently): lazy per-view initialization annotates a write that only
+// executes on stolen schedules.
+long g_header = 0;  // address anchor only; never actually written
+
+struct EventLog {
+  std::vector<int> items;
+};
+struct log_monoid {
+  using value_type = EventLog;
+  static EventLog identity() { return {}; }
+  static void reduce(EventLog& left, EventLog& right) {
+    left.items.insert(left.items.end(), right.items.begin(),
+                      right.items.end());
+  }
+};
+
+void steal_dependent_racy() {
+  reducer<log_monoid> log(SrcTag{"event log"});
+  const auto append = [&](int i) {
+    log.update([&](EventLog& view) {
+      if (view.items.empty()) {
+        shadow_write(&g_header, sizeof(g_header), SrcTag{"header init"});
+      }
+      view.items.push_back(i);
+    });
+  };
+  append(-1);  // serial-schedule initialization, before any spawn
+  spawn([&] {
+    shadow_read(&g_header, sizeof(g_header), SrcTag{"header read"});
+  });
+  for (int i = 0; i < 5; ++i) {
+    spawn([] {});
+    append(i);
+  }
+  sync();
+}
+
+// Clean prefix, then several racy specs: under stop_after_first_race the
+// deterministic answer is the prefix [0, 2] — index 2 is the FIRST racy
+// family member even when a worker finishes index 3 or 4 earlier.
+std::vector<std::unique_ptr<spec::StealSpec>> staggered_family() {
+  std::vector<std::unique_ptr<spec::StealSpec>> family;
+  family.push_back(std::make_unique<spec::NoSteal>());        // clean
+  family.push_back(std::make_unique<spec::DepthSteal>(100));  // clean
+  family.push_back(std::make_unique<spec::DepthSteal>(3));    // racy
+  family.push_back(std::make_unique<spec::StealAll>());       // racy
+  family.push_back(std::make_unique<spec::DepthSteal>(2));    // racy
   return family;
 }
 
@@ -117,6 +170,79 @@ TEST(SweepDedup, StopAfterFirstRaceSkipsTheTail) {
   EXPECT_TRUE(result.log.any());
   EXPECT_EQ(result.spec_runs, 1u);  // the very first spec already races
   EXPECT_EQ(result.specs_skipped, 2u);
+}
+
+TEST(SweepDedup, StopFirstMeansLowestFamilyIndexAtEveryThreadCount) {
+  // Verify the precondition: the family is clean at 0-1 and racy at 2-4.
+  {
+    const auto family = staggered_family();
+    for (std::size_t i = 0; i < family.size(); ++i) {
+      const RaceLog log = Rader::check_determinacy(
+          [] { steal_dependent_racy(); }, *family[i]);
+      EXPECT_EQ(log.any(), i >= 2) << family[i]->describe();
+    }
+  }
+
+  // Baseline: the serial stop-first sweep runs exactly the prefix [0, 2].
+  const auto family = staggered_family();
+  const ProgramFactory factory =
+      shared_program([] { steal_dependent_racy(); });
+  SweepOptions serial_options;
+  serial_options.threads = 1;
+  serial_options.stop_after_first_race = true;
+  const SweepResult baseline =
+      Rader::check_with_family(factory, family, serial_options);
+  EXPECT_TRUE(baseline.log.any());
+  EXPECT_EQ(baseline.spec_runs, 3u);
+  EXPECT_EQ(baseline.specs_skipped, 2u);
+  ASSERT_FALSE(baseline.log.determinacy_races().empty());
+  EXPECT_EQ(baseline.log.determinacy_races()[0].found_under,
+            family[2]->describe());
+
+  // Parallel sweeps must be byte-identical: same reported race set (specs 3
+  // and 4 also race, but any wall-clock-first result from them is
+  // discarded), same spec_runs, same specs_skipped.  Repeat each thread
+  // count a few times to give racy interleavings a chance to disagree.
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    for (int repeat = 0; repeat < 5; ++repeat) {
+      SweepOptions options;
+      options.threads = threads;
+      options.stop_after_first_race = true;
+      const SweepResult result =
+          Rader::check_with_family(factory, family, options);
+      EXPECT_EQ(result.spec_runs, baseline.spec_runs)
+          << threads << " thread(s), repeat " << repeat;
+      EXPECT_EQ(result.specs_skipped, baseline.specs_skipped)
+          << threads << " thread(s), repeat " << repeat;
+      EXPECT_EQ(result.log.to_json(), baseline.log.to_json())
+          << threads << " thread(s), repeat " << repeat;
+    }
+  }
+}
+
+TEST(SweepDedup, ReplayHandleReproducesTheStopFirstRaceSet) {
+  // The stop-first result's races carry found_under handles; feeding one
+  // back through spec::from_description and a single SP+ run must reproduce
+  // the identical deduplicated race set (the paper's "easy to repeat the
+  // run for regression tests" workflow).
+  const auto family = staggered_family();
+  SweepOptions options;
+  options.threads = 4;
+  options.stop_after_first_race = true;
+  const SweepResult result = Rader::check_with_family(
+      shared_program([] { steal_dependent_racy(); }), family, options);
+  ASSERT_TRUE(result.log.any());
+  const std::string handle =
+      result.log.determinacy_races()[0].found_under;
+  ASSERT_FALSE(handle.empty());
+
+  const auto replay_spec = spec::from_description(handle);
+  ASSERT_NE(replay_spec, nullptr) << handle;
+  const RaceLog replayed = Rader::check_determinacy(
+      [] { steal_dependent_racy(); }, *replay_spec);
+  // The stop-first log is exactly the first racy spec's log (the clean
+  // prefix contributes nothing), so the replay matches byte-for-byte.
+  EXPECT_EQ(replayed.to_json(), result.log.to_json());
 }
 
 TEST(SweepDedup, CleanProgramSweepsWholeFamilyQuietly) {

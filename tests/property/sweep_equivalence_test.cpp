@@ -126,5 +126,53 @@ TEST(SweepEquivalence, DedupedRaceSetsIdenticalAcrossThreadCounts) {
   EXPECT_GE(racy_programs, kPrograms / 10);
 }
 
+TEST(SweepEquivalence, StopFirstResultsIdenticalAcrossThreadCounts) {
+  // Under stop_after_first_race, "first" means lowest FAMILY INDEX: the
+  // sweep merges exactly the prefix up to the first racy spec, so the
+  // reported race set, spec_runs, and specs_skipped are identical at every
+  // thread count — even when a worker finishes a later racy spec first.
+  constexpr int kPrograms = 100;
+  int stopped_early = 0;
+  for (int seed = 1; seed <= kPrograms; ++seed) {
+    dag::RandomProgramParams params;
+    params.seed = static_cast<std::uint64_t>(seed);
+    params.max_depth = 3;
+    params.max_actions = 6;
+    params.num_reducers = 2;
+    params.num_locations = 4;
+    params.p_raw_view = 0.0;
+    params.p_update_shared = 0.10;
+
+    SweepOptions base_options;
+    base_options.threads = 1;
+    base_options.stop_after_first_race = true;
+    auto base_instances = std::make_shared<Instances>();
+    const auto base =
+        Rader::check_exhaustive(tracking_factory(params, base_instances),
+                                base_options, /*k_cap=*/6, /*depth_cap=*/8);
+    const auto base_sigs = signatures(base.log, *base_instances);
+    stopped_early += (base.log.any() && base.specs_skipped > 0);
+
+    for (const unsigned threads : {2u, 4u, 8u}) {
+      SweepOptions options;
+      options.threads = threads;
+      options.stop_after_first_race = true;
+      auto instances = std::make_shared<Instances>();
+      const auto result =
+          Rader::check_exhaustive(tracking_factory(params, instances), options,
+                                  /*k_cap=*/6, /*depth_cap=*/8);
+      ASSERT_EQ(result.spec_runs, base.spec_runs)
+          << "seed " << seed << ", " << threads << " thread(s)";
+      ASSERT_EQ(result.specs_skipped, base.specs_skipped)
+          << "seed " << seed << ", " << threads << " thread(s)";
+      ASSERT_EQ(signatures(result.log, *instances), base_sigs)
+          << "seed " << seed << ", " << threads << " thread(s)";
+    }
+  }
+  // The corpus must actually exercise the early-stop path, not just sweep
+  // clean programs to completion.
+  EXPECT_GE(stopped_early, kPrograms / 10);
+}
+
 }  // namespace
 }  // namespace rader

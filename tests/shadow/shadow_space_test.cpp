@@ -59,6 +59,51 @@ TEST(ShadowSpace, ClearForgets) {
   EXPECT_EQ(s.page_count(), 0u);
 }
 
+TEST(ShadowSpace, ClearInvalidatesTheLookasideCache) {
+  // Regression guard for the one-entry page cache: prime the cache, clear(),
+  // then read the same address — a stale cached_page_ would serve freed
+  // memory (or resurrect old payloads) instead of reporting kEmpty.
+  ShadowSpace s;
+  s.set(0x3000, 5);
+  ASSERT_EQ(s.get(0x3000), 5u);  // primes the lookaside cache
+  s.clear();
+  EXPECT_EQ(s.get(0x3000), ShadowSpace::kEmpty);
+  EXPECT_EQ(s.page_count(), 0u);
+  // The space stays fully usable after the wipe.
+  s.set(0x3000, 6);
+  EXPECT_EQ(s.get(0x3000), 6u);
+  EXPECT_EQ(s.page_count(), 1u);
+}
+
+TEST(ShadowSpace, ClearThenSetRebuildsCacheCleanly) {
+  // set() also goes through the cache (touch_page): interleave clears with
+  // sets on two pages and check nothing leaks across the wipes.
+  ShadowSpace s;
+  for (int round = 0; round < 3; ++round) {
+    s.set(0x5000, 1 + round);
+    s.set(0x5000 + 4096, 10 + round);
+    EXPECT_EQ(s.get(0x5000), static_cast<std::uint32_t>(1 + round));
+    EXPECT_EQ(s.get(0x5000 + 4096), static_cast<std::uint32_t>(10 + round));
+    s.clear();
+    EXPECT_EQ(s.get(0x5000), ShadowSpace::kEmpty);
+    EXPECT_EQ(s.get(0x5000 + 4096), ShadowSpace::kEmpty);
+  }
+}
+
+TEST(ShadowSpace, TopOfAddressSpaceIsAddressable) {
+  // The clamp in access_last_byte makes detectors probe UINTPTR_MAX itself;
+  // the page map must handle the last page without aliasing the cache's
+  // empty sentinel.
+  ShadowSpace s;
+  const std::uintptr_t top = ~std::uintptr_t{0};
+  s.set(top, 4);
+  EXPECT_EQ(s.get(top), 4u);
+  EXPECT_EQ(s.get(top - 1), ShadowSpace::kEmpty);
+  s.set(top - 1, 9);
+  EXPECT_EQ(s.get(top - 1), 9u);
+  EXPECT_EQ(s.page_count(), 1u);  // both bytes live on the final page
+}
+
 TEST(ShadowSpace, MatchesReferenceMapUnderRandomOps) {
   Rng rng(77);
   ShadowSpace s;

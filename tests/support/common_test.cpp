@@ -1,0 +1,32 @@
+// support/common.hpp helpers: the access-extent clamp that keeps detector
+// range loops from wrapping at the top of the address space.
+#include "support/common.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rader {
+namespace {
+
+constexpr std::uintptr_t kMax = ~std::uintptr_t{0};
+
+TEST(AccessLastByte, OrdinaryRangesAreExact) {
+  EXPECT_EQ(access_last_byte(0x1000, 1), 0x1000u);
+  EXPECT_EQ(access_last_byte(0x1000, 8), 0x1007u);
+  EXPECT_EQ(access_last_byte(0, 1), 0u);
+}
+
+TEST(AccessLastByte, TopOfAddressSpaceIsReachable) {
+  EXPECT_EQ(access_last_byte(kMax, 1), kMax);
+  EXPECT_EQ(access_last_byte(kMax - 7, 8), kMax);
+}
+
+TEST(AccessLastByte, OverflowClampsToMax) {
+  // An 8-byte access starting 3 bytes below the top would wrap; the clamp
+  // pins the extent at the last addressable byte instead.
+  EXPECT_EQ(access_last_byte(kMax - 2, 8), kMax);
+  EXPECT_EQ(access_last_byte(kMax, 2), kMax);
+  EXPECT_EQ(access_last_byte(kMax, ~std::size_t{0}), kMax);
+}
+
+}  // namespace
+}  // namespace rader

@@ -1,0 +1,130 @@
+// The run-metrics registry (support/metrics.hpp): off-by-default semantics,
+// scope nesting, snapshot arithmetic, and the end-to-end feeds from the
+// detectors and the sweep engine.
+#include "support/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/driver.hpp"
+#include "core/sweep.hpp"
+#include "runtime/api.hpp"
+#include "spec/steal_spec.hpp"
+
+namespace rader {
+namespace {
+
+int g_loc = 0;
+
+void racy_program() {
+  spawn([] { shadow_write(&g_loc, 4, SrcTag{"writer"}); });
+  shadow_read(&g_loc, 4, SrcTag{"reader"});
+  sync();
+}
+
+TEST(Metrics, BumpWithoutScopeIsANoOp) {
+  ASSERT_EQ(metrics::current(), nullptr);
+  EXPECT_FALSE(metrics::enabled());
+  metrics::bump(metrics::Counter::kDsuFinds);  // must not crash
+  metrics::Registry reg;
+  {
+    metrics::Scope scope(&reg);
+    EXPECT_TRUE(metrics::enabled());
+  }
+  // The earlier bump landed nowhere, not in the later registry.
+  EXPECT_TRUE(reg.snapshot().empty());
+}
+
+TEST(Metrics, ScopesNestAndRestore) {
+  metrics::Registry outer;
+  metrics::Registry inner;
+  {
+    metrics::Scope s1(&outer);
+    metrics::bump(metrics::Counter::kSpecRuns);
+    {
+      metrics::Scope s2(&inner);
+      EXPECT_EQ(metrics::current(), &inner);
+      metrics::bump(metrics::Counter::kSpecRuns, 5);
+    }
+    EXPECT_EQ(metrics::current(), &outer);
+    metrics::bump(metrics::Counter::kSpecRuns);
+  }
+  EXPECT_EQ(metrics::current(), nullptr);
+  EXPECT_EQ(outer.snapshot().counter(metrics::Counter::kSpecRuns), 2u);
+  EXPECT_EQ(inner.snapshot().counter(metrics::Counter::kSpecRuns), 5u);
+}
+
+TEST(Metrics, SnapshotAddAccumulatesElementwise) {
+  metrics::Snapshot a;
+  metrics::Snapshot b;
+  a.counters[0] = 3;
+  a.phase_nanos[1] = 10;
+  b.counters[0] = 4;
+  b.counters[2] = 1;
+  b.phase_nanos[1] = 5;
+  a.add(b);
+  EXPECT_EQ(a.counters[0], 7u);
+  EXPECT_EQ(a.counters[2], 1u);
+  EXPECT_EQ(a.phase_nanos[1], 15u);
+  EXPECT_FALSE(a.empty());
+  EXPECT_TRUE(metrics::Snapshot{}.empty());
+}
+
+TEST(Metrics, SnapshotJsonNamesEveryCounterAndPhase) {
+  metrics::Snapshot s;
+  for (unsigned i = 0; i < metrics::kCounterCount; ++i) s.counters[i] = i + 1;
+  const std::string json = s.to_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"phase_seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"accesses_instrumented\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"spec_runs\":8"), std::string::npos);
+  EXPECT_NE(json.find("\"execute\""), std::string::npos);
+}
+
+TEST(Metrics, DetectorRunFeedsTheCurrentRegistry) {
+  metrics::Registry reg;
+  {
+    metrics::Scope scope(&reg);
+    spec::NoSteal none;
+    const RaceLog log =
+        Rader::check_determinacy([] { racy_program(); }, none);
+    ASSERT_TRUE(log.any());
+  }
+  const metrics::Snapshot& s = reg.snapshot();
+  EXPECT_GE(s.counter(metrics::Counter::kAccessesInstrumented), 2u);
+  EXPECT_GE(s.counter(metrics::Counter::kFramesEntered), 2u);
+  EXPECT_GE(s.counter(metrics::Counter::kShadowPagesTouched), 1u);
+  EXPECT_GE(s.counter(metrics::Counter::kDsuFinds), 1u);
+  EXPECT_GE(s.counter(metrics::Counter::kRacesReported), 1u);
+  EXPECT_EQ(s.counter(metrics::Counter::kSpecRuns), 1u);
+  EXPECT_GT(s.phase_nanos[static_cast<unsigned>(metrics::Phase::kExecute)],
+            0u);
+}
+
+TEST(Metrics, SweepAggregatesWorkersAndForwardsToOuterScope) {
+  std::vector<std::unique_ptr<spec::StealSpec>> family;
+  family.push_back(std::make_unique<spec::NoSteal>());
+  family.push_back(std::make_unique<spec::DepthSteal>(1));
+  family.push_back(std::make_unique<spec::StealAll>());
+
+  metrics::Registry outer;
+  SweepResult result;
+  {
+    metrics::Scope scope(&outer);
+    SweepOptions options;
+    options.threads = 2;
+    result = Rader::check_with_family(
+        shared_program([] { racy_program(); }), family, options);
+  }
+  // Without stop-first every budgeted spec runs exactly once, so the counter
+  // is deterministic and equals the accounted spec_runs.
+  EXPECT_EQ(result.metrics.counter(metrics::Counter::kSpecRuns),
+            result.spec_runs);
+  EXPECT_GE(result.metrics.counter(metrics::Counter::kAccessesInstrumented),
+            2u * family.size());
+  // The aggregate was forwarded into the caller's registry.
+  EXPECT_EQ(outer.snapshot().counter(metrics::Counter::kSpecRuns),
+            result.metrics.counter(metrics::Counter::kSpecRuns));
+}
+
+}  // namespace
+}  // namespace rader

@@ -11,7 +11,8 @@
 //
 // Usage:
 //   rader --program=NAME [--scale=S] --check=ALGO [--spec=SPEC] [--k-cap=N]
-//         [--jobs=J] [--budget=B] [--stop-first=0|1]
+//         [--jobs=J] [--budget=B] [--stop-first=0|1] [--replay=HANDLE]
+//         [--format=text|json]
 //
 //   NAME: collision | dedup | ferret | fib | knapsack | pbfs | fig1
 //   ALGO: peerset     view-read races (Peer-Set, Section 3)
@@ -26,6 +27,13 @@
 // SP+ runs, --stop-first=1 stops handing out specs once a race is found.
 // Each worker checks its own instance of the program; merged reports are
 // deduplicated (one per race, listing every spec that elicited it).
+//
+// --replay=HANDLE re-runs exactly one eliciting specification from a prior
+// report: HANDLE is a spec handle as printed in `found_under` /
+// `replay_handles` (e.g. "steal-triple(0,1,2)"), and the run must reproduce
+// the identical deduplicated race set.  --format=json emits the versioned
+// machine-readable report (core/report_json.hpp) on stdout; informational
+// progress lines then go to stderr so stdout stays pure JSON.
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -34,9 +42,12 @@
 #include "apps/mylist.hpp"
 #include "apps/workloads.hpp"
 #include "core/driver.hpp"
+#include "core/report_json.hpp"
 #include "core/sporder.hpp"
 #include "reducers/reducer.hpp"
 #include "runtime/api.hpp"
+#include "spec/steal_spec.hpp"
+#include "support/metrics.hpp"
 #include "support/timer.hpp"
 
 namespace {
@@ -58,10 +69,13 @@ std::string arg_value(int argc, char** argv, const std::string& key,
       stderr,
       "usage: rader --program=NAME [--scale=S] --check=ALGO [--spec=SPEC]\n"
       "             [--k-cap=N] [--jobs=J] [--budget=B] [--stop-first=0|1]\n"
+      "             [--replay=HANDLE] [--format=text|json]\n"
       "  NAME: collision|dedup|ferret|fib|knapsack|pbfs|fig1\n"
       "  ALGO: peerset|sp+|spbags|sporder|exhaustive\n"
       "  SPEC: none|all|triple:A,B,C|depth:D|random:SEED,K|bern:SEED,P\n"
-      "  JOBS: exhaustive-sweep worker threads (0 = hardware threads)\n");
+      "  JOBS: exhaustive-sweep worker threads (0 = hardware threads)\n"
+      "  HANDLE: a spec handle from a report's replay_handles, e.g.\n"
+      "          'steal-triple(0,1,2)' (the SPEC grammar is also accepted)\n");
   std::exit(2);
 }
 
@@ -133,6 +147,9 @@ int main(int argc, char** argv) {
   const std::string name = arg_value(argc, argv, "program", "");
   const std::string algo = arg_value(argc, argv, "check", "exhaustive");
   const std::string spec_text = arg_value(argc, argv, "spec", "random:1,16");
+  const std::string replay = arg_value(argc, argv, "replay", "");
+  const std::string format = arg_value(argc, argv, "format", "text");
+  const bool json = format == "json";
   const double scale = std::stod(arg_value(argc, argv, "scale", "0.02"));
   const auto k_cap = static_cast<std::uint32_t>(
       std::stoul(arg_value(argc, argv, "k-cap", "8")));
@@ -143,6 +160,9 @@ int main(int argc, char** argv) {
   sweep.stop_after_first_race =
       arg_value(argc, argv, "stop-first", "0") != "0";
   if (name.empty()) usage_and_exit();
+
+  // Under --format=json, stdout stays pure JSON: progress goes to stderr.
+  FILE* const info = json ? stderr : stdout;
 
   // Assemble the program under test.
   std::function<void()> program;
@@ -159,17 +179,36 @@ int main(int argc, char** argv) {
     }
     workload = apps::make_benchmark(name, scale);
     program = workload.run;
-    std::printf("program: %s (%s)\n", workload.name.c_str(),
-                workload.input_desc.c_str());
+    std::fprintf(info, "program: %s (%s)\n", workload.name.c_str(),
+                 workload.input_desc.c_str());
   }
+
+  // Collect run metrics for the whole check (probe + sweep workers + merge).
+  metrics::Registry reg;
+  metrics::Scope metrics_scope(&reg);
+
+  ReportMeta meta;
+  meta.program = name;
+  meta.check = algo;
 
   Timer timer;
   RaceLog log;
-  if (algo == "peerset") {
+  if (!replay.empty()) {
+    // Replay one eliciting specification from a prior report.  Handles use
+    // the describe() rendering; the CLI SPEC grammar is accepted as well.
+    std::unique_ptr<spec::StealSpec> steal_spec =
+        spec::from_description(replay);
+    if (!steal_spec) steal_spec = parse_spec(replay);
+    meta.check = "replay";
+    meta.spec = steal_spec->describe();
+    std::fprintf(info, "replay: %s\n", steal_spec->describe().c_str());
+    log = Rader::check_determinacy([&] { program(); }, *steal_spec);
+  } else if (algo == "peerset") {
     log = Rader::check_view_read([&] { program(); });
   } else if (algo == "sp+") {
     const auto steal_spec = parse_spec(spec_text);
-    std::printf("spec: %s\n", steal_spec->describe().c_str());
+    meta.spec = steal_spec->describe();
+    std::fprintf(info, "spec: %s\n", steal_spec->describe().c_str());
     log = Rader::check_determinacy([&] { program(); }, *steal_spec);
   } else if (algo == "spbags") {
     log = Rader::check_spbags([&] { program(); });
@@ -195,20 +234,28 @@ int main(int argc, char** argv) {
       };
     }
     const auto result = Rader::check_exhaustive(factory, sweep, k_cap);
-    std::printf("probe: K=%u D=%llu; %llu SP+ runs over the O(KD+K^3) "
-                "family (%u job(s), %llu spec(s) skipped)\n",
-                result.k, static_cast<unsigned long long>(result.depth),
-                static_cast<unsigned long long>(result.spec_runs),
-                sweep.threads,
-                static_cast<unsigned long long>(result.specs_skipped));
+    std::fprintf(info, "probe: K=%u D=%llu; %llu SP+ runs over the O(KD+K^3) "
+                 "family (%u job(s), %llu spec(s) skipped)\n",
+                 result.k, static_cast<unsigned long long>(result.depth),
+                 static_cast<unsigned long long>(result.spec_runs),
+                 sweep.threads,
+                 static_cast<unsigned long long>(result.specs_skipped));
     log = result.log;
+    meta.has_sweep = true;
+    meta.jobs = sweep.threads;
+    meta.budget = sweep.budget;
+    meta.stop_first = sweep.stop_after_first_race;
+    meta.k = result.k;
+    meta.depth = result.depth;
+    meta.spec_runs = result.spec_runs;
+    meta.specs_skipped = result.specs_skipped;
   } else {
     usage_and_exit();
   }
 
-  const std::string format = arg_value(argc, argv, "format", "text");
-  if (format == "json") {
-    std::printf("%s\n", log.to_json().c_str());
+  if (json) {
+    const metrics::Snapshot snap = reg.snapshot();
+    std::printf("%s\n", report_json(meta, log, &snap).c_str());
   } else {
     std::printf("checked in %.3fs\n%s", timer.seconds(),
                 log.to_string().c_str());
