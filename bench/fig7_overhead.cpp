@@ -7,12 +7,20 @@
 // (support/metrics.hpp).  The budget is <= 5% (geomean): bump() must stay a
 // thread-local load plus one branch.
 //
+// Finally guards the dormant tracing hooks (support/trace.hpp): with tracing
+// off (the default), every emit() in the engines and detectors is a
+// thread-local load plus a branch.  The guard measures that dormant cost
+// directly, counts the events each workload would emit, and bounds the
+// implied slowdown versus a build with no hooks at all.  Budget: <= 1.02x
+// geomean.
+//
 // Usage: fig7_overhead [--scale=S] [--reps=N]
 //   S scales input sizes toward the paper's (default keeps CI fast).
 #include <cstdio>
 
 #include "bench_util.hpp"
 #include "support/metrics.hpp"
+#include "support/trace.hpp"
 
 namespace {
 
@@ -31,6 +39,33 @@ double time_spplus_without_metrics(rader::apps::Workload& w, int reps) {
   rader::RaceLog log;
   rader::SpPlusDetector spplus(&log);
   return rader::bench::time_config(w, &spplus, &none, reps);
+}
+
+/// Per-call cost of a dormant trace::emit() (tracing off): a thread-local
+/// load and a not-taken branch.  The barrier keeps the compiler from
+/// hoisting the TL load out of the loop or deleting the calls outright.
+double dormant_emit_ns() {
+  constexpr std::uint64_t kIters = 1 << 24;
+  rader::metrics::Stopwatch sw;
+  for (std::uint64_t i = 0; i < kIters; ++i) {
+    rader::trace::emit(rader::trace::EventKind::kFrameEnter,
+                       rader::FrameId{0}, i);
+    asm volatile("" ::: "memory");
+  }
+  return static_cast<double>(sw.nanos()) / static_cast<double>(kIters);
+}
+
+/// Events the SP+ / no-steals run of `w` would emit with tracing on
+/// (recorded + dropped: the ring may wrap, the hooks still fired).
+std::uint64_t traced_event_count(rader::apps::Workload& w) {
+  rader::trace::Session session;
+  rader::trace::Scope scope(&session, w.name);
+  rader::spec::NoSteal none;
+  rader::RaceLog log;
+  rader::SpPlusDetector spplus(&log);
+  rader::SerialEngine engine(&spplus, &none);
+  engine.run([&] { w.run(); });
+  return session.total_recorded();
 }
 
 }  // namespace
@@ -66,6 +101,29 @@ int main(int argc, char** argv) {
   const double metrics_geomean = rader::bench::geomean(metrics_ratios);
   std::printf("  %-10s %.3fx  (budget: <= 1.05)\n", "geomean",
               metrics_geomean);
+
+  // Tracing-disabled guard: dormant emit() cost times the events each
+  // workload would emit, as a fraction of the SP+ / no-steals runtime.
+  const double emit_ns = dormant_emit_ns();
+  std::printf("\ntracing-disabled overhead (dormant emit: %.2f ns/event):\n",
+              emit_ns);
+  std::vector<double> trace_ratios;
+  auto fresh = rader::apps::make_paper_benchmarks(scale);
+  for (std::size_t i = 0; i < rows.size() && i < fresh.size(); ++i) {
+    const std::uint64_t events = traced_event_count(fresh[i]);
+    const double hook_seconds = static_cast<double>(events) * emit_ns * 1e-9;
+    const double ratio = 1.0 + hook_seconds / rows[i].t_nosteal;
+    trace_ratios.push_back(ratio);
+    std::printf("  %-10s %12llu events  %.4fx\n", rows[i].name.c_str(),
+                static_cast<unsigned long long>(events), ratio);
+  }
+  const double trace_geomean = rader::bench::geomean(trace_ratios);
+  std::printf("  %-10s %.4fx  (budget: <= 1.02)\n", "geomean", trace_geomean);
+  if (trace_geomean > 1.02) {
+    std::fprintf(stderr, "!! tracing-disabled overhead %.4fx exceeds the "
+                 "1.02x geomean budget\n", trace_geomean);
+    return 1;
+  }
 
   std::printf("\nabsolute uninstrumented times:\n");
   for (const auto& r : rows) {

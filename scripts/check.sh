@@ -4,16 +4,56 @@
 #   scripts/check.sh          fast gate: build, fast-label tests, 30 s fuzz
 #   scripts/check.sh --full   everything: all test labels (fast + slow +
 #                             stress), examples, bench smoke
+#   scripts/check.sh --trace  build + the trace smoke only (exports a
+#                             Chrome trace and validates it with python3)
 #
 # Test labels (set in tests/CMakeLists.txt): `ctest -L fast|slow|stress`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FULL=0
-[[ "${1:-}" == "--full" ]] && FULL=1
+TRACE_ONLY=0
+case "${1:-}" in
+  --full) FULL=1 ;;
+  --trace) TRACE_ONLY=1 ;;
+esac
 
 cmake -B build -S .
 cmake --build build -j
+
+# The --trace smoke: export a Chrome trace from the collision litmus and
+# validate it with a real JSON parser — the file must load, carry at least
+# two simulated-worker tracks, keep timestamps non-decreasing within every
+# track, and contain the steal->reduce flow pair ("s"/"f" events).
+trace_smoke() {
+  echo "== trace smoke =="
+  local TJ=build/trace_collision.json
+  ./build/tools/rader --program=collision --check=sp+ \
+    --trace="$TJ" >/dev/null
+  python3 - "$TJ" <<'PY'
+import json, sys
+t = json.load(open(sys.argv[1]))
+ev = t["traceEvents"]
+tracks = {}
+for e in ev:
+    if e["ph"] == "M":
+        continue
+    tracks.setdefault((e["pid"], e["tid"]), []).append(e["ts"])
+assert len(tracks) >= 2, f"expected >= 2 worker tracks, got {len(tracks)}"
+for key, ts in tracks.items():
+    assert ts == sorted(ts), f"timestamps regress on track {key}"
+phases = {e["ph"] for e in ev}
+assert "s" in phases and "f" in phases, "missing steal->reduce flow events"
+print("trace smoke ok: %d events, %d worker tracks, flows present"
+      % (len(ev), len(tracks)))
+PY
+}
+
+if [[ "$TRACE_ONLY" == 1 ]]; then
+  trace_smoke
+  echo "ALL CHECKS PASSED"
+  exit 0
+fi
 
 if [[ "$FULL" == 1 ]]; then
   ctest --test-dir build --output-on-failure
@@ -36,7 +76,7 @@ r = json.load(open(sys.argv[1]))
 for key in ("schema", "schema_version", "program", "check", "spec",
             "races", "replay_handles", "metrics"):
     assert key in r, f"missing key: {key}"
-assert r["schema"] == "rader.report" and r["schema_version"] == 1
+assert r["schema"] == "rader.report" and r["schema_version"] == 2
 races = r["races"]
 for key in ("view_read_occurrences", "determinacy_occurrences",
             "view_read_races", "determinacy_races"):
@@ -63,6 +103,8 @@ assert b["metrics"]["counters"]["spec_runs"] >= 1
 print("json + replay round-trip ok: %d deduplicated race(s) reproduced "
       "under %s" % (len(b["races"]["determinacy_races"]), b["spec"]))
 PY
+
+trace_smoke
 
 echo "== fuzz smoke =="
 ./build/tools/fuzz_detectors --seconds=30

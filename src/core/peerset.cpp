@@ -1,6 +1,7 @@
 #include "core/peerset.hpp"
 
 #include "support/metrics.hpp"
+#include "support/trace.hpp"
 
 namespace rader {
 
@@ -77,6 +78,12 @@ void PeerSetDetector::on_reducer_op(ReducerOp op, ReducerId h, SrcTag tag) {
     const bool prior_in_p_bag =
         ds_.meta_of(entry.reader).kind == dsu::BagKind::kP;
     if (prior_in_p_bag || entry.spawn_count != spawn_count) {
+      // Granule key: reducer id in the view-read namespace (top bit set) so
+      // it cannot collide with detectors keying on memory granules.
+      trace::emit_conflict(static_cast<FrameId>(f.node),
+                           (std::uint64_t{1} << 63) | h, h,
+                           static_cast<FrameId>(entry.reader),
+                           trace::kConflictViewRead, tag.label);
       log_->report_view_read(make_view_read_race(
           h, static_cast<FrameId>(entry.reader),
           static_cast<FrameId>(f.node), entry.label, tag.label));

@@ -1,0 +1,59 @@
+// Race provenance: per-race DAG explanations reconstructed by replay.
+//
+// A deduplicated race report carries its replay handle (`found_under`) — the
+// steal specification that elicited it.  This module re-executes the program
+// under that specification with a recording tool chain attached and walks the
+// recorded structure to explain *why* the two strands are logically parallel:
+//
+//  * the fork point — the least common ancestor frame of the two racing
+//    frames, and which child of it each side descends through;
+//  * the steal decisions on the path from the fork point (in particular the
+//    eliciting steal, whose minted view separates the two strands);
+//  * the involved Reduce strand (when a racing access executes inside a
+//    runtime-invoked Reduce: which epoch merge invoked it, and which views
+//    it combined) or CreateIdentity strand (when the racing side runs on a
+//    lazily created identity view);
+//  * an optional cross-check against the brute-force DAG oracle
+//    (dag/oracle.hpp): "confirmed" when the oracle independently finds a
+//    race on the same address / reducer in the replayed execution.
+//
+// Because the serial engine is deterministic under a fixed specification,
+// the replay reproduces the original execution exactly (up to heap
+// addresses); races are matched back to the stored reports by their
+// deduplication identity, with an address-insensitive fallback.
+//
+// The result is attached to the RaceLog as a raw JSON object (embedded
+// verbatim under `races[].provenance`, report schema v2) plus a
+// human-readable rendering printed by `rader --explain`.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "core/race_report.hpp"
+
+namespace rader {
+
+struct ProvenanceOptions {
+  /// Skip the DAG-oracle cross-check when the replayed execution has more
+  /// strands than this (the oracle is O(V·E + A²); see dag/oracle.hpp).
+  std::size_t oracle_strand_cap = 4096;
+
+  /// Run the brute-force oracle on the replayed execution and record whether
+  /// it independently confirms each race ("oracle" field of the record).
+  bool cross_check = true;
+};
+
+/// Replay `program` once per distinct replay handle appearing in `log`'s
+/// stored races (races with an empty handle replay under "no-steals"), build
+/// a provenance record for every stored race the replay reproduces, and
+/// attach the records to `log`.  Races that already carry a provenance
+/// record are left untouched.  Returns the number of races annotated.
+///
+/// `program` must be the same deterministic program that produced `log`; it
+/// is invoked once per distinct handle.
+std::size_t annotate_provenance(RaceLog& log,
+                                const std::function<void()>& program,
+                                const ProvenanceOptions& options = {});
+
+}  // namespace rader

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "support/common.hpp"
 #include "support/metrics.hpp"
 
 namespace rader {
@@ -59,6 +60,10 @@ void RaceLog::absorb_view_read(const ViewReadRace& r) {
   stored.occurrences += r.occurrences;
   add_spec(stored.eliciting_specs, r.found_under);
   for (const auto& s : r.eliciting_specs) add_spec(stored.eliciting_specs, s);
+  if (stored.provenance_json.empty() && !r.provenance_json.empty()) {
+    stored.provenance_json = r.provenance_json;
+    stored.provenance_text = r.provenance_text;
+  }
 }
 
 void RaceLog::absorb_determinacy(const DeterminacyRace& r) {
@@ -82,6 +87,10 @@ void RaceLog::absorb_determinacy(const DeterminacyRace& r) {
   stored.occurrences += r.occurrences;
   add_spec(stored.eliciting_specs, r.found_under);
   for (const auto& s : r.eliciting_specs) add_spec(stored.eliciting_specs, s);
+  if (stored.provenance_json.empty() && !r.provenance_json.empty()) {
+    stored.provenance_json = r.provenance_json;
+    stored.provenance_text = r.provenance_text;
+  }
 }
 
 void RaceLog::report_view_read(const ViewReadRace& r) {
@@ -99,6 +108,20 @@ void RaceLog::merge(const RaceLog& other) {
   determinacy_count_ += other.determinacy_count_;
   for (const auto& r : other.view_read_races_) absorb_view_read(r);
   for (const auto& r : other.determinacy_races_) absorb_determinacy(r);
+}
+
+void RaceLog::set_view_read_provenance(std::size_t index, std::string json,
+                                       std::string text) {
+  RADER_CHECK(index < view_read_races_.size());
+  view_read_races_[index].provenance_json = std::move(json);
+  view_read_races_[index].provenance_text = std::move(text);
+}
+
+void RaceLog::set_determinacy_provenance(std::size_t index, std::string json,
+                                         std::string text) {
+  RADER_CHECK(index < determinacy_races_.size());
+  determinacy_races_[index].provenance_json = std::move(json);
+  determinacy_races_[index].provenance_text = std::move(text);
 }
 
 void RaceLog::stamp_found_under(const std::string& spec_description) {
@@ -124,6 +147,14 @@ void append_replay(std::ostringstream& os,
   if (specs.size() > 1) os << " (+" << specs.size() - 1 << " more specs)";
 }
 
+/// Indent and append a multi-line provenance rendering under a race line.
+void append_provenance_text(std::ostringstream& os, const std::string& text) {
+  if (text.empty()) return;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) os << "    " << line << "\n";
+}
+
 }  // namespace
 
 std::string RaceLog::to_string() const {
@@ -139,6 +170,7 @@ std::string RaceLog::to_string() const {
        << "' (frame " << r.current_frame << ")";
     append_replay(os, r.found_under, r.eliciting_specs);
     os << "\n";
+    append_provenance_text(os, r.provenance_text);
   }
   for (const auto& r : determinacy_races_) {
     os << "  determinacy race at 0x" << std::hex << r.addr << std::dec << ": "
@@ -150,6 +182,7 @@ std::string RaceLog::to_string() const {
        << r.prior_frame;
     append_replay(os, r.found_under, r.eliciting_specs);
     os << "\n";
+    append_provenance_text(os, r.provenance_text);
   }
   return os.str();
 }
@@ -204,6 +237,9 @@ std::string RaceLog::to_json() const {
     os << ",\"found_under\":";
     append_json_escaped(os, r.found_under);
     append_json_specs(os, r.eliciting_specs);
+    if (!r.provenance_json.empty()) {
+      os << ",\"provenance\":" << r.provenance_json;
+    }
     os << '}';
   }
   os << "],\"determinacy_races\":[";
@@ -221,6 +257,9 @@ std::string RaceLog::to_json() const {
     os << ",\"found_under\":";
     append_json_escaped(os, r.found_under);
     append_json_specs(os, r.eliciting_specs);
+    if (!r.provenance_json.empty()) {
+      os << ",\"provenance\":" << r.provenance_json;
+    }
     os << '}';
   }
   os << "]}";

@@ -34,6 +34,9 @@ struct ViewReadRace {
   std::string found_under;                // first steal spec that elicited it
   std::vector<std::string> eliciting_specs;  // every spec that elicited it
   std::uint64_t occurrences = 1;          // dynamic observations collapsed in
+  std::string provenance_json;  // raw JSON object from core/provenance ("" =
+                                // not annotated); schema v2 races[].provenance
+  std::string provenance_text;  // human rendering of the same record
 };
 
 /// A determinacy race: two conflicting accesses on logically parallel
@@ -50,6 +53,9 @@ struct DeterminacyRace {
   std::string found_under;                // first steal spec that elicited it
   std::vector<std::string> eliciting_specs;  // every spec that elicited it
   std::uint64_t occurrences = 1;          // dynamic observations collapsed in
+  std::string provenance_json;  // raw JSON object from core/provenance ("" =
+                                // not annotated); schema v2 races[].provenance
+  std::string provenance_text;  // human rendering of the same record
 };
 
 /// Detector-side constructors (the remaining fields — found_under,
@@ -119,6 +125,14 @@ class RaceLog {
   const std::vector<DeterminacyRace>& determinacy_races() const {
     return determinacy_races_;
   }
+
+  /// Attach a provenance record (core/provenance) to a stored report.
+  /// `json` is a raw JSON object embedded verbatim under the race's
+  /// "provenance" key (report schema v2); `text` is its human rendering.
+  void set_view_read_provenance(std::size_t index, std::string json,
+                                std::string text);
+  void set_determinacy_provenance(std::size_t index, std::string json,
+                                  std::string text);
 
   /// Human-readable multi-line summary.
   std::string to_string() const;

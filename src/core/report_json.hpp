@@ -10,12 +10,14 @@
 //
 // Schema (documented in docs/API.md; validated by scripts/check.sh --json):
 //   {
-//     "schema": "rader.report", "schema_version": 1,
+//     "schema": "rader.report", "schema_version": 2,
 //     "program": "...", "check": "...",
 //     "spec": "...",                   // single-spec runs and replays only
 //     "sweep": {"jobs":J,"budget":B,"stop_first":bool,"k":K,"depth":D,
 //               "spec_runs":N,"specs_skipped":M},   // sweep runs only
-//     "races": { ...RaceLog::to_json()... },
+//     "races": { ...RaceLog::to_json()... }, // v2: races may carry a
+//                                            // "provenance" object
+//                                            // (core/provenance.hpp)
 //     "replay_handles": ["<spec handle>", ...],
 //     "metrics": { ...metrics::Snapshot::to_json()... }  // when captured
 //   }
@@ -31,7 +33,10 @@
 namespace rader {
 
 inline constexpr const char* kReportSchemaName = "rader.report";
-inline constexpr int kReportSchemaVersion = 1;
+// v1 -> v2: stored races gained an optional "provenance" member (the replay
+// explanation built by core/provenance.hpp).  Consumers of v1 that ignore
+// unknown members parse v2 unchanged.
+inline constexpr int kReportSchemaVersion = 2;
 
 /// Context describing the run that produced a report.
 struct ReportMeta {

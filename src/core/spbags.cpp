@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/metrics.hpp"
+#include "support/trace.hpp"
 
 namespace rader {
 
@@ -82,6 +83,8 @@ void SpBagsDetector::on_access(AccessKind kind, std::uintptr_t addr,
         ds_.meta_of(w).kind == dsu::BagKind::kP;
     if (kind == AccessKind::kRead) {
       if (writer_parallel) {
+        trace::emit_conflict(static_cast<FrameId>(f.node), g, b, w,
+                             trace::kConflictPriorWrite, tag.label);
         log_->report_determinacy(make_determinacy_race(
             b, kind, false, true, w, static_cast<FrameId>(f.node), tag.label));
       }
@@ -94,10 +97,15 @@ void SpBagsDetector::on_access(AccessKind kind, std::uintptr_t addr,
       const auto r = reader_.get(g);
       if (r != shadow::ShadowSpace::kEmpty &&
           ds_.meta_of(r).kind == dsu::BagKind::kP) {
+        trace::emit_conflict(static_cast<FrameId>(f.node), g, b, r,
+                             trace::kConflictWrite, tag.label);
         log_->report_determinacy(make_determinacy_race(
             b, kind, false, false, r, static_cast<FrameId>(f.node), tag.label));
       }
       if (writer_parallel) {
+        trace::emit_conflict(static_cast<FrameId>(f.node), g, b, w,
+                             trace::kConflictWrite | trace::kConflictPriorWrite,
+                             tag.label);
         log_->report_determinacy(make_determinacy_race(
             b, kind, false, true, w, static_cast<FrameId>(f.node), tag.label));
       }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/metrics.hpp"
+#include "support/trace.hpp"
 
 namespace rader {
 
@@ -116,6 +117,8 @@ void SpOrderDetector::on_access(AccessKind kind, std::uintptr_t addr,
         w != shadow::ShadowSpace::kEmpty && !in_series_with_current(w);
     if (kind == AccessKind::kRead) {
       if (writer_parallel) {
+        trace::emit_conflict(fid, g, b, strand_frame_[w],
+                             trace::kConflictPriorWrite, tag.label);
         log_->report_determinacy(make_determinacy_race(
             b, kind, false, true, strand_frame_[w], fid, tag.label));
       }
@@ -126,10 +129,15 @@ void SpOrderDetector::on_access(AccessKind kind, std::uintptr_t addr,
     } else {
       const auto r = reader_.get(g);
       if (r != shadow::ShadowSpace::kEmpty && !in_series_with_current(r)) {
+        trace::emit_conflict(fid, g, b, strand_frame_[r],
+                             trace::kConflictWrite, tag.label);
         log_->report_determinacy(make_determinacy_race(
             b, kind, false, false, strand_frame_[r], fid, tag.label));
       }
       if (writer_parallel) {
+        trace::emit_conflict(fid, g, b, strand_frame_[w],
+                             trace::kConflictWrite | trace::kConflictPriorWrite,
+                             tag.label);
         log_->report_determinacy(make_determinacy_race(
             b, kind, false, true, strand_frame_[w], fid, tag.label));
       }

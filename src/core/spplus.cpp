@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/metrics.hpp"
+#include "support/trace.hpp"
 
 namespace rader {
 
@@ -137,6 +138,11 @@ void SpPlusDetector::on_access(AccessKind kind, std::uintptr_t addr,
       const bool races = view_aware ? prior_races_view_aware(w, cur_vid)
                                     : prior_races_oblivious(w);
       if (races) {
+        trace::emit_conflict(
+            fid, g, b, w,
+            trace::kConflictPriorWrite |
+                (view_aware ? trace::kConflictViewAware : 0),
+            tag.label);
         log_->report_determinacy(make_determinacy_race(
             b, kind, view_aware, true, w, fid, tag.label));
       }
@@ -152,6 +158,11 @@ void SpPlusDetector::on_access(AccessKind kind, std::uintptr_t addr,
                                     ? prior_races_view_aware(r, cur_vid)
                                     : prior_races_oblivious(r);
       if (reader_races) {
+        trace::emit_conflict(
+            fid, g, b, r,
+            trace::kConflictWrite |
+                (view_aware ? trace::kConflictViewAware : 0),
+            tag.label);
         log_->report_determinacy(make_determinacy_race(
             b, kind, view_aware, false, r, fid, tag.label));
       }
@@ -159,6 +170,11 @@ void SpPlusDetector::on_access(AccessKind kind, std::uintptr_t addr,
                                     ? prior_races_view_aware(w, cur_vid)
                                     : prior_races_oblivious(w);
       if (writer_races) {
+        trace::emit_conflict(
+            fid, g, b, w,
+            trace::kConflictWrite | trace::kConflictPriorWrite |
+                (view_aware ? trace::kConflictViewAware : 0),
+            tag.label);
         log_->report_determinacy(make_determinacy_race(
             b, kind, view_aware, true, w, fid, tag.label));
       }

@@ -2,13 +2,104 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
 #include <thread>
 
 #include "core/spplus.hpp"
 #include "runtime/run.hpp"
 #include "support/common.hpp"
+#include "support/trace.hpp"
 
 namespace rader {
+
+namespace {
+
+/// Heartbeat monitor for `SweepOptions::progress`: samples the per-worker
+/// completion counters on an interval and prints one telemetry line per
+/// sample plus a final summary.  Counters are plain relaxed atomics, so a
+/// sample is wait-free for the sweep workers.
+class ProgressMonitor {
+ public:
+  ProgressMonitor(const SweepOptions& options, std::size_t total,
+                  std::vector<std::atomic<std::uint64_t>>* per_worker,
+                  std::atomic<std::uint64_t>* racy)
+      : total_(total),
+        per_worker_(per_worker),
+        racy_(racy),
+        out_(options.progress_out != nullptr ? *options.progress_out
+                                             : std::cerr),
+        interval_ms_(std::max(1u, options.progress_interval_ms)) {
+    thread_ = std::thread([this] { loop(); });
+  }
+
+  ~ProgressMonitor() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+    out_ << line(/*final=*/true) << std::endl;
+  }
+
+  ProgressMonitor(const ProgressMonitor&) = delete;
+  ProgressMonitor& operator=(const ProgressMonitor&) = delete;
+
+ private:
+  void loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                         [this] { return stop_; })) {
+      out_ << line(/*final=*/false) << std::endl;
+    }
+  }
+
+  std::string line(bool final) const {
+    std::uint64_t done = 0;
+    std::ostringstream workers;
+    for (std::size_t w = 0; w < per_worker_->size(); ++w) {
+      const std::uint64_t d = (*per_worker_)[w].load(std::memory_order_relaxed);
+      done += d;
+      workers << (w == 0 ? "" : " ") << 'w' << w << ':' << d;
+    }
+    const double secs = clock_.seconds();
+    const double rate = secs > 0.0 ? static_cast<double>(done) / secs : 0.0;
+    char perf[96];
+    if (final) {
+      std::snprintf(perf, sizeof(perf), "%.1f specs/s, %.2fs elapsed", rate,
+                    secs);
+    } else {
+      const double eta =
+          rate > 0.0 ? static_cast<double>(total_ - done) / rate : 0.0;
+      std::snprintf(perf, sizeof(perf), "%.1f specs/s, eta %.1fs", rate, eta);
+    }
+    std::ostringstream os;
+    os << (final ? "sweep done: " : "sweep: ") << done << '/' << total_
+       << " specs (" << perf << ", racy "
+       << racy_->load(std::memory_order_relaxed) << ") [" << workers.str()
+       << ']';
+    return os.str();
+  }
+
+  const std::size_t total_;
+  std::vector<std::atomic<std::uint64_t>>* per_worker_;
+  std::atomic<std::uint64_t>* racy_;
+  std::ostream& out_;
+  const unsigned interval_ms_;
+  metrics::Stopwatch clock_;
+  std::thread thread_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace
 
 ProgramFactory shared_program(std::function<void()> program) {
   return [program = std::move(program)] { return program; };
@@ -41,6 +132,10 @@ SweepResult sweep_family(
   std::vector<RaceLog> per_spec(n);
   std::vector<char> ran(n, 0);
   std::vector<metrics::Snapshot> worker_metrics(threads);
+  // Telemetry counters sampled by the progress monitor (and mirrored by the
+  // per-worker metrics snapshots merged into SweepResult::metrics).
+  std::vector<std::atomic<std::uint64_t>> worker_done(threads);
+  std::atomic<std::uint64_t> racy_specs{0};
   std::atomic<std::size_t> next{0};
   // Lowest family index whose run reported a race (n = none yet).  Under
   // stop_after_first_race, "first" means lowest FAMILY INDEX, not first in
@@ -52,6 +147,13 @@ SweepResult sweep_family(
   const auto worker = [&](unsigned widx) {
     metrics::Registry reg;
     metrics::Scope scope(&reg);
+    // When a tracing session is active, each sweep worker records into its
+    // own buffer ("sweep-wN") — one Chrome-trace process per worker.
+    trace::Session* const tsession = trace::session();
+    trace::ThreadScope tscope(
+        tsession != nullptr
+            ? tsession->make_buffer("sweep-w" + std::to_string(widx))
+            : trace::buffer());
     std::function<void()> program;  // this worker's own program instance
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
@@ -70,6 +172,10 @@ SweepResult sweep_family(
       metrics::bump(metrics::Counter::kSpecRuns);
       per_spec[i].stamp_found_under(family[i]->describe());
       ran[i] = 1;
+      worker_done[widx].fetch_add(1, std::memory_order_relaxed);
+      if (per_spec[i].any()) {
+        racy_specs.fetch_add(1, std::memory_order_relaxed);
+      }
       if (options.stop_after_first_race && per_spec[i].any()) {
         std::size_t cur = first_racy.load(std::memory_order_relaxed);
         while (i < cur && !first_racy.compare_exchange_weak(
@@ -80,13 +186,22 @@ SweepResult sweep_family(
     worker_metrics[widx] = reg.snapshot();
   };
 
-  if (threads <= 1) {
-    worker(0);
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker, t);
-    for (auto& th : pool) th.join();
+  {
+    // Scoped so the monitor's destructor (which prints the final summary
+    // line) runs as soon as the workers have joined.
+    std::unique_ptr<ProgressMonitor> monitor;
+    if (options.progress) {
+      monitor = std::make_unique<ProgressMonitor>(options, n, &worker_done,
+                                                  &racy_specs);
+    }
+    if (threads <= 1) {
+      worker(0);
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(threads);
+      for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+      for (auto& th : pool) th.join();
+    }
   }
 
   // Merge exactly the deterministic prefix: everything up to and including

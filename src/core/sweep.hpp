@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <vector>
 
@@ -52,6 +53,17 @@ struct SweepOptions {
   /// equal to the serial sweep's (tests/core/sweep_dedup_test,
   /// tests/property/sweep_equivalence_test).
   bool stop_after_first_race = false;
+
+  /// Live telemetry (`rader --progress`): a monitor thread samples the
+  /// per-worker completion counters every `progress_interval_ms` and prints
+  /// one heartbeat line — total and per-worker specs done, specs/s, ETA,
+  /// racy specs so far — to `progress_out`, plus a final summary line when
+  /// the sweep completes.  The counters are the same ones aggregated into
+  /// SweepResult::metrics; sampling them is wait-free and never perturbs
+  /// the sweep result.
+  bool progress = false;
+  unsigned progress_interval_ms = 500;
+  std::ostream* progress_out = nullptr;  // nullptr = std::cerr
 };
 
 /// Factory producing a fresh instance of the program under test.  Called at

@@ -1,0 +1,41 @@
+// Exporters for trace::Session recordings.
+//
+// `chrome_trace_json` emits the Chrome trace-event JSON format (the
+// `{"traceEvents":[...]}` object form), loadable in chrome://tracing and
+// Perfetto.  Mapping:
+//   * each trace buffer becomes one process (pid = registration order),
+//     named after the buffer (e.g. "main", "sweep-w2", "pe-worker-1");
+//   * each (simulated or real) worker becomes one thread track (tid),
+//     named "worker N" — under a steal spec the serial engine mints one
+//     simulated worker per steal, so the steal structure is visible as
+//     tracks;
+//   * frames become complete ("X") slices on the track of the worker that
+//     *entered* them (serial timestamps nest correctly per track);
+//   * steals, syncs, reducer ops, view births/deaths, and detector
+//     conflicts become instant ("i") events;
+//   * a reduce consuming a stolen view becomes a flow arrow ("s"/"f" pair)
+//     from the steal that minted the view to the kReduceBegin that retires
+//     it — the paper's reduce tree, drawn over the timeline.
+// Events are sorted by timestamp, so every track's `ts` sequence is
+// non-decreasing in file order (asserted by scripts/check.sh --trace).
+//
+// `text_timeline` is the compact greppable rendering: one line per event,
+// per buffer, time-ordered, with timestamps relative to the buffer's first
+// event.
+#pragma once
+
+#include <string>
+
+#include "support/trace.hpp"
+
+namespace rader {
+
+std::string chrome_trace_json(const trace::Session& session);
+
+std::string text_timeline(const trace::Session& session);
+
+/// Write `chrome_trace_json(session)` to `path`.  Returns false (and leaves
+/// no file guarantee) on I/O failure.
+bool write_chrome_trace(const trace::Session& session, const std::string& path);
+
+}  // namespace rader

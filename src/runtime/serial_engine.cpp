@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/metrics.hpp"
+#include "support/trace.hpp"
 
 namespace rader {
 
@@ -19,6 +20,9 @@ void SerialEngine::run(FnView root) {
   reducers_.clear();
 
   if (tool_ != nullptr) tool_->on_run_begin();
+  trace::set_worker(0);
+  next_sim_worker_ = 1;
+  trace::emit(trace::EventKind::kRunBegin, kInvalidFrame);
   epochs_.push(next_vid_++);  // base epoch (view ID 0)
 
   enter_frame(FrameKind::kRoot);
@@ -31,6 +35,8 @@ void SerialEngine::run(FnView root) {
   // the reducer objects themselves; simply drop the records.
   epochs_.pop();
 
+  trace::emit(trace::EventKind::kRunEnd, kInvalidFrame, stats_.steals,
+              stats_.reduces);
   if (tool_ != nullptr) tool_->on_run_end();
   running_ = false;
 }
@@ -48,6 +54,9 @@ void SerialEngine::enter_frame(FrameKind kind) {
   f.epoch_base = static_cast<std::uint32_t>(epochs_.size());
   stack_.push_back(f);
   ++stats_.frames;
+  trace::emit(trace::EventKind::kFrameEnter, f.id, parent_id,
+              epochs_.empty() ? 0 : epochs_.top_vid(),
+              static_cast<std::uint8_t>(kind));
   if (tool_ != nullptr) {
     tool_->on_frame_enter(f.id, parent_id, kind, epochs_.top_vid());
   }
@@ -60,6 +69,8 @@ void SerialEngine::leave_frame() {
   RADER_CHECK_MSG(epochs_.size() == f.epoch_base,
                   "view epochs leaked across a frame boundary");
   const FrameId parent_id = stack_.empty() ? kInvalidFrame : stack_.back().id;
+  trace::emit(trace::EventKind::kFrameReturn, f.id, parent_id, 0,
+              static_cast<std::uint8_t>(f.kind));
   if (tool_ != nullptr) tool_->on_frame_return(f.id, parent_id, f.kind);
 }
 
@@ -98,6 +109,12 @@ void SerialEngine::continuation_point() {
     const ViewId vid = next_vid_++;
     epochs_.push(vid);
     ++stats_.steals;
+    if (trace::enabled()) {
+      // The continuation migrates to a fresh simulated worker; the steal
+      // event lands on the thief's track.
+      trace::set_worker(next_sim_worker_++);
+      trace::emit(trace::EventKind::kSteal, top().id, ctx.cont_index, vid);
+    }
     if (tool_ != nullptr) tool_->on_steal(top().id, ctx.cont_index, vid);
   }
 }
@@ -127,6 +144,7 @@ void SerialEngine::do_sync() {
   f.ls = 0;
   f.sync_block += 1;
   ++stats_.syncs;
+  trace::emit(trace::EventKind::kSync, f.id);
   if (tool_ != nullptr) tool_->on_sync(f.id);
 }
 
@@ -135,10 +153,15 @@ void SerialEngine::top_merge() {
   const FrameId frame_id = top().id;
   ViewEpochs::Epoch dead = epochs_.pop();
   ++stats_.reduces;
+  const ViewId left_vid = epochs_.top_vid();
+  trace::emit(trace::EventKind::kReduceBegin, frame_id, left_vid, dead.vid);
   if (tool_ != nullptr) {
-    tool_->on_reduce(frame_id, epochs_.top_vid(), dead.vid);
+    tool_->on_reduce(frame_id, left_vid, dead.vid);
   }
-  if (dead.views.empty()) return;
+  if (dead.views.empty()) {
+    trace::emit(trace::EventKind::kReduceEnd, frame_id, left_vid, dead.vid);
+    return;
+  }
 
   // Deterministic reduce order across reducers: registration order.
   std::vector<std::pair<ReducerId, void*>> items(dead.views.begin(),
@@ -152,6 +175,7 @@ void SerialEngine::top_merge() {
       // cannot inherit its access history.
       clear_shadow(reinterpret_cast<std::uintptr_t>(view),
                    reducers_[h]->hyper_view_size());
+      trace::emit(trace::EventKind::kViewDestroy, frame_id, dead.vid, h);
       reducers_[h]->hyper_destroy(view);
     } else {
       // No view of h in the dominating epoch: the dominated view survives
@@ -159,6 +183,7 @@ void SerialEngine::top_merge() {
       epochs_.insert_top(h, view);
     }
   }
+  trace::emit(trace::EventKind::kReduceEnd, frame_id, left_vid, dead.vid);
 }
 
 void SerialEngine::run_user_reduce(ReducerId h, void* left, void* right) {
@@ -169,6 +194,9 @@ void SerialEngine::run_user_reduce(ReducerId h, void* left, void* right) {
   // but in parallel with reduce strands of other views (Section 6).
   enter_frame(FrameKind::kReduce);
   ++view_aware_depth_;
+  trace::emit(trace::EventKind::kReducerOp, top().id, h, 0,
+              static_cast<std::uint8_t>(ReducerOp::kReduce),
+              r->hyper_tag().label);
   if (tool_ != nullptr) {
     tool_->on_reducer_op(ReducerOp::kReduce, h, r->hyper_tag());
   }
@@ -219,6 +247,8 @@ void SerialEngine::register_reducer(HyperobjectBase* r, void* leftmost_view,
   reducer_ids_.emplace(r, h);
   epochs_.insert_top(h, leftmost_view);
   ++stats_.reducer_ops;
+  trace::emit(trace::EventKind::kViewCreate, top().id, epochs_.top_vid(), h,
+              /*aux=*/0, tag.label);
   if (tool_ != nullptr) tool_->on_reducer_op(ReducerOp::kCreate, h, tag);
 }
 
@@ -228,6 +258,9 @@ void SerialEngine::unregister_reducer(HyperobjectBase* r, SrcTag tag) {
   if (it == reducer_ids_.end()) return;
   const ReducerId h = it->second;
   ++stats_.reducer_ops;
+  trace::emit(trace::EventKind::kViewDestroy,
+              stack_.empty() ? kInvalidFrame : top().id, 0, h, /*aux=*/0,
+              tag.label);
   if (tool_ != nullptr) tool_->on_reducer_op(ReducerOp::kDestroy, h, tag);
   // Fold any outstanding views into the leftmost one so the reducer's final
   // value is the serial-order reduction.  (Destroying a reducer while views
@@ -267,6 +300,8 @@ void* SerialEngine::current_view(HyperobjectBase* r, SrcTag tag) {
     ++view_aware_depth_;
     ++stats_.reducer_ops;
     ++stats_.identities;
+    trace::emit(trace::EventKind::kViewCreate, top().id, epochs_.top_vid(), h,
+                /*aux=*/1, tag.label);
     if (tool_ != nullptr) {
       tool_->on_reducer_op(ReducerOp::kCreateIdentity, h, tag);
     }
@@ -281,6 +316,8 @@ void SerialEngine::reducer_read(HyperobjectBase* r, ReducerOp op, SrcTag tag) {
   if (!running_) return;
   const ReducerId h = bind(r);
   ++stats_.reducer_ops;
+  trace::emit(trace::EventKind::kReducerOp, top().id, h, 0,
+              static_cast<std::uint8_t>(op), tag.label);
   if (tool_ != nullptr) tool_->on_reducer_op(op, h, tag);
 }
 
@@ -289,6 +326,8 @@ void SerialEngine::begin_update(HyperobjectBase* r, SrcTag tag) {
   const ReducerId h = bind(r);
   ++view_aware_depth_;
   ++stats_.reducer_ops;
+  trace::emit(trace::EventKind::kReducerOp, top().id, h, 0,
+              static_cast<std::uint8_t>(ReducerOp::kUpdate), tag.label);
   if (tool_ != nullptr) tool_->on_reducer_op(ReducerOp::kUpdate, h, tag);
 }
 

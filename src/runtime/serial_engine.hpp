@@ -120,6 +120,11 @@ class SerialEngine final : public Engine {
   std::vector<HyperobjectBase*> reducers_;
   FrameId next_frame_ = 0;
   ViewId next_vid_ = 0;
+  // Simulated-worker accounting for the trace subsystem: worker 0 runs the
+  // root strand; each simulated steal hands the continuation to a fresh
+  // worker id, exactly as a real scheduler would.  Only advanced while a
+  // TraceScope is active.
+  std::uint32_t next_sim_worker_ = 1;
   int view_aware_depth_ = 0;
   bool running_ = false;
   Stats stats_;

@@ -2,8 +2,27 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
+
+#include "support/trace.hpp"
 
 namespace rader {
+
+namespace {
+
+// Long-lived pool threads re-check the active trace session each loop and
+// (re-)attach a buffer when it changes; scopes come and go while the
+// engine's threads persist.
+trace::Session* sync_thread_buffer(trace::Session* attached, unsigned index) {
+  trace::Session* s = trace::session();
+  if (s == attached) return attached;
+  trace::set_thread_buffer(
+      s != nullptr ? s->make_buffer("pe-worker-" + std::to_string(index))
+                   : nullptr);
+  return s;
+}
+
+}  // namespace
 
 thread_local ParallelEngine::WorkerState* ParallelEngine::tl_worker_ = nullptr;
 
@@ -30,8 +49,11 @@ ParallelEngine::~ParallelEngine() {
 void ParallelEngine::helper_loop(unsigned index) {
   WorkerState& w = *workers_[index];
   tl_worker_ = &w;
+  trace::set_worker(index);
+  trace::Session* attached = nullptr;
   Engine::Scope scope(this);
   while (!stop_.load(std::memory_order_acquire)) {
+    attached = sync_thread_buffer(attached, index);
     if (ChildRecord* rec = try_get_work(w)) {
       execute_child(w, rec);
       continue;
@@ -42,6 +64,7 @@ void ParallelEngine::helper_loop(unsigned index) {
     idle_cv_.wait_for(lock, std::chrono::milliseconds(1));
     sleeping_.fetch_sub(1, std::memory_order_relaxed);
   }
+  trace::set_thread_buffer(nullptr);
   tl_worker_ = nullptr;
 }
 
@@ -53,6 +76,7 @@ ParallelEngine::ChildRecord* ParallelEngine::try_get_work(WorkerState& w) {
     if (victim == w.index) continue;
     if (void* task = workers_[victim]->deque.steal()) {
       steals_.fetch_add(1, std::memory_order_relaxed);
+      trace::emit(trace::EventKind::kSteal, kInvalidFrame, victim, 0);
       return static_cast<ChildRecord*>(task);
     }
   }
@@ -74,6 +98,8 @@ void ParallelEngine::run(FnView root) {
 
   WorkerState& w = *workers_[0];
   tl_worker_ = &w;
+  trace::set_worker(0);
+  trace::emit(trace::EventKind::kRunBegin, kInvalidFrame);
   Engine::Scope scope(this);
 
   FrameCtx frame;
@@ -82,8 +108,16 @@ void ParallelEngine::run(FnView root) {
   frame.cur = frame.seg0;
   w.frames.push_back(std::move(frame));
 
+  const FrameId root_tfid =
+      trace::enabled()
+          ? trace_frames_.fetch_add(1, std::memory_order_relaxed)
+          : kInvalidFrame;
+  trace::emit(trace::EventKind::kFrameEnter, root_tfid, kInvalidFrame, 0,
+              static_cast<std::uint8_t>(FrameKind::kRoot));
   root();
   do_sync(w);  // implicit sync of the root frame
+  trace::emit(trace::EventKind::kFrameReturn, root_tfid, kInvalidFrame, 0,
+              static_cast<std::uint8_t>(FrameKind::kRoot));
 
   FrameCtx done = std::move(w.frames.back());
   w.frames.pop_back();
@@ -101,6 +135,8 @@ void ParallelEngine::run(FnView root) {
   }
   delete done.seg0;
 
+  trace::emit(trace::EventKind::kRunEnd, kInvalidFrame,
+              steals_.load(std::memory_order_relaxed), 0);
   tl_worker_ = nullptr;
   running_.store(false, std::memory_order_release);
 }
@@ -134,8 +170,16 @@ void ParallelEngine::call_inline(FnView fn) {
   frame.owns_seg0 = false;
   frame.cur = frame.seg0;
   w.frames.push_back(std::move(frame));
+  const FrameId tfid =
+      trace::enabled()
+          ? trace_frames_.fetch_add(1, std::memory_order_relaxed)
+          : kInvalidFrame;
+  trace::emit(trace::EventKind::kFrameEnter, tfid, kInvalidFrame, 0,
+              static_cast<std::uint8_t>(FrameKind::kCalled));
   fn();
   do_sync(w);
+  trace::emit(trace::EventKind::kFrameReturn, tfid, kInvalidFrame, 0,
+              static_cast<std::uint8_t>(FrameKind::kCalled));
   w.frames.pop_back();
 }
 
@@ -146,8 +190,16 @@ void ParallelEngine::execute_child(WorkerState& w, ChildRecord* rec) {
   frame.cur = frame.seg0;
   w.frames.push_back(std::move(frame));
 
+  const FrameId tfid =
+      trace::enabled()
+          ? trace_frames_.fetch_add(1, std::memory_order_relaxed)
+          : kInvalidFrame;
+  trace::emit(trace::EventKind::kFrameEnter, tfid, kInvalidFrame, 0,
+              static_cast<std::uint8_t>(FrameKind::kSpawned));
   rec->task();
   do_sync(w);  // implicit sync before "returning"
+  trace::emit(trace::EventKind::kFrameReturn, tfid, kInvalidFrame, 0,
+              static_cast<std::uint8_t>(FrameKind::kSpawned));
 
   FrameCtx done = std::move(w.frames.back());
   w.frames.pop_back();
@@ -192,6 +244,7 @@ void ParallelEngine::do_sync(WorkerState& w) {
   }
   f.items.clear();
   f.cur = f.seg0;
+  trace::emit(trace::EventKind::kSync, kInvalidFrame);
 }
 
 void ParallelEngine::fold_map(Hypermap& acc, Hypermap& right) {
@@ -203,8 +256,10 @@ void ParallelEngine::fold_map(Hypermap& acc, Hypermap& right) {
     }
     HyperobjectBase* r = reducers_[h];
     RADER_CHECK_MSG(r != nullptr, "reducer destroyed with views outstanding");
+    trace::emit(trace::EventKind::kReduceBegin, kInvalidFrame, h, 0);
     r->hyper_reduce(it->second, view);
     r->hyper_destroy(view);
+    trace::emit(trace::EventKind::kReduceEnd, kInvalidFrame, h, 0);
   }
   right.clear();
 }
@@ -229,6 +284,7 @@ void ParallelEngine::register_reducer(HyperobjectBase* r, void* leftmost_view,
   // The leftmost view lives in the creating strand's current segment and
   // folds leftward from there, exactly like the serial engine's base view.
   (*self().frames.back().cur)[h] = leftmost_view;
+  trace::emit(trace::EventKind::kViewCreate, kInvalidFrame, 0, h, /*aux=*/0);
 }
 
 void ParallelEngine::unregister_reducer(HyperobjectBase* r, SrcTag) {
@@ -255,6 +311,7 @@ void* ParallelEngine::current_view(HyperobjectBase* r, SrcTag) {
   if (it != m.end()) return it->second;
   void* view = r->hyper_create_identity();
   m.emplace(h, view);
+  trace::emit(trace::EventKind::kViewCreate, kInvalidFrame, 0, h, /*aux=*/1);
   return view;
 }
 

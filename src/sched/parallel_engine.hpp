@@ -130,6 +130,9 @@ class ParallelEngine final : public Engine {
   std::atomic<bool> running_{false};
   std::atomic<int> sleeping_{0};
   std::atomic<std::uint64_t> steals_{0};
+  // Pseudo frame ids for trace slices (real frames have no global ids here);
+  // only advanced while a TraceScope is active.
+  std::atomic<std::uint32_t> trace_frames_{0};
 
   std::mutex reg_mu_;
   std::unordered_map<HyperobjectBase*, ReducerId> reducer_ids_;

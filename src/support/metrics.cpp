@@ -1,11 +1,12 @@
 #include "support/metrics.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <sstream>
 
-namespace rader::metrics {
+#include "support/common.hpp"
 
-namespace {
+namespace rader::metrics {
 
 std::uint64_t now_nanos() {
   return static_cast<std::uint64_t>(
@@ -13,8 +14,6 @@ std::uint64_t now_nanos() {
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
 }
-
-}  // namespace
 
 const char* counter_name(Counter c) {
   switch (c) {
@@ -87,6 +86,18 @@ PhaseTimer::~PhaseTimer() {
   if (reg_ != nullptr) {
     reg_->add_phase_nanos(phase_, now_nanos() - start_nanos_);
   }
+}
+
+double time_best_of(int reps, const std::function<void()>& fn) {
+  RADER_CHECK(reps > 0);
+  double best = 0.0;
+  for (int i = 0; i < reps; ++i) {
+    Stopwatch t;
+    fn();
+    const double s = t.seconds();
+    best = (i == 0) ? s : std::min(best, s);
+  }
+  return best;
 }
 
 }  // namespace rader::metrics

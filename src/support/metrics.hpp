@@ -24,9 +24,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 namespace rader::metrics {
+
+/// Monotonic (steady-clock) nanoseconds since an arbitrary epoch.  The one
+/// time source shared by PhaseTimer, Stopwatch, and the trace subsystem.
+std::uint64_t now_nanos();
 
 /// Counter identities.  Names (for JSON emission) in counter_name().
 enum class Counter : unsigned {
@@ -137,5 +142,27 @@ class PhaseTimer {
   Phase phase_;
   std::uint64_t start_nanos_ = 0;
 };
+
+/// Free-running monotonic stopwatch (the benchmark harnesses' `Timer`).
+class Stopwatch {
+ public:
+  Stopwatch() { reset(); }
+
+  void reset() { start_ = now_nanos(); }
+
+  /// Nanoseconds elapsed since construction or the last reset().
+  std::uint64_t nanos() const { return now_nanos() - start_; }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const { return static_cast<double>(nanos()) * 1e-9; }
+
+ private:
+  std::uint64_t start_ = 0;
+};
+
+/// Run `fn` `reps` times and return the *minimum* wall-clock seconds of a
+/// single run.  Minimum-of-N is the standard noise-robust estimator for
+/// deterministic CPU-bound workloads.
+double time_best_of(int reps, const std::function<void()>& fn);
 
 }  // namespace rader::metrics

@@ -1,40 +1,14 @@
-// Wall-clock timing helpers used by the benchmark harnesses.
+// Compatibility aliases for the old standalone timing facility, which is now
+// part of support/metrics (one monotonic-clock implementation for phase
+// timers, benchmarks, and the trace subsystem).  New code should use
+// metrics::Stopwatch / metrics::time_best_of directly.
 #pragma once
 
-#include <chrono>
-#include <cstdint>
-#include <functional>
+#include "support/metrics.hpp"
 
 namespace rader {
 
-/// Monotonic stopwatch.
-class Timer {
- public:
-  Timer() { reset(); }
-
-  void reset() { start_ = Clock::now(); }
-
-  /// Seconds elapsed since construction or the last reset().
-  double seconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
-  }
-
-  /// Nanoseconds elapsed since construction or the last reset().
-  std::uint64_t nanos() const {
-    return static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
-                                                             start_)
-            .count());
-  }
-
- private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
-};
-
-/// Run `fn` `reps` times and return the *minimum* wall-clock seconds of a
-/// single run.  Minimum-of-N is the standard noise-robust estimator for
-/// deterministic CPU-bound workloads.
-double time_best_of(int reps, const std::function<void()>& fn);
+using Timer = metrics::Stopwatch;
+using metrics::time_best_of;
 
 }  // namespace rader

@@ -1,0 +1,119 @@
+#include "support/trace.hpp"
+
+#include <atomic>
+
+namespace rader::trace {
+
+const char* event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kRunBegin: return "run-begin";
+    case EventKind::kRunEnd: return "run-end";
+    case EventKind::kFrameEnter: return "frame-enter";
+    case EventKind::kFrameReturn: return "frame-return";
+    case EventKind::kSync: return "sync";
+    case EventKind::kSteal: return "steal";
+    case EventKind::kReduceBegin: return "reduce-begin";
+    case EventKind::kReduceEnd: return "reduce-end";
+    case EventKind::kViewCreate: return "view-create";
+    case EventKind::kViewDestroy: return "view-destroy";
+    case EventKind::kReducerOp: return "reducer-op";
+    case EventKind::kConflict: return "conflict";
+  }
+  return "unknown";
+}
+
+Buffer::Buffer(std::string name, std::size_t capacity)
+    : name_(std::move(name)), capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_ < 1024 ? capacity_ : 1024);
+}
+
+void Buffer::record(const Event& e) {
+  ++recorded_;
+  if (size_ < capacity_) {
+    if (ring_.size() < capacity_ && size_ == ring_.size()) {
+      ring_.push_back(e);
+    } else {
+      ring_[(head_ + size_) % capacity_] = e;
+    }
+    ++size_;
+    return;
+  }
+  // Full: overwrite the oldest slot and advance the head.
+  ring_[head_] = e;
+  head_ = (head_ + 1) % capacity_;
+}
+
+bool Buffer::note_conflict(std::uint64_t granule_key) {
+  return conflict_granules_.insert(granule_key).second;
+}
+
+std::vector<Event> Buffer::ordered() const {
+  std::vector<Event> out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(head_ + i) % capacity_]);
+  }
+  return out;
+}
+
+Session::Session(std::size_t buffer_capacity)
+    : buffer_capacity_(buffer_capacity) {}
+
+Buffer* Session::make_buffer(std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  buffers_.push_back(
+      std::make_unique<Buffer>(std::move(name), buffer_capacity_));
+  return buffers_.back().get();
+}
+
+std::vector<const Buffer*> Session::buffers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<const Buffer*> out;
+  out.reserve(buffers_.size());
+  for (const auto& b : buffers_) out.push_back(b.get());
+  return out;
+}
+
+std::uint64_t Session::total_recorded() const {
+  std::uint64_t n = 0;
+  for (const Buffer* b : buffers()) n += b->recorded();
+  return n;
+}
+
+std::uint64_t Session::total_dropped() const {
+  std::uint64_t n = 0;
+  for (const Buffer* b : buffers()) n += b->dropped();
+  return n;
+}
+
+namespace detail {
+
+namespace {
+std::atomic<Session*> g_session{nullptr};
+}  // namespace
+
+Session* active_session() {
+  return g_session.load(std::memory_order_acquire);
+}
+
+void set_active_session(Session* s) {
+  g_session.store(s, std::memory_order_release);
+}
+
+}  // namespace detail
+
+Scope::Scope(Session* session, std::string thread_name)
+    : prev_session_(detail::active_session()),
+      prev_buffer_(detail::tl_buffer) {
+  detail::set_active_session(session);
+  detail::tl_buffer =
+      session != nullptr ? session->make_buffer(std::move(thread_name))
+                         : nullptr;
+}
+
+Scope::~Scope() {
+  detail::set_active_session(prev_session_);
+  detail::tl_buffer = prev_buffer_;
+}
+
+}  // namespace rader::trace

@@ -1,0 +1,177 @@
+// Sweep accounting and telemetry: the --stop-first invariants the JSON
+// report relies on (spec_runs + specs_skipped == family size; replay
+// handles only from the executed prefix's racy specs), invariance across
+// thread counts, and the --progress heartbeat stream.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/mylist.hpp"
+#include "core/driver.hpp"
+#include "core/report_json.hpp"
+#include "core/sweep.hpp"
+#include "reducers/reducer.hpp"
+#include "runtime/api.hpp"
+#include "spec/steal_spec.hpp"
+
+namespace rader {
+namespace {
+
+using apps::list_monoid;
+using apps::MyList;
+
+// The Figure 1 program again (fig_examples_test.cpp): clean serially, racy
+// only under steal specs — which makes the stop-first prefix nontrivial.
+void update_list(int n, MyList& list) {
+  call([&] {
+    reducer<list_monoid> list_reducer(SrcTag{"list_reducer"});
+    list_reducer.set_value(list, SrcTag{"set_value(list)"});
+    parallel_for_flat<int>(
+        0, n,
+        [&](int i) {
+          list_reducer.update([&](MyList& view) { view.insert(i); },
+                              SrcTag{"list insert"});
+        },
+        /*chunks=*/6);
+    sync();
+    list = list_reducer.take_value(SrcTag{"get_value()"});
+  });
+}
+
+void race_fig1(int n, MyList& list) {
+  int length = 0;
+  MyList copy(list);  // BUG: shallow copy
+  spawn([&] { length = list.scan(SrcTag{"scan_list"}); });
+  update_list(n, copy);
+  sync();
+  (void)length;
+}
+
+struct Fig1Instance {
+  MyList owned;
+  Fig1Instance() {
+    for (int i = 0; i < 8; ++i) owned.insert(100 + i);
+  }
+  ~Fig1Instance() { owned.destroy(); }
+  void operator()() {
+    MyList working = owned;
+    race_fig1(6, working);
+  }
+};
+
+ProgramFactory fig1_factory() {
+  return [] {
+    auto p = std::make_shared<Fig1Instance>();
+    return std::function<void()>([p] { (*p)(); });
+  };
+}
+
+/// Family whose first racy member sits at index 2: two spec that cannot
+/// steal anything, then the Figure 1 eliciting triple, then two more
+/// racy specs that a stop-first sweep must skip.
+std::vector<std::unique_ptr<spec::StealSpec>> mixed_family() {
+  std::vector<std::unique_ptr<spec::StealSpec>> family;
+  family.push_back(std::make_unique<spec::NoSteal>());
+  family.push_back(std::make_unique<spec::DepthSteal>(99));  // never fires
+  family.push_back(std::make_unique<spec::TripleSteal>(0, 1, 2));
+  family.push_back(std::make_unique<spec::StealAll>());
+  family.push_back(std::make_unique<spec::TripleSteal>(1, 2, 3));
+  return family;
+}
+
+TEST(SweepStopFirst, AccountingPartitionsTheFamily) {
+  const auto family = mixed_family();
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    SweepOptions opt;
+    opt.threads = threads;
+    opt.stop_after_first_race = true;
+    const SweepResult result = sweep_family(fig1_factory(), family, opt);
+    // The executed prefix is [0, 2]: both clean specs plus the first racy
+    // member; everything after it is skipped.  The partition invariant the
+    // JSON "sweep" block exposes must hold exactly.
+    EXPECT_EQ(result.spec_runs, 3u) << "threads=" << threads;
+    EXPECT_EQ(result.specs_skipped, 2u) << "threads=" << threads;
+    EXPECT_EQ(result.spec_runs + result.specs_skipped, family.size());
+    EXPECT_TRUE(result.log.any());
+    // Replay handles name only the prefix's racy specs — never a skipped
+    // spec, never a clean one.
+    for (const std::string& h : replay_handles(result.log)) {
+      EXPECT_EQ(h, "steal-triple(0,1,2)") << "threads=" << threads;
+    }
+  }
+}
+
+TEST(SweepStopFirst, BudgetCapsBeforeTheRacySpec) {
+  const auto family = mixed_family();
+  SweepOptions opt;
+  opt.threads = 2;
+  opt.stop_after_first_race = true;
+  opt.budget = 2;  // only the two clean members run
+  const SweepResult result = sweep_family(fig1_factory(), family, opt);
+  EXPECT_EQ(result.spec_runs, 2u);
+  EXPECT_EQ(result.specs_skipped, 3u);
+  EXPECT_EQ(result.spec_runs + result.specs_skipped, family.size());
+  EXPECT_FALSE(result.log.any());
+  EXPECT_TRUE(replay_handles(result.log).empty());
+}
+
+TEST(SweepStopFirst, FullSweepStillPartitions) {
+  const auto family = mixed_family();
+  SweepOptions opt;
+  opt.threads = 2;
+  const SweepResult result = sweep_family(fig1_factory(), family, opt);
+  EXPECT_EQ(result.spec_runs, family.size());
+  EXPECT_EQ(result.specs_skipped, 0u);
+  // All three racy specs appear as replay handles now.
+  const auto handles = replay_handles(result.log);
+  EXPECT_FALSE(handles.empty());
+  for (const std::string& h : handles) {
+    EXPECT_TRUE(h == "steal-triple(0,1,2)" || h == "steal-all" ||
+                h == "steal-triple(1,2,3)")
+        << h;
+  }
+}
+
+TEST(SweepProgress, HeartbeatAndSummaryLinesAreEmitted) {
+  const auto family = mixed_family();
+  std::ostringstream captured;
+  SweepOptions opt;
+  opt.threads = 2;
+  opt.progress = true;
+  opt.progress_interval_ms = 1;  // fast sweep: force at least the summary
+  opt.progress_out = &captured;
+  const SweepResult result = sweep_family(fig1_factory(), family, opt);
+  EXPECT_EQ(result.spec_runs, family.size());
+  const std::string out = captured.str();
+  // The final summary line is always printed, with totals, throughput and
+  // the per-worker breakdown.
+  EXPECT_NE(out.find("sweep done: 5/5 specs ("), std::string::npos) << out;
+  EXPECT_NE(out.find("specs/s"), std::string::npos);
+  // The racy-spec count matches what checking each member serially finds.
+  std::size_t expected_racy = 0;
+  for (const auto& s : family) {
+    if (Rader::check_determinacy(fig1_factory()(), *s).any()) ++expected_racy;
+  }
+  EXPECT_GE(expected_racy, 1u);
+  EXPECT_NE(out.find("racy " + std::to_string(expected_racy)),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("[w0:"), std::string::npos);
+  EXPECT_NE(out.find("w1:"), std::string::npos);
+}
+
+TEST(SweepProgress, DisabledByDefault) {
+  const auto family = mixed_family();
+  std::ostringstream captured;
+  SweepOptions opt;
+  opt.threads = 1;
+  opt.progress_out = &captured;  // progress stays false
+  (void)sweep_family(fig1_factory(), family, opt);
+  EXPECT_TRUE(captured.str().empty());
+}
+
+}  // namespace
+}  // namespace rader

@@ -34,21 +34,39 @@
 // the identical deduplicated race set.  --format=json emits the versioned
 // machine-readable report (core/report_json.hpp) on stdout; informational
 // progress lines then go to stderr so stdout stays pure JSON.
+//
+// Observability:
+//   --trace=FILE         record the execution (support/trace.hpp) and write
+//                        it to FILE; --trace-format=chrome (default; Chrome
+//                        trace-event JSON, loadable in Perfetto) or text
+//                        (compact timeline)
+//   --explain            replay each reported race under its found_under
+//                        spec and attach a provenance record (fork frame,
+//                        eliciting steal, involved Reduce/CreateIdentity
+//                        strand, DAG-oracle cross-check); rendered in the
+//                        text report and under races[].provenance in JSON
+//                        (schema v2)
+//   --progress           live sweep heartbeat lines on stderr (specs done,
+//                        specs/s, ETA, per-worker counts)
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <string>
 
 #include "apps/mylist.hpp"
 #include "apps/workloads.hpp"
 #include "core/driver.hpp"
+#include "core/provenance.hpp"
 #include "core/report_json.hpp"
 #include "core/sporder.hpp"
+#include "core/trace_export.hpp"
 #include "reducers/reducer.hpp"
 #include "runtime/api.hpp"
 #include "spec/steal_spec.hpp"
 #include "support/metrics.hpp"
 #include "support/timer.hpp"
+#include "support/trace.hpp"
 
 namespace {
 
@@ -64,12 +82,23 @@ std::string arg_value(int argc, char** argv, const std::string& key,
   return fallback;
 }
 
+/// Bare boolean flag: `--key` or `--key=1` is true, `--key=0` false.
+bool arg_flag(int argc, char** argv, const std::string& key) {
+  const std::string bare = "--" + key;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i] == bare) return true;
+  }
+  return arg_value(argc, argv, key, "0") != "0";
+}
+
 [[noreturn]] void usage_and_exit() {
   std::fprintf(
       stderr,
       "usage: rader --program=NAME [--scale=S] --check=ALGO [--spec=SPEC]\n"
       "             [--k-cap=N] [--jobs=J] [--budget=B] [--stop-first=0|1]\n"
       "             [--replay=HANDLE] [--format=text|json]\n"
+      "             [--trace=FILE] [--trace-format=chrome|text]\n"
+      "             [--explain] [--progress]\n"
       "  NAME: collision|dedup|ferret|fib|knapsack|pbfs|fig1\n"
       "  ALGO: peerset|sp+|spbags|sporder|exhaustive\n"
       "  SPEC: none|all|triple:A,B,C|depth:D|random:SEED,K|bern:SEED,P\n"
@@ -159,6 +188,12 @@ int main(int argc, char** argv) {
   sweep.budget = std::stoull(arg_value(argc, argv, "budget", "0"));
   sweep.stop_after_first_race =
       arg_value(argc, argv, "stop-first", "0") != "0";
+  sweep.progress = arg_flag(argc, argv, "progress");
+  const std::string trace_path = arg_value(argc, argv, "trace", "");
+  const std::string trace_format =
+      arg_value(argc, argv, "trace-format", "chrome");
+  if (trace_format != "chrome" && trace_format != "text") usage_and_exit();
+  const bool explain = arg_flag(argc, argv, "explain");
   if (name.empty()) usage_and_exit();
 
   // Under --format=json, stdout stays pure JSON: progress goes to stderr.
@@ -186,6 +221,15 @@ int main(int argc, char** argv) {
   // Collect run metrics for the whole check (probe + sweep workers + merge).
   metrics::Registry reg;
   metrics::Scope metrics_scope(&reg);
+
+  // Activate tracing for the whole check when --trace=FILE was given; the
+  // main thread records into the "main" buffer, sweep workers attach their
+  // own "sweep-wN" buffers.
+  trace::Session trace_session;
+  std::unique_ptr<TraceScope> trace_scope;
+  if (!trace_path.empty()) {
+    trace_scope = std::make_unique<TraceScope>(&trace_session, "main");
+  }
 
   ReportMeta meta;
   meta.program = name;
@@ -251,6 +295,40 @@ int main(int argc, char** argv) {
     meta.specs_skipped = result.specs_skipped;
   } else {
     usage_and_exit();
+  }
+
+  if (explain) {
+    // Replay the reported races under their found_under specs and attach
+    // provenance records (core/provenance.hpp).  The replays run the same
+    // deterministic program, so this is safe after any check mode.
+    const std::size_t annotated =
+        annotate_provenance(log, [&] { program(); });
+    std::fprintf(info, "explain: annotated %zu of %zu race report(s)\n",
+                 annotated,
+                 log.view_read_races().size() + log.determinacy_races().size());
+  }
+
+  if (!trace_path.empty()) {
+    trace_scope.reset();  // detach before exporting
+    bool ok = false;
+    if (trace_format == "chrome") {
+      ok = write_chrome_trace(trace_session, trace_path);
+    } else {
+      std::ofstream out(trace_path, std::ios::binary);
+      out << text_timeline(trace_session);
+      ok = out.good();
+    }
+    if (ok) {
+      std::fprintf(info, "trace: wrote %s (%llu event(s), %llu dropped)\n",
+                   trace_path.c_str(),
+                   static_cast<unsigned long long>(
+                       trace_session.total_recorded()),
+                   static_cast<unsigned long long>(
+                       trace_session.total_dropped()));
+    } else {
+      std::fprintf(stderr, "rader: failed to write trace to %s\n",
+                   trace_path.c_str());
+    }
   }
 
   if (json) {
