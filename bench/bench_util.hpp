@@ -23,7 +23,7 @@
 #include "core/spplus.hpp"
 #include "runtime/serial_engine.hpp"
 #include "spec/steal_spec.hpp"
-#include "support/timer.hpp"
+#include "support/metrics.hpp"
 #include "tool/tool.hpp"
 
 namespace rader::bench {
@@ -44,7 +44,7 @@ struct Row {
 
 inline double time_config(apps::Workload& w, Tool* tool,
                           const spec::StealSpec* steal_spec, int reps) {
-  return time_best_of(reps, [&] {
+  return metrics::time_best_of(reps, [&] {
     SerialEngine engine(tool, steal_spec);
     engine.run([&] { w.run(); });
   });

@@ -13,7 +13,7 @@
 #include "runtime/api.hpp"
 #include "runtime/serial_engine.hpp"
 #include "spec/steal_spec.hpp"
-#include "support/timer.hpp"
+#include "support/metrics.hpp"
 
 namespace {
 
@@ -58,7 +58,7 @@ void workload(int blocks, int width, int work) {
 
 double run_with(rader::Tool* tool, const rader::spec::StealSpec* steal_spec,
                 int blocks, int width, int work) {
-  return rader::time_best_of(3, [&] {
+  return rader::metrics::time_best_of(3, [&] {
     rader::SerialEngine engine(tool, steal_spec);
     engine.run([&] { workload(blocks, width, work); });
   });

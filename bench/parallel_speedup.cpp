@@ -8,7 +8,7 @@
 #include "apps/workloads.hpp"
 #include "bench_util.hpp"
 #include "sched/parallel_engine.hpp"
-#include "support/timer.hpp"
+#include "support/metrics.hpp"
 
 int main(int argc, char** argv) {
   const double scale = rader::bench::parse_scale(argc, argv, 0.1);
@@ -21,12 +21,12 @@ int main(int argc, char** argv) {
   std::printf("   verified\n");
 
   for (auto& w : rader::apps::make_paper_benchmarks(scale)) {
-    const double t_serial = rader::time_best_of(reps, [&] { w.run(); });
+    const double t_serial = rader::metrics::time_best_of(reps, [&] { w.run(); });
     std::printf("%-10s %10.3f", w.name.c_str(), t_serial);
     bool ok = w.verify();
     for (unsigned workers = 2; workers <= max_workers; workers *= 2) {
       rader::ParallelEngine engine(workers);
-      const double t = rader::time_best_of(reps, [&] {
+      const double t = rader::metrics::time_best_of(reps, [&] {
         engine.run([&] { w.run(); });
       });
       ok = ok && w.verify();

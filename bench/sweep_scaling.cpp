@@ -20,7 +20,7 @@
 #include "reducers/reducer.hpp"
 #include "runtime/api.hpp"
 #include "spec/spec_family.hpp"
-#include "support/timer.hpp"
+#include "support/metrics.hpp"
 
 namespace {
 
@@ -75,7 +75,7 @@ int main() {
     for (const unsigned jobs : {1u, 2u, 4u, 8u}) {
       rader::SweepOptions options;
       options.threads = jobs;
-      rader::Timer t;
+      rader::metrics::Stopwatch t;
       const auto result = rader::sweep_family(factory, family, options);
       const double secs = t.seconds();
       if (result.log.any()) {

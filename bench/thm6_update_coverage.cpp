@@ -15,7 +15,7 @@
 #include "runtime/api.hpp"
 #include "runtime/serial_engine.hpp"
 #include "spec/spec_family.hpp"
-#include "support/timer.hpp"
+#include "support/metrics.hpp"
 
 namespace {
 
@@ -80,7 +80,7 @@ int main() {
     // start; pair specs bound each view's extent).
     std::set<std::vector<int>> elicited;
     g_sigs = &elicited;
-    rader::Timer t;
+    rader::metrics::Stopwatch t;
     const auto family =
         rader::spec::full_coverage_family(static_cast<std::uint32_t>(k),
                                           static_cast<std::uint64_t>(k) + 1);

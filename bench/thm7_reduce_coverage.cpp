@@ -14,7 +14,7 @@
 #include "runtime/api.hpp"
 #include "runtime/serial_engine.hpp"
 #include "spec/spec_family.hpp"
-#include "support/timer.hpp"
+#include "support/metrics.hpp"
 
 namespace {
 
@@ -77,7 +77,7 @@ int main() {
 
     std::set<ReduceSig> by_family;
     g_reduces = &by_family;
-    rader::Timer t;
+    rader::metrics::Stopwatch t;
     const auto family =
         rader::spec::reduce_coverage_family(static_cast<std::uint32_t>(k));
     for (const auto& steal_spec : family) {

@@ -10,7 +10,7 @@
 #include "apps/pbfs.hpp"
 #include "core/driver.hpp"
 #include "sched/parallel_engine.hpp"
-#include "support/timer.hpp"
+#include "support/metrics.hpp"
 
 int main(int argc, char** argv) {
   const std::uint32_t n = argc > 1 ? std::atoi(argv[1]) : 100000;
@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(m));
   const auto g = rader::apps::Graph::rmat(n, m, /*seed=*/7);
 
-  rader::Timer t;
+  rader::metrics::Stopwatch t;
   const auto serial = rader::apps::serial_bfs(g, 0);
   const double t_serial = t.seconds();
 

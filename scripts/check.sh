@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # One-command gate.
 #
-#   scripts/check.sh          fast gate: build, fast-label tests, 30 s fuzz
+#   scripts/check.sh          fast gate: build, fast-label tests, 60 s fuzz
 #   scripts/check.sh --full   everything: all test labels (fast + slow +
 #                             stress), examples, bench smoke
 #   scripts/check.sh --trace  build + the trace smoke only (exports a
 #                             Chrome trace and validates it with python3)
+#   scripts/check.sh --fuzz   build + the fuzz smoke only (60 s differential
+#                             fuzz with shrinking artifacts on divergence)
 #
 # Test labels (set in tests/CMakeLists.txt): `ctest -L fast|slow|stress`.
 set -euo pipefail
@@ -13,9 +15,11 @@ cd "$(dirname "$0")/.."
 
 FULL=0
 TRACE_ONLY=0
+FUZZ_ONLY=0
 case "${1:-}" in
   --full) FULL=1 ;;
   --trace) TRACE_ONLY=1 ;;
+  --fuzz) FUZZ_ONLY=1 ;;
 esac
 
 cmake -B build -S .
@@ -49,8 +53,23 @@ print("trace smoke ok: %d events, %d worker tracks, flows present"
 PY
 }
 
+# The fuzz smoke: 60 s of fresh-seed differential fuzzing.  Divergences
+# fail the gate and leave shrunk `.rprog` + litmus artifacts under
+# build/fuzz-artifacts for triage (docs/FUZZING.md).
+fuzz_smoke() {
+  echo "== fuzz smoke =="
+  ./build/tools/fuzz_detectors --seconds=60 \
+    --out-dir=build/fuzz-artifacts --shrink
+}
+
 if [[ "$TRACE_ONLY" == 1 ]]; then
   trace_smoke
+  echo "ALL CHECKS PASSED"
+  exit 0
+fi
+
+if [[ "$FUZZ_ONLY" == 1 ]]; then
+  fuzz_smoke
   echo "ALL CHECKS PASSED"
   exit 0
 fi
@@ -76,7 +95,7 @@ r = json.load(open(sys.argv[1]))
 for key in ("schema", "schema_version", "program", "check", "spec",
             "races", "replay_handles", "metrics"):
     assert key in r, f"missing key: {key}"
-assert r["schema"] == "rader.report" and r["schema_version"] == 2
+assert r["schema"] == "rader.report" and r["schema_version"] == 3
 races = r["races"]
 for key in ("view_read_occurrences", "determinacy_occurrences",
             "view_read_races", "determinacy_races"):
@@ -105,9 +124,7 @@ print("json + replay round-trip ok: %d deduplicated race(s) reproduced "
 PY
 
 trace_smoke
-
-echo "== fuzz smoke =="
-./build/tools/fuzz_detectors --seconds=30
+fuzz_smoke
 
 if [[ "$FULL" == 1 ]]; then
   echo "== examples =="

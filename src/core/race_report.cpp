@@ -135,6 +135,15 @@ void RaceLog::stamp_found_under(const std::string& spec_description) {
   }
 }
 
+void RaceLog::stamp_repro_file(const std::string& path) {
+  for (auto& r : view_read_races_) {
+    if (r.repro_file.empty()) r.repro_file = path;
+  }
+  for (auto& r : determinacy_races_) {
+    if (r.repro_file.empty()) r.repro_file = path;
+  }
+}
+
 namespace {
 
 /// " [replay: SPEC]" plus, when the race was elicited under several specs,
@@ -240,6 +249,10 @@ std::string RaceLog::to_json() const {
     if (!r.provenance_json.empty()) {
       os << ",\"provenance\":" << r.provenance_json;
     }
+    if (!r.repro_file.empty()) {
+      os << ",\"repro_file\":";
+      append_json_escaped(os, r.repro_file);
+    }
     os << '}';
   }
   os << "],\"determinacy_races\":[";
@@ -259,6 +272,10 @@ std::string RaceLog::to_json() const {
     append_json_specs(os, r.eliciting_specs);
     if (!r.provenance_json.empty()) {
       os << ",\"provenance\":" << r.provenance_json;
+    }
+    if (!r.repro_file.empty()) {
+      os << ",\"repro_file\":";
+      append_json_escaped(os, r.repro_file);
     }
     os << '}';
   }

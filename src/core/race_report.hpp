@@ -37,6 +37,8 @@ struct ViewReadRace {
   std::string provenance_json;  // raw JSON object from core/provenance ("" =
                                 // not annotated); schema v2 races[].provenance
   std::string provenance_text;  // human rendering of the same record
+  std::string repro_file;       // `.rprog` reproducer this race replays from
+                                // ("" = none); schema v3 races[].repro_file
 };
 
 /// A determinacy race: two conflicting accesses on logically parallel
@@ -56,6 +58,8 @@ struct DeterminacyRace {
   std::string provenance_json;  // raw JSON object from core/provenance ("" =
                                 // not annotated); schema v2 races[].provenance
   std::string provenance_text;  // human rendering of the same record
+  std::string repro_file;       // `.rprog` reproducer this race replays from
+                                // ("" = none); schema v3 races[].repro_file
 };
 
 /// Detector-side constructors (the remaining fields — found_under,
@@ -112,6 +116,11 @@ class RaceLog {
   /// making it easy to repeat the run for regression tests."  Fills
   /// `found_under` (if empty) and seeds `eliciting_specs` (if empty).
   void stamp_found_under(const std::string& spec_description);
+
+  /// Stamp every stored report with the `.rprog` reproducer file it came
+  /// from (`rader --repro=FILE` does this so schema-v3 reports carry
+  /// races[].repro_file).  Fills only empty repro_file fields.
+  void stamp_repro_file(const std::string& path);
 
   bool any() const {
     return view_read_count_ != 0 || determinacy_count_ != 0;

@@ -10,14 +10,16 @@
 //
 // Schema (documented in docs/API.md; validated by scripts/check.sh --json):
 //   {
-//     "schema": "rader.report", "schema_version": 2,
+//     "schema": "rader.report", "schema_version": 3,
 //     "program": "...", "check": "...",
 //     "spec": "...",                   // single-spec runs and replays only
 //     "sweep": {"jobs":J,"budget":B,"stop_first":bool,"k":K,"depth":D,
 //               "spec_runs":N,"specs_skipped":M},   // sweep runs only
 //     "races": { ...RaceLog::to_json()... }, // v2: races may carry a
 //                                            // "provenance" object
-//                                            // (core/provenance.hpp)
+//                                            // (core/provenance.hpp);
+//                                            // v3: and a "repro_file"
+//                                            // (`.rprog` reproducer path)
 //     "replay_handles": ["<spec handle>", ...],
 //     "metrics": { ...metrics::Snapshot::to_json()... }  // when captured
 //   }
@@ -36,7 +38,10 @@ inline constexpr const char* kReportSchemaName = "rader.report";
 // v1 -> v2: stored races gained an optional "provenance" member (the replay
 // explanation built by core/provenance.hpp).  Consumers of v1 that ignore
 // unknown members parse v2 unchanged.
-inline constexpr int kReportSchemaVersion = 2;
+// v2 -> v3: races gained an optional "repro_file" member — the `.rprog`
+// reproducer the race replays from (`rader --repro=FILE`, docs/FUZZING.md).
+// Additive again: v2 consumers parse v3 unchanged.
+inline constexpr int kReportSchemaVersion = 3;
 
 /// Context describing the run that produced a report.
 struct ReportMeta {

@@ -1,0 +1,406 @@
+#include "dag/program_serial.hpp"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace rader::dag {
+namespace {
+
+/// One line per action keyword; keep in sync with ActionType.
+const char* keyword(ActionType t) {
+  switch (t) {
+    case ActionType::kSpawn: return "spawn";
+    case ActionType::kCall: return "call";
+    case ActionType::kSync: return "sync";
+    case ActionType::kRead: return "read";
+    case ActionType::kWrite: return "write";
+    case ActionType::kUpdate: return "update";
+    case ActionType::kUpdateShared: return "update-shared";
+    case ActionType::kGetValue: return "get-value";
+    case ActionType::kSetValue: return "set-value";
+    case ActionType::kRawRead: return "raw-read";
+    case ActionType::kRawWrite: return "raw-write";
+  }
+  return "?";
+}
+
+void describe_frame(std::ostringstream& os, const ProgramTree& frame,
+                    int depth) {
+  const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+  for (const Action& a : frame.actions) {
+    os << pad;
+    switch (a.type) {
+      case ActionType::kSpawn:
+      case ActionType::kCall:
+        os << keyword(a.type) << " {\n";
+        describe_frame(os, frame.children[a.child], depth + 1);
+        os << pad << "}\n";
+        break;
+      case ActionType::kSync:
+        os << "sync\n";
+        break;
+      case ActionType::kRead:
+      case ActionType::kWrite:
+        os << keyword(a.type) << " loc=" << a.loc << "\n";
+        break;
+      case ActionType::kUpdate:
+        os << "update red=" << a.red << " amount=" << a.amount << "\n";
+        break;
+      case ActionType::kUpdateShared:
+        os << "update-shared red=" << a.red << " loc=" << a.loc
+           << " amount=" << a.amount << "\n";
+        break;
+      case ActionType::kGetValue:
+        os << "get-value red=" << a.red << "\n";
+        break;
+      case ActionType::kSetValue:
+        os << "set-value red=" << a.red << " amount=" << a.amount << "\n";
+        break;
+      case ActionType::kRawRead:
+      case ActionType::kRawWrite:
+        os << keyword(a.type) << " red=" << a.red << "\n";
+        break;
+    }
+  }
+}
+
+/// Single-line rendering: newlines would corrupt the line-based format.
+std::string one_line(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return out;
+}
+
+struct Parser {
+  std::istringstream in;
+  std::string* error;
+  int line_no = 0;
+
+  explicit Parser(const std::string& text, std::string* err)
+      : in(text), error(err) {}
+
+  bool fail(const std::string& what) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line_no) + ": " + what;
+    }
+    return false;
+  }
+
+  /// Next meaningful line, stripped of indentation; false at EOF.
+  bool next_line(std::string& out) {
+    std::string raw;
+    while (std::getline(in, raw)) {
+      ++line_no;
+      std::size_t b = raw.find_first_not_of(" \t");
+      if (b == std::string::npos) continue;            // blank
+      std::size_t e = raw.find_last_not_of(" \t\r");
+      out = raw.substr(b, e - b + 1);
+      if (out[0] == '#') continue;                     // comment
+      return true;
+    }
+    return false;
+  }
+};
+
+/// "key=value" fields after an action keyword.  Returns false on malformed
+/// fields or unknown keys.
+bool parse_fields(const std::string& rest, std::uint32_t* loc,
+                  std::uint32_t* red, long* amount) {
+  std::istringstream fs(rest);
+  std::string tok;
+  while (fs >> tok) {
+    const std::size_t eq = tok.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string key = tok.substr(0, eq);
+    const std::string val = tok.substr(eq + 1);
+    if (val.empty()) return false;
+    char* end = nullptr;
+    if (key == "loc" && loc != nullptr) {
+      const unsigned long v = std::strtoul(val.c_str(), &end, 10);
+      if (*end != '\0') return false;
+      *loc = static_cast<std::uint32_t>(v);
+      loc = nullptr;  // each key at most once
+    } else if (key == "red" && red != nullptr) {
+      const unsigned long v = std::strtoul(val.c_str(), &end, 10);
+      if (*end != '\0') return false;
+      *red = static_cast<std::uint32_t>(v);
+      red = nullptr;
+    } else if (key == "amount" && amount != nullptr) {
+      const long v = std::strtol(val.c_str(), &end, 10);
+      if (*end != '\0') return false;
+      *amount = v;
+      amount = nullptr;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Validate every action index of `frame` against the params and the
+/// children-in-action-order invariant.
+bool validate_frame(const ProgramTree& frame, const RandomProgramParams& p,
+                    std::string* what) {
+  std::uint32_t next_child = 0;
+  for (const Action& a : frame.actions) {
+    switch (a.type) {
+      case ActionType::kSpawn:
+      case ActionType::kCall:
+        if (a.child != next_child || a.child >= frame.children.size()) {
+          *what = "child frames must be referenced in order";
+          return false;
+        }
+        ++next_child;
+        break;
+      case ActionType::kRead:
+      case ActionType::kWrite:
+        if (a.loc >= p.num_locations) {
+          *what = "loc=" + std::to_string(a.loc) + " out of range (locations " +
+                  std::to_string(p.num_locations) + ")";
+          return false;
+        }
+        break;
+      case ActionType::kUpdateShared:
+        if (a.loc >= p.num_locations) {
+          *what = "loc=" + std::to_string(a.loc) + " out of range (locations " +
+                  std::to_string(p.num_locations) + ")";
+          return false;
+        }
+        [[fallthrough]];
+      case ActionType::kUpdate:
+      case ActionType::kGetValue:
+      case ActionType::kSetValue:
+      case ActionType::kRawRead:
+      case ActionType::kRawWrite:
+        if (a.red >= p.num_reducers) {
+          *what = "red=" + std::to_string(a.red) + " out of range (reducers " +
+                  std::to_string(p.num_reducers) + ")";
+          return false;
+        }
+        break;
+      case ActionType::kSync:
+        break;
+    }
+  }
+  if (next_child != frame.children.size()) {
+    *what = "frame has unreferenced child frames";
+    return false;
+  }
+  for (const ProgramTree& c : frame.children) {
+    if (!validate_frame(c, p, what)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string describe_reproducer(const Reproducer& r) {
+  std::ostringstream os;
+  os << "rprog v" << kRprogFormatVersion << "\n";
+  if (!r.note.empty()) os << "note " << one_line(r.note) << "\n";
+  os << "seed " << r.params.seed << "\n";
+  os << "reducers " << r.params.num_reducers << "\n";
+  os << "locations " << r.params.num_locations << "\n";
+  os << "spec " << one_line(r.spec_handle) << "\n";
+  for (const std::string& e : r.expect) os << "expect " << one_line(e) << "\n";
+  os << "program {\n";
+  describe_frame(os, r.tree, 1);
+  os << "}\n";
+  return os.str();
+}
+
+std::optional<Reproducer> parse_reproducer(const std::string& text,
+                                           std::string* error) {
+  Parser p(text, error);
+  std::string line;
+
+  if (!p.next_line(line)) {
+    p.fail("empty input (expected 'rprog v1' header)");
+    return std::nullopt;
+  }
+  if (line != "rprog v" + std::to_string(kRprogFormatVersion)) {
+    p.fail("unsupported header '" + line + "' (expected 'rprog v" +
+           std::to_string(kRprogFormatVersion) + "')");
+    return std::nullopt;
+  }
+
+  Reproducer r;
+  r.params.seed = 0;
+  bool have_reducers = false, have_locations = false, have_spec = false;
+  bool in_program = false;
+
+  while (p.next_line(line)) {
+    const std::size_t sp = line.find(' ');
+    const std::string key = line.substr(0, sp);
+    const std::string rest =
+        sp == std::string::npos ? "" : line.substr(line.find_first_not_of(' ', sp));
+    if (key == "note") {
+      r.note = rest;
+    } else if (key == "seed") {
+      char* end = nullptr;
+      r.params.seed = std::strtoull(rest.c_str(), &end, 10);
+      if (rest.empty() || *end != '\0') {
+        p.fail("malformed seed '" + rest + "'");
+        return std::nullopt;
+      }
+    } else if (key == "reducers" || key == "locations") {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(rest.c_str(), &end, 10);
+      if (rest.empty() || *end != '\0') {
+        p.fail("malformed " + key + " '" + rest + "'");
+        return std::nullopt;
+      }
+      if (key == "reducers") {
+        r.params.num_reducers = static_cast<std::uint32_t>(v);
+        have_reducers = true;
+      } else {
+        r.params.num_locations = static_cast<std::uint32_t>(v);
+        have_locations = true;
+      }
+    } else if (key == "spec") {
+      if (rest.empty()) {
+        p.fail("empty spec handle");
+        return std::nullopt;
+      }
+      r.spec_handle = rest;
+      have_spec = true;
+    } else if (key == "expect") {
+      if (rest.empty()) {
+        p.fail("empty expect line");
+        return std::nullopt;
+      }
+      r.expect.push_back(rest);
+    } else if (line == "program {") {
+      in_program = true;
+      break;
+    } else {
+      p.fail("unknown directive '" + key + "'");
+      return std::nullopt;
+    }
+  }
+
+  if (!have_reducers || !have_locations || !have_spec || !in_program) {
+    p.fail("incomplete header: need reducers, locations, spec, 'program {'");
+    return std::nullopt;
+  }
+
+  // The program block: a stack of open frames, root at the bottom.
+  std::vector<ProgramTree*> stack{&r.tree};
+  bool closed = false;
+  while (p.next_line(line)) {
+    if (closed) {
+      p.fail("content after the closing '}' of the program block");
+      return std::nullopt;
+    }
+    if (line == "}") {
+      stack.pop_back();
+      if (stack.empty()) closed = true;
+      continue;
+    }
+    const std::size_t sp = line.find(' ');
+    const std::string word = line.substr(0, sp);
+    const std::string rest =
+        sp == std::string::npos
+            ? ""
+            : line.substr(line.find_first_not_of(' ', sp));
+    ProgramTree& frame = *stack.back();
+    Action a{};
+    bool open_child = false;
+    if (word == "spawn" || word == "call") {
+      if (rest != "{") {
+        p.fail("'" + word + "' must be followed by '{'");
+        return std::nullopt;
+      }
+      a.type = word == "spawn" ? ActionType::kSpawn : ActionType::kCall;
+      a.child = static_cast<std::uint32_t>(frame.children.size());
+      open_child = true;
+    } else if (word == "sync") {
+      a.type = ActionType::kSync;
+    } else if (word == "read" || word == "write") {
+      a.type = word == "read" ? ActionType::kRead : ActionType::kWrite;
+      if (!parse_fields(rest, &a.loc, nullptr, nullptr)) {
+        p.fail("malformed fields in '" + line + "'");
+        return std::nullopt;
+      }
+    } else if (word == "update") {
+      a.type = ActionType::kUpdate;
+      if (!parse_fields(rest, nullptr, &a.red, &a.amount)) {
+        p.fail("malformed fields in '" + line + "'");
+        return std::nullopt;
+      }
+    } else if (word == "update-shared") {
+      a.type = ActionType::kUpdateShared;
+      if (!parse_fields(rest, &a.loc, &a.red, &a.amount)) {
+        p.fail("malformed fields in '" + line + "'");
+        return std::nullopt;
+      }
+    } else if (word == "get-value") {
+      a.type = ActionType::kGetValue;
+      if (!parse_fields(rest, nullptr, &a.red, nullptr)) {
+        p.fail("malformed fields in '" + line + "'");
+        return std::nullopt;
+      }
+    } else if (word == "set-value") {
+      a.type = ActionType::kSetValue;
+      if (!parse_fields(rest, nullptr, &a.red, &a.amount)) {
+        p.fail("malformed fields in '" + line + "'");
+        return std::nullopt;
+      }
+    } else if (word == "raw-read" || word == "raw-write") {
+      a.type =
+          word == "raw-read" ? ActionType::kRawRead : ActionType::kRawWrite;
+      if (!parse_fields(rest, nullptr, &a.red, nullptr)) {
+        p.fail("malformed fields in '" + line + "'");
+        return std::nullopt;
+      }
+    } else {
+      p.fail("unknown action '" + word + "'");
+      return std::nullopt;
+    }
+    frame.actions.push_back(a);
+    if (open_child) {
+      frame.children.emplace_back();
+      stack.push_back(&frame.children.back());
+    }
+  }
+  if (!closed) {
+    p.fail("unclosed frame: " + std::to_string(stack.size()) +
+           " '}' missing");
+    return std::nullopt;
+  }
+
+  std::string what;
+  if (!validate_frame(r.tree, r.params, &what)) {
+    p.fail("invalid program: " + what);
+    return std::nullopt;
+  }
+  return r;
+}
+
+std::optional<Reproducer> load_reproducer(const std::string& path,
+                                          std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto r = parse_reproducer(buf.str(), error);
+  if (!r && error != nullptr) *error = path + ": " + *error;
+  return r;
+}
+
+bool save_reproducer(const Reproducer& r, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << describe_reproducer(r);
+  return out.good();
+}
+
+}  // namespace rader::dag

@@ -1,0 +1,77 @@
+// Serialization of random programs: the `.rprog` reproducer format.
+//
+// A Reproducer is a self-contained artifact of one differential-fuzzing
+// finding: the program's action tree, the parameters it executes with, the
+// eliciting steal-specification handle, a free-form provenance note, and the
+// canonical race keys the replay is expected to reproduce.  It is what the
+// fuzz driver persists on a divergence (tools/fuzz_detectors --out-dir), what
+// the shrinker minimizes (fuzz/shrink.hpp), and what `rader --repro=FILE`
+// replays through the full report/provenance pipeline.
+//
+// The text format is versioned and stable:
+//
+//   rprog v1
+//   note SP+ false positive at pool+0x8        (optional, one line)
+//   seed 42
+//   reducers 2
+//   locations 8
+//   spec steal-triple(0,1,2)
+//   expect det pool+0x0 write label="pool write" prior=write aware=0
+//   program {
+//     update red=0 amount=3
+//     spawn {
+//       write loc=2
+//       sync
+//     }
+//     read loc=1
+//   }
+//
+// Child frames nest inline at their spawn/call action (the ProgramTree
+// children-in-action-order invariant).  `describe_reproducer` always emits
+// the canonical rendering above — fixed key order, two-space indentation, no
+// comments — so describe(parse(describe(r))) is byte-identical to
+// describe(r).  `parse_reproducer` additionally accepts blank lines and
+// whole-line `#` comments, and validates every index (loc < locations,
+// red < reducers, balanced braces) so a hand-edited file fails loudly
+// instead of crashing the replay.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dag/random_program.hpp"
+
+namespace rader::dag {
+
+inline constexpr int kRprogFormatVersion = 1;
+
+/// A self-contained fuzz reproducer (see the file comment for the format).
+struct Reproducer {
+  RandomProgramParams params;        // num_reducers/num_locations execute;
+                                     // seed is provenance
+  ProgramTree tree;
+  std::string spec_handle;           // spec::from_description handle
+  std::string note;                  // one-line provenance ("" = none)
+  std::vector<std::string> expect;   // canonical race keys (sorted, opaque
+                                     // to this layer; fuzz/differ computes
+                                     // and compares them)
+};
+
+/// Canonical `.rprog` text for `r` (always parseable by parse_reproducer;
+/// byte-stable across round trips).
+std::string describe_reproducer(const Reproducer& r);
+
+/// Parse `.rprog` text.  On failure returns nullopt and, when `error` is
+/// non-null, stores a "line N: what" message.
+std::optional<Reproducer> parse_reproducer(const std::string& text,
+                                           std::string* error = nullptr);
+
+/// Read + parse a `.rprog` file (convenience for the CLI and tests).
+std::optional<Reproducer> load_reproducer(const std::string& path,
+                                          std::string* error = nullptr);
+
+/// Write `describe_reproducer(r)` to `path`.  Returns false on I/O failure.
+bool save_reproducer(const Reproducer& r, const std::string& path);
+
+}  // namespace rader::dag

@@ -38,47 +38,26 @@ struct cnt_monoid {
 
 using CntReducer = reducer<cnt_monoid>;
 
-enum class ActionType : std::uint8_t {
-  kSpawn,    // spawn child frame #child_index
-  kCall,     // call child frame #child_index
-  kSync,
-  kRead,     // annotated read of pool[loc]
-  kWrite,    // annotated write of pool[loc]
-  kUpdate,   // reducer[red].update: annotated add to the view
-  kUpdateShared,  // update that also writes pool[loc] and arms Reduce
-  kGetValue, // reducer-read
-  kSetValue, // reducer-read
-  kRawRead,  // annotated read of reducer[red]'s leftmost view storage
-  kRawWrite, // annotated write of reducer[red]'s leftmost view storage
-};
-
-struct Action {
-  ActionType type;
-  std::uint32_t child = 0;  // for kSpawn / kCall
-  std::uint32_t loc = 0;    // for kRead / kWrite
-  std::uint32_t red = 0;    // reducer index
-  long amount = 0;          // update increment / set value
-};
-
-struct FrameTemplate {
-  std::vector<Action> actions;
-  std::vector<std::unique_ptr<FrameTemplate>> children;
-};
-
 }  // namespace
+
+std::size_t ProgramTree::action_count() const {
+  std::size_t count = actions.size();
+  for (const ProgramTree& c : children) count += c.action_count();
+  return count;
+}
 
 struct RandomProgram::Impl {
   RandomProgramParams params;
-  FrameTemplate root;
+  ProgramTree root;
   std::vector<long> pool;          // shared scalar locations
   std::vector<std::unique_ptr<CntReducer>> reducers;  // live during a run
   std::vector<long> totals;        // reducer values captured at run end
 
-  void generate(FrameTemplate& frame, Rng& rng, std::uint32_t depth);
-  void execute(const FrameTemplate& frame);
+  void generate(ProgramTree& frame, Rng& rng, std::uint32_t depth);
+  void execute(const ProgramTree& frame);
 };
 
-void RandomProgram::Impl::generate(FrameTemplate& frame, Rng& rng,
+void RandomProgram::Impl::generate(ProgramTree& frame, Rng& rng,
                                    std::uint32_t depth) {
   const std::uint32_t n_actions =
       1 + static_cast<std::uint32_t>(rng.below(params.max_actions));
@@ -109,8 +88,10 @@ void RandomProgram::Impl::generate(FrameTemplate& frame, Rng& rng,
       }
       a.type = want_spawn ? ActionType::kSpawn : ActionType::kCall;
       a.child = static_cast<std::uint32_t>(frame.children.size());
-      frame.children.push_back(std::make_unique<FrameTemplate>());
-      generate(*frame.children.back(), rng, depth + 1);
+      frame.children.emplace_back();
+      frame.actions.push_back(a);
+      generate(frame.children.back(), rng, depth + 1);
+      continue;
     } else if ((x -= params.p_sync) < 0) {
       a.type = ActionType::kSync;
     } else if ((x -= params.p_access) < 0) {
@@ -143,14 +124,14 @@ void RandomProgram::Impl::generate(FrameTemplate& frame, Rng& rng,
   }
 }
 
-void RandomProgram::Impl::execute(const FrameTemplate& frame) {
+void RandomProgram::Impl::execute(const ProgramTree& frame) {
   for (const Action& a : frame.actions) {
     switch (a.type) {
       case ActionType::kSpawn:
-        spawn([this, &frame, &a] { execute(*frame.children[a.child]); });
+        spawn([this, &frame, &a] { execute(frame.children[a.child]); });
         break;
       case ActionType::kCall:
-        call([this, &frame, &a] { execute(*frame.children[a.child]); });
+        call([this, &frame, &a] { execute(frame.children[a.child]); });
         break;
       case ActionType::kSync:
         sync();
@@ -221,6 +202,14 @@ RandomProgram::RandomProgram(const RandomProgramParams& params)
   impl_->pool.assign(params.num_locations, 0);
 }
 
+RandomProgram::RandomProgram(ProgramTree tree,
+                             const RandomProgramParams& params)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->params = params;
+  impl_->root = std::move(tree);
+  impl_->pool.assign(params.num_locations, 0);
+}
+
 RandomProgram::~RandomProgram() = default;
 
 void RandomProgram::operator()() {
@@ -251,13 +240,13 @@ std::pair<std::uintptr_t, std::uintptr_t> RandomProgram::pool_range() const {
 }
 
 std::size_t RandomProgram::action_count() const {
-  std::size_t count = 0;
-  const auto walk = [&](const FrameTemplate& f, auto&& self) -> void {
-    count += f.actions.size();
-    for (const auto& c : f.children) self(*c, self);
-  };
-  walk(impl_->root, walk);
-  return count;
+  return impl_->root.action_count();
+}
+
+const ProgramTree& RandomProgram::tree() const { return impl_->root; }
+
+const RandomProgramParams& RandomProgram::params() const {
+  return impl_->params;
 }
 
 }  // namespace rader::dag

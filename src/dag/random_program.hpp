@@ -1,4 +1,4 @@
-// Random-program generator for the property tests.
+// Random-program generator for the property tests and the fuzz subsystem.
 //
 // Generates a deterministic (seed-derived) tree of Cilk-style actions —
 // spawns, calls, syncs, annotated reads/writes to a small shared pool,
@@ -10,6 +10,12 @@
 // Recorder attached yields, for the *same* execution, a detector verdict and
 // a ground-truth oracle verdict to compare.  The same program object can be
 // re-run under many steal specifications (state resets on each run).
+//
+// The action tree is a public value type (ProgramTree) so that tooling can
+// manipulate programs directly: dag/program_serial.hpp round-trips a tree
+// through the `.rprog` text format, and fuzz/shrink.hpp delta-debugs a
+// diverging tree down to a minimal reproducer.  A RandomProgram can be
+// built either from a seed (the generator) or from an explicit tree.
 #pragma once
 
 #include <cstdint>
@@ -40,9 +46,56 @@ struct RandomProgramParams {
                                  // memory, the Section-7 coverage target
 };
 
+/// One Cilk-style action of a program frame.
+enum class ActionType : std::uint8_t {
+  kSpawn,    // spawn child frame #child
+  kCall,     // call child frame #child
+  kSync,
+  kRead,     // annotated read of pool[loc]
+  kWrite,    // annotated write of pool[loc]
+  kUpdate,   // reducer[red].update: annotated add to the view
+  kUpdateShared,  // update that also writes pool[loc] and arms Reduce
+  kGetValue, // reducer-read
+  kSetValue, // reducer-read
+  kRawRead,  // annotated read of reducer[red]'s leftmost view storage
+  kRawWrite, // annotated write of reducer[red]'s leftmost view storage
+};
+
+struct Action {
+  ActionType type = ActionType::kSync;
+  std::uint32_t child = 0;  // for kSpawn / kCall
+  std::uint32_t loc = 0;    // for kRead / kWrite / kUpdateShared
+  std::uint32_t red = 0;    // reducer index
+  long amount = 0;          // update increment / set value
+};
+
+/// A frame template: the actions of one frame plus its child frames.  Value
+/// semantics (copyable) so tools can transform trees freely.
+///
+/// Invariant maintained by the generator, the parser, and the shrinker:
+/// every kSpawn/kCall action's `child` indexes a distinct entry of
+/// `children`, in order of appearance — the i-th spawn-or-call action of a
+/// frame references child i.  (program_serial relies on this to nest child
+/// frames at their spawn site.)
+struct ProgramTree {
+  std::vector<Action> actions;
+  std::vector<ProgramTree> children;
+
+  /// Total number of actions in this subtree.
+  std::size_t action_count() const;
+};
+
 class RandomProgram {
  public:
+  /// Generate a seed-derived tree per `params`.
   explicit RandomProgram(const RandomProgramParams& params);
+
+  /// Adopt an explicit action tree (from program_serial::parse_reproducer or
+  /// fuzz/shrink).  Only `params.num_reducers` / `params.num_locations` (and
+  /// the provenance `seed`) are meaningful; the tree is taken as-is.  The
+  /// tree must be valid for the params (see program_serial validation).
+  RandomProgram(ProgramTree tree, const RandomProgramParams& params);
+
   ~RandomProgram();
 
   RandomProgram(const RandomProgram&) = delete;
@@ -62,6 +115,10 @@ class RandomProgram {
   /// Address range of the shared scalar pool (stable across runs), for
   /// restricting oracle/detector comparisons to view-oblivious memory.
   std::pair<std::uintptr_t, std::uintptr_t> pool_range() const;
+
+  /// The program's action tree and construction parameters.
+  const ProgramTree& tree() const;
+  const RandomProgramParams& params() const;
 
  private:
   struct Impl;

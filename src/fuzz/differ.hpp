@@ -1,0 +1,121 @@
+// Differential checking: detectors vs the brute-force DAG oracle.
+//
+// The core predicate of the fuzz subsystem.  One *execution check* runs a
+// program under one steal specification with SP+, Peer-Set, and the DAG
+// recorder attached, then compares both detector verdicts against the
+// ground-truth oracle (dag/oracle.hpp) exactly as the property tests do:
+//
+//  * SP+ soundness per address (no report off the oracle's racing set) and
+//    completeness per execution — a single-execution miss is tolerated only
+//    as the known Figure-6 shadow-slot corner, and only if some member of
+//    the Section-7 family reports the location (family escalation);
+//  * Peer-Set soundness per reducer and verdict agreement.
+//
+// Any disagreement is a Divergence.  `check_reproducer` runs the whole
+// check on a serialized reproducer (dag/program_serial.hpp) — this is the
+// predicate the delta-debugging shrinker (fuzz/shrink.hpp) re-evaluates
+// after every candidate edit.
+//
+// `replay_reproducer` is the *reporting* replay: SP+ and Peer-Set into one
+// stamped RaceLog, optional provenance annotation, and the canonical
+// (process-independent) race keys that `.rprog` files record under `expect`
+// and `rader --repro` verifies byte-identically.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/race_report.hpp"
+#include "dag/program_serial.hpp"
+#include "dag/random_program.hpp"
+#include "spec/steal_spec.hpp"
+
+namespace rader::fuzz {
+
+struct DifferOptions {
+  /// Escalate single-execution SP+ misses through the Section-7 family
+  /// (expensive: O(KD + K³) re-executions).  On: the production fuzz
+  /// configuration.  Off: a miss is ignored (shrinker predicates that chase
+  /// other divergence kinds don't pay for the family).
+  bool check_family_closure = true;
+
+  /// Testing hook: inject a fake detector bug — every SP+ determinacy
+  /// report on a pool location is treated as a false positive.  Guarantees
+  /// a seeded "divergence" on any program with a parallel pool conflict, so
+  /// the shrinker pipeline can be exercised end to end (and CI can prove a
+  /// seeded divergence shrinks to a handful of actions).  Also reachable
+  /// via `fuzz_detectors --inject-bug` and, for build-level injection, the
+  /// RADER_FUZZ_INJECT_BUG compile definition.
+  bool inject_bug = false;
+};
+
+/// One detector/oracle disagreement.
+struct Divergence {
+  std::string kind;         // stable id: "spplus-false-positive",
+                            // "spplus-verdict", "family-miss",
+                            // "peerset-false-positive", "peerset-verdict",
+                            // "injected-bug", "invalid-spec"
+  std::string detail;       // human-readable one-liner
+  std::string spec_handle;  // the eliciting specification
+};
+
+/// Result of differentially checking ONE execution (program × spec).
+struct ExecutionCheck {
+  std::vector<Divergence> divergences;
+  std::uint64_t races_confirmed = 0;   // oracle-confirmed racing artifacts
+  bool single_exec_miss = false;       // Figure-6 corner observed
+};
+
+/// Run the differential check of `program` under `steal_spec`.
+ExecutionCheck check_execution(dag::RandomProgram& program,
+                               const spec::StealSpec& steal_spec,
+                               const DifferOptions& options = {});
+
+/// Instantiate `repro` and differentially check it under its recorded spec.
+/// Empty result = clean; an unparseable spec handle yields one
+/// "invalid-spec" divergence.  This is the shrinker's predicate primitive.
+std::vector<Divergence> check_reproducer(const dag::Reproducer& repro,
+                                         const DifferOptions& options = {});
+
+/// Canonical, process-independent dedup keys for a RaceLog produced by a
+/// reproducer replay.  Pool addresses render as stable `pool+0xOFF` byte
+/// offsets; any other address (reducer view storage, reallocated per run)
+/// renders as `view`.  When a race carries a provenance record, its oracle
+/// verdict is appended (` oracle=confirmed` …).  Sorted and deduplicated —
+/// byte-comparable across processes and machines.
+std::vector<std::string> canonical_race_keys(const RaceLog& log,
+                                             std::uintptr_t pool_lo,
+                                             std::uintptr_t pool_hi);
+
+struct ReplayOptions {
+  /// Attach provenance records (core/provenance.hpp) before key extraction,
+  /// so keys carry oracle verdicts.
+  bool annotate = true;
+};
+
+/// Result of the reporting replay of a reproducer.
+struct ReplayResult {
+  RaceLog log;                     // SP+ + Peer-Set, stamped with the spec
+  std::vector<std::string> keys;   // canonical_race_keys of `log`
+  long reducer_total = 0;          // determinism witness
+  std::size_t action_count = 0;
+};
+
+/// Replay `repro` under its spec with SP+ AND Peer-Set sharing one log —
+/// the `rader --repro` pipeline.  Returns nullopt (and sets `error`) when
+/// the spec handle does not parse.
+std::optional<ReplayResult> replay_reproducer(const dag::Reproducer& repro,
+                                              std::string* error = nullptr,
+                                              const ReplayOptions& options = {});
+
+/// The seed-derived program parameters the fuzz loop explores (varied
+/// depth/width/reducer/location counts, §7-targeting action mix).
+dag::RandomProgramParams fuzz_params(std::uint64_t seed);
+
+/// The battery of steal specifications each fuzzed program is checked
+/// under: no-steals, steal-all, two Bernoulli mixes, one random triple.
+std::vector<std::unique_ptr<spec::StealSpec>> spec_battery(std::uint64_t seed);
+
+}  // namespace rader::fuzz

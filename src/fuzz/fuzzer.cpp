@@ -1,0 +1,151 @@
+#include "fuzz/fuzzer.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "support/metrics.hpp"
+
+namespace rader::fuzz {
+namespace {
+
+void progress(const FuzzOptions& options, const std::string& line) {
+  if (options.on_progress) options.on_progress(line);
+}
+
+std::string artifact_stem(const std::string& out_dir, std::uint64_t seed,
+                          std::size_t n) {
+  std::ostringstream os;
+  os << out_dir << "/div-seed" << seed << "-" << n;
+  return os.str();
+}
+
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << text;
+  return static_cast<bool>(out);
+}
+
+/// Re-record the `expect` keys of a reproducer from an actual replay, so
+/// the artifact carries the race set it reproduces.
+void record_expectations(dag::Reproducer& repro) {
+  std::string error;
+  if (const auto replay = replay_reproducer(repro, &error)) {
+    repro.expect = replay->keys;
+  }
+}
+
+/// Persist one diverging (seed, spec) pair: full reproducer, optionally its
+/// shrunk form and a litmus snippet.  Returns the paths written.
+std::vector<std::string> persist_divergence(const FuzzOptions& options,
+                                            FuzzStats& stats,
+                                            std::uint64_t seed,
+                                            const dag::Reproducer& full,
+                                            const Divergence& first) {
+  std::vector<std::string> written;
+  const std::string stem =
+      artifact_stem(options.out_dir, seed, stats.artifacts_written);
+
+  dag::Reproducer artifact = full;
+  record_expectations(artifact);
+  if (!dag::save_reproducer(artifact, stem + ".rprog")) {
+    progress(options, "fuzz: FAILED to write " + stem + ".rprog");
+    return written;
+  }
+  written.push_back(stem + ".rprog");
+
+  if (options.shrink) {
+    const ShrinkPredicate pred =
+        divergence_predicate(first.kind, options.differ);
+    if (pred(full)) {
+      const ShrinkResult shrunk = shrink(full, pred, options.shrinker);
+      dag::Reproducer minimal = shrunk.repro;
+      minimal.note = first.kind + ": " + first.detail +
+                     " (shrunk " + std::to_string(shrunk.initial_actions) +
+                     " -> " + std::to_string(shrunk.final_actions) +
+                     " actions)";
+      record_expectations(minimal);
+      if (dag::save_reproducer(minimal, stem + ".min.rprog")) {
+        written.push_back(stem + ".min.rprog");
+      }
+      if (write_text_file(stem + ".litmus.cc", litmus_snippet(minimal))) {
+        written.push_back(stem + ".litmus.cc");
+      }
+      std::ostringstream os;
+      os << "fuzz: shrunk seed " << seed << " from " << shrunk.initial_actions
+         << " to " << shrunk.final_actions << " actions in " << shrunk.rounds
+         << " round(s), " << shrunk.predicate_calls << " predicate call(s)";
+      progress(options, os.str());
+    } else {
+      progress(options,
+               "fuzz: divergence on seed " + std::to_string(seed) +
+                   " did not re-fire under the shrink predicate; kept the "
+                   "full reproducer only");
+    }
+  }
+  return written;
+}
+
+}  // namespace
+
+FuzzStats run_fuzz(const FuzzOptions& options) {
+  FuzzStats stats;
+  metrics::Stopwatch clock;
+
+  if (!options.out_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.out_dir, ec);
+    if (ec) {
+      progress(options, "fuzz: cannot create out dir '" + options.out_dir +
+                            "': " + ec.message());
+    }
+  }
+
+  for (std::uint64_t seed = options.start_seed;; ++seed) {
+    if (clock.seconds() >= options.seconds) break;
+    if (options.max_seeds != 0 &&
+        stats.seeds >= options.max_seeds) {
+      break;
+    }
+
+    const dag::RandomProgramParams params = fuzz_params(seed);
+    for (const auto& steal_spec : spec_battery(seed)) {
+      dag::RandomProgram program(params);
+      const ExecutionCheck check =
+          check_execution(program, *steal_spec, options.differ);
+      ++stats.executions;
+      stats.races_confirmed += check.races_confirmed;
+      stats.single_exec_misses += check.single_exec_miss ? 1 : 0;
+      if (check.divergences.empty()) continue;
+
+      stats.divergences += check.divergences.size();
+      for (const Divergence& d : check.divergences) {
+        if (stats.sample.size() < 8) stats.sample.push_back(d);
+        progress(options, "fuzz: DIVERGENCE seed=" + std::to_string(seed) +
+                              " spec=" + d.spec_handle + " [" + d.kind +
+                              "] " + d.detail);
+      }
+
+      if (!options.out_dir.empty() &&
+          stats.artifacts_written < options.max_artifacts) {
+        dag::Reproducer full;
+        full.params = params;
+        full.tree = program.tree();
+        full.spec_handle = steal_spec->describe();
+        full.note = check.divergences.front().kind + ": " +
+                    check.divergences.front().detail;
+        const auto written = persist_divergence(options, stats, seed, full,
+                                                check.divergences.front());
+        for (const std::string& path : written) {
+          stats.artifact_paths.push_back(path);
+        }
+        if (!written.empty()) ++stats.artifacts_written;
+      }
+    }
+    ++stats.seeds;
+  }
+  return stats;
+}
+
+}  // namespace rader::fuzz

@@ -1,0 +1,58 @@
+// The differential fuzz loop.
+//
+// Drives seed-derived random Cilk programs (dag/random_program.hpp) through
+// the differential checker (fuzz/differ.hpp) under a battery of steal
+// specifications, within a wall-clock budget.  Every divergence becomes a
+// persisted reproducer artifact (when an output directory is configured):
+//
+//   <out>/div-seed<S>-<n>.rprog        the full diverging program
+//   <out>/div-seed<S>-<n>.min.rprog    delta-debugged minimal form (--shrink)
+//   <out>/div-seed<S>-<n>.litmus.cc    ready-to-paste litmus-style test
+//
+// Reproducers record the eliciting spec handle and the canonical race keys
+// (`expect` lines) observed at capture time, so `rader --repro=FILE` can
+// verify byte-identical reproduction later.  tools/fuzz_detectors.cpp is a
+// thin CLI wrapper over run_fuzz().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fuzz/differ.hpp"
+#include "fuzz/shrink.hpp"
+
+namespace rader::fuzz {
+
+struct FuzzOptions {
+  double seconds = 30.0;          // wall-clock budget
+  std::uint64_t start_seed = 1;
+  std::uint64_t max_seeds = 0;    // 0 = no seed cap (budget-limited only)
+  std::string out_dir;            // empty = don't persist artifacts
+  bool shrink = false;            // delta-debug each diverging program
+  std::size_t max_artifacts = 16; // per-run cap on persisted reproducers
+  DifferOptions differ;
+  ShrinkOptions shrinker;
+
+  /// Optional progress sink (one line per event); null = silent.
+  std::function<void(const std::string&)> on_progress;
+};
+
+struct FuzzStats {
+  std::uint64_t seeds = 0;               // seeds fully processed
+  std::uint64_t executions = 0;          // program × spec checks run
+  std::uint64_t races_confirmed = 0;     // oracle-confirmed racing artifacts
+  std::uint64_t single_exec_misses = 0;  // Figure-6 corners escalated
+  std::uint64_t divergences = 0;         // total divergences observed
+  std::uint64_t artifacts_written = 0;
+  std::vector<Divergence> sample;        // first few divergences, for reports
+  std::vector<std::string> artifact_paths;
+};
+
+/// Run the fuzz loop.  Returns accumulated statistics; `divergences == 0`
+/// means every checked execution agreed with the oracle (modulo documented
+/// Figure-6 escalation).
+FuzzStats run_fuzz(const FuzzOptions& options);
+
+}  // namespace rader::fuzz

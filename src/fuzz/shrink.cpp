@@ -1,0 +1,517 @@
+#include "fuzz/shrink.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <utility>
+#include <set>
+#include <sstream>
+
+namespace rader::fuzz {
+namespace {
+
+using dag::Action;
+using dag::ActionType;
+using dag::ProgramTree;
+
+bool is_nesting(ActionType t) {
+  return t == ActionType::kSpawn || t == ActionType::kCall;
+}
+
+bool uses_reducer(ActionType t) {
+  switch (t) {
+    case ActionType::kUpdate:
+    case ActionType::kUpdateShared:
+    case ActionType::kGetValue:
+    case ActionType::kSetValue:
+    case ActionType::kRawRead:
+    case ActionType::kRawWrite:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool uses_location(ActionType t) {
+  return t == ActionType::kRead || t == ActionType::kWrite ||
+         t == ActionType::kUpdateShared;
+}
+
+ProgramTree* locate(ProgramTree& root,
+                    const std::vector<std::uint32_t>& path) {
+  ProgramTree* f = &root;
+  for (const std::uint32_t i : path) f = &f->children[i];
+  return f;
+}
+
+void collect_paths(const ProgramTree& frame, std::vector<std::uint32_t>& cur,
+                   std::vector<std::vector<std::uint32_t>>& out) {
+  out.push_back(cur);
+  for (std::uint32_t i = 0;
+       i < static_cast<std::uint32_t>(frame.children.size()); ++i) {
+    cur.push_back(i);
+    collect_paths(frame.children[i], cur, out);
+    cur.pop_back();
+  }
+}
+
+std::vector<std::vector<std::uint32_t>> frame_paths(const ProgramTree& root) {
+  std::vector<std::vector<std::uint32_t>> out;
+  std::vector<std::uint32_t> cur;
+  collect_paths(root, cur, out);
+  return out;
+}
+
+/// Remove actions [start, start+len) of `frame`, dropping the subtrees of
+/// removed spawn/call actions and renumbering the survivors' child indices.
+void remove_range(ProgramTree& frame, std::size_t start, std::size_t len) {
+  const std::size_t end = std::min(frame.actions.size(), start + len);
+  std::vector<std::uint32_t> removed_children;
+  for (std::size_t i = start; i < end; ++i) {
+    if (is_nesting(frame.actions[i].type)) {
+      removed_children.push_back(frame.actions[i].child);
+    }
+  }
+  frame.actions.erase(frame.actions.begin() + static_cast<std::ptrdiff_t>(start),
+                      frame.actions.begin() + static_cast<std::ptrdiff_t>(end));
+  for (auto it = removed_children.rbegin(); it != removed_children.rend();
+       ++it) {
+    frame.children.erase(frame.children.begin() + *it);
+  }
+  for (Action& a : frame.actions) {
+    if (!is_nesting(a.type)) continue;
+    std::uint32_t shift = 0;
+    for (const std::uint32_t r : removed_children) shift += (r < a.child);
+    a.child -= shift;
+  }
+}
+
+void walk_actions(const ProgramTree& frame,
+                  const std::function<void(const Action&)>& fn) {
+  for (const Action& a : frame.actions) fn(a);
+  for (const ProgramTree& c : frame.children) walk_actions(c, fn);
+}
+
+void map_actions(ProgramTree& frame,
+                 const std::function<void(Action&)>& fn) {
+  for (Action& a : frame.actions) fn(a);
+  for (ProgramTree& c : frame.children) map_actions(c, fn);
+}
+
+struct Ctx {
+  const ShrinkPredicate& pred;
+  const ShrinkOptions& opts;
+  ShrinkResult& res;
+
+  bool budget_ok() const {
+    return res.predicate_calls < opts.max_predicate_calls;
+  }
+
+  /// Evaluate the predicate on `candidate`; on success move it into `base`.
+  bool try_accept(dag::Reproducer& base, dag::Reproducer&& candidate,
+                  const char* rule) {
+    if (!budget_ok()) return false;
+    ++res.predicate_calls;
+    if (!pred(candidate)) return false;
+    base = std::move(candidate);
+    ++res.accepted_steps;
+    if (opts.on_accept) opts.on_accept(base, rule);
+    return true;
+  }
+};
+
+/// Rule 1: ddmin-style chunked action removal over every frame.
+bool rule_drop_actions(Ctx& ctx, dag::Reproducer& base) {
+  bool any = false;
+  bool structure_changed = true;
+  while (structure_changed && ctx.budget_ok()) {
+    structure_changed = false;
+    for (const auto& path : frame_paths(base.tree)) {
+      std::size_t n = locate(base.tree, path)->actions.size();
+      for (std::size_t chunk = std::max<std::size_t>(n, 1); chunk >= 1;
+           chunk /= 2) {
+        std::size_t start = 0;
+        while (ctx.budget_ok()) {
+          ProgramTree* frame = locate(base.tree, path);
+          if (start >= frame->actions.size()) break;
+          dag::Reproducer cand = base;
+          remove_range(*locate(cand.tree, path), start, chunk);
+          if (ctx.try_accept(base, std::move(cand), "drop-actions")) {
+            any = true;
+            structure_changed = true;  // descendant paths may be stale
+          } else {
+            start += chunk;
+          }
+        }
+        if (chunk == 1) break;
+      }
+      // Re-enumerate frames once a subtree may have vanished.
+      if (structure_changed) break;
+    }
+  }
+  return any;
+}
+
+/// Rule 2: collapse spawns to calls (serializes the child, keeps it).
+bool rule_spawn_to_call(Ctx& ctx, dag::Reproducer& base) {
+  bool any = false;
+  for (const auto& path : frame_paths(base.tree)) {
+    const std::size_t n = locate(base.tree, path)->actions.size();
+    for (std::size_t i = 0; i < n && ctx.budget_ok(); ++i) {
+      if (locate(base.tree, path)->actions[i].type != ActionType::kSpawn) {
+        continue;
+      }
+      dag::Reproducer cand = base;
+      locate(cand.tree, path)->actions[i].type = ActionType::kCall;
+      any |= ctx.try_accept(base, std::move(cand), "spawn-to-call");
+    }
+  }
+  return any;
+}
+
+/// Rule 3: shrink parameters — drop unused reducers/locations (dense
+/// remap), normalize update amounts.
+bool rule_shrink_params(Ctx& ctx, dag::Reproducer& base) {
+  bool any = false;
+
+  std::set<std::uint32_t> used_reds, used_locs;
+  bool nontrivial_amount = false;
+  walk_actions(base.tree, [&](const Action& a) {
+    if (uses_reducer(a.type)) used_reds.insert(a.red);
+    if (uses_location(a.type)) used_locs.insert(a.loc);
+    if ((a.type == ActionType::kUpdate ||
+         a.type == ActionType::kUpdateShared ||
+         a.type == ActionType::kSetValue) &&
+        a.amount != 1) {
+      nontrivial_amount = true;
+    }
+  });
+
+  if (used_reds.size() < base.params.num_reducers) {
+    dag::Reproducer cand = base;
+    std::map<std::uint32_t, std::uint32_t> remap;
+    for (const std::uint32_t r : used_reds) {
+      remap.emplace(r, static_cast<std::uint32_t>(remap.size()));
+    }
+    map_actions(cand.tree, [&](Action& a) {
+      if (uses_reducer(a.type)) a.red = remap.at(a.red);
+    });
+    cand.params.num_reducers = static_cast<std::uint32_t>(used_reds.size());
+    any |= ctx.try_accept(base, std::move(cand), "drop-reducers");
+  }
+
+  if (used_locs.size() < base.params.num_locations) {
+    dag::Reproducer cand = base;
+    std::map<std::uint32_t, std::uint32_t> remap;
+    for (const std::uint32_t l : used_locs) {
+      remap.emplace(l, static_cast<std::uint32_t>(remap.size()));
+    }
+    map_actions(cand.tree, [&](Action& a) {
+      if (uses_location(a.type)) a.loc = remap.at(a.loc);
+    });
+    cand.params.num_locations =
+        std::max<std::uint32_t>(1, static_cast<std::uint32_t>(used_locs.size()));
+    any |= ctx.try_accept(base, std::move(cand), "drop-locations");
+  }
+
+  if (nontrivial_amount) {
+    dag::Reproducer cand = base;
+    map_actions(cand.tree, [&](Action& a) {
+      if (a.type == ActionType::kUpdate ||
+          a.type == ActionType::kUpdateShared ||
+          a.type == ActionType::kSetValue) {
+        a.amount = 1;
+      }
+    });
+    any |= ctx.try_accept(base, std::move(cand), "normalize-amounts");
+  }
+
+  return any;
+}
+
+/// Well-founded simplicity order over spec handles: kind rank (no-steals
+/// simplest) plus the sum of the handle's numeric parameters.  Spec shrinks
+/// must strictly decrease this, so the rule terminates and cannot flip-flop
+/// between two handles that both satisfy the predicate.
+std::pair<int, double> spec_rank(const std::string& handle) {
+  int kind = 6;
+  if (handle == "no-steals") kind = 0;
+  else if (handle == "steal-all") kind = 1;
+  else if (handle.rfind("steal-triple(", 0) == 0) kind = 2;
+  else if (handle.rfind("steal-depth(", 0) == 0) kind = 3;
+  else if (handle.rfind("steal-random(", 0) == 0) kind = 4;
+  else if (handle.rfind("steal-bernoulli(", 0) == 0) kind = 5;
+  double weight = 0;
+  for (std::size_t i = 0; i < handle.size(); ++i) {
+    if (std::isdigit(static_cast<unsigned char>(handle[i])) == 0) continue;
+    std::size_t end = i;
+    weight += std::stod(handle.substr(i), &end);
+    i += end;
+  }
+  return {kind, weight};
+}
+
+/// Simpler specification handles to try for `handle`, simplest first —
+/// the "shrink the spec family index" rule.
+std::vector<std::string> spec_candidates(const std::string& handle) {
+  std::vector<std::string> out{"no-steals", "steal-all"};
+  unsigned a = 0, b = 0, c = 0, k = 0;
+  unsigned long long d = 0, seed = 0;
+  double p = 0;
+  char junk = 0;
+  const auto push = [&](std::unique_ptr<spec::StealSpec> s) {
+    out.push_back(s->describe());
+  };
+  if (std::sscanf(handle.c_str(), "steal-triple(%u,%u,%u)%c", &a, &b, &c,
+                  &junk) == 3) {
+    push(std::make_unique<spec::TripleSteal>(0, 1, 2));
+    push(std::make_unique<spec::TripleSteal>(0, 0, 0));
+    push(std::make_unique<spec::TripleSteal>(a / 2, b / 2, c / 2));
+    push(std::make_unique<spec::TripleSteal>(a, b, b));
+  } else if (std::sscanf(handle.c_str(), "steal-depth(%llu)%c", &d, &junk) ==
+             1) {
+    push(std::make_unique<spec::DepthSteal>(0));
+    if (d > 0) push(std::make_unique<spec::DepthSteal>(d / 2));
+    if (d > 0) push(std::make_unique<spec::DepthSteal>(d - 1));
+  } else if (std::sscanf(handle.c_str(), "steal-random(seed=%llu,K=%u)%c",
+                         &seed, &k, &junk) == 2) {
+    push(std::make_unique<spec::TripleSteal>(0, 1, 2));
+    if (k > 1) push(std::make_unique<spec::RandomTripleSteal>(seed, k / 2));
+    push(std::make_unique<spec::RandomTripleSteal>(0, k));
+  } else if (std::sscanf(handle.c_str(), "steal-bernoulli(seed=%llu,p=%lf)%c",
+                         &seed, &p, &junk) == 2) {
+    push(std::make_unique<spec::BernoulliSteal>(0, 0.5));
+  }
+  // Dedup; keep only handles STRICTLY simpler than the current one.
+  const auto current = spec_rank(handle);
+  std::vector<std::string> uniq;
+  for (std::string& s : out) {
+    if (s != handle && spec_rank(s) < current &&
+        std::find(uniq.begin(), uniq.end(), s) == uniq.end()) {
+      uniq.push_back(std::move(s));
+    }
+  }
+  return uniq;
+}
+
+/// Rule 4: replace the eliciting spec with a simpler handle.
+bool rule_shrink_spec(Ctx& ctx, dag::Reproducer& base) {
+  for (const std::string& handle : spec_candidates(base.spec_handle)) {
+    if (!ctx.budget_ok()) break;
+    dag::Reproducer cand = base;
+    cand.spec_handle = handle;
+    if (ctx.try_accept(base, std::move(cand), "shrink-spec")) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+ShrinkResult shrink(const dag::Reproducer& seed,
+                    const ShrinkPredicate& still_diverges,
+                    const ShrinkOptions& options) {
+  ShrinkResult res;
+  res.repro = seed;
+  // Expectation keys describe the ORIGINAL program's race set; they go
+  // stale under every edit, so callers re-record them after shrinking.
+  res.repro.expect.clear();
+  res.initial_actions = seed.tree.action_count();
+  Ctx ctx{still_diverges, options, res};
+  while (res.rounds < options.max_rounds) {
+    bool any = false;
+    any |= rule_drop_actions(ctx, res.repro);
+    any |= rule_spawn_to_call(ctx, res.repro);
+    any |= rule_shrink_params(ctx, res.repro);
+    any |= rule_shrink_spec(ctx, res.repro);
+    ++res.rounds;
+    if (!any) {
+      res.reached_fixpoint = true;
+      break;
+    }
+    if (!ctx.budget_ok()) break;
+  }
+  res.final_actions = res.repro.tree.action_count();
+  return res;
+}
+
+ShrinkPredicate divergence_predicate(std::string kind, DifferOptions options) {
+  return [kind = std::move(kind),
+          options](const dag::Reproducer& candidate) {
+    for (const Divergence& d : check_reproducer(candidate, options)) {
+      if (kind.empty() || d.kind == kind) return true;
+    }
+    return false;
+  };
+}
+
+namespace {
+
+/// Pre-order frame numbering for the snippet's frame_<n> functions.
+void number_frames(const ProgramTree& frame,
+                   std::map<const ProgramTree*, int>& ids) {
+  ids.emplace(&frame, static_cast<int>(ids.size()));
+  for (const ProgramTree& c : frame.children) number_frames(c, ids);
+}
+
+void emit_frame(std::ostringstream& os, const ProgramTree& frame,
+                const std::map<const ProgramTree*, int>& ids) {
+  os << "  void frame_" << ids.at(&frame) << "() {\n";
+  for (const Action& a : frame.actions) {
+    switch (a.type) {
+      case ActionType::kSpawn:
+      case ActionType::kCall:
+        os << "    rader::" << (a.type == ActionType::kSpawn ? "spawn"
+                                                             : "call")
+           << "([&] { frame_" << ids.at(&frame.children[a.child])
+           << "(); });\n";
+        break;
+      case ActionType::kSync:
+        os << "    rader::sync();\n";
+        break;
+      case ActionType::kRead:
+        os << "    rader::shadow_read(&pool[" << a.loc
+           << "], sizeof(long), rader::SrcTag{\"pool read\"});\n"
+           << "    (void)pool[" << a.loc << "];\n";
+        break;
+      case ActionType::kWrite:
+        os << "    rader::shadow_write(&pool[" << a.loc
+           << "], sizeof(long), rader::SrcTag{\"pool write\"});\n"
+           << "    pool[" << a.loc << "] += 1;\n";
+        break;
+      case ActionType::kUpdate:
+        os << "    reds[" << a.red << "]->update([&](Cnt& c) {\n"
+           << "      rader::shadow_write(&c.v, sizeof(c.v), "
+              "rader::SrcTag{\"cnt update\"});\n"
+           << "      c.v += " << a.amount << ";\n"
+           << "    }, rader::SrcTag{\"cnt update\"});\n";
+        break;
+      case ActionType::kUpdateShared:
+        os << "    reds[" << a.red << "]->update([&](Cnt& c) {\n"
+           << "      rader::shadow_write(&c.v, sizeof(c.v), "
+              "rader::SrcTag{\"cnt update (shared)\"});\n"
+           << "      c.v += " << a.amount << ";\n"
+           << "      rader::shadow_write(&pool[" << a.loc
+           << "], sizeof(long), rader::SrcTag{\"update writes pool\"});\n"
+           << "      pool[" << a.loc << "] += 1;\n"
+           << "      c.touch = &pool[" << a.loc << "];\n"
+           << "    }, rader::SrcTag{\"cnt update (shared)\"});\n";
+        break;
+      case ActionType::kGetValue:
+        os << "    (void)reds[" << a.red
+           << "]->get_value(rader::SrcTag{\"get_value\"}).v;\n";
+        break;
+      case ActionType::kSetValue:
+        os << "    reds[" << a.red << "]->set_value(Cnt{" << a.amount
+           << ", nullptr}, rader::SrcTag{\"set_value\"});\n";
+        break;
+      case ActionType::kRawRead:
+        os << "    {\n"
+           << "      Cnt* raw = static_cast<Cnt*>(reds[" << a.red
+           << "]->hyper_leftmost());\n"
+           << "      rader::shadow_read(&raw->v, sizeof(raw->v), "
+              "rader::SrcTag{\"raw view read\"});\n"
+           << "      (void)raw->v;\n"
+           << "    }\n";
+        break;
+      case ActionType::kRawWrite:
+        os << "    {\n"
+           << "      Cnt* raw = static_cast<Cnt*>(reds[" << a.red
+           << "]->hyper_leftmost());\n"
+           << "      rader::shadow_write(&raw->v, sizeof(raw->v), "
+              "rader::SrcTag{\"raw view write\"});\n"
+           << "      raw->v += 1;\n"
+           << "    }\n";
+        break;
+    }
+  }
+  os << "  }\n";
+}
+
+}  // namespace
+
+std::string litmus_snippet(const dag::Reproducer& r) {
+  std::map<const ProgramTree*, int> ids;
+  number_frames(r.tree, ids);
+  std::vector<const ProgramTree*> order(ids.size());
+  for (const auto& [frame, id] : ids) order[static_cast<std::size_t>(id)] = frame;
+
+  std::ostringstream os;
+  os << "// Generated by the rader fuzz shrinker — minimized differential\n"
+        "// reproducer.  Paste into a litmus/regression test, or replay the\n"
+        "// .rprog artifact directly:  rader --repro=FILE\n"
+        "//\n"
+        "// spec: " << r.spec_handle << "\n";
+  if (!r.note.empty()) os << "// note: " << r.note << "\n";
+  os << "#include <gtest/gtest.h>\n"
+        "\n"
+        "#include <memory>\n"
+        "#include <vector>\n"
+        "\n"
+        "#include \"core/driver.hpp\"\n"
+        "#include \"reducers/reducer.hpp\"\n"
+        "#include \"runtime/api.hpp\"\n"
+        "#include \"spec/steal_spec.hpp\"\n"
+        "\n"
+        "namespace {\n"
+        "\n"
+        "struct Cnt {\n"
+        "  long v = 0;\n"
+        "  long* touch = nullptr;\n"
+        "};\n"
+        "struct cnt_monoid {\n"
+        "  using value_type = Cnt;\n"
+        "  static Cnt identity() { return {}; }\n"
+        "  static void reduce(Cnt& left, Cnt& right) {\n"
+        "    rader::shadow_read(&right.v, sizeof(right.v),\n"
+        "                       rader::SrcTag{\"cnt reduce (read rhs)\"});\n"
+        "    rader::shadow_write(&left.v, sizeof(left.v),\n"
+        "                        rader::SrcTag{\"cnt reduce (write lhs)\"});\n"
+        "    left.v += right.v;\n"
+        "    if (right.touch != nullptr) {\n"
+        "      rader::shadow_write(right.touch, sizeof(long),\n"
+        "                          rader::SrcTag{\"cnt reduce touch\"});\n"
+        "      *right.touch += right.v;\n"
+        "    }\n"
+        "    if (left.touch == nullptr) left.touch = right.touch;\n"
+        "  }\n"
+        "};\n"
+        "using CntReducer = rader::reducer<cnt_monoid>;\n"
+        "\n"
+        "struct Repro {\n"
+        "  std::vector<long> pool;\n"
+        "  std::vector<std::unique_ptr<CntReducer>> reds;\n"
+        "\n";
+  for (const ProgramTree* frame : order) emit_frame(os, *frame, ids);
+  os << "\n"
+        "  void operator()() {\n"
+        "    pool.assign(" << r.params.num_locations << ", 0);\n"
+        "    reds.clear();\n"
+        "    for (int i = 0; i < " << r.params.num_reducers << "; ++i) {\n"
+        "      reds.push_back(\n"
+        "          std::make_unique<CntReducer>(rader::SrcTag{\"cnt "
+        "reducer\"}));\n"
+        "    }\n"
+        "    frame_0();\n"
+        "    rader::sync();\n"
+        "    reds.clear();\n"
+        "  }\n"
+        "};\n"
+        "\n"
+        "TEST(FuzzRepro, Minimized) {\n"
+        "  Repro program;\n"
+        "  const auto steal_spec =\n"
+        "      rader::spec::from_description(\"" << r.spec_handle << "\");\n"
+        "  ASSERT_NE(steal_spec, nullptr);\n"
+        "  const rader::RaceLog log =\n"
+        "      rader::Rader::check_determinacy([&] { program(); }, "
+        "*steal_spec);\n"
+        "  // Pin the diverging verdict this reproducer was minimized for.\n"
+        "  EXPECT_TRUE(log.any()) << log.to_string();\n"
+        "}\n"
+        "\n"
+        "}  // namespace\n";
+  return os.str();
+}
+
+}  // namespace rader::fuzz

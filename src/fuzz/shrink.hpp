@@ -1,0 +1,75 @@
+// Delta-debugging shrinker for diverging reproducers.
+//
+// Given a reproducer whose differential check fails (fuzz/differ.hpp) and a
+// predicate "does this candidate still fail the same way?", the shrinker
+// greedily minimizes the program while keeping the predicate true:
+//
+//   1. ddmin action removal — per frame, remove contiguous chunks of
+//      actions (halving the chunk size down to single actions); removing a
+//      spawn/call removes its whole subtree and renumbers child indices;
+//   2. spawn → call collapse — serializes a child without removing it;
+//   3. parameter shrink — drop unused reducers and pool locations (dense
+//      index remap), normalize update amounts to 1;
+//   4. spec shrink — try simpler specification handles (no-steals,
+//      steal-all, smaller family indices of the current handle's kind).
+//
+// Rounds repeat until a whole round accepts nothing (fixpoint) or a budget
+// trips.  Every accepted step preserves the predicate by construction and
+// never increases action_count — the two invariants the property tests pin.
+//
+// `litmus_snippet` renders a reproducer as a ready-to-paste litmus-style
+// C++ test, so a minimized overnight find can be checked in directly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "dag/program_serial.hpp"
+#include "fuzz/differ.hpp"
+
+namespace rader::fuzz {
+
+/// "Does this candidate still exhibit the divergence?"  Must be a pure
+/// function of the reproducer (the differ is deterministic).
+using ShrinkPredicate = std::function<bool(const dag::Reproducer&)>;
+
+struct ShrinkOptions {
+  std::size_t max_rounds = 32;            // fixpoint cap
+  std::uint64_t max_predicate_calls = 20000;
+
+  /// Observer invoked after every ACCEPTED step with the new (smaller)
+  /// reproducer and the rule that produced it — the property tests use it
+  /// to assert predicate preservation and action-count monotonicity.
+  std::function<void(const dag::Reproducer&, const std::string& rule)>
+      on_accept;
+};
+
+struct ShrinkResult {
+  dag::Reproducer repro;             // the minimized reproducer
+  std::size_t initial_actions = 0;
+  std::size_t final_actions = 0;
+  std::size_t rounds = 0;            // full rounds executed
+  std::uint64_t predicate_calls = 0;
+  std::uint64_t accepted_steps = 0;
+  bool reached_fixpoint = false;     // false = a budget tripped first
+};
+
+/// Minimize `seed` while `still_diverges` stays true.  `seed` itself must
+/// satisfy the predicate (callers check before shrinking); if it does not,
+/// the result is `seed` unchanged with zero accepted steps.
+ShrinkResult shrink(const dag::Reproducer& seed,
+                    const ShrinkPredicate& still_diverges,
+                    const ShrinkOptions& options = {});
+
+/// Predicate: check_reproducer still yields >= 1 divergence of `kind`
+/// (empty kind = any divergence).
+ShrinkPredicate divergence_predicate(std::string kind,
+                                     DifferOptions options = {});
+
+/// Ready-to-paste litmus-style C++ rendering of a reproducer: a gtest case
+/// that rebuilds the program with the repo's runtime API and re-checks it
+/// under the recorded specification.
+std::string litmus_snippet(const dag::Reproducer& r);
+
+}  // namespace rader::fuzz

@@ -34,7 +34,7 @@ TEST(ReportJson, SchemaEnvelopePresent) {
   const std::string json = report_json(meta, log);
 
   EXPECT_NE(json.find("\"schema\":\"rader.report\""), std::string::npos);
-  EXPECT_NE(json.find("\"schema_version\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":3"), std::string::npos);
   EXPECT_NE(json.find("\"program\":\"unit\""), std::string::npos);
   EXPECT_NE(json.find("\"check\":\"sp+\""), std::string::npos);
   EXPECT_NE(json.find("\"spec\":\"steal-triple(0,1,2)\""), std::string::npos);
@@ -71,6 +71,23 @@ TEST(ReportJson, SweepBlockAndMetricsWhenProvided) {
             std::string::npos);
   EXPECT_NE(json.find("\"metrics\":{\"counters\":{"), std::string::npos);
   EXPECT_NE(json.find("\"replay_handles\":[]"), std::string::npos);
+}
+
+TEST(ReportJson, ReproFileStampAppearsInV3Races) {
+  spec::StealAll all;
+  RaceLog log = Rader::check_determinacy([] { racy_program(); }, all);
+  ASSERT_TRUE(log.any());
+  // Absent until stamped (the member is optional in the v3 schema).
+  EXPECT_EQ(log.to_json().find("\"repro_file\""), std::string::npos);
+
+  log.stamp_repro_file("corpus/min.rprog");
+  const std::string json = log.to_json();
+  EXPECT_NE(json.find("\"repro_file\":\"corpus/min.rprog\""),
+            std::string::npos);
+
+  // stamp fills only empty fields: a second stamp must not overwrite.
+  log.stamp_repro_file("other.rprog");
+  EXPECT_EQ(log.to_json().find("other.rprog"), std::string::npos);
 }
 
 TEST(ReportJson, ReplayHandlesAreDedupedFoundUnders) {

@@ -1,0 +1,111 @@
+// Unit tests for the differential checker (fuzz/differ.hpp): clean seeds
+// stay clean across the spec battery, the injected-bug hook seeds a
+// guaranteed divergence, and broken reproducers fail loudly.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "dag/program_serial.hpp"
+#include "dag/random_program.hpp"
+#include "fuzz/differ.hpp"
+#include "spec/steal_spec.hpp"
+
+namespace rader {
+namespace {
+
+// spawn { write loc=0 } read loc=0 sync — the smallest program with a
+// genuine pool determinacy race under any stealing spec.
+dag::Reproducer pool_race_reproducer(const std::string& spec_handle) {
+  dag::ProgramTree child;
+  child.actions.push_back({.type = dag::ActionType::kWrite, .loc = 0});
+
+  dag::ProgramTree root;
+  root.actions.push_back({.type = dag::ActionType::kSpawn, .child = 0});
+  root.actions.push_back({.type = dag::ActionType::kRead, .loc = 0});
+  root.actions.push_back({.type = dag::ActionType::kSync});
+  root.children.push_back(child);
+
+  dag::Reproducer repro;
+  repro.params.seed = 0;
+  repro.params.num_reducers = 0;
+  repro.params.num_locations = 1;
+  repro.tree = root;
+  repro.spec_handle = spec_handle;
+  return repro;
+}
+
+TEST(Differ, CleanSeedsProduceNoDivergences) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const auto params = fuzz::fuzz_params(seed);
+    for (const auto& steal_spec : fuzz::spec_battery(seed)) {
+      dag::RandomProgram program(params);
+      auto check = fuzz::check_execution(program, *steal_spec);
+      EXPECT_TRUE(check.divergences.empty())
+          << "seed " << seed << " spec " << steal_spec->describe() << ": "
+          << (check.divergences.empty() ? ""
+                                        : check.divergences.front().detail);
+    }
+  }
+}
+
+TEST(Differ, InjectBugSeedsAnInjectedBugDivergence) {
+  const auto repro = pool_race_reproducer("steal-all");
+
+  // Without the hook the race is real and the check is clean.
+  EXPECT_TRUE(fuzz::check_reproducer(repro).empty());
+
+  fuzz::DifferOptions options;
+  options.inject_bug = true;
+  auto divergences = fuzz::check_reproducer(repro, options);
+  ASSERT_FALSE(divergences.empty());
+  EXPECT_EQ(divergences.front().kind, "injected-bug");
+  EXPECT_EQ(divergences.front().spec_handle, "steal-all");
+}
+
+TEST(Differ, InvalidSpecHandleIsReportedNotCrashed) {
+  auto repro = pool_race_reproducer("steal-sideways(9)");
+  auto divergences = fuzz::check_reproducer(repro);
+  ASSERT_EQ(divergences.size(), 1u);
+  EXPECT_EQ(divergences.front().kind, "invalid-spec");
+
+  std::string error;
+  EXPECT_FALSE(fuzz::replay_reproducer(repro, &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+// Determinacy races come from *logical* parallelism, so the same race set
+// must surface whether or not the continuation is actually stolen.
+TEST(Differ, ReplayReportsTheRaceRegardlessOfStealSchedule) {
+  std::string error;
+  auto parallel = fuzz::replay_reproducer(pool_race_reproducer("steal-all"),
+                                          &error);
+  ASSERT_TRUE(parallel.has_value()) << error;
+  EXPECT_FALSE(parallel->keys.empty());
+  EXPECT_EQ(parallel->action_count, 4u);
+
+  auto serial = fuzz::replay_reproducer(pool_race_reproducer("no-steals"),
+                                        &error);
+  ASSERT_TRUE(serial.has_value()) << error;
+  EXPECT_EQ(serial->keys, parallel->keys)
+      << "canonical keys must not depend on the steal schedule";
+}
+
+TEST(Differ, CanonicalKeysAreSortedAndStable) {
+  std::string error;
+  auto result = fuzz::replay_reproducer(pool_race_reproducer("steal-all"),
+                                        &error);
+  ASSERT_TRUE(result.has_value()) << error;
+  ASSERT_FALSE(result->keys.empty());
+  for (std::size_t i = 0; i + 1 < result->keys.size(); ++i) {
+    EXPECT_LT(result->keys[i], result->keys[i + 1])
+        << "keys must be sorted and deduplicated";
+  }
+  for (const std::string& key : result->keys) {
+    EXPECT_EQ(key.rfind("det pool+0x", 0), 0u)
+        << "pool addresses must render as stable offsets: " << key;
+  }
+}
+
+}  // namespace
+}  // namespace rader

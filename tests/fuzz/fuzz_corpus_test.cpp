@@ -1,0 +1,130 @@
+// Regression corpus replay: every checked-in `.rprog` under
+// tests/fuzz/corpus must parse, round-trip byte-identically, and reproduce
+// exactly the race keys recorded in its `expect` lines.  This is the same
+// pipeline `rader --repro=FILE` runs, so the corpus doubles as an
+// end-to-end test of the reproducer replay path.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dag/program_serial.hpp"
+#include "dag/random_program.hpp"
+#include "fuzz/differ.hpp"
+#include "spec/steal_spec.hpp"
+
+#ifndef RADER_FUZZ_CORPUS_DIR
+#error "RADER_FUZZ_CORPUS_DIR must point at tests/fuzz/corpus"
+#endif
+
+namespace rader {
+namespace {
+
+std::string corpus_path(const std::string& name) {
+  return std::string(RADER_FUZZ_CORPUS_DIR) + "/" + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+const char* kCorpusFiles[] = {
+    "fig6_shadow_slot.rprog",
+    "view_read_race.rprog",
+    "reduce_vs_oblivious.rprog",
+};
+
+TEST(FuzzCorpus, FilesRoundTripByteIdentically) {
+  for (const char* name : kCorpusFiles) {
+    const std::string path = corpus_path(name);
+    const std::string text = read_file(path);
+    std::string error;
+    auto repro = dag::parse_reproducer(text, &error);
+    ASSERT_TRUE(repro.has_value()) << name << ": " << error;
+    EXPECT_EQ(dag::describe_reproducer(*repro), text)
+        << name << " is not in canonical form";
+  }
+}
+
+TEST(FuzzCorpus, ReplayReproducesRecordedRaceKeys) {
+  for (const char* name : kCorpusFiles) {
+    std::string error;
+    auto repro = dag::load_reproducer(corpus_path(name), &error);
+    ASSERT_TRUE(repro.has_value()) << name << ": " << error;
+    auto result = fuzz::replay_reproducer(*repro, &error);
+    ASSERT_TRUE(result.has_value()) << name << ": " << error;
+    EXPECT_EQ(result->keys, repro->expect) << name;
+  }
+}
+
+TEST(FuzzCorpus, ReplayIsDeterministic) {
+  for (const char* name : kCorpusFiles) {
+    std::string error;
+    auto repro = dag::load_reproducer(corpus_path(name), &error);
+    ASSERT_TRUE(repro.has_value()) << name << ": " << error;
+    auto first = fuzz::replay_reproducer(*repro, &error);
+    auto second = fuzz::replay_reproducer(*repro, &error);
+    ASSERT_TRUE(first.has_value() && second.has_value()) << name;
+    EXPECT_EQ(first->keys, second->keys) << name;
+    EXPECT_EQ(first->reducer_total, second->reducer_total) << name;
+  }
+}
+
+// The Figure-6 corner: SP+ misses the shadow-slot race in this single
+// execution, and the Section-7 family closes the location — so the
+// differential check is clean, the single-execution miss is flagged, and
+// the recorded race set is empty.
+TEST(FuzzCorpus, Fig6ShadowSlotIsTheDocumentedSingleExecMiss) {
+  std::string error;
+  auto repro = dag::load_reproducer(corpus_path("fig6_shadow_slot.rprog"),
+                                    &error);
+  ASSERT_TRUE(repro.has_value()) << error;
+  EXPECT_TRUE(repro->expect.empty())
+      << "the corner is an SP+ miss; no keys should be recorded";
+
+  auto divergences = fuzz::check_reproducer(*repro);
+  EXPECT_TRUE(divergences.empty())
+      << "family escalation should close the miss: "
+      << (divergences.empty() ? "" : divergences.front().detail);
+
+  auto steal_spec = spec::from_description(repro->spec_handle);
+  ASSERT_NE(steal_spec, nullptr) << repro->spec_handle;
+  dag::RandomProgram program(repro->tree, repro->params);
+  auto check = fuzz::check_execution(program, *steal_spec);
+  EXPECT_TRUE(check.single_exec_miss)
+      << "the corpus file exists to pin the Figure-6 corner";
+  EXPECT_TRUE(check.divergences.empty());
+}
+
+TEST(FuzzCorpus, ViewReadRaceCarriesConfirmedVerdicts) {
+  std::string error;
+  auto repro = dag::load_reproducer(corpus_path("view_read_race.rprog"),
+                                    &error);
+  ASSERT_TRUE(repro.has_value()) << error;
+  ASSERT_FALSE(repro->expect.empty());
+  for (const std::string& key : repro->expect) {
+    EXPECT_EQ(key.rfind("vr ", 0), 0u) << key;
+    EXPECT_NE(key.find("oracle=confirmed"), std::string::npos) << key;
+  }
+}
+
+TEST(FuzzCorpus, ReduceVsObliviousRacesOnPoolAddresses) {
+  std::string error;
+  auto repro = dag::load_reproducer(corpus_path("reduce_vs_oblivious.rprog"),
+                                    &error);
+  ASSERT_TRUE(repro.has_value()) << error;
+  ASSERT_FALSE(repro->expect.empty());
+  for (const std::string& key : repro->expect) {
+    EXPECT_EQ(key.rfind("det pool+", 0), 0u) << key;
+    EXPECT_NE(key.find("oracle=confirmed"), std::string::npos) << key;
+  }
+}
+
+}  // namespace
+}  // namespace rader

@@ -1,0 +1,80 @@
+// Property: the `.rprog` text format is lossless.  For 500 generator seeds,
+// describe(parse(describe(p))) is byte-identical, and the parsed program
+// re-executes to the identical race-key set and reducer total — the
+// serialization layer can be trusted to carry fuzz findings across
+// processes without perturbing them.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "dag/program_serial.hpp"
+#include "dag/random_program.hpp"
+#include "fuzz/differ.hpp"
+#include "spec/steal_spec.hpp"
+
+namespace rader {
+namespace {
+
+constexpr std::uint64_t kSeeds = 500;
+
+TEST(RprogRoundTrip, DescribeParseDescribeIsByteIdentical) {
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    const auto params = fuzz::fuzz_params(seed);
+    dag::RandomProgram program(params);
+    auto specs = fuzz::spec_battery(seed);
+    ASSERT_FALSE(specs.empty());
+
+    dag::Reproducer repro;
+    repro.params = params;
+    repro.tree = program.tree();
+    repro.spec_handle = specs[seed % specs.size()]->describe();
+    repro.note = "round-trip seed " + std::to_string(seed);
+    repro.expect = {"det pool+0x0 write label=\"w\" prior=write aware=0"};
+
+    const std::string text = dag::describe_reproducer(repro);
+    std::string error;
+    auto parsed = dag::parse_reproducer(text, &error);
+    ASSERT_TRUE(parsed.has_value()) << "seed " << seed << ": " << error;
+    EXPECT_EQ(dag::describe_reproducer(*parsed), text) << "seed " << seed;
+    EXPECT_EQ(parsed->spec_handle, repro.spec_handle) << "seed " << seed;
+    EXPECT_EQ(parsed->expect, repro.expect) << "seed " << seed;
+    EXPECT_EQ(parsed->tree.action_count(), repro.tree.action_count())
+        << "seed " << seed;
+  }
+}
+
+TEST(RprogRoundTrip, ParsedProgramReExecutesIdentically) {
+  fuzz::ReplayOptions fast;
+  fast.annotate = false;  // provenance doesn't affect key identity here
+
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    const auto params = fuzz::fuzz_params(seed);
+    dag::RandomProgram program(params);
+    auto specs = fuzz::spec_battery(seed);
+
+    dag::Reproducer repro;
+    repro.params = params;
+    repro.tree = program.tree();
+    repro.spec_handle = specs[seed % specs.size()]->describe();
+
+    std::string error;
+    auto parsed = dag::parse_reproducer(dag::describe_reproducer(repro),
+                                        &error);
+    ASSERT_TRUE(parsed.has_value()) << "seed " << seed << ": " << error;
+
+    auto original = fuzz::replay_reproducer(repro, &error, fast);
+    ASSERT_TRUE(original.has_value()) << "seed " << seed << ": " << error;
+    auto roundtripped = fuzz::replay_reproducer(*parsed, &error, fast);
+    ASSERT_TRUE(roundtripped.has_value()) << "seed " << seed << ": " << error;
+
+    EXPECT_EQ(roundtripped->keys, original->keys) << "seed " << seed;
+    EXPECT_EQ(roundtripped->reducer_total, original->reducer_total)
+        << "seed " << seed;
+    EXPECT_EQ(roundtripped->action_count, original->action_count)
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace rader

@@ -1,0 +1,131 @@
+// Shrinker properties (fuzz/shrink.hpp):
+//  * every accepted step still satisfies the divergence predicate and never
+//    increases the action count (the two invariants the header promises);
+//  * a seeded injected-bug divergence on a large generated program shrinks
+//    by >= 90% down to a handful of actions (the acceptance bar for the
+//    overnight-fuzz triage workflow);
+//  * the emitted litmus snippet mentions the minimized program's spec.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "dag/program_serial.hpp"
+#include "dag/random_program.hpp"
+#include "fuzz/differ.hpp"
+#include "fuzz/shrink.hpp"
+
+namespace rader {
+namespace {
+
+// Big, access-heavy generated programs: nearly every seed has a pool
+// conflict for --inject-bug to turn into a seeded divergence.
+dag::RandomProgramParams big_params(std::uint64_t seed) {
+  dag::RandomProgramParams params;
+  params.seed = seed;
+  params.max_depth = 5;
+  params.max_actions = 14;
+  params.num_reducers = 2;
+  params.num_locations = 4;
+  params.p_spawn = 0.30;
+  params.p_call = 0.10;
+  params.p_sync = 0.10;
+  params.p_access = 0.40;
+  params.p_update = 0.05;
+  params.p_reducer_read = 0.03;
+  params.p_raw_view = 0.02;
+  return params;
+}
+
+fuzz::DifferOptions injected() {
+  fuzz::DifferOptions options;
+  options.inject_bug = true;
+  options.check_family_closure = false;  // irrelevant to the seeded bug
+  return options;
+}
+
+// First seed whose program is big enough and diverges under --inject-bug.
+dag::Reproducer find_divergent_seed(std::size_t min_actions) {
+  const auto pred = fuzz::divergence_predicate("injected-bug", injected());
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    const auto params = big_params(seed);
+    dag::RandomProgram program(params);
+    if (program.action_count() < min_actions) continue;
+    dag::Reproducer repro;
+    repro.params = params;
+    repro.tree = program.tree();
+    repro.spec_handle = "steal-all";
+    if (pred(repro)) return repro;
+  }
+  ADD_FAILURE() << "no divergent seed found in 64 tries";
+  return {};
+}
+
+TEST(Shrink, EveryAcceptedStepPreservesPredicateAndNeverGrows) {
+  const auto repro = find_divergent_seed(/*min_actions=*/20);
+  const auto pred = fuzz::divergence_predicate("injected-bug", injected());
+  ASSERT_TRUE(pred(repro));
+
+  std::size_t prev_count = repro.tree.action_count();
+  std::size_t steps = 0;
+  fuzz::ShrinkOptions options;
+  options.on_accept = [&](const dag::Reproducer& r, const std::string& rule) {
+    ++steps;
+    const std::size_t count = r.tree.action_count();
+    EXPECT_LE(count, prev_count)
+        << "rule " << rule << " grew the program at step " << steps;
+    EXPECT_TRUE(pred(r))
+        << "rule " << rule << " lost the divergence at step " << steps;
+    prev_count = count;
+  };
+
+  auto result = fuzz::shrink(repro, pred, options);
+  EXPECT_EQ(result.accepted_steps, steps);
+  EXPECT_EQ(result.final_actions, result.repro.tree.action_count());
+  EXPECT_LE(result.final_actions, result.initial_actions);
+  EXPECT_TRUE(pred(result.repro));
+}
+
+TEST(Shrink, InjectedBugShrinksByNinetyPercentToAHandfulOfActions) {
+  const auto repro = find_divergent_seed(/*min_actions=*/50);
+  const auto pred = fuzz::divergence_predicate("injected-bug", injected());
+
+  auto result = fuzz::shrink(repro, pred);
+  EXPECT_TRUE(result.reached_fixpoint);
+  EXPECT_GE(result.initial_actions, 50u);
+  EXPECT_LE(result.final_actions, 10u);
+  EXPECT_LE(result.final_actions * 10, result.initial_actions)
+      << "expected >= 90% reduction: " << result.initial_actions << " -> "
+      << result.final_actions;
+  EXPECT_TRUE(pred(result.repro)) << "divergence must persist after shrink";
+
+  // The minimized reproducer still round-trips and renders as a litmus test.
+  std::string error;
+  auto parsed =
+      dag::parse_reproducer(dag::describe_reproducer(result.repro), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  const std::string snippet = fuzz::litmus_snippet(result.repro);
+  EXPECT_NE(snippet.find(result.repro.spec_handle), std::string::npos);
+  EXPECT_NE(snippet.find("TEST("), std::string::npos);
+}
+
+TEST(Shrink, NonDivergingSeedIsReturnedUnchanged) {
+  dag::ProgramTree root;
+  root.actions.push_back({.type = dag::ActionType::kWrite, .loc = 0});
+  dag::Reproducer repro;
+  repro.params.num_reducers = 0;
+  repro.params.num_locations = 1;
+  repro.tree = root;
+  repro.spec_handle = "steal-all";
+
+  const auto pred = fuzz::divergence_predicate("", injected());
+  ASSERT_FALSE(pred(repro)) << "a serial write has nothing to diverge on";
+  auto result = fuzz::shrink(repro, pred);
+  EXPECT_EQ(result.accepted_steps, 0u);
+  EXPECT_EQ(result.final_actions, result.initial_actions);
+  EXPECT_EQ(dag::describe_reproducer(result.repro),
+            dag::describe_reproducer(repro));
+}
+
+}  // namespace
+}  // namespace rader

@@ -1,196 +1,76 @@
 // fuzz_detectors — differential fuzzing of the detectors against the
 // brute-force oracle.
 //
-// Generates random programs and random steal specifications, runs each
-// execution with the detectors AND the DAG recorder attached, and compares
-// verdicts with the ground-truth oracle, exactly like the property tests
-// but open-ended: it keeps going until the time budget expires, printing a
-// line per divergence (there should be none).
+// Thin CLI over fuzz::run_fuzz (src/fuzz/fuzzer.hpp): generates random
+// programs and steal specifications, compares detector verdicts with the
+// ground-truth oracle until the time budget expires, and prints a line per
+// divergence (there should be none).  With --out-dir every divergence is
+// persisted as a replayable `.rprog` reproducer (see docs/FUZZING.md); with
+// --shrink each one is additionally delta-debugged to a minimal
+// `.min.rprog` plus a ready-to-paste `.litmus.cc` test.
 //
-// Usage: fuzz_detectors [--seconds=N] [--start-seed=S]
+// Usage: fuzz_detectors [--seconds=N] [--start-seed=S] [--max-seeds=N]
+//                       [--out-dir=DIR] [--shrink] [--inject-bug]
+//
+// --inject-bug seeds a fake detector bug (every SP+ pool report treated as
+// a false positive) so the artifact/shrink pipeline can be exercised and
+// tested end to end on a healthy build.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
-#include "core/peerset.hpp"
-#include "core/spplus.hpp"
-#include "dag/oracle.hpp"
-#include "dag/random_program.hpp"
-#include "dag/recorder.hpp"
-#include "runtime/serial_engine.hpp"
-#include "spec/spec_family.hpp"
-#include "spec/steal_spec.hpp"
-#include "support/timer.hpp"
-
-namespace {
-
-using namespace rader;
-
-struct Stats {
-  std::uint64_t programs = 0;
-  std::uint64_t executions = 0;
-  std::uint64_t races_confirmed = 0;
-  std::uint64_t divergences = 0;
-  // Known Figure-6 corner: a single-execution SP+ miss (the one-slot
-  // shadow vs multi-view writers — see tests/core/shadow_slot_corner_test).
-  // Counted, and escalated to a divergence only if the Section-7 family
-  // ALSO fails to report the location.
-  std::uint64_t single_exec_misses = 0;
-};
-
-/// Family-level completeness: must SOME spec in the Section-7 family make
-/// SP+ report address `addr`?
-bool family_reports(dag::RandomProgram& program, std::uintptr_t addr) {
-  SerialEngine::Stats probe;
-  {
-    spec::NoSteal none;
-    SerialEngine engine(nullptr, &none);
-    engine.run([&] { program(); });
-    probe = engine.stats();
-  }
-  const auto k = std::min<std::uint32_t>(probe.max_sync_block, 10);
-  const auto d = std::min<std::uint64_t>(probe.max_spawn_depth, 24);
-  auto family = spec::full_coverage_family(k, d);
-  family.push_back(std::make_unique<spec::NoSteal>());
-  family.push_back(std::make_unique<spec::StealAll>());
-  for (const auto& steal_spec : family) {
-    RaceLog log;
-    SpPlusDetector detector(&log);
-    SerialEngine engine(&detector, steal_spec.get());
-    engine.run([&] { program(); });
-    for (const auto& race : log.determinacy_races()) {
-      if (race.addr == addr) return true;
-    }
-  }
-  return false;
-}
-
-void fuzz_one(std::uint64_t seed, Stats& stats) {
-  dag::RandomProgramParams params;
-  params.seed = seed;
-  params.max_depth = 2 + seed % 3;
-  params.max_actions = 5 + seed % 7;
-  params.num_reducers = 1 + seed % 3;
-  params.num_locations = 3 + seed % 6;
-  params.p_access = 0.25;
-  params.p_update = 0.10;
-  params.p_update_shared = 0.08;
-  params.p_raw_view = 0.05;
-  params.p_reducer_read = 0.07;
-  dag::RandomProgram program(params);
-  ++stats.programs;
-
-  const spec::NoSteal none;
-  const spec::StealAll all;
-  const spec::BernoulliSteal b1(seed * 3 + 1, 0.3);
-  const spec::BernoulliSteal b2(seed * 3 + 2, 0.7);
-  const spec::RandomTripleSteal t(seed, 12);
-  const spec::StealSpec* specs[] = {&none, &all, &b1, &b2, &t};
-
-  for (const auto* steal_spec : specs) {
-    RaceLog sp_log, ps_log;
-    SpPlusDetector spplus(&sp_log);
-    PeerSetDetector peerset(&ps_log);
-    dag::Recorder recorder;
-    ToolChain chain;
-    chain.add(&spplus);
-    chain.add(&peerset);
-    chain.add(&recorder);
-    SerialEngine engine(&chain, steal_spec);
-    engine.run([&] { program(); });
-    ++stats.executions;
-
-    const dag::OracleResult oracle = dag::run_oracle(recorder.dag());
-
-    // SP+ soundness per address + completeness per execution.
-    for (const auto& race : sp_log.determinacy_races()) {
-      if (oracle.racing_addrs.count(race.addr) == 0) {
-        ++stats.divergences;
-        std::printf("DIVERGENCE seed=%llu spec=%s: SP+ false positive at "
-                    "%#zx ('%s')\n",
-                    static_cast<unsigned long long>(seed),
-                    steal_spec->describe().c_str(),
-                    static_cast<std::size_t>(race.addr),
-                    race.current_label.c_str());
-      }
-    }
-    if (sp_log.determinacy_count() > 0 && !oracle.any_determinacy) {
-      ++stats.divergences;
-      std::printf("DIVERGENCE seed=%llu spec=%s: SP+ reports, oracle does "
-                  "not\n",
-                  static_cast<unsigned long long>(seed),
-                  steal_spec->describe().c_str());
-    } else if (sp_log.determinacy_count() == 0 && oracle.any_determinacy) {
-      // Single-execution miss: allowed ONLY as the known Figure-6 corner,
-      // and only if the Section-7 family closes it per location.  The
-      // family guarantee is stated for races involving a view-OBLIVIOUS
-      // instruction; and only the pool's addresses are stable across the
-      // family's re-executions (view objects are reallocated per run), so
-      // escalation is checked on oblivious-involved pool locations.
-      ++stats.single_exec_misses;
-      const auto [pool_lo, pool_hi] = program.pool_range();
-      for (const std::uintptr_t addr : oracle.racing_addrs_oblivious) {
-        if (addr < pool_lo || addr >= pool_hi) continue;
-        if (!family_reports(program, addr)) {
-          ++stats.divergences;
-          std::printf("DIVERGENCE seed=%llu spec=%s: race at %#zx missed "
-                      "by SP+ AND by the whole Section-7 family\n",
-                      static_cast<unsigned long long>(seed),
-                      steal_spec->describe().c_str(),
-                      static_cast<std::size_t>(addr));
-        }
-      }
-    }
-    // Peer-Set vs the oracle's peer-set relation.
-    for (const auto& race : ps_log.view_read_races()) {
-      if (oracle.racing_reducers.count(race.reducer) == 0) {
-        ++stats.divergences;
-        std::printf(
-            "DIVERGENCE seed=%llu spec=%s: Peer-Set false positive on "
-            "reducer %u\n",
-            static_cast<unsigned long long>(seed),
-            steal_spec->describe().c_str(), race.reducer);
-      }
-    }
-    if ((ps_log.view_read_count() > 0) != oracle.any_view_read) {
-      ++stats.divergences;
-      std::printf("DIVERGENCE seed=%llu spec=%s: Peer-Set verdict %d vs "
-                  "oracle %d\n",
-                  static_cast<unsigned long long>(seed),
-                  steal_spec->describe().c_str(), ps_log.view_read_count() > 0,
-                  oracle.any_view_read);
-    }
-    stats.races_confirmed +=
-        oracle.racing_addrs.size() + oracle.racing_reducers.size();
-  }
-}
-
-}  // namespace
+#include "fuzz/fuzzer.hpp"
+#include "support/metrics.hpp"
 
 int main(int argc, char** argv) {
-  double seconds = 10.0;
-  std::uint64_t seed = 1;
+  rader::fuzz::FuzzOptions options;
+  options.seconds = 10.0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--seconds=", 0) == 0) seconds = std::stod(arg.substr(10));
-    if (arg.rfind("--start-seed=", 0) == 0) {
-      seed = std::stoull(arg.substr(13));
+    if (arg.rfind("--seconds=", 0) == 0) {
+      options.seconds = std::stod(arg.substr(10));
+    } else if (arg.rfind("--start-seed=", 0) == 0) {
+      options.start_seed = std::stoull(arg.substr(13));
+    } else if (arg.rfind("--max-seeds=", 0) == 0) {
+      options.max_seeds = std::stoull(arg.substr(12));
+    } else if (arg.rfind("--out-dir=", 0) == 0) {
+      options.out_dir = arg.substr(10);
+    } else if (arg == "--shrink") {
+      options.shrink = true;
+    } else if (arg == "--inject-bug") {
+      options.differ.inject_bug = true;
+    } else {
+      std::fprintf(stderr,
+                   "unknown argument '%s'\n"
+                   "usage: fuzz_detectors [--seconds=N] [--start-seed=S] "
+                   "[--max-seeds=N] [--out-dir=DIR] [--shrink] "
+                   "[--inject-bug]\n",
+                   arg.c_str());
+      return 2;
     }
   }
+  options.on_progress = [](const std::string& line) {
+    std::printf("%s\n", line.c_str());
+  };
 
-  Stats stats;
-  Timer timer;
-  while (timer.seconds() < seconds) {
-    fuzz_one(seed++, stats);
-  }
+  rader::metrics::Stopwatch timer;
+  const rader::fuzz::FuzzStats stats = rader::fuzz::run_fuzz(options);
   std::printf(
       "fuzzed %llu programs / %llu executions in %.1fs: %llu racing "
       "artifacts confirmed, %llu single-execution misses (known Figure-6 "
-      "corner, all closed by the Section-7 family), %llu divergences\n",
-      static_cast<unsigned long long>(stats.programs),
+      "corner, all closed by the Section-7 family), %llu divergences",
+      static_cast<unsigned long long>(stats.seeds),
       static_cast<unsigned long long>(stats.executions), timer.seconds(),
       static_cast<unsigned long long>(stats.races_confirmed),
       static_cast<unsigned long long>(stats.single_exec_misses),
       static_cast<unsigned long long>(stats.divergences));
+  if (stats.artifacts_written > 0) {
+    std::printf(", %llu reproducer(s) written",
+                static_cast<unsigned long long>(stats.artifacts_written));
+  }
+  std::printf("\n");
+  // When the run was seeded with --inject-bug, divergences are EXPECTED;
+  // exit 0 so the pipeline smoke tests can assert on artifacts instead.
+  if (options.differ.inject_bug) return 0;
   return stats.divergences == 0 ? 0 : 1;
 }

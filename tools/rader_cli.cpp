@@ -35,6 +35,13 @@
 // machine-readable report (core/report_json.hpp) on stdout; informational
 // progress lines then go to stderr so stdout stays pure JSON.
 //
+// --repro=FILE replays a `.rprog` fuzz reproducer (docs/FUZZING.md) through
+// the full report/provenance pipeline: the serialized program runs under its
+// recorded steal specification with SP+ AND Peer-Set attached, provenance is
+// annotated, and the observed canonical race keys are verified against the
+// file's `expect` lines (byte-identical reproduction; mismatch exits 3).
+// Reports carry races[].repro_file (schema v3).  --program is not required.
+//
 // Observability:
 //   --trace=FILE         record the execution (support/trace.hpp) and write
 //                        it to FILE; --trace-format=chrome (default; Chrome
@@ -61,11 +68,12 @@
 #include "core/report_json.hpp"
 #include "core/sporder.hpp"
 #include "core/trace_export.hpp"
+#include "dag/program_serial.hpp"
+#include "fuzz/differ.hpp"
 #include "reducers/reducer.hpp"
 #include "runtime/api.hpp"
 #include "spec/steal_spec.hpp"
 #include "support/metrics.hpp"
-#include "support/timer.hpp"
 #include "support/trace.hpp"
 
 namespace {
@@ -99,6 +107,7 @@ bool arg_flag(int argc, char** argv, const std::string& key) {
       "             [--replay=HANDLE] [--format=text|json]\n"
       "             [--trace=FILE] [--trace-format=chrome|text]\n"
       "             [--explain] [--progress]\n"
+      "       rader --repro=FILE [--format=text|json]\n"
       "  NAME: collision|dedup|ferret|fib|knapsack|pbfs|fig1\n"
       "  ALGO: peerset|sp+|spbags|sporder|exhaustive\n"
       "  SPEC: none|all|triple:A,B,C|depth:D|random:SEED,K|bern:SEED,P\n"
@@ -138,6 +147,68 @@ std::unique_ptr<spec::StealSpec> parse_spec(const std::string& text) {
     return std::make_unique<spec::BernoulliSteal>(seed, p);
   }
   usage_and_exit();
+}
+
+/// `rader --repro=FILE`: replay a serialized fuzz reproducer through the
+/// full report/provenance pipeline and verify its recorded race keys.
+int run_repro(const std::string& path, bool json) {
+  FILE* const info = json ? stderr : stdout;
+  std::string error;
+  const auto repro = dag::load_reproducer(path, &error);
+  if (!repro) {
+    std::fprintf(stderr, "rader: cannot load reproducer '%s': %s\n",
+                 path.c_str(), error.c_str());
+    return 2;
+  }
+  std::fprintf(info, "repro: %s (spec %s, %zu action(s))\n", path.c_str(),
+               repro->spec_handle.c_str(), repro->tree.action_count());
+  if (!repro->note.empty()) {
+    std::fprintf(info, "note: %s\n", repro->note.c_str());
+  }
+
+  metrics::Stopwatch timer;
+  const auto replayed = fuzz::replay_reproducer(*repro, &error);
+  if (!replayed) {
+    std::fprintf(stderr, "rader: cannot replay '%s': %s\n", path.c_str(),
+                 error.c_str());
+    return 2;
+  }
+  RaceLog log = replayed->log;
+  log.stamp_repro_file(path);
+
+  // Verify byte-identical reproduction of the recorded race set.
+  bool matches = true;
+  if (!repro->expect.empty() || !replayed->keys.empty()) {
+    matches = replayed->keys == repro->expect;
+    if (matches) {
+      std::fprintf(info, "repro: race set matches (%zu key(s))\n",
+                   replayed->keys.size());
+    } else {
+      std::fprintf(stderr,
+                   "rader: reproducer race set MISMATCH (%zu expected, %zu "
+                   "observed)\n",
+                   repro->expect.size(), replayed->keys.size());
+      for (const auto& k : repro->expect) {
+        std::fprintf(stderr, "  expected: %s\n", k.c_str());
+      }
+      for (const auto& k : replayed->keys) {
+        std::fprintf(stderr, "  observed: %s\n", k.c_str());
+      }
+    }
+  }
+
+  ReportMeta meta;
+  meta.program = path;
+  meta.check = "repro";
+  meta.spec = repro->spec_handle;
+  if (json) {
+    std::printf("%s\n", report_json(meta, log).c_str());
+  } else {
+    std::printf("checked in %.3fs\n%s", timer.seconds(),
+                log.to_string().c_str());
+  }
+  if (!matches) return 3;
+  return log.any() ? 1 : 0;
 }
 
 // The Figure 1 program, packaged for the CLI (known-racy demo target).
@@ -194,6 +265,8 @@ int main(int argc, char** argv) {
       arg_value(argc, argv, "trace-format", "chrome");
   if (trace_format != "chrome" && trace_format != "text") usage_and_exit();
   const bool explain = arg_flag(argc, argv, "explain");
+  const std::string repro_path = arg_value(argc, argv, "repro", "");
+  if (!repro_path.empty()) return run_repro(repro_path, json);
   if (name.empty()) usage_and_exit();
 
   // Under --format=json, stdout stays pure JSON: progress goes to stderr.
@@ -235,7 +308,7 @@ int main(int argc, char** argv) {
   meta.program = name;
   meta.check = algo;
 
-  Timer timer;
+  metrics::Stopwatch timer;
   RaceLog log;
   if (!replay.empty()) {
     // Replay one eliciting specification from a prior report.  Handles use
