@@ -63,9 +63,17 @@ int main() {
   for (int i = 0; i < 16; ++i) owned.insert(1000 + i);
 
   MyList list = owned;  // working handle (shares nodes by design of MyList)
+  rader::apps::ListNode* owned_tail =
+      const_cast<rader::apps::ListNode*>(owned.head());
+  while (owned_tail->next != nullptr) owned_tail = owned_tail->next;
   const auto program = [&] {
     MyList working = owned;  // fresh shallow handle each run
     race_fig1(12, working);
+    // The Reduce-side concat — the Figure 1 bug — appended onto `owned`'s
+    // tail through the shallow copies.  Detach the appendage (raw, serial,
+    // after the sync) so every run observes the identical 16-node list:
+    // checker programs must be re-runnable.
+    owned_tail->next = nullptr;
   };
 
   std::printf("checking Figure 1's race() with n=12...\n\n");

@@ -138,7 +138,10 @@ if [[ "$FULL" == 1 ]]; then
   echo "== bench smoke =="
   ./build/bench/thm6_update_coverage
   ./build/bench/thm7_reduce_coverage
-  ./build/bench/sweep_scaling
+  # The sweep bench is also a perf regression gate: the prefix strategy
+  # must beat rerun by >= 3x on the tracked front-loaded families
+  # (BENCH_sweep.json holds a reference run's numbers).
+  ./build/bench/sweep_scaling --check-ratio=3 --json=build/BENCH_sweep.json
   ./build/bench/fig7_overhead --scale=0.02 --reps=1
 fi
 

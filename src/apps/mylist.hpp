@@ -8,11 +8,23 @@
 //
 // Every next-pointer access is annotated, standing in for the compiled
 // ThreadSanitizer instrumentation of the paper's prototype.
+//
+// Nodes are placed in the deterministic view arena (runtime/view_arena.hpp)
+// rather than on the general heap: lists populated inside reducer views are
+// re-created on every sweep execution, and keeping their node addresses a
+// pure function of allocation order is what lets prefix-sharing sweeps
+// (core/sweep.hpp) resume from checkpoints and deduplicate races on those
+// nodes identically to the rerun strategy.  Nodes built during a run are
+// reclaimed by the next run's arena rewind; nodes built outside any run
+// (fixtures such as the Figure-1 demo's owned list) are permanent, so
+// destroy() only clears shadow state and drops the pointers.
 #pragma once
 
 #include <cstdint>
+#include <new>
 
 #include "runtime/api.hpp"
+#include "runtime/view_arena.hpp"
 
 namespace rader::apps {
 
@@ -44,7 +56,9 @@ class MyList {
 
   /// O(1) prepend: touches only this list object and the new node.
   void insert(int value) {
-    auto* node = new ListNode{value, nullptr};
+    auto* node = new (view_arena::allocate(sizeof(ListNode),
+                                           alignof(ListNode)))
+        ListNode{value, nullptr};
     shadow_write(&node->next, sizeof(ListNode*), SrcTag{"MyList insert"});
     node->next = head_;
     shadow_write(&head_, sizeof(ListNode*), SrcTag{"MyList insert head"});
@@ -82,12 +96,13 @@ class MyList {
     return length;
   }
 
-  /// Free owned nodes.  Only call on the owning list (not shallow copies).
+  /// Drop the chain.  Only call on the owning list (not shallow copies).
+  /// Node storage belongs to the view arena (see the file comment), so this
+  /// clears shadow state and forgets the pointers; it frees nothing.
   void destroy() {
     for (ListNode* node = head_; node != nullptr;) {
       ListNode* next = node->next;
       shadow_clear(node, sizeof(ListNode));
-      delete node;
       node = next;
     }
     head_ = nullptr;

@@ -7,6 +7,21 @@
 
 namespace rader {
 
+std::unique_ptr<Tool> SpOrderDetector::fork(RaceLog* log) const {
+  auto copy = std::make_unique<SpOrderDetector>(log, granule_bits_);
+  // OrderMaintenance and the strand registry are flat vectors of
+  // position-independent handles: plain copies stay valid.
+  copy->eng_ = eng_;
+  copy->heb_ = heb_;
+  copy->stack_ = stack_;
+  copy->strands_ = strands_;
+  copy->strand_frame_ = strand_frame_;
+  copy->top_ref_ = top_ref_;
+  copy->reader_ = reader_.fork();
+  copy->writer_ = writer_.fork();
+  return copy;
+}
+
 void SpOrderDetector::on_run_begin() {
   RADER_CHECK_MSG(granule_bits_ < 12, "granule_bits must be < 12");
   eng_.clear();

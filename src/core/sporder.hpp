@@ -46,6 +46,11 @@ class SpOrderDetector final : public Tool {
                  bool view_aware, ViewId vid, SrcTag tag) override;
   void on_clear(std::uintptr_t addr, std::size_t size) override;
 
+  /// Deep clone of the detection state (both order-maintenance structures,
+  /// the strand registry, shadow spaces — the latter shared copy-on-write),
+  /// reporting into `log`.
+  std::unique_ptr<Tool> fork(RaceLog* log) const override;
+
   /// Total order-maintenance relabels performed (telemetry for the bench).
   std::uint64_t relabel_count() const {
     return eng_.relabel_count() + heb_.relabel_count();

@@ -13,6 +13,7 @@
 
 #include "core/spplus.hpp"
 #include "runtime/run.hpp"
+#include "runtime/serial_engine.hpp"
 #include "support/common.hpp"
 #include "support/trace.hpp"
 
@@ -99,6 +100,39 @@ class ProgressMonitor {
   bool stop_ = false;
 };
 
+/// One node of a worker's checkpoint stack: the engine snapshot at a
+/// continuation point, a frozen detector fork (never fed events — only
+/// re-forked when a run resumes here), and the unstamped race log at capture
+/// time.  The stack holds checkpoints of the worker's latest run in
+/// increasing point order; the entries at or above a divergence point stay
+/// valid for the next run, which is exactly the trie structure of the family.
+struct PrefixCheckpoint {
+  EngineCheckpoint engine;
+  std::unique_ptr<Tool> tool;
+  RaceLog log;
+};
+
+/// First trail index where `spec` decides differently from the recorded
+/// execution — computed offline, with no program execution, because
+/// specifications are pure functions of the recorded contexts.  The steal
+/// query context is the recorded pre-merge context with the merges applied:
+/// post-merge live_epochs is exactly `pre - merges` (the engine's frame sync
+/// discipline guarantees nested Reduce frames restore the epoch stack).
+/// Returns trail.size() when every decision matches — identical decisions
+/// mean an identical execution.
+std::size_t divergence_depth(const spec::StealSpec& spec,
+                             const DecisionTrail& trail) {
+  for (std::size_t i = 0; i < trail.size(); ++i) {
+    const PointDecision& e = trail[i];
+    const std::uint32_t m = std::min(spec.merges_now(e.ctx), e.ctx.live_epochs);
+    if (m != e.merges) return i;
+    spec::PointCtx after = e.ctx;
+    after.live_epochs = e.ctx.live_epochs - m;
+    if (spec.steal(after) != e.stole) return i;
+  }
+  return trail.size();
+}
+
 }  // namespace
 
 ProgramFactory shared_program(std::function<void()> program) {
@@ -144,16 +178,24 @@ SweepResult sweep_family(
   // index never runs, so it can never become first_racy itself.
   std::atomic<std::size_t> first_racy{n};
 
-  const auto worker = [&](unsigned widx) {
-    metrics::Registry reg;
-    metrics::Scope scope(&reg);
-    // When a tracing session is active, each sweep worker records into its
-    // own buffer ("sweep-wN") — one Chrome-trace process per worker.
-    trace::Session* const tsession = trace::session();
-    trace::ThreadScope tscope(
-        tsession != nullptr
-            ? tsession->make_buffer("sweep-w" + std::to_string(widx))
-            : trace::buffer());
+  // Post-run bookkeeping shared by both strategies: stamp the eliciting
+  // spec, publish completion, and (stop-first) lower the racy-index minimum.
+  const auto finish_spec = [&](unsigned widx, std::size_t i) {
+    per_spec[i].stamp_found_under(family[i]->describe());
+    ran[i] = 1;
+    worker_done[widx].fetch_add(1, std::memory_order_relaxed);
+    if (per_spec[i].any()) {
+      racy_specs.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (options.stop_after_first_race && per_spec[i].any()) {
+      std::size_t cur = first_racy.load(std::memory_order_relaxed);
+      while (i < cur && !first_racy.compare_exchange_weak(
+                            cur, i, std::memory_order_relaxed)) {
+      }
+    }
+  };
+
+  const auto rerun_worker = [&](unsigned widx) {
     std::function<void()> program;  // this worker's own program instance
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
@@ -170,18 +212,160 @@ SweepResult sweep_family(
         run_serial(program, &detector, family[i].get());
       }
       metrics::bump(metrics::Counter::kSpecRuns);
-      per_spec[i].stamp_found_under(family[i]->describe());
-      ran[i] = 1;
-      worker_done[widx].fetch_add(1, std::memory_order_relaxed);
-      if (per_spec[i].any()) {
-        racy_specs.fetch_add(1, std::memory_order_relaxed);
-      }
-      if (options.stop_after_first_race && per_spec[i].any()) {
-        std::size_t cur = first_racy.load(std::memory_order_relaxed);
-        while (i < cur && !first_racy.compare_exchange_weak(
-                              cur, i, std::memory_order_relaxed)) {
+      finish_spec(widx, i);
+    }
+  };
+
+  const auto prefix_worker = [&](unsigned widx) {
+    const unsigned stride = std::max(1u, options.checkpoint_stride);
+    // Claim ascending chunks instead of single indices: lexicographic
+    // families are emitted in trie DFS order, so neighbouring indices share
+    // the deepest prefixes, and those only pay off when the SAME worker
+    // (whose trail and checkpoints describe the previous member) runs them.
+    constexpr std::size_t kChunk = 8;
+    std::function<void()> program;      // this worker's own program instance
+    DecisionTrail trail;                // decisions of the latest run
+    std::vector<PrefixCheckpoint> ckpts;  // checkpoints along it, ascending
+    RaceLog last_log;                   // latest run's UNSTAMPED log
+    bool has_last = false;
+
+    // Capture hook shared by fresh and resumed runs: snapshot the engine and
+    // fork the detector at (stride-thinned) continuation points.  Re-runs
+    // over a shared prefix skip points already covered by a live checkpoint.
+    SerialEngine* eng = nullptr;
+    Tool* cur_tool = nullptr;
+    std::size_t cur_idx = 0;
+    const auto hook = [&](std::size_t idx) {
+      if (idx < 1) return;
+      // Geometric spacing: the gap to the next checkpoint is at least
+      // `stride` and at least 1/8 of the current depth, so a run of n
+      // points takes O(log n) checkpoints and O(n) amortized fork work
+      // (a fork at point p costs O(p) detector state), while a divergence
+      // at depth d still resumes within ~d/8 of it.
+      const std::size_t base = ckpts.empty() ? 0 : ckpts.back().engine.point;
+      if (!ckpts.empty() && idx < base + std::max<std::size_t>(stride, base / 8))
+        return;
+      PrefixCheckpoint ck;
+      eng->capture(&ck.engine);
+      ck.tool = cur_tool->fork(nullptr);
+      RADER_CHECK_MSG(ck.tool != nullptr,
+                      "prefix sweep requires a forkable detector");
+      ck.log = per_spec[cur_idx];
+      ckpts.push_back(std::move(ck));
+      metrics::bump(metrics::Counter::kSweepCheckpoints);
+    };
+
+    for (;;) {
+      const std::size_t start =
+          next.fetch_add(kChunk, std::memory_order_relaxed);
+      if (start >= n) break;
+      const std::size_t end = std::min(start + kChunk, n);
+      bool abandoned = false;
+      for (std::size_t i = start; i < end; ++i) {
+        // Same stop-first contract as the rerun worker.  Later indices in
+        // this chunk — and any chunk claimed afterwards — are higher still,
+        // so abandoning the whole worker is safe.
+        if (i > first_racy.load(std::memory_order_relaxed)) {
+          abandoned = true;
+          break;
         }
+        if (!program) program = make_program();
+        const std::size_t d =
+            has_last ? divergence_depth(*family[i], trail) : 0;
+        if (has_last && d == trail.size()) {
+          // Every decision matches the previous run: the execution would be
+          // identical, so its (unstamped) log is reused verbatim.  This is
+          // common in coverage families, whose members often differ only on
+          // contexts the program never reaches.
+          per_spec[i] = last_log;
+          finish_spec(widx, i);
+          continue;
+        }
+        // Checkpoints past the divergence belong to the abandoned suffix.
+        while (!ckpts.empty() && ckpts.back().engine.point > d) {
+          ckpts.pop_back();
+        }
+        cur_idx = i;
+        {
+          metrics::PhaseTimer timer(metrics::Phase::kExecute);
+          bool fresh = ckpts.empty();
+          if (!fresh) {
+            PrefixCheckpoint& ck = ckpts.back();
+            trail.resize(d);
+            per_spec[i] = ck.log;
+            std::unique_ptr<Tool> detector = ck.tool->fork(&per_spec[i]);
+            metrics::bump(metrics::Counter::kSweepForks);
+            SerialEngine engine(detector.get(), family[i].get());
+            eng = &engine;
+            cur_tool = detector.get();
+            engine.set_decision_trail(&trail);
+            engine.set_point_hook(hook);
+            SerialEngine::ResumePlan plan;
+            plan.replay = &trail;
+            plan.replay_count = d;
+            plan.live_from = ck.engine.point;
+            // Verified (then dropped) before the hook can grow `ckpts` and
+            // invalidate this pointer.
+            plan.expect = &ck.engine;
+            try {
+              engine.resume_from(program, plan);
+            } catch (const ResumeDiverged&) {
+              // The re-executed prefix did not regenerate the checkpointed
+              // state (go_live verification, serial_engine.hpp): the program
+              // is not an address-stable pure function of the decisions, so
+              // its runs cannot share prefixes.  Degrade to rerun semantics
+              // for this member: drop every checkpoint (their forks describe
+              // executions this program cannot reproduce) and the possibly
+              // dirtied instance, and run the member fresh.  Correctness is
+              // preserved — only the speedup is lost — and the fallback is
+              // visible as kSweepResumeFallbacks in rader.report.
+              metrics::bump(metrics::Counter::kSweepResumeFallbacks);
+              ckpts.clear();
+              per_spec[i] = RaceLog();
+              program = make_program();
+              fresh = true;
+            }
+          }
+          if (fresh) {
+            // No shared prefix survives (first member, divergence at the
+            // root, stride left no checkpoint this shallow, or a resume
+            // fallback): fresh run.
+            trail.clear();
+            SpPlusDetector detector(&per_spec[i]);
+            SerialEngine engine(&detector, family[i].get());
+            eng = &engine;
+            cur_tool = &detector;
+            engine.set_decision_trail(&trail);
+            engine.set_point_hook(hook);
+            engine.run(program);
+          }
+        }
+        metrics::bump(metrics::Counter::kSpecRuns);
+        // The dedup shortcut needs the log as the run produced it, BEFORE
+        // stamp_found_under seeds found_under/eliciting_specs.
+        last_log = per_spec[i];
+        has_last = true;
+        finish_spec(widx, i);
       }
+      if (abandoned) break;
+    }
+  };
+
+  const bool prefix = options.strategy == SweepStrategy::kPrefix;
+  const auto worker = [&](unsigned widx) {
+    metrics::Registry reg;
+    metrics::Scope scope(&reg);
+    // When a tracing session is active, each sweep worker records into its
+    // own buffer ("sweep-wN") — one Chrome-trace process per worker.
+    trace::Session* const tsession = trace::session();
+    trace::ThreadScope tscope(
+        tsession != nullptr
+            ? tsession->make_buffer("sweep-w" + std::to_string(widx))
+            : trace::buffer());
+    if (prefix) {
+      prefix_worker(widx);
+    } else {
+      rerun_worker(widx);
     }
     worker_metrics[widx] = reg.snapshot();
   };

@@ -5,7 +5,10 @@
 // same program under a different fixed schedule, so the sweep is
 // embarrassingly parallel: this engine shards the family across a worker
 // pool, giving each worker its own SerialEngine + SP+ detector instance and
-// a thread-local RaceLog per specification, then merges the per-spec logs —
+// a thread-local RaceLog per specification — either re-running every member
+// from scratch (SweepStrategy::kRerun) or fast-forwarding each member from a
+// checkpoint of its longest shared decision prefix with the previous one
+// (SweepStrategy::kPrefix; see the enum) — then merges the per-spec logs —
 // in family order, so the result is bit-for-bit what the serial sweep
 // produces — through RaceLog's deduplication layer (core/race_report.hpp),
 // which collapses the same race elicited under many specs into one report
@@ -32,11 +35,45 @@
 
 namespace rader {
 
+/// How the sweep turns family members into executions.
+enum class SweepStrategy {
+  /// Baseline: every member is a complete fresh SerialEngine + detector run.
+  kRerun,
+
+  /// Prefix sharing: the family is treated as a trie keyed on the per-point
+  /// steal decisions.  Each worker records the decision trail of its latest
+  /// run and takes checkpoints (engine snapshot + Tool::fork of the detector
+  /// + race-log copy) along it; for the next member it computes — offline,
+  /// without executing anything — the first trail index where the new
+  /// specification decides differently, then fast-forwards from the deepest
+  /// checkpoint at or above that index (SerialEngine::resume_from), paying
+  /// detector cost only for the divergent suffix.  A member whose decisions
+  /// fully match the previous run reuses its log outright.  Lexicographic
+  /// families (spec::full_coverage_family and friends) are emitted in trie
+  /// DFS order, so ascending index order IS the trie schedule; workers claim
+  /// ascending chunks to keep neighbouring members on one worker.  The
+  /// merged result is byte-identical to kRerun at every thread count
+  /// (tests/core/sweep_equivalence_test); only SweepResult::metrics — which
+  /// measure work actually performed — differ.
+  kPrefix,
+};
+
 /// Options controlling a specification-family sweep.
 struct SweepOptions {
   /// Worker threads.  0 = std::thread::hardware_concurrency(); 1 = run the
   /// sweep on the calling thread (no pool).
   unsigned threads = 1;
+
+  /// Execution strategy (`rader --sweep-strategy=rerun|prefix`).
+  SweepStrategy strategy = SweepStrategy::kRerun;
+
+  /// kPrefix only: minimum gap (in continuation points) between successive
+  /// checkpoints along a run, clamped to >= 1.  On top of this the gap
+  /// grows geometrically — at least 1/8 of the previous checkpoint's depth —
+  /// so a run of n points takes O(log n) checkpoints (bounded snapshot
+  /// memory and amortized O(n) fork work) while a divergence at depth d
+  /// still resumes within about d/8 of it.
+  unsigned checkpoint_stride = 1;
 
   /// Maximum number of SP+ executions (0 = the whole family).  Members past
   /// the budget are skipped, counted in SweepResult::specs_skipped — the

@@ -136,6 +136,13 @@ class Bag {
   /// `other` is left empty (its metadata is untouched).
   void merge_from(Bag& other);
 
+  /// Point the bag at a different forest.  Node handles, roots, and
+  /// metadata are position-dependent only on the forest's vectors, so a
+  /// forked detector (Tool::fork) copies its DisjointSets wholesale and
+  /// rebinds every bag it holds to the copy; the bag's root and sticky
+  /// metadata remain valid verbatim.
+  void rebind(DisjointSets* ds) { ds_ = ds; }
+
   /// Root handle of the underlying set (kInvalidNode when empty).
   Node root() const { return root_; }
 

@@ -8,6 +8,7 @@
 #include "core/peerset.hpp"
 #include "core/provenance.hpp"
 #include "core/spplus.hpp"
+#include "core/sweep.hpp"
 #include "dag/oracle.hpp"
 #include "dag/recorder.hpp"
 #include "runtime/serial_engine.hpp"
@@ -40,14 +41,19 @@ bool family_reports(dag::RandomProgram& program, std::uintptr_t addr) {
   auto family = spec::full_coverage_family(k, d);
   family.push_back(std::make_unique<spec::NoSteal>());
   family.push_back(std::make_unique<spec::StealAll>());
-  for (const auto& steal_spec : family) {
-    RaceLog log;
-    SpPlusDetector detector(&log);
-    SerialEngine engine(&detector, steal_spec.get());
-    engine.run([&] { program(); });
-    for (const auto& race : log.determinacy_races()) {
-      if (race.addr == addr) return true;
-    }
+  // The closure check re-runs one program under the whole Section-7 family —
+  // exactly the shape the prefix-sharing sweep strategy is built for:
+  // lexicographic neighbours share deep decision prefixes, so the
+  // checkpoint/fork scheduler pays detector cost only for the divergent
+  // suffixes, and a program whose runs are not address-stable silently
+  // falls back to fresh runs (core/sweep.hpp).
+  SweepOptions options;
+  options.threads = 1;
+  options.strategy = SweepStrategy::kPrefix;
+  const SweepResult swept =
+      sweep_family(shared_program([&program] { program(); }), family, options);
+  for (const auto& race : swept.log.determinacy_races()) {
+    if (race.addr == addr) return true;
   }
   return false;
 }

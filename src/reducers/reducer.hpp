@@ -19,12 +19,14 @@
 // serial projection.
 #pragma once
 
+#include <new>
 #include <utility>
 
 #include "reducers/monoid.hpp"
 #include "runtime/api.hpp"
 #include "runtime/engine.hpp"
 #include "runtime/hyperobject.hpp"
+#include "runtime/view_arena.hpp"
 
 namespace rader {
 
@@ -154,11 +156,22 @@ class reducer : public HyperobjectBase {
   }
 
   // ---- HyperobjectBase (engine-facing) ----
-  void* hyper_create_identity() override { return new View(M::identity()); }
+  // Identity views live in the deterministic thread-local arena, not on the
+  // general heap: with `new`, two executions with identical control flow
+  // could see their views at different addresses (allocator free-list
+  // state), defeating prefix-sharing sweeps, which verify that re-executed
+  // prefixes touch identical bytes (runtime/view_arena.hpp).  hyper_destroy
+  // therefore only destructs; the storage is rewound at the next run.
+  void* hyper_create_identity() override {
+    void* mem = view_arena::allocate(sizeof(View), alignof(View));
+    return new (mem) View(M::identity());
+  }
   void hyper_reduce(void* left, void* right) override {
     M::reduce(*static_cast<View*>(left), *static_cast<View*>(right));
   }
-  void hyper_destroy(void* view) override { delete static_cast<View*>(view); }
+  void hyper_destroy(void* view) override {
+    static_cast<View*>(view)->~View();
+  }
   void* hyper_leftmost() override { return &leftmost_; }
   std::size_t hyper_view_size() const override { return sizeof(View); }
   SrcTag hyper_tag() const override { return tag_; }

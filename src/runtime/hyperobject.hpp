@@ -26,6 +26,9 @@ class HyperobjectBase {
 
   /// Destroy a view previously returned by hyper_create_identity().  Must
   /// never be called on the leftmost view (which the reducer object owns).
+  /// Implementations need not release the storage: rader::reducer places
+  /// views in the deterministic view arena (runtime/view_arena.hpp) so that
+  /// re-executions reuse the same addresses, and only runs the destructor.
   virtual void hyper_destroy(void* view) = 0;
 
   /// The leftmost view — the storage owned by the reducer object itself,

@@ -2,24 +2,86 @@
 
 #include <algorithm>
 
+#include "runtime/view_arena.hpp"
 #include "support/metrics.hpp"
 #include "support/trace.hpp"
 
 namespace rader {
 
 void SerialEngine::run(FnView root) {
+  replay_ = nullptr;
+  replay_count_ = 0;
+  live_from_ = 0;
+  expect_ = nullptr;
+  run_impl(root, /*from_start=*/true);
+}
+
+void SerialEngine::resume_from(FnView root, const ResumePlan& plan) {
+  RADER_CHECK_MSG(plan.replay != nullptr, "resume plan without a trail");
+  RADER_CHECK_MSG(plan.replay_count <= plan.replay->size(),
+                  "resume plan replays beyond its trail");
+  // live_from == 0 would mean "deliver everything", i.e. a fresh run whose
+  // tool must receive on_run_begin — call run() for that.
+  RADER_CHECK_MSG(plan.live_from >= 1 && plan.live_from <= plan.replay_count,
+                  "resume plan live_from out of range");
+  replay_ = plan.replay;
+  replay_count_ = plan.replay_count;
+  live_from_ = plan.live_from;
+  expect_ = plan.expect;
+  try {
+    run_impl(root, /*from_start=*/false);
+  } catch (const ResumeDiverged&) {
+    // The throw unwound through live user frames, skipping all the frame /
+    // epoch bookkeeping below the throw point: restore the engine to a
+    // runnable state by hand.  Identity views minted by the abandoned
+    // partial run are leaked — Reduce cannot run mid-unwind.
+    running_ = false;
+    stack_.clear();
+    epochs_ = ViewEpochs();
+    view_aware_depth_ = 0;
+    replay_ = nullptr;
+    replay_count_ = 0;
+    live_from_ = 0;
+    expect_ = nullptr;
+    throw;
+  }
+}
+
+void SerialEngine::run_impl(FnView root, bool from_start) {
   RADER_CHECK_MSG(!running_, "SerialEngine::run is not reentrant");
+#if defined(__GNUC__)
+  // Canonicalize the stack position before entering user code.  Fresh and
+  // resumed runs reach this point through different call chains (run() vs
+  // resume_from()), so without this the program's stack locals would sit at
+  // slightly shifted addresses in otherwise identical executions — enough
+  // to fail resume verification ("access addresses drifted") and drive
+  // every prefix-sweep resume into fallback.  Padding to a 64 KiB boundary
+  // makes the frame user code runs in independent of the entry point.  The
+  // frame address is 16-aligned, so the alloca amount is exact.
+  void* stack_pad = __builtin_alloca(
+      reinterpret_cast<std::uintptr_t>(__builtin_frame_address(0)) & 0xFFF0u);
+  asm volatile("" : : "r"(stack_pad));  // the pad must not be elided
+#endif
   running_ = true;
   Engine::Scope scope(this);
 
   stats_ = Stats{};
+  access_hash_ = 0;
+  // Rewind the identity-view arena so this run's view #j lands at the same
+  // address as every other run's view #j (see runtime/view_arena.hpp); all
+  // views from the previous run were folded away by its end.
+  view_arena::rewind();
   next_frame_ = 0;
   next_vid_ = 0;
   view_aware_depth_ = 0;
+  point_index_ = 0;
+  live_ = from_start;
   reducer_ids_.clear();
   reducers_.clear();
 
-  if (tool_ != nullptr) tool_->on_run_begin();
+  // A resumed run's tool is a detector fork that already holds the prefix
+  // state; on_run_begin (which resets detectors) is for fresh runs only.
+  if (Tool* t = live_tool()) t->on_run_begin();
   trace::set_worker(0);
   next_sim_worker_ = 1;
   trace::emit(trace::EventKind::kRunBegin, kInvalidFrame);
@@ -35,10 +97,105 @@ void SerialEngine::run(FnView root) {
   // the reducer objects themselves; simply drop the records.
   epochs_.pop();
 
+  if (!live_) {
+    throw ResumeDiverged{"resume plan's live_from point was never reached"};
+  }
   trace::emit(trace::EventKind::kRunEnd, kInvalidFrame, stats_.steals,
               stats_.reduces);
   if (tool_ != nullptr) tool_->on_run_end();
   running_ = false;
+  // A later plain run() starts from scratch.
+  replay_ = nullptr;
+  replay_count_ = 0;
+  live_from_ = 0;
+  expect_ = nullptr;
+}
+
+void SerialEngine::capture(EngineCheckpoint* out) const {
+  RADER_DCHECK(out != nullptr);
+  RADER_CHECK_MSG(point_index_ > 0,
+                  "capture() outside a continuation-point hook");
+  out->point = point_index_ - 1;
+  out->next_frame = next_frame_;
+  out->next_vid = next_vid_;
+  out->next_sim_worker = next_sim_worker_;
+  out->access_hash = access_hash_;
+  out->stats = stats_;
+  out->frames = stack_;
+  out->epoch_vids.clear();
+  out->epoch_reducers.clear();
+  for (const ViewEpochs::Epoch& e : epochs_.epochs()) {
+    out->epoch_vids.push_back(e.vid);
+    std::vector<ReducerId> rs;
+    rs.reserve(e.views.size());
+    for (const auto& [h, view] : e.views) rs.push_back(h);
+    std::sort(rs.begin(), rs.end());
+    out->epoch_reducers.push_back(std::move(rs));
+  }
+}
+
+void SerialEngine::go_live(std::size_t point) {
+  live_ = true;
+  if (expect_ == nullptr) return;
+  // Fast-forward re-execution must have regenerated the checkpointed state
+  // bit-for-bit; anything else means the program is not a pure function of
+  // the steal decisions (e.g. it branches on wall-clock or on view
+  // addresses) and the prefix-sharing sweep would silently miscompare.
+  const EngineCheckpoint& e = *expect_;
+  RADER_CHECK_MSG(e.point == point, "checkpoint verifies a different point");
+  if (!(e.next_frame == next_frame_ && e.next_vid == next_vid_ &&
+        e.next_sim_worker == next_sim_worker_)) {
+    throw ResumeDiverged{"ID allocators mismatch the checkpoint"};
+  }
+  if (!(e.stats.frames == stats_.frames && e.stats.spawns == stats_.spawns &&
+        e.stats.syncs == stats_.syncs && e.stats.steals == stats_.steals &&
+        e.stats.reduces == stats_.reduces &&
+        e.stats.user_reduces == stats_.user_reduces &&
+        e.stats.identities == stats_.identities &&
+        e.stats.accesses == stats_.accesses &&
+        e.stats.reducer_ops == stats_.reducer_ops)) {
+    throw ResumeDiverged{"statistics mismatch the checkpoint"};
+  }
+  // Equal counts are not enough: the forked detector's shadow state is keyed
+  // on raw addresses, so the re-executed prefix must touch the SAME bytes as
+  // the original run.  Heap-allocated state (reducer identity views above
+  // all) can legitimately land elsewhere when the allocator's free lists
+  // differ between runs; resuming anyway would bolt a suffix at new
+  // addresses onto prefix history at old ones — stale entries then collide
+  // with recycled allocations and fabricate races.
+  if (e.access_hash != access_hash_) {
+    throw ResumeDiverged{"access addresses drifted between runs"};
+  }
+  if (e.frames.size() != stack_.size()) {
+    throw ResumeDiverged{"frame stack depth mismatch"};
+  }
+  for (std::size_t i = 0; i < stack_.size(); ++i) {
+    const Frame& a = e.frames[i];
+    const Frame& b = stack_[i];
+    if (!(a.id == b.id && a.kind == b.kind && a.sync_block == b.sync_block &&
+          a.ls == b.ls && a.as == b.as && a.epoch_base == b.epoch_base)) {
+      throw ResumeDiverged{"frame stack mismatch"};
+    }
+  }
+  const auto& epochs = epochs_.epochs();
+  if (e.epoch_vids.size() != epochs.size()) {
+    throw ResumeDiverged{"view-epoch stack depth mismatch"};
+  }
+  for (std::size_t i = 0; i < epochs.size(); ++i) {
+    if (e.epoch_vids[i] != epochs[i].vid) {
+      throw ResumeDiverged{"view IDs mismatch the checkpoint"};
+    }
+    std::vector<ReducerId> rs;
+    rs.reserve(epochs[i].views.size());
+    for (const auto& [h, view] : epochs[i].views) rs.push_back(h);
+    std::sort(rs.begin(), rs.end());
+    if (rs != e.epoch_reducers[i]) {
+      throw ResumeDiverged{"reducer-view map mismatch"};
+    }
+  }
+  // The point hook may grow the caller's checkpoint storage, so the pointer
+  // into it must not outlive this verification.
+  expect_ = nullptr;
 }
 
 void SerialEngine::enter_frame(FrameKind kind) {
@@ -57,8 +214,8 @@ void SerialEngine::enter_frame(FrameKind kind) {
   trace::emit(trace::EventKind::kFrameEnter, f.id, parent_id,
               epochs_.empty() ? 0 : epochs_.top_vid(),
               static_cast<std::uint8_t>(kind));
-  if (tool_ != nullptr) {
-    tool_->on_frame_enter(f.id, parent_id, kind, epochs_.top_vid());
+  if (Tool* t = live_tool()) {
+    t->on_frame_enter(f.id, parent_id, kind, epochs_.top_vid());
   }
 }
 
@@ -71,7 +228,7 @@ void SerialEngine::leave_frame() {
   const FrameId parent_id = stack_.empty() ? kInvalidFrame : stack_.back().id;
   trace::emit(trace::EventKind::kFrameReturn, f.id, parent_id, 0,
               static_cast<std::uint8_t>(f.kind));
-  if (tool_ != nullptr) tool_->on_frame_return(f.id, parent_id, f.kind);
+  if (Tool* t = live_tool()) t->on_frame_return(f.id, parent_id, f.kind);
 }
 
 void SerialEngine::spawn_inline(FnView fn) {
@@ -90,22 +247,64 @@ void SerialEngine::spawn_inline(FnView fn) {
 }
 
 void SerialEngine::continuation_point() {
-  if (spec_ == nullptr) return;
-  Frame& parent = top();
+  if (spec_ == nullptr && replay_ == nullptr) return;
+  const std::size_t idx = point_index_++;
+  if (!live_ && idx == live_from_) go_live(idx);
+  if (live_ && point_hook_) point_hook_(idx);
+
   spec::PointCtx ctx;
-  ctx.frame = parent.id;
-  ctx.sync_block = parent.sync_block;
-  ctx.cont_index = parent.ls - 1;
-  ctx.spawn_depth = parent.as + parent.ls;
-  ctx.live_epochs = live_epochs(parent);
+  {
+    const Frame& parent = top();
+    ctx.frame = parent.id;
+    ctx.sync_block = parent.sync_block;
+    ctx.cont_index = parent.ls - 1;
+    ctx.spawn_depth = parent.as + parent.ls;
+    ctx.live_epochs = live_epochs(parent);
+  }
 
   // Reduce operations the specification wants *before* the steal decision:
   // this is how a spec shapes the reduce tree (Theorem 7 construction).
-  std::uint32_t merges = std::min(spec_->merges_now(ctx), ctx.live_epochs);
-  while (merges-- > 0) top_merge();
+  const bool replayed = idx < replay_count_;
+  std::uint32_t merges = 0;
+  bool stole = false;
+  std::size_t rec_slot = 0;
+  const bool record = trail_ != nullptr && !replayed;
+  if (replayed) {
+    // Replay is only sound if the recorded execution and this one agree on
+    // everything the decision depended on.
+    const PointDecision& d = (*replay_)[idx];
+    if (!(d.ctx.frame == ctx.frame && d.ctx.sync_block == ctx.sync_block &&
+          d.ctx.cont_index == ctx.cont_index &&
+          d.ctx.spawn_depth == ctx.spawn_depth &&
+          d.ctx.live_epochs == ctx.live_epochs)) {
+      throw ResumeDiverged{"replay diverged from the recorded execution"};
+    }
+    merges = d.merges;
+    stole = d.stole;
+  } else {
+    merges = spec_ == nullptr
+                 ? 0
+                 : std::min(spec_->merges_now(ctx), ctx.live_epochs);
+    if (record) {
+      // Reserve the slot NOW so trail index == point index even when a user
+      // Reduce below spawns (nested points record after this one); the steal
+      // verdict is patched in once known.  The push may grow a trail that
+      // aliases `replay_`, but all replayed slots were read before the first
+      // recorded one, so no reference is invalidated.
+      rec_slot = trail_->size();
+      RADER_CHECK_MSG(rec_slot == idx, "decision trail out of step");
+      trail_->push_back(PointDecision{ctx, merges, false});
+    }
+  }
+  for (std::uint32_t m = merges; m > 0; --m) top_merge();
 
+  // Re-resolve the parent: nested Reduce frames may have grown stack_.
   ctx.live_epochs = live_epochs(top());
-  if (spec_->steal(ctx)) {
+  if (!replayed) {
+    stole = spec_ != nullptr && spec_->steal(ctx);
+    if (record) (*trail_)[rec_slot].stole = stole;
+  }
+  if (stole) {
     const ViewId vid = next_vid_++;
     epochs_.push(vid);
     ++stats_.steals;
@@ -115,7 +314,7 @@ void SerialEngine::continuation_point() {
       trace::set_worker(next_sim_worker_++);
       trace::emit(trace::EventKind::kSteal, top().id, ctx.cont_index, vid);
     }
-    if (tool_ != nullptr) tool_->on_steal(top().id, ctx.cont_index, vid);
+    if (Tool* t = live_tool()) t->on_steal(top().id, ctx.cont_index, vid);
   }
 }
 
@@ -145,7 +344,7 @@ void SerialEngine::do_sync() {
   f.sync_block += 1;
   ++stats_.syncs;
   trace::emit(trace::EventKind::kSync, f.id);
-  if (tool_ != nullptr) tool_->on_sync(f.id);
+  if (Tool* t = live_tool()) t->on_sync(f.id);
 }
 
 void SerialEngine::top_merge() {
@@ -155,8 +354,8 @@ void SerialEngine::top_merge() {
   ++stats_.reduces;
   const ViewId left_vid = epochs_.top_vid();
   trace::emit(trace::EventKind::kReduceBegin, frame_id, left_vid, dead.vid);
-  if (tool_ != nullptr) {
-    tool_->on_reduce(frame_id, left_vid, dead.vid);
+  if (Tool* t = live_tool()) {
+    t->on_reduce(frame_id, left_vid, dead.vid);
   }
   if (dead.views.empty()) {
     trace::emit(trace::EventKind::kReduceEnd, frame_id, left_vid, dead.vid);
@@ -197,8 +396,8 @@ void SerialEngine::run_user_reduce(ReducerId h, void* left, void* right) {
   trace::emit(trace::EventKind::kReducerOp, top().id, h, 0,
               static_cast<std::uint8_t>(ReducerOp::kReduce),
               r->hyper_tag().label);
-  if (tool_ != nullptr) {
-    tool_->on_reducer_op(ReducerOp::kReduce, h, r->hyper_tag());
+  if (Tool* t = live_tool()) {
+    t->on_reducer_op(ReducerOp::kReduce, h, r->hyper_tag());
   }
   r->hyper_reduce(left, right);
   --view_aware_depth_;
@@ -208,14 +407,24 @@ void SerialEngine::run_user_reduce(ReducerId h, void* left, void* right) {
 void SerialEngine::access(AccessKind kind, std::uintptr_t addr,
                           std::size_t size, SrcTag tag) {
   if (tool_ == nullptr || !running_) return;
+  // Counted and hashed whenever a tool is attached — even while a resumed
+  // prefix is suppressing delivery — so stats and the address-stream hash
+  // match the checkpointed original run.
   ++stats_.accesses;
-  tool_->on_access(kind, addr, size, view_aware_depth_ > 0, epochs_.top_vid(),
-                   tag);
+  mix_hash(static_cast<std::uint64_t>(addr));
+  mix_hash((static_cast<std::uint64_t>(size) << 2) |
+           static_cast<std::uint64_t>(kind));
+  if (Tool* t = live_tool()) {
+    t->on_access(kind, addr, size, view_aware_depth_ > 0, epochs_.top_vid(),
+                 tag);
+  }
 }
 
 void SerialEngine::clear_shadow(std::uintptr_t addr, std::size_t size) {
   if (tool_ == nullptr || !running_) return;
-  tool_->on_clear(addr, size);
+  mix_hash(~static_cast<std::uint64_t>(addr));
+  mix_hash(static_cast<std::uint64_t>(size));
+  if (Tool* t = live_tool()) t->on_clear(addr, size);
 }
 
 ReducerId SerialEngine::bind(HyperobjectBase* r) {
@@ -249,7 +458,7 @@ void SerialEngine::register_reducer(HyperobjectBase* r, void* leftmost_view,
   ++stats_.reducer_ops;
   trace::emit(trace::EventKind::kViewCreate, top().id, epochs_.top_vid(), h,
               /*aux=*/0, tag.label);
-  if (tool_ != nullptr) tool_->on_reducer_op(ReducerOp::kCreate, h, tag);
+  if (Tool* t = live_tool()) t->on_reducer_op(ReducerOp::kCreate, h, tag);
 }
 
 void SerialEngine::unregister_reducer(HyperobjectBase* r, SrcTag tag) {
@@ -261,7 +470,7 @@ void SerialEngine::unregister_reducer(HyperobjectBase* r, SrcTag tag) {
   trace::emit(trace::EventKind::kViewDestroy,
               stack_.empty() ? kInvalidFrame : top().id, 0, h, /*aux=*/0,
               tag.label);
-  if (tool_ != nullptr) tool_->on_reducer_op(ReducerOp::kDestroy, h, tag);
+  if (Tool* t = live_tool()) t->on_reducer_op(ReducerOp::kDestroy, h, tag);
   // Fold any outstanding views into the leftmost one so the reducer's final
   // value is the serial-order reduction.  (Destroying a reducer while views
   // are outstanding is itself a view-read race — the kDestroy event above
@@ -302,8 +511,8 @@ void* SerialEngine::current_view(HyperobjectBase* r, SrcTag tag) {
     ++stats_.identities;
     trace::emit(trace::EventKind::kViewCreate, top().id, epochs_.top_vid(), h,
                 /*aux=*/1, tag.label);
-    if (tool_ != nullptr) {
-      tool_->on_reducer_op(ReducerOp::kCreateIdentity, h, tag);
+    if (Tool* t = live_tool()) {
+      t->on_reducer_op(ReducerOp::kCreateIdentity, h, tag);
     }
     v = r->hyper_create_identity();
     --view_aware_depth_;
@@ -318,7 +527,7 @@ void SerialEngine::reducer_read(HyperobjectBase* r, ReducerOp op, SrcTag tag) {
   ++stats_.reducer_ops;
   trace::emit(trace::EventKind::kReducerOp, top().id, h, 0,
               static_cast<std::uint8_t>(op), tag.label);
-  if (tool_ != nullptr) tool_->on_reducer_op(op, h, tag);
+  if (Tool* t = live_tool()) t->on_reducer_op(op, h, tag);
 }
 
 void SerialEngine::begin_update(HyperobjectBase* r, SrcTag tag) {
@@ -328,7 +537,7 @@ void SerialEngine::begin_update(HyperobjectBase* r, SrcTag tag) {
   ++stats_.reducer_ops;
   trace::emit(trace::EventKind::kReducerOp, top().id, h, 0,
               static_cast<std::uint8_t>(ReducerOp::kUpdate), tag.label);
-  if (tool_ != nullptr) tool_->on_reducer_op(ReducerOp::kUpdate, h, tag);
+  if (Tool* t = live_tool()) t->on_reducer_op(ReducerOp::kUpdate, h, tag);
 }
 
 void SerialEngine::end_update(HyperobjectBase*) {

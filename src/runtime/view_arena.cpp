@@ -1,0 +1,72 @@
+#include "runtime/view_arena.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "runtime/engine.hpp"
+#include "support/common.hpp"
+
+namespace rader::view_arena {
+namespace {
+
+constexpr std::size_t kBlockBytes = 1 << 14;
+
+struct Arena {
+  // Blocks are stable in memory (the vector holds owners, not storage), so
+  // handed-out addresses survive vector growth and rewinds.
+  std::vector<std::unique_ptr<std::byte[]>> blocks;
+  std::size_t block = 0;   // index of the block being bumped
+  std::size_t offset = 0;  // bump cursor within it
+  std::size_t in_use = 0;
+  // Rewind floor: everything below it was allocated outside a run and is
+  // permanent (see the header).
+  std::size_t floor_block = 0;
+  std::size_t floor_offset = 0;
+  std::size_t floor_in_use = 0;
+
+  void* allocate(std::size_t size, std::size_t align) {
+    RADER_CHECK_MSG(size <= kBlockBytes, "identity view exceeds arena block");
+    RADER_DCHECK(align != 0 && (align & (align - 1)) == 0);
+    for (;;) {
+      if (block == blocks.size()) {
+        blocks.push_back(std::make_unique<std::byte[]>(kBlockBytes));
+      }
+      std::byte* const base = blocks[block].get();
+      const auto addr = reinterpret_cast<std::uintptr_t>(base) + offset;
+      const std::size_t aligned =
+          offset + ((align - (addr & (align - 1))) & (align - 1));
+      if (aligned + size <= kBlockBytes) {
+        offset = aligned + size;
+        in_use += size;
+        if (Engine::current() == nullptr) {
+          // Outside-run allocation: promote to permanent.
+          floor_block = block;
+          floor_offset = offset;
+          floor_in_use = in_use;
+        }
+        return base + aligned;
+      }
+      ++block;
+      offset = 0;
+    }
+  }
+};
+
+thread_local Arena tl_arena;
+
+}  // namespace
+
+void* allocate(std::size_t size, std::size_t align) {
+  return tl_arena.allocate(size, align);
+}
+
+void rewind() {
+  tl_arena.block = tl_arena.floor_block;
+  tl_arena.offset = tl_arena.floor_offset;
+  tl_arena.in_use = tl_arena.floor_in_use;
+}
+
+std::size_t bytes_in_use() { return tl_arena.in_use; }
+
+}  // namespace rader::view_arena

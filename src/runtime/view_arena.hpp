@@ -1,0 +1,56 @@
+// Deterministic thread-local storage for reducer identity views.
+//
+// Identity views used to come from plain `new`, which hands out addresses at
+// the mercy of the allocator's free lists — two executions with identical
+// control flow could see their views at different addresses, differing only
+// in where a previous run happened to leave the heap.  Detection never cared
+// (each run's shadow state is self-consistent), but prefix-sharing sweeps do
+// (core/sweep.hpp): resuming a run from a checkpointed detector fork splices
+// a live suffix onto recorded prefix history KEYED ON ADDRESSES, so the
+// re-executed prefix must touch the very same bytes as the original run
+// (SerialEngine::go_live verifies exactly that and falls back otherwise).
+//
+// This arena makes view placement a pure function of allocation order: a
+// bump allocator over blocks that are NEVER freed, rewound to offset zero at
+// the start of every serial-engine run.  Allocation #j of a run always lands
+// at the same address as allocation #j of any other run on this thread, so
+// any program whose view-creation order is determined by its steal decisions
+// — all pure programs — becomes address-stable and prefix-shareable.
+//
+// The arena is thread-local (sweep workers never contend) and holds raw
+// storage only: reducers placement-new views into it and run destructors on
+// hyper_destroy, nothing is ever deallocated until the thread exits.  Peak
+// footprint is the largest total view footprint of any single run on the
+// thread, not the sum over runs.
+#pragma once
+
+#include <cstddef>
+
+namespace rader::view_arena {
+
+/// Storage for one identity view, aligned to `align` (which must be a power
+/// of two).  Valid until the thread exits; contents survive rewind() — the
+/// same address is simply handed out again in a later run.
+///
+/// Allocations made while NO engine is installed (Engine::current() ==
+/// nullptr) are PERMANENT: they raise the rewind floor instead of being
+/// reclaimed.  That is what lets program fixtures built between runs (e.g.
+/// the Figure-1 demo's owned list) share the arena with per-run transient
+/// state: the fixture keeps its storage forever, while everything allocated
+/// during a run is handed out again — at the same addresses — by the next
+/// run.
+void* allocate(std::size_t size, std::size_t align);
+
+/// Reset the calling thread's allocation cursor to the floor (the high-water
+/// mark of outside-run allocations), keeping every block.  Called by the
+/// serial engine at the start of each run; all transient views from previous
+/// runs must already be destroyed (the engine folds every view by run end).
+/// After an abandoned resume (ResumeDiverged unwinding) leaked views are
+/// reused without their destructors running — the documented leak of
+/// SerialEngine::resume_from.
+void rewind();
+
+/// Bytes currently handed out since the last rewind() (tests).
+std::size_t bytes_in_use();
+
+}  // namespace rader::view_arena

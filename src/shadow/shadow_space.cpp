@@ -6,7 +6,7 @@
 
 namespace rader::shadow {
 
-ShadowSpace::Page* ShadowSpace::find_page(std::uintptr_t addr) {
+const ShadowSpace::Page* ShadowSpace::find_page(std::uintptr_t addr) {
   const std::uintptr_t key = page_key(addr);
   if (key == cached_key_) return cached_page_;
   auto it = pages_.find(key);
@@ -16,23 +16,36 @@ ShadowSpace::Page* ShadowSpace::find_page(std::uintptr_t addr) {
   return cached_page_;
 }
 
-ShadowSpace::Page* ShadowSpace::touch_page(std::uintptr_t addr) {
-  if (Page* page = find_page(addr)) return page;
-  metrics::bump(metrics::Counter::kShadowPagesTouched);
+ShadowSpace::Page* ShadowSpace::writable_page(std::uintptr_t addr) {
   const std::uintptr_t key = page_key(addr);
-  auto page = std::make_unique<Page>();
-  std::memset(page->cells, 0xff, sizeof(page->cells));  // all kEmpty
-  Page* raw = page.get();
-  pages_.emplace(key, std::move(page));
+  if (key == wcached_key_) return wcached_page_;
+  auto it = pages_.find(key);
+  if (it == pages_.end()) {
+    metrics::bump(metrics::Counter::kShadowPagesTouched);
+    auto page = std::make_shared<Page>();
+    std::memset(page->cells, 0xff, sizeof(page->cells));  // all kEmpty
+    it = pages_.emplace(key, std::move(page)).first;
+  } else if (it->second.use_count() > 1) {
+    // The page is shared with a fork: un-share before mutating.
+    metrics::bump(metrics::Counter::kShadowPagesCoW);
+    it->second = std::make_shared<Page>(*it->second);
+  }
+  Page* raw = it->second.get();
+  // Keep the read cache coherent: it may point at the shared page this
+  // space just replaced.
   cached_key_ = key;
   cached_page_ = raw;
+  wcached_key_ = key;
+  wcached_page_ = raw;
   return raw;
 }
 
 void ShadowSpace::clear() {
   pages_.clear();
-  cached_key_ = static_cast<std::uintptr_t>(-1);
+  cached_key_ = kNoKey;
   cached_page_ = nullptr;
+  wcached_key_ = kNoKey;
+  wcached_page_ = nullptr;
 }
 
 }  // namespace rader::shadow

@@ -13,6 +13,13 @@
 // Granularity: one entry per byte, matching the precision of the compiler
 // instrumentation the paper piggybacks on (ThreadSanitizer tracks accesses
 // with byte-accurate extents).  Range helpers iterate the bytes of an access.
+//
+// Forking: `fork()` produces a copy-on-write snapshot — both spaces share
+// every current page and a page is copied only when one side first writes
+// it after the fork.  This is what makes detector checkpoints cheap enough
+// to take per continuation point (the prefix-sharing sweep strategy,
+// core/sweep.hpp).  A space and its forks must stay on one thread; the
+// sharing is use_count-based, not atomic-publication-safe.
 #pragma once
 
 #include <cstdint>
@@ -31,19 +38,35 @@ class ShadowSpace {
 
   ShadowSpace() = default;
 
-  // Shadow spaces are large; forbid accidental copies.
+  // Shadow spaces are large; forbid accidental copies (fork() is the
+  // explicit, copy-on-write way to duplicate one).
   ShadowSpace(const ShadowSpace&) = delete;
   ShadowSpace& operator=(const ShadowSpace&) = delete;
+  ShadowSpace(ShadowSpace&&) = default;
+  ShadowSpace& operator=(ShadowSpace&&) = default;
 
   /// Payload recorded for `addr`, or kEmpty if never set.
   Payload get(std::uintptr_t addr) {
-    Page* page = find_page(addr);
+    const Page* page = find_page(addr);
     return page ? page->cells[offset_in_page(addr)] : kEmpty;
   }
 
   /// Record `value` for `addr`.
   void set(std::uintptr_t addr, Payload value) {
-    touch_page(addr)->cells[offset_in_page(addr)] = value;
+    writable_page(addr)->cells[offset_in_page(addr)] = value;
+  }
+
+  /// Copy-on-write snapshot: the fork shares every current page with this
+  /// space; whichever side writes a shared page first copies it (bumping
+  /// metrics::Counter::kShadowPagesCoW).  Read caches stay valid on both
+  /// sides (shared pages are immutable until un-shared); the write cache is
+  /// dropped so the next write re-checks sharing.
+  ShadowSpace fork() const {
+    wcached_key_ = kNoKey;
+    wcached_page_ = nullptr;
+    ShadowSpace f;
+    f.pages_ = pages_;
+    return f;
   }
 
   /// Number of lazily allocated pages (for tests and space accounting).
@@ -70,13 +93,21 @@ class ShadowSpace {
     return addr & (kPageSize - 1);
   }
 
-  Page* find_page(std::uintptr_t addr);
-  Page* touch_page(std::uintptr_t addr);
+  const Page* find_page(std::uintptr_t addr);
+  Page* writable_page(std::uintptr_t addr);
 
-  std::unordered_map<std::uintptr_t, std::unique_ptr<Page>> pages_;
-  // Lookaside cache: last page touched.
-  std::uintptr_t cached_key_ = static_cast<std::uintptr_t>(-1);
-  Page* cached_page_ = nullptr;
+  static constexpr std::uintptr_t kNoKey = static_cast<std::uintptr_t>(-1);
+
+  std::unordered_map<std::uintptr_t, std::shared_ptr<Page>> pages_;
+  // Read lookaside: last page located (possibly still shared with a fork).
+  std::uintptr_t cached_key_ = kNoKey;
+  const Page* cached_page_ = nullptr;
+  // Write lookaside: last page PROVEN exclusively owned.  Kept separate from
+  // the read cache (and mutable, so fork() can drop it on a const source):
+  // a write through a stale cached pointer into a shared page would leak the
+  // mutation into every fork sharing it.
+  mutable std::uintptr_t wcached_key_ = kNoKey;
+  mutable Page* wcached_page_ = nullptr;
 };
 
 }  // namespace rader::shadow

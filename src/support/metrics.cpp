@@ -25,6 +25,10 @@ const char* counter_name(Counter c) {
     case Counter::kRacesReported: return "races_reported";
     case Counter::kRacesDeduped: return "races_deduped";
     case Counter::kSpecRuns: return "spec_runs";
+    case Counter::kSweepCheckpoints: return "sweep_checkpoints";
+    case Counter::kSweepForks: return "sweep_forks";
+    case Counter::kSweepResumeFallbacks: return "sweep_resume_fallbacks";
+    case Counter::kShadowPagesCoW: return "shadow_pages_cow";
   }
   return "unknown";
 }

@@ -43,8 +43,15 @@ enum class Counter : unsigned {
   kRacesReported,         // distinct race identities stored
   kRacesDeduped,          // duplicate reports folded into a stored identity
   kSpecRuns,              // SP+ executions performed by sweeps
+  kSweepCheckpoints,      // engine+detector checkpoints captured (prefix
+                          // sweep strategy, core/sweep.hpp)
+  kSweepForks,             // runs resumed from a checkpointed fork
+  kSweepResumeFallbacks,   // resumes abandoned (ResumeDiverged) and redone
+                           // as fresh runs — nonzero means the program is
+                           // not address-stable across executions
+  kShadowPagesCoW,         // shared shadow pages copied on first write
 };
-inline constexpr unsigned kCounterCount = 8;
+inline constexpr unsigned kCounterCount = 12;
 const char* counter_name(Counter c);
 
 /// Wall-clock phases.  kExecute brackets whole detector runs, so it

@@ -52,13 +52,23 @@ void race_fig1(int n, MyList& list) {
 
 struct Fig1Instance {
   MyList owned;
+  apps::ListNode* owned_tail = nullptr;
   Fig1Instance() {
     for (int i = 0; i < 8; ++i) owned.insert(100 + i);
+    auto* n = const_cast<apps::ListNode*>(owned.head());
+    while (n->next != nullptr) n = n->next;
+    owned_tail = n;
   }
   ~Fig1Instance() { owned.destroy(); }
   void operator()() {
     MyList working = owned;
     race_fig1(6, working);
+    // The Reduce-side concat appends onto `owned`'s tail through the shallow
+    // copies.  Detach the appendage so every run observes the identical
+    // 8-node list: sweep workers reuse one instance across family members,
+    // so sweep programs must be re-runnable (tools/rader_cli.cpp does the
+    // same for the CLI's fig1 target).
+    owned_tail->next = nullptr;
   }
 };
 

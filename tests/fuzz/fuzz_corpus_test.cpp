@@ -5,14 +5,19 @@
 // end-to-end test of the reproducer replay path.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "core/sweep.hpp"
 #include "dag/program_serial.hpp"
 #include "dag/random_program.hpp"
 #include "fuzz/differ.hpp"
+#include "runtime/serial_engine.hpp"
+#include "spec/spec_family.hpp"
 #include "spec/steal_spec.hpp"
 
 #ifndef RADER_FUZZ_CORPUS_DIR
@@ -100,6 +105,58 @@ TEST(FuzzCorpus, Fig6ShadowSlotIsTheDocumentedSingleExecMiss) {
   EXPECT_TRUE(check.single_exec_miss)
       << "the corpus file exists to pin the Figure-6 corner";
   EXPECT_TRUE(check.divergences.empty());
+}
+
+// Every corpus program, swept under its Section-7 family with BOTH sweep
+// strategies: the prefix (checkpoint/fork) scheduler must reproduce the
+// rerun baseline's canonical race keys and spec accounting exactly.  This
+// pins the strategy on the adversarial programs the fuzzer distilled —
+// including the Figure-6 shadow-slot corner, where the family-level sweep is
+// precisely the escalation path that closes SP+'s single-execution miss
+// (fuzz::family_reports runs this shape with SweepStrategy::kPrefix).
+TEST(FuzzCorpus, PrefixSweepMatchesRerunOnEveryCorpusProgram) {
+  for (const char* name : kCorpusFiles) {
+    std::string error;
+    auto repro = dag::load_reproducer(corpus_path(name), &error);
+    ASSERT_TRUE(repro.has_value()) << name << ": " << error;
+    dag::RandomProgram program(repro->tree, repro->params);
+    const auto [pool_lo, pool_hi] = program.pool_range();
+
+    SerialEngine::Stats probe;
+    {
+      spec::NoSteal none;
+      SerialEngine engine(nullptr, &none);
+      engine.run([&] { program(); });
+      probe = engine.stats();
+    }
+    auto family = spec::full_coverage_family(
+        std::min<std::uint32_t>(probe.max_sync_block, 10),
+        std::min<std::uint64_t>(probe.max_spawn_depth, 24));
+    family.push_back(std::make_unique<spec::NoSteal>());
+    family.push_back(std::make_unique<spec::StealAll>());
+
+    const auto sweep = [&](SweepStrategy strategy) {
+      SweepOptions options;
+      options.threads = 1;
+      options.strategy = strategy;
+      return sweep_family(shared_program([&program] { program(); }), family,
+                          options);
+    };
+    const SweepResult rerun = sweep(SweepStrategy::kRerun);
+    const SweepResult prefix = sweep(SweepStrategy::kPrefix);
+
+    EXPECT_EQ(fuzz::canonical_race_keys(prefix.log, pool_lo, pool_hi),
+              fuzz::canonical_race_keys(rerun.log, pool_lo, pool_hi))
+        << name;
+    EXPECT_EQ(prefix.spec_runs, rerun.spec_runs) << name;
+    EXPECT_EQ(prefix.specs_skipped, rerun.specs_skipped) << name;
+
+    if (std::string(name) == "fig6_shadow_slot.rprog") {
+      // The family must elicit the determinacy race SP+ misses in the
+      // recorded single execution — under the prefix strategy too.
+      EXPECT_FALSE(prefix.log.determinacy_races().empty()) << name;
+    }
+  }
 }
 
 TEST(FuzzCorpus, ViewReadRaceCarriesConfirmedVerdicts) {

@@ -284,10 +284,12 @@ inline std::vector<Case> all_cases() {
        "the Reduce's splice races with a scan; the Reduce exists only on "
        "stolen schedules",
        [] {
-         static apps::MyList owned;
-         if (owned.empty()) {
-           for (int i = 0; i < 6; ++i) owned.insert(100 + i);
-         }
+         // Built fresh each run: MyList nodes live in the deterministic view
+         // arena, which reclaims in-run allocations at the next run's start —
+         // a `static` list populated inside a run would dangle into storage
+         // the next run reuses (src/apps/mylist.hpp).
+         apps::MyList owned;
+         for (int i = 0; i < 6; ++i) owned.insert(100 + i);
          apps::MyList working = owned;
          apps::MyList copy(working);
          int len = 0;

@@ -27,6 +27,10 @@
 // SP+ runs, --stop-first=1 stops handing out specs once a race is found.
 // Each worker checks its own instance of the program; merged reports are
 // deduplicated (one per race, listing every spec that elicited it).
+// --sweep-strategy=prefix turns on prefix sharing: each spec fast-forwards
+// from a checkpoint of its longest shared decision prefix with the previous
+// one (core/sweep.hpp) — identical reports, several times fewer detector
+// events.
 //
 // --replay=HANDLE re-runs exactly one eliciting specification from a prior
 // report: HANDLE is a spec handle as printed in `found_under` /
@@ -104,6 +108,7 @@ bool arg_flag(int argc, char** argv, const std::string& key) {
       stderr,
       "usage: rader --program=NAME [--scale=S] --check=ALGO [--spec=SPEC]\n"
       "             [--k-cap=N] [--jobs=J] [--budget=B] [--stop-first=0|1]\n"
+      "             [--sweep-strategy=rerun|prefix]\n"
       "             [--replay=HANDLE] [--format=text|json]\n"
       "             [--trace=FILE] [--trace-format=chrome|text]\n"
       "             [--explain] [--progress]\n"
@@ -112,6 +117,8 @@ bool arg_flag(int argc, char** argv, const std::string& key) {
       "  ALGO: peerset|sp+|spbags|sporder|exhaustive\n"
       "  SPEC: none|all|triple:A,B,C|depth:D|random:SEED,K|bern:SEED,P\n"
       "  JOBS: exhaustive-sweep worker threads (0 = hardware threads)\n"
+      "  STRATEGY: rerun = every spec is a fresh run (default); prefix =\n"
+      "          checkpoint/fork prefix sharing (same result, faster)\n"
       "  HANDLE: a spec handle from a report's replay_handles, e.g.\n"
       "          'steal-triple(0,1,2)' (the SPEC grammar is also accepted)\n");
   std::exit(2);
@@ -214,8 +221,12 @@ int run_repro(const std::string& path, bool json) {
 // The Figure 1 program, packaged for the CLI (known-racy demo target).
 struct Fig1Program {
   apps::MyList owned;
+  apps::ListNode* owned_tail = nullptr;
   Fig1Program() {
     for (int i = 0; i < 12; ++i) owned.insert(100 + i);
+    auto* n = const_cast<apps::ListNode*>(owned.head());
+    while (n->next != nullptr) n = n->next;
+    owned_tail = n;
   }
   ~Fig1Program() { owned.destroy(); }
   void operator()() {
@@ -238,6 +249,12 @@ struct Fig1Program {
     });
     rader::sync();
     (void)len;
+    // The Reduce-side concat — the Figure 1 bug — appends onto `owned`'s
+    // tail node, because the shallow copies share its chain.  Detach the
+    // appendage (raw, serial, after the sync) so every execution observes
+    // the identical 12-node list: sweep programs must be re-runnable, and
+    // the prefix-sharing sweep verifies it.
+    owned_tail->next = nullptr;
   }
 };
 
@@ -259,6 +276,13 @@ int main(int argc, char** argv) {
   sweep.budget = std::stoull(arg_value(argc, argv, "budget", "0"));
   sweep.stop_after_first_race =
       arg_value(argc, argv, "stop-first", "0") != "0";
+  const std::string strategy =
+      arg_value(argc, argv, "sweep-strategy", "rerun");
+  if (strategy == "prefix") {
+    sweep.strategy = SweepStrategy::kPrefix;
+  } else if (strategy != "rerun") {
+    usage_and_exit();
+  }
   sweep.progress = arg_flag(argc, argv, "progress");
   const std::string trace_path = arg_value(argc, argv, "trace", "");
   const std::string trace_format =
