@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sched/parallel_engine.hpp"
 #include "support/metrics.hpp"
 
 namespace rader {
@@ -11,6 +12,18 @@ RaceLog Rader::check_view_read(FnView program) {
   PeerSetDetector detector(&log);
   spec::NoSteal no_steal;
   run_serial(program, &detector, &no_steal);
+  return log;
+}
+
+RaceLog Rader::check_parallel(FnView program, unsigned workers) {
+  RaceLog log;
+  ParallelPeerSet tool(&log);
+  ParallelEngine engine(workers);
+  engine.set_tool(&tool);
+  {
+    metrics::PhaseTimer timer(metrics::Phase::kExecute);
+    engine.run(program);
+  }
   return log;
 }
 

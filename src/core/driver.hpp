@@ -41,6 +41,15 @@ class Rader {
   /// Peer-Set over the serial execution: exact view-read race detection.
   static RaceLog check_view_read(FnView program);
 
+  /// Peer-Set over a REAL work-stealing execution on `workers` threads
+  /// (0 = hardware concurrency): the parallel engine records per-segment
+  /// event shards and replays them in depth-first order through the same
+  /// detector, so the returned log is identical to check_view_read's for
+  /// any worker count — detection is exact (Theorem 4) while the program
+  /// runs at full parallel speed.  The program must be safe to execute in
+  /// parallel (join its spawns before reading results).
+  static RaceLog check_parallel(FnView program, unsigned workers = 0);
+
   /// SP+ over the execution fixed by `steal_spec`.
   static RaceLog check_determinacy(FnView program,
                                    const spec::StealSpec& steal_spec);

@@ -14,6 +14,7 @@
 #include "core/spplus.hpp"
 #include "runtime/run.hpp"
 #include "runtime/serial_engine.hpp"
+#include "runtime/view_arena.hpp"
 #include "support/common.hpp"
 #include "support/trace.hpp"
 
@@ -69,15 +70,19 @@ class ProgressMonitor {
       done += d;
       workers << (w == 0 ? "" : " ") << 'w' << w << ':' << d;
     }
-    const double secs = clock_.seconds();
-    const double rate = secs > 0.0 ? static_cast<double>(done) / secs : 0.0;
+    // Clamped denominators: a size-0/size-1 family (or a sub-interval
+    // completion) can sample with ~zero elapsed time and with done == total,
+    // and the raw divisions would print nan/inf telemetry.
+    const double secs = std::max(clock_.seconds(), 1e-9);
+    const double rate = static_cast<double>(done) / secs;
+    const std::uint64_t remaining = total_ > done ? total_ - done : 0;
     char perf[96];
     if (final) {
       std::snprintf(perf, sizeof(perf), "%.1f specs/s, %.2fs elapsed", rate,
                     secs);
     } else {
       const double eta =
-          rate > 0.0 ? static_cast<double>(total_ - done) / rate : 0.0;
+          rate > 0.0 ? static_cast<double>(remaining) / rate : 0.0;
       std::snprintf(perf, sizeof(perf), "%.1f specs/s, eta %.1fs", rate, eta);
     }
     std::ostringstream os;
@@ -353,6 +358,12 @@ SweepResult sweep_family(
 
   const bool prefix = options.strategy == SweepStrategy::kPrefix;
   const auto worker = [&](unsigned widx) {
+    // Bound the thread's view-arena floor: the worker's program fixtures
+    // allocate outside runs (promoting the floor), and without this a
+    // long-lived process sweeping repeatedly would grow every worker
+    // thread's arena monotonically.  Declared first so it is destroyed
+    // last — after the program instances (and their views) are gone.
+    view_arena::Scope arena_scope;
     metrics::Registry reg;
     metrics::Scope scope(&reg);
     // When a tracing session is active, each sweep worker records into its

@@ -69,4 +69,26 @@ void rewind() {
 
 std::size_t bytes_in_use() { return tl_arena.in_use; }
 
+std::size_t permanent_bytes() { return tl_arena.floor_in_use; }
+
+Scope::Scope()
+    : block_(tl_arena.block),
+      offset_(tl_arena.offset),
+      in_use_(tl_arena.in_use),
+      floor_block_(tl_arena.floor_block),
+      floor_offset_(tl_arena.floor_offset),
+      floor_in_use_(tl_arena.floor_in_use) {}
+
+Scope::~Scope() {
+  // Everything allocated (and promoted) inside the scope is dead by now:
+  // hand its storage out again, including the floor range the scope's
+  // outside-run allocations claimed.
+  tl_arena.block = block_;
+  tl_arena.offset = offset_;
+  tl_arena.in_use = in_use_;
+  tl_arena.floor_block = floor_block_;
+  tl_arena.floor_offset = floor_offset_;
+  tl_arena.floor_in_use = floor_in_use_;
+}
+
 }  // namespace rader::view_arena

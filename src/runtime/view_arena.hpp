@@ -34,7 +34,8 @@ namespace rader::view_arena {
 ///
 /// Allocations made while NO engine is installed (Engine::current() ==
 /// nullptr) are PERMANENT: they raise the rewind floor instead of being
-/// reclaimed.  That is what lets program fixtures built between runs (e.g.
+/// reclaimed (permanent meaning until the innermost enclosing Scope exits —
+/// see below).  That is what lets program fixtures built between runs (e.g.
 /// the Figure-1 demo's owned list) share the arena with per-run transient
 /// state: the fixture keeps its storage forever, while everything allocated
 /// during a run is handed out again — at the same addresses — by the next
@@ -52,5 +53,35 @@ void rewind();
 
 /// Bytes currently handed out since the last rewind() (tests).
 std::size_t bytes_in_use();
+
+/// Bytes below the rewind floor — permanent until a Scope containing their
+/// promotion exits (tests and space accounting).
+std::size_t permanent_bytes();
+
+/// RAII bound on floor promotion.  Outside-run allocations made while a
+/// Scope is alive are permanent only for the Scope's lifetime: destruction
+/// restores both the allocation cursor and the rewind floor to their
+/// construction-time values, handing the storage out again afterwards.
+///
+/// Without this, every out-of-run allocation would raise the floor of its
+/// thread FOREVER — a long-lived process running many sweeps (the daemon
+/// shape) grows each worker's arena monotonically, one program fixture per
+/// sweep.  Sweep workers therefore wrap their whole task (fixture
+/// construction + runs) in a Scope, declared before the program instance so
+/// the fixture's views are destroyed before their storage is reclaimed.
+///
+/// Scopes are per-thread and must nest like stack frames.
+class Scope {
+ public:
+  Scope();
+  ~Scope();
+
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+  std::size_t block_, offset_, in_use_;
+  std::size_t floor_block_, floor_offset_, floor_in_use_;
+};
 
 }  // namespace rader::view_arena

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "support/trace.hpp"
+#include "tool/tool.hpp"
 
 namespace rader {
 
@@ -46,12 +47,42 @@ ParallelEngine::~ParallelEngine() {
   for (auto& t : threads_) t.join();
 }
 
+void ParallelEngine::set_tool(ParallelTool* tool) {
+  RADER_CHECK_MSG(!running_.load(std::memory_order_acquire),
+                  "ParallelEngine::set_tool during a run");
+  tool_ = tool;
+}
+
+void ParallelEngine::record(WorkerState& w, const ShardEvent& e) {
+  if (tool_ == nullptr || w.suppress > 0 || w.frames.empty()) return;
+  switch (e.kind) {
+    case ShardEvent::Kind::kFrameEnter:
+    case ShardEvent::Kind::kFrameReturn:
+    case ShardEvent::Kind::kSync:
+      // A parallel-control event ends the worker's current strand.
+      ++w.strand_epoch;
+      break;
+    case ShardEvent::Kind::kClear:
+      // Freed addresses may be reused by a later allocation: retire the
+      // whole strand's dedup state (clears are rare; coarse is fine).
+      ++w.strand_epoch;
+      break;
+    default:
+      break;
+  }
+  w.frames.back().cur_ev->push_back(e);
+  metrics::bump(metrics::Counter::kShardEvents);
+}
+
 void ParallelEngine::helper_loop(unsigned index) {
   WorkerState& w = *workers_[index];
   tl_worker_ = &w;
   trace::set_worker(index);
   trace::Session* attached = nullptr;
   Engine::Scope scope(this);
+  // The worker's private sink for the thread's lifetime; run() folds the
+  // accumulated snapshot into the caller's sink after every join.
+  metrics::Scope mscope(&w.metrics);
   while (!stop_.load(std::memory_order_acquire)) {
     attached = sync_thread_buffer(attached, index);
     if (ChildRecord* rec = try_get_work(w)) {
@@ -74,8 +105,10 @@ ParallelEngine::ChildRecord* ParallelEngine::try_get_work(WorkerState& w) {
   for (std::size_t attempt = 0; attempt < 2 * n; ++attempt) {
     const auto victim = static_cast<std::size_t>(w.rng.below(n));
     if (victim == w.index) continue;
+    if (workers_[victim]->deque.empty()) continue;  // skip drained victims
     if (void* task = workers_[victim]->deque.steal()) {
       steals_.fetch_add(1, std::memory_order_relaxed);
+      metrics::bump(metrics::Counter::kEngineSteals);
       trace::emit(trace::EventKind::kSteal, kInvalidFrame, victim, 0);
       return static_cast<ChildRecord*>(task);
     }
@@ -95,46 +128,99 @@ void ParallelEngine::run(FnView root) {
     reducer_ids_.clear();
     reducers_.clear();
   }
+  record_accesses_ = tool_ != nullptr && tool_->wants_accesses();
 
   WorkerState& w = *workers_[0];
   tl_worker_ = &w;
   trace::set_worker(0);
   trace::emit(trace::EventKind::kRunBegin, kInvalidFrame);
-  Engine::Scope scope(this);
+  {
+    metrics::Scope mscope(&w.metrics);
+    Engine::Scope scope(this);
 
-  FrameCtx frame;
-  frame.seg0 = new Hypermap();
-  frame.owns_seg0 = true;
-  frame.cur = frame.seg0;
-  w.frames.push_back(std::move(frame));
+    if (tool_ != nullptr) {
+      replayer_ = std::make_unique<ShardReplayer>(tool_);
+      replayer_->begin();
+    }
 
-  const FrameId root_tfid =
-      trace::enabled()
-          ? trace_frames_.fetch_add(1, std::memory_order_relaxed)
-          : kInvalidFrame;
-  trace::emit(trace::EventKind::kFrameEnter, root_tfid, kInvalidFrame, 0,
-              static_cast<std::uint8_t>(FrameKind::kRoot));
-  root();
-  do_sync(w);  // implicit sync of the root frame
-  trace::emit(trace::EventKind::kFrameReturn, root_tfid, kInvalidFrame, 0,
-              static_cast<std::uint8_t>(FrameKind::kRoot));
+    FrameCtx frame;
+    frame.seg0 = new Hypermap();
+    frame.owns_seg0 = true;
+    frame.cur = frame.seg0;
+    if (tool_ != nullptr) {
+      // The root frame's enter/return are minted by the replayer itself
+      // (begin()/end()), so its shard holds body events only.
+      frame.ev0 = new EventShard();
+      frame.owns_ev0 = true;
+      frame.cur_ev = frame.ev0;
+    }
+    w.frames.push_back(std::move(frame));
 
-  FrameCtx done = std::move(w.frames.back());
-  w.frames.pop_back();
-  RADER_CHECK(w.frames.empty());
+    const FrameId root_tfid =
+        trace::enabled()
+            ? trace_frames_.fetch_add(1, std::memory_order_relaxed)
+            : kInvalidFrame;
+    trace::emit(trace::EventKind::kFrameEnter, root_tfid, kInvalidFrame, 0,
+                static_cast<std::uint8_t>(FrameKind::kRoot));
+    root();
+    do_sync(w);  // implicit sync of the root frame (drains the shard too)
+    trace::emit(trace::EventKind::kFrameReturn, root_tfid, kInvalidFrame, 0,
+                static_cast<std::uint8_t>(FrameKind::kRoot));
 
-  // Fold any views left in the root segment into their reducers' leftmost
-  // views (reducers bound lazily never had their leftmost in a segment).
-  for (auto& [h, view] : *done.seg0) {
-    HyperobjectBase* r = reducers_[h];
-    if (r == nullptr) continue;  // destroyed during the run
-    if (view != r->hyper_leftmost()) {
-      r->hyper_reduce(r->hyper_leftmost(), view);
-      r->hyper_destroy(view);
+    FrameCtx done = std::move(w.frames.back());
+    w.frames.pop_back();
+    RADER_CHECK(w.frames.empty());
+
+    // Fold any views left in the root segment into their reducers' leftmost
+    // views (reducers bound lazily never had their leftmost in a segment).
+    // A serial no-steal run has no counterpart for these reduces (updates
+    // land directly in the leftmost view there), so the user code runs
+    // suppressed.
+    ++w.suppress;
+    for (auto& [h, view] : *done.seg0) {
+      HyperobjectBase* r;
+      {
+        std::lock_guard<std::mutex> lock(reg_mu_);
+        r = reducers_[h];
+      }
+      if (r == nullptr) continue;  // destroyed during the run
+      if (view != r->hyper_leftmost()) {
+        r->hyper_reduce(r->hyper_leftmost(), view);
+        r->hyper_destroy(view);
+      }
+    }
+    --w.suppress;
+    delete done.seg0;
+
+    if (tool_ != nullptr) {
+      if (!done.ev0->empty()) {
+        // Events recorded after the last root-level sync.
+        metrics::bump(metrics::Counter::kShardDrains);
+        replayer_->feed(*done.ev0);
+      }
+      delete done.ev0;
+      replayer_->end();
+      replayer_.reset();
     }
   }
-  delete done.seg0;
 
+  // Fold every worker's accounting into the caller's sink, the same shape
+  // sweep workers use: private Registry per worker, one absorb after the
+  // join.  All worker bumps happen inside executed children, ordered before
+  // this point by each child's done-flag release/acquire chain up the spawn
+  // tree, so the registries are quiescent here.
+  if (metrics::Registry* outer = metrics::current()) {
+    metrics::Snapshot total;
+    for (auto& wk : workers_) {
+      total.add(wk->metrics.snapshot());
+      wk->metrics.reset();
+    }
+    outer->absorb(total);
+  } else {
+    for (auto& wk : workers_) wk->metrics.reset();
+  }
+
+  record_accesses_ = false;
   trace::emit(trace::EventKind::kRunEnd, kInvalidFrame,
               steals_.load(std::memory_order_relaxed), 0);
   tl_worker_ = nullptr;
@@ -156,6 +242,11 @@ void ParallelEngine::spawn_task(Task task) {
   item.child = std::make_unique<ChildRecord>(std::move(task));
   item.segment = std::make_unique<Hypermap>();
   f.cur = item.segment.get();  // continuation runs in a fresh segment
+  if (tool_ != nullptr) {
+    item.segment_ev = std::make_unique<EventShard>();
+    f.cur_ev = item.segment_ev.get();
+    ++w.strand_epoch;  // the continuation is a new strand
+  }
   ChildRecord* rec = item.child.get();
   f.items.push_back(std::move(item));
   w.deque.push(rec);
@@ -169,7 +260,14 @@ void ParallelEngine::call_inline(FnView fn) {
   frame.seg0 = w.frames.back().cur;  // series: share the parent's segment
   frame.owns_seg0 = false;
   frame.cur = frame.seg0;
+  if (tool_ != nullptr) {
+    frame.ev0 = w.frames.back().cur_ev;  // series: share the shard too
+    frame.owns_ev0 = false;
+    frame.cur_ev = frame.ev0;
+  }
   w.frames.push_back(std::move(frame));
+  record(w, ShardEvent{ShardEvent::Kind::kFrameEnter,
+                       static_cast<std::uint8_t>(FrameKind::kCalled)});
   const FrameId tfid =
       trace::enabled()
           ? trace_frames_.fetch_add(1, std::memory_order_relaxed)
@@ -178,6 +276,8 @@ void ParallelEngine::call_inline(FnView fn) {
               static_cast<std::uint8_t>(FrameKind::kCalled));
   fn();
   do_sync(w);
+  record(w, ShardEvent{ShardEvent::Kind::kFrameReturn,
+                       static_cast<std::uint8_t>(FrameKind::kCalled)});
   trace::emit(trace::EventKind::kFrameReturn, tfid, kInvalidFrame, 0,
               static_cast<std::uint8_t>(FrameKind::kCalled));
   w.frames.pop_back();
@@ -188,7 +288,17 @@ void ParallelEngine::execute_child(WorkerState& w, ChildRecord* rec) {
   frame.seg0 = new Hypermap();
   frame.owns_seg0 = true;
   frame.cur = frame.seg0;
+  if (tool_ != nullptr) {
+    // Record straight into the join record: the shard is published to the
+    // joining worker with the done flag, like the view map.
+    frame.ev0 = &rec->result_ev;
+    frame.owns_ev0 = false;
+    frame.cur_ev = frame.ev0;
+  }
   w.frames.push_back(std::move(frame));
+  metrics::bump(metrics::Counter::kEngineTasks);
+  record(w, ShardEvent{ShardEvent::Kind::kFrameEnter,
+                       static_cast<std::uint8_t>(FrameKind::kSpawned)});
 
   const FrameId tfid =
       trace::enabled()
@@ -198,6 +308,8 @@ void ParallelEngine::execute_child(WorkerState& w, ChildRecord* rec) {
               static_cast<std::uint8_t>(FrameKind::kSpawned));
   rec->task();
   do_sync(w);  // implicit sync before "returning"
+  record(w, ShardEvent{ShardEvent::Kind::kFrameReturn,
+                       static_cast<std::uint8_t>(FrameKind::kSpawned)});
   trace::emit(trace::EventKind::kFrameReturn, tfid, kInvalidFrame, 0,
               static_cast<std::uint8_t>(FrameKind::kSpawned));
 
@@ -237,13 +349,40 @@ void ParallelEngine::do_sync(WorkerState& w) {
     }
   }
   // Fold in serial order: seg0 ⊗ child₁ ⊗ seg₁ ⊗ child₂ ⊗ seg₂ ⊗ …
+  // The event shards splice in the same positional order, which is exactly
+  // the depth-first order the serial engine would have visited: everything
+  // a child did sits at its spawn point, before the continuation.
   FrameCtx& f = w.frames.back();
+  const bool had_items = !f.items.empty();
+  ++w.suppress;  // user Reduce code below has no serial-no-steal counterpart
   for (auto& item : f.items) {
     fold_map(*f.seg0, item.child->result);
     fold_map(*f.seg0, *item.segment);
+    if (tool_ != nullptr) {
+      f.ev0->insert(f.ev0->end(), item.child->result_ev.begin(),
+                    item.child->result_ev.end());
+      f.ev0->insert(f.ev0->end(), item.segment_ev->begin(),
+                    item.segment_ev->end());
+    }
   }
+  --w.suppress;
   f.items.clear();
   f.cur = f.seg0;
+  if (tool_ != nullptr) {
+    f.cur_ev = f.ev0;
+    // The serial engine's sync is a no-op (no event) when nothing was
+    // spawned since the last sync; mirror that exactly.
+    if (had_items) {
+      record(w, ShardEvent{ShardEvent::Kind::kSync});
+    }
+    // Root-level syncs on worker 0 bound shard memory and detector latency:
+    // everything up to here is final depth-first prefix, so replay it now.
+    if (w.index == 0 && w.frames.size() == 1 && !f.ev0->empty()) {
+      metrics::bump(metrics::Counter::kShardDrains);
+      replayer_->feed(*f.ev0);
+      f.ev0->clear();
+    }
+  }
   trace::emit(trace::EventKind::kSync, kInvalidFrame);
 }
 
@@ -254,8 +393,21 @@ void ParallelEngine::fold_map(Hypermap& acc, Hypermap& right) {
       acc.emplace(h, view);  // transplant (preserves leftmost pointers)
       continue;
     }
-    HyperobjectBase* r = reducers_[h];
-    RADER_CHECK_MSG(r != nullptr, "reducer destroyed with views outstanding");
+    HyperobjectBase* r;
+    {
+      // get_or_register may grow reducers_ concurrently; snapshot the
+      // pointer under the registry lock (but run user Reduce code outside).
+      std::lock_guard<std::mutex> lock(reg_mu_);
+      r = reducers_[h];
+    }
+    if (r == nullptr) {
+      // The reducer was destroyed while sibling segments still held views —
+      // the program destroyed it before the sync that joins its updaters.
+      // That is a view-read race (the kDestroy reducer-read against the
+      // updates), which an attached detector reports; without the monoid we
+      // can only leak the orphan view rather than abort the whole run.
+      continue;
+    }
     trace::emit(trace::EventKind::kReduceBegin, kInvalidFrame, h, 0);
     r->hyper_reduce(it->second, view);
     r->hyper_destroy(view);
@@ -276,7 +428,7 @@ ReducerId ParallelEngine::get_or_register(HyperobjectBase* r, void* leftmost) {
 }
 
 void ParallelEngine::register_reducer(HyperobjectBase* r, void* leftmost_view,
-                                      SrcTag) {
+                                      SrcTag tag) {
   if (!running_.load(std::memory_order_acquire) || tl_worker_ == nullptr) {
     return;  // created outside the computation: bound lazily on first use
   }
@@ -285,36 +437,136 @@ void ParallelEngine::register_reducer(HyperobjectBase* r, void* leftmost_view,
   // folds leftward from there, exactly like the serial engine's base view.
   (*self().frames.back().cur)[h] = leftmost_view;
   trace::emit(trace::EventKind::kViewCreate, kInvalidFrame, 0, h, /*aux=*/0);
+  ShardEvent e{ShardEvent::Kind::kReducerOp,
+               static_cast<std::uint8_t>(ReducerOp::kCreate)};
+  e.slot = h;
+  e.label = tag.label;
+  record(self(), e);
 }
 
-void ParallelEngine::unregister_reducer(HyperobjectBase* r, SrcTag) {
+void ParallelEngine::unregister_reducer(HyperobjectBase* r, SrcTag tag) {
   if (!running_.load(std::memory_order_acquire) || tl_worker_ == nullptr) {
     return;
   }
-  std::lock_guard<std::mutex> lock(reg_mu_);
-  auto it = reducer_ids_.find(r);
-  if (it == reducer_ids_.end()) return;
-  const ReducerId h = it->second;
-  // Contract (as in Cilk): destroy a reducer only after the sync that joins
-  // all its updaters; at that point its only view is in the current segment.
-  if (tl_worker_ != nullptr && !self().frames.empty()) {
-    self().frames.back().cur->erase(h);
+  ReducerId h;
+  {
+    std::lock_guard<std::mutex> lock(reg_mu_);
+    auto it = reducer_ids_.find(r);
+    if (it == reducer_ids_.end()) return;
+    h = it->second;
+    // Contract (as in Cilk): destroy a reducer only after the sync that
+    // joins all its updaters; at that point its only view is in the current
+    // segment.
+    if (!self().frames.empty()) {
+      self().frames.back().cur->erase(h);
+    }
+    reducers_[h] = nullptr;
+    reducer_ids_.erase(it);
   }
-  reducers_[h] = nullptr;
-  reducer_ids_.erase(it);
+  ShardEvent e{ShardEvent::Kind::kReducerOp,
+               static_cast<std::uint8_t>(ReducerOp::kDestroy)};
+  e.slot = h;
+  e.label = tag.label;
+  record(self(), e);
+  if (record_accesses_) {
+    // The leftmost view's storage dies with the reducer (the serial
+    // engine's teardown clear).
+    ShardEvent c{ShardEvent::Kind::kClear};
+    c.addr = reinterpret_cast<std::uintptr_t>(r->hyper_leftmost());
+    c.size = static_cast<std::uint32_t>(r->hyper_view_size());
+    record(self(), c);
+  }
 }
 
 void* ParallelEngine::current_view(HyperobjectBase* r, SrcTag) {
   const ReducerId h = get_or_register(r, r->hyper_leftmost());
-  Hypermap& m = *self().frames.back().cur;
+  WorkerState& w = self();
+  // The serial engine binds reducers silently at view lookups; the marker
+  // pins the slot's first-contact position in the spliced stream so the
+  // replayer renumbers reducers in serial bind order (tool/shard.hpp).
+  ShardEvent bind{ShardEvent::Kind::kBind};
+  bind.slot = h;
+  record(w, bind);
+  Hypermap& m = *w.frames.back().cur;
   auto it = m.find(h);
   if (it != m.end()) return it->second;
+  // Identity creation runs user code, but a serial no-steal execution never
+  // creates identities (every lookup hits the leftmost view): suppress.
+  ++w.suppress;
   void* view = r->hyper_create_identity();
+  --w.suppress;
   m.emplace(h, view);
   trace::emit(trace::EventKind::kViewCreate, kInvalidFrame, 0, h, /*aux=*/1);
   return view;
 }
 
-void ParallelEngine::reducer_read(HyperobjectBase*, ReducerOp, SrcTag) {}
+void ParallelEngine::reducer_read(HyperobjectBase* r, ReducerOp op,
+                                  SrcTag tag) {
+  if (tool_ == nullptr || !running_.load(std::memory_order_acquire) ||
+      tl_worker_ == nullptr) {
+    return;
+  }
+  const ReducerId h = get_or_register(r, r->hyper_leftmost());
+  ShardEvent e{ShardEvent::Kind::kReducerOp, static_cast<std::uint8_t>(op)};
+  e.slot = h;
+  e.label = tag.label;
+  record(self(), e);
+}
+
+void ParallelEngine::begin_update(HyperobjectBase* r, SrcTag tag) {
+  if (!running_.load(std::memory_order_acquire) || tl_worker_ == nullptr) {
+    return;
+  }
+  WorkerState& w = self();
+  ++w.view_aware_depth;
+  if (tool_ == nullptr) return;
+  const ReducerId h = get_or_register(r, r->hyper_leftmost());
+  ShardEvent e{ShardEvent::Kind::kReducerOp,
+               static_cast<std::uint8_t>(ReducerOp::kUpdate)};
+  e.slot = h;
+  e.label = tag.label;
+  record(w, e);
+}
+
+void ParallelEngine::end_update(HyperobjectBase*) {
+  if (!running_.load(std::memory_order_acquire) || tl_worker_ == nullptr) {
+    return;
+  }
+  WorkerState& w = self();
+  if (w.view_aware_depth > 0) --w.view_aware_depth;
+}
+
+void ParallelEngine::access(AccessKind kind, std::uintptr_t addr,
+                            std::size_t size, SrcTag tag) {
+  if (!record_accesses_ || tl_worker_ == nullptr) return;
+  WorkerState& w = *tl_worker_;
+  if (w.suppress > 0 || w.frames.empty()) return;
+  // Per-strand dedup through the worker's private shadow shard: the payload
+  // keys (strand epoch, access kind) on the access's first byte, so a hot
+  // loop records one event per strand instead of millions.  Best-effort by
+  // contract (ParallelTool::wants_accesses): at least one event per
+  // (strand, location, kind) survives; multiplicity does not.
+  const shadow::ShadowSpace::Payload payload =
+      (w.strand_epoch << 1) |
+      (kind == AccessKind::kWrite ? 1u : 0u);
+  if (w.shadow.get(addr) == payload) return;
+  w.shadow.set(addr, payload);
+  ShardEvent e{ShardEvent::Kind::kAccess, static_cast<std::uint8_t>(kind)};
+  e.view_aware = w.view_aware_depth > 0;
+  e.addr = addr;
+  e.size = static_cast<std::uint32_t>(size);
+  e.label = tag.label;
+  record(w, e);
+}
+
+void ParallelEngine::clear_shadow(std::uintptr_t addr, std::size_t size) {
+  if (!record_accesses_ || tl_worker_ == nullptr) return;
+  WorkerState& w = *tl_worker_;
+  if (w.suppress > 0 || w.frames.empty()) return;
+  ShardEvent e{ShardEvent::Kind::kClear};
+  e.addr = addr;
+  e.size = static_cast<std::uint32_t>(size);
+  record(w, e);
+}
 
 }  // namespace rader

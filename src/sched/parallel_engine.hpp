@@ -16,8 +16,14 @@
 // projection's value for associative monoids; views are created lazily (on
 // first update within a segment), so update-free segments cost nothing.
 //
-// The detectors never run on this engine (they are serial algorithms); the
-// instrumentation entry points are no-ops here.
+// Detection (set_tool): the serial detectors also run ON this engine, not
+// just beside it.  Each segment records its instrumentation events into a
+// private shard exactly as it keeps a private hypermap, joins splice child
+// shards positionally alongside the view fold, and worker 0 drains the root
+// frame's shard through a ShardReplayer at every root-level sync — so an
+// attached ParallelTool receives the byte-identical event stream of a
+// serial no-steal run while the program executes on all cores
+// (tool/shard.hpp has the full argument, DESIGN.md §5 the design notes).
 #pragma once
 
 #include <atomic>
@@ -33,9 +39,14 @@
 #include "runtime/engine.hpp"
 #include "runtime/hyperobject.hpp"
 #include "sched/worksteal_deque.hpp"
+#include "shadow/shadow_space.hpp"
+#include "support/metrics.hpp"
 #include "support/rng.hpp"
+#include "tool/shard.hpp"
 
 namespace rader {
+
+class ParallelTool;
 
 class ParallelEngine final : public Engine {
  public:
@@ -43,6 +54,12 @@ class ParallelEngine final : public Engine {
   /// concurrency).
   explicit ParallelEngine(unsigned workers = 0);
   ~ParallelEngine() override;
+
+  /// Attach `tool` (nullptr to detach) for subsequent run()s: its serial
+  /// Tool callbacks are invoked on worker 0, in the depth-first order of the
+  /// computation, byte-identical to a serial no-steal run of the same
+  /// program.  The tool must outlive the runs; not callable mid-run.
+  void set_tool(ParallelTool* tool);
 
   /// Execute `root` to completion using all workers.  The calling thread
   /// participates; not reentrant.
@@ -63,15 +80,16 @@ class ParallelEngine final : public Engine {
   void spawn_task(Task task) override;
   void call_inline(FnView fn) override;
   void sync() override;
-  void access(AccessKind, std::uintptr_t, std::size_t, SrcTag) override {}
-  void clear_shadow(std::uintptr_t, std::size_t) override {}
+  void access(AccessKind kind, std::uintptr_t addr, std::size_t size,
+              SrcTag tag) override;
+  void clear_shadow(std::uintptr_t addr, std::size_t size) override;
   void register_reducer(HyperobjectBase* r, void* leftmost_view,
                         SrcTag tag) override;
   void unregister_reducer(HyperobjectBase* r, SrcTag tag) override;
   void* current_view(HyperobjectBase* r, SrcTag tag) override;
   void reducer_read(HyperobjectBase* r, ReducerOp op, SrcTag tag) override;
-  void begin_update(HyperobjectBase*, SrcTag) override {}
-  void end_update(HyperobjectBase*) override {}
+  void begin_update(HyperobjectBase* r, SrcTag tag) override;
+  void end_update(HyperobjectBase* r) override;
 
  private:
   // Views of one segment, keyed by reducer.  std::map keeps the fold order
@@ -82,18 +100,27 @@ class ParallelEngine final : public Engine {
     explicit ChildRecord(Task t) : task(std::move(t)) {}
     Task task;
     std::atomic<bool> done{false};
-    Hypermap result;  // child's folded views, published with `done`
+    Hypermap result;      // child's folded views, published with `done`
+    EventShard result_ev;  // child's spliced event shard, ditto
   };
 
   struct JoinItem {
     std::unique_ptr<ChildRecord> child;
     std::unique_ptr<Hypermap> segment;  // continuation segment after it
+    std::unique_ptr<EventShard> segment_ev;  // its events (tool attached)
   };
 
   struct FrameCtx {
     Hypermap* seg0 = nullptr;  // leftmost segment (aliased for called frames)
     bool owns_seg0 = false;
     Hypermap* cur = nullptr;   // segment the worker is currently updating
+    // Event-shard mirror of the two pointers above; null when no tool is
+    // attached.  ev0 aliases the parent's current shard for called frames
+    // and the ChildRecord's shard for spawned ones (owns_ev0 only for the
+    // root frame).
+    EventShard* ev0 = nullptr;
+    bool owns_ev0 = false;
+    EventShard* cur_ev = nullptr;
     std::vector<JoinItem> items;
   };
 
@@ -102,6 +129,21 @@ class ParallelEngine final : public Engine {
     Rng rng;
     std::vector<FrameCtx> frames;
     unsigned index = 0;
+    // Per-worker accounting, folded into the caller's metrics sink at the
+    // end of each run (sweep workers fold theirs the same way).
+    metrics::Registry metrics;
+    // Per-worker access-dedup shard: maps addresses to the worker strand
+    // that last recorded them so hot loops don't flood the event shards.
+    // Private to the worker; epochs are monotonic across runs, so stale
+    // entries never match and the space never needs clearing.
+    shadow::ShadowSpace shadow;
+    std::uint32_t strand_epoch = 1;
+    // Nested engine-internal user code (Reduce / CreateIdentity) whose
+    // events have no counterpart in the serial no-steal stream.
+    int suppress = 0;
+    // User Update code depth (begin_update/end_update), for the view_aware
+    // flag on recorded accesses.
+    unsigned view_aware_depth = 0;
   };
 
   static thread_local WorkerState* tl_worker_;
@@ -119,6 +161,11 @@ class ParallelEngine final : public Engine {
   void fold_map(Hypermap& acc, Hypermap& right);
   void wake_helpers();
 
+  /// Append `e` to the calling worker's current segment shard (no-op
+  /// without a tool, under suppression, or outside a frame).  Control
+  /// events and clears advance the worker's strand epoch.
+  void record(WorkerState& w, const ShardEvent& e);
+
   ReducerId get_or_register(HyperobjectBase* r, void* leftmost);
 
   std::vector<std::unique_ptr<WorkerState>> workers_;
@@ -133,6 +180,12 @@ class ParallelEngine final : public Engine {
   // Pseudo frame ids for trace slices (real frames have no global ids here);
   // only advanced while a TraceScope is active.
   std::atomic<std::uint32_t> trace_frames_{0};
+
+  // Written between runs only; read by workers during a run (ordered by the
+  // deque push/steal that hands them their first task).
+  ParallelTool* tool_ = nullptr;
+  bool record_accesses_ = false;
+  std::unique_ptr<ShardReplayer> replayer_;  // worker 0 only
 
   std::mutex reg_mu_;
   std::unordered_map<HyperobjectBase*, ReducerId> reducer_ids_;

@@ -28,8 +28,10 @@ void WorkStealDeque::push(void* task) {
     buf = grow(buf, t, b);
   }
   buf->put(b, task);
-  std::atomic_thread_fence(std::memory_order_release);
-  bottom_.store(b + 1, std::memory_order_relaxed);
+  // Release store (not the fence+relaxed formulation): the thief's acquire
+  // load of bottom_ is what publishes the task's contents, and sanitizers
+  // do not model standalone fences.
+  bottom_.store(b + 1, std::memory_order_release);
 }
 
 void* WorkStealDeque::pop() {

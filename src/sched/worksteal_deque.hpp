@@ -41,6 +41,10 @@ class WorkStealDeque {
   /// Approximate size (racy; scheduling heuristic only).
   std::size_t size_estimate() const;
 
+  /// Approximately empty (racy; lets thieves skip drained victims without
+  /// paying the steal CAS).
+  bool empty() const { return size_estimate() == 0; }
+
  private:
   struct Buffer {
     explicit Buffer(std::size_t cap)

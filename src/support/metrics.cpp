@@ -29,6 +29,10 @@ const char* counter_name(Counter c) {
     case Counter::kSweepForks: return "sweep_forks";
     case Counter::kSweepResumeFallbacks: return "sweep_resume_fallbacks";
     case Counter::kShadowPagesCoW: return "shadow_pages_cow";
+    case Counter::kEngineTasks: return "engine_tasks";
+    case Counter::kEngineSteals: return "engine_steals";
+    case Counter::kShardEvents: return "shard_events";
+    case Counter::kShardDrains: return "shard_drains";
   }
   return "unknown";
 }

@@ -50,8 +50,12 @@ enum class Counter : unsigned {
                            // as fresh runs — nonzero means the program is
                            // not address-stable across executions
   kShadowPagesCoW,         // shared shadow pages copied on first write
+  kEngineTasks,            // spawned tasks executed by the parallel engine
+  kEngineSteals,           // successful steals in the parallel engine
+  kShardEvents,            // instrumentation events recorded into shards
+  kShardDrains,            // root-shard replays into the attached tool
 };
-inline constexpr unsigned kCounterCount = 12;
+inline constexpr unsigned kCounterCount = 16;
 const char* counter_name(Counter c);
 
 /// Wall-clock phases.  kExecute brackets whole detector runs, so it

@@ -167,6 +167,28 @@ class ToolChain final : public Tool {
   std::vector<Tool*> tools_;
 };
 
+/// Capability surface for tools attached to the PARALLEL engine
+/// (sched/parallel_engine.hpp).  The engine records per-segment event shards
+/// during a real work-stealing execution and replays the spliced stream —
+/// byte-identical to a serial no-steal run — through the Tool callbacks on
+/// worker 0 (tool/shard.hpp).  The callbacks themselves are therefore never
+/// invoked concurrently; a serial detector works unchanged behind this
+/// surface (core/peerset.hpp's ParallelPeerSet).
+///
+/// Capabilities let the engine skip recording event classes the tool will
+/// ignore: memory accesses dominate event volume, and Peer-Set — the first
+/// parallel-backend detector — never consumes them.
+class ParallelTool : public Tool {
+ public:
+  /// Opt in to kAccess / kClear shard events.  When false (the default) the
+  /// engine's access() / clear_shadow() hooks stay near-free.  Recorded
+  /// accesses are deduplicated per worker strand via a private
+  /// shadow::ShadowSpace shard: at least one event per (strand, location,
+  /// kind) is delivered, but same-strand repeats may be dropped — exact
+  /// multiplicity is not preserved.
+  virtual bool wants_accesses() const { return false; }
+};
+
 /// The Figure-8 baseline: identical instrumentation, empty callbacks.
 using EmptyTool = Tool;
 

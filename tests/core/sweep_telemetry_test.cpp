@@ -173,6 +173,26 @@ TEST(SweepProgress, HeartbeatAndSummaryLinesAreEmitted) {
   EXPECT_NE(out.find("w1:"), std::string::npos);
 }
 
+// Degenerate families used to hit zero denominators in the heartbeat math
+// (size-0/size-1 families and sub-interval completions divided by a zero
+// elapsed time / zero remaining count): the stream must stay finite.
+TEST(SweepProgress, SingleSpecFamilyEmitsFiniteNumbersOnly) {
+  std::vector<std::unique_ptr<spec::StealSpec>> family;
+  family.push_back(std::make_unique<spec::NoSteal>());
+  std::ostringstream captured;
+  SweepOptions opt;
+  opt.threads = 1;
+  opt.progress = true;
+  opt.progress_interval_ms = 1;
+  opt.progress_out = &captured;
+  const SweepResult result = sweep_family(fig1_factory(), family, opt);
+  EXPECT_EQ(result.spec_runs, 1u);
+  const std::string out = captured.str();
+  EXPECT_NE(out.find("1/1 specs"), std::string::npos) << out;
+  EXPECT_EQ(out.find("nan"), std::string::npos) << out;
+  EXPECT_EQ(out.find("inf"), std::string::npos) << out;
+}
+
 TEST(SweepProgress, DisabledByDefault) {
   const auto family = mixed_family();
   std::ostringstream captured;

@@ -11,8 +11,8 @@
 //
 // Usage:
 //   rader --program=NAME [--scale=S] --check=ALGO [--spec=SPEC] [--k-cap=N]
-//         [--jobs=J] [--budget=B] [--stop-first=0|1] [--replay=HANDLE]
-//         [--format=text|json]
+//         [--engine=serial|parallel] [--jobs=J] [--budget=B]
+//         [--stop-first=0|1] [--replay=HANDLE] [--format=text|json]
 //
 //   NAME: collision | dedup | ferret | fib | knapsack | pbfs | fig1
 //   ALGO: peerset     view-read races (Peer-Set, Section 3)
@@ -21,6 +21,14 @@
 //         sporder     reducer-oblivious SP-order baseline [Bender et al.]
 //         exhaustive  Peer-Set + SP+ over the O(KD + K^3) family (Section 7)
 //   SPEC: none | all | triple:A,B,C | depth:D | random:SEED,K | bern:SEED,P
+//
+// --engine=parallel runs Peer-Set on-the-fly inside the work-stealing
+// engine (Rader::check_parallel): the program executes for real on --jobs
+// workers (0 = all hardware threads) while the engine's spliced event
+// shards feed the detector, producing a report identical to the serial
+// --engine=serial run.  Only --check=peerset supports it (the other
+// algorithms need simulated steal specifications, which require the serial
+// engine).
 //
 // The exhaustive family sweep is parallel: --jobs=J shards the family over J
 // worker threads (0 = all hardware threads), --budget=B caps the number of
@@ -107,7 +115,8 @@ bool arg_flag(int argc, char** argv, const std::string& key) {
   std::fprintf(
       stderr,
       "usage: rader --program=NAME [--scale=S] --check=ALGO [--spec=SPEC]\n"
-      "             [--k-cap=N] [--jobs=J] [--budget=B] [--stop-first=0|1]\n"
+      "             [--k-cap=N] [--engine=serial|parallel] [--jobs=J]\n"
+      "             [--budget=B] [--stop-first=0|1]\n"
       "             [--sweep-strategy=rerun|prefix]\n"
       "             [--replay=HANDLE] [--format=text|json]\n"
       "             [--trace=FILE] [--trace-format=chrome|text]\n"
@@ -116,7 +125,11 @@ bool arg_flag(int argc, char** argv, const std::string& key) {
       "  NAME: collision|dedup|ferret|fib|knapsack|pbfs|fig1\n"
       "  ALGO: peerset|sp+|spbags|sporder|exhaustive\n"
       "  SPEC: none|all|triple:A,B,C|depth:D|random:SEED,K|bern:SEED,P\n"
-      "  JOBS: exhaustive-sweep worker threads (0 = hardware threads)\n"
+      "  ENGINE: serial (default) or parallel — peerset only; runs the\n"
+      "          program on --jobs work-stealing workers with on-the-fly\n"
+      "          detection (identical report, parallel wall-clock)\n"
+      "  JOBS: exhaustive-sweep / parallel-engine worker threads\n"
+      "        (0 = hardware threads)\n"
       "  STRATEGY: rerun = every spec is a fresh run (default); prefix =\n"
       "          checkpoint/fork prefix sharing (same result, faster)\n"
       "  HANDLE: a spec handle from a report's replay_handles, e.g.\n"
@@ -283,6 +296,15 @@ int main(int argc, char** argv) {
   } else if (strategy != "rerun") {
     usage_and_exit();
   }
+  const std::string engine = arg_value(argc, argv, "engine", "serial");
+  if (engine != "serial" && engine != "parallel") usage_and_exit();
+  if (engine == "parallel" && algo != "peerset") {
+    std::fprintf(stderr,
+                 "rader: --engine=parallel supports --check=peerset only "
+                 "(the other algorithms simulate steal specifications on "
+                 "the serial engine)\n");
+    usage_and_exit();
+  }
   sweep.progress = arg_flag(argc, argv, "progress");
   const std::string trace_path = arg_value(argc, argv, "trace", "");
   const std::string trace_format =
@@ -345,7 +367,13 @@ int main(int argc, char** argv) {
     std::fprintf(info, "replay: %s\n", steal_spec->describe().c_str());
     log = Rader::check_determinacy([&] { program(); }, *steal_spec);
   } else if (algo == "peerset") {
-    log = Rader::check_view_read([&] { program(); });
+    if (engine == "parallel") {
+      std::fprintf(info, "engine: parallel (%u job(s))\n", sweep.threads);
+      meta.check = "peerset-parallel";
+      log = Rader::check_parallel([&] { program(); }, sweep.threads);
+    } else {
+      log = Rader::check_view_read([&] { program(); });
+    }
   } else if (algo == "sp+") {
     const auto steal_spec = parse_spec(spec_text);
     meta.spec = steal_spec->describe();
