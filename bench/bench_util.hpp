@@ -160,4 +160,14 @@ inline int parse_reps(int argc, char** argv, int fallback) {
   return fallback;
 }
 
+/// Value of `--key=VALUE`, or "" when absent.
+inline std::string parse_arg(int argc, char** argv, const std::string& key) {
+  const std::string prefix = "--" + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return "";
+}
+
 }  // namespace rader::bench

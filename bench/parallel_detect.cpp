@@ -6,13 +6,17 @@
 // wall-clock scales nearly like the uninstrumented run.
 //
 // Usage: parallel_detect [--scale=S] [--reps=N] [--check-ratio=R]
+//                        [--json=FILE]
 //   --check-ratio=R  exit nonzero unless the 4-worker speedup over 1 worker
 //                    is >= R (only enforced when >= 4 hardware threads are
 //                    available); CI uses --check-ratio=2.0.
+//   --json=FILE      machine-readable results for trend tracking
+//                    (scripts/nightly_bench.sh).
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "core/driver.hpp"
@@ -71,6 +75,11 @@ int main(int argc, char** argv) {
 
   double t1 = 0.0;
   double speedup4 = 0.0;
+  struct JsonRow {
+    unsigned workers;
+    double seconds, speedup;
+  };
+  std::vector<JsonRow> jrows;
   for (const unsigned workers : {1u, 2u, 4u, 8u}) {
     if (workers > 1 && workers > hw) {
       std::printf("%8u %12s %9s (skipped: > hardware threads)\n", workers,
@@ -88,8 +97,36 @@ int main(int argc, char** argv) {
     if (workers == 1) t1 = t;
     const double speedup = t1 / t;
     if (workers == 4) speedup4 = speedup;
+    jrows.push_back({workers, t, speedup});
     std::printf("%8u %12.4f %8.2fx\n", workers, t, speedup);
     std::fflush(stdout);
+  }
+
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) json_path = arg.substr(7);
+  }
+  if (!json_path.empty()) {
+    FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out, "{\n  \"bench\": \"parallel_detect\",\n"
+                      "  \"scale\": %g,\n  \"reps\": %d,\n  \"hw\": %u,\n"
+                      "  \"speedup4\": %.4f,\n  \"rows\": [\n",
+                 scale, reps, hw, speedup4);
+    for (std::size_t i = 0; i < jrows.size(); ++i) {
+      std::fprintf(out,
+                   "    {\"workers\": %u, \"seconds\": %.6f, "
+                   "\"speedup\": %.4f}%s\n",
+                   jrows[i].workers, jrows[i].seconds, jrows[i].speedup,
+                   i + 1 < jrows.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path.c_str());
   }
 
   if (check_ratio > 0.0) {

@@ -16,14 +16,24 @@
 //   --json=FILE       write the result table as JSON (BENCH_sweep.json)
 //   --check-ratio=N   exit 1 unless prefix beats rerun by >= N at jobs=1
 //                     on every tracked family (the scripts/check.sh gate)
+//   --check-metrics-overhead=N
+//                     measure the ENABLED live-sampling cost — the same
+//                     sweep with --metrics-out JSONL sampling at a 1 ms
+//                     interval versus without — and exit 1 if the geomean
+//                     ratio exceeds N (the ISSUE budget is 1.05).  The
+//                     samples land in a discarded stream; what is measured
+//                     is the workers' publish() stores plus the monitor's
+//                     wait-free reads.
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "core/sweep.hpp"
 #include "reducers/monoid.hpp"
 #include "reducers/reducer.hpp"
@@ -197,6 +207,35 @@ FamilyResult bench_family(const std::string& name, int k, int work,
   return out;
 }
 
+/// Best-of-`reps` seconds for one sweep configuration, optionally with the
+/// live JSONL metrics sampler enabled at a 1 ms interval (the worst
+/// reasonable cadence: CI sweeps finish in milliseconds, so any slower
+/// interval would measure nothing).
+double time_sweep(const rader::ProgramFactory& factory,
+                  const std::vector<std::unique_ptr<rader::spec::StealSpec>>&
+                      family,
+                  unsigned jobs, bool with_metrics, int reps) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    std::ostringstream sink;
+    rader::SweepOptions options;
+    options.threads = jobs;
+    if (with_metrics) {
+      options.metrics_out = &sink;
+      options.metrics_interval_ms = 1;
+    }
+    rader::metrics::Stopwatch t;
+    const auto result = rader::sweep_family(factory, family, options);
+    const double secs = t.seconds();
+    if (result.spec_runs != family.size()) {
+      std::fprintf(stderr, "BUG: metrics-overhead run lost specs\n");
+      std::exit(1);
+    }
+    if (r == 0 || secs < best) best = secs;
+  }
+  return best;
+}
+
 std::string arg_value(int argc, char** argv, const std::string& key) {
   const std::string prefix = "--" + key + "=";
   for (int i = 1; i < argc; ++i) {
@@ -297,6 +336,38 @@ int main(int argc, char** argv) {
       ratio_ok = false;
     }
   }
+  // Enabled-sampling overhead gate: the same rerun sweep with the JSONL
+  // sampler on (1 ms interval, discarded stream) vs off, geomean over the
+  // uniform family at several job counts.
+  const std::string mo_text =
+      arg_value(argc, argv, "check-metrics-overhead");
+  const double mo_budget =
+      mo_text.empty() ? 0.0 : std::strtod(mo_text.c_str(), nullptr);
+  if (mo_budget > 0) {
+    const auto family = rader::spec::reduce_coverage_family(12);
+    const auto factory = uniform(12, 64);
+    std::printf("\nmetrics-out sampling overhead (1 ms interval, rerun):\n");
+    std::vector<double> mo_ratios;
+    for (const unsigned jobs : {1u, 2u, 4u}) {
+      const double off = time_sweep(factory, family, jobs, false, 3);
+      const double on = time_sweep(factory, family, jobs, true, 3);
+      const double ratio = off > 0 ? on / off : 1.0;
+      mo_ratios.push_back(ratio);
+      std::printf("  jobs=%u  off %.4fs  on %.4fs  %.3fx\n", jobs, off, on,
+                  ratio);
+    }
+    const double mo_geomean = rader::bench::geomean(mo_ratios);
+    std::printf("  geomean %.3fx  (budget: <= %.2f)\n", mo_geomean,
+                mo_budget);
+    if (mo_geomean > mo_budget) {
+      std::fprintf(stderr,
+                   "FAIL: enabled metrics sampling overhead %.3fx exceeds "
+                   "the %.2fx budget\n",
+                   mo_geomean, mo_budget);
+      return 1;
+    }
+  }
+
   if (!json_path.empty()) {
     write_json(json_path, cores, results);
     std::printf("wrote %s\n", json_path.c_str());

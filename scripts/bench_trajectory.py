@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Nightly benchmark trajectory: compare a fresh run against the checked-in
+history and append it.
+
+scripts/nightly_bench.sh runs the four tracked benchmarks with --json and
+then calls
+
+    bench_trajectory.py --new-dir DIR --trajectory BENCH_nightly.json \
+        [--threshold 1.15] [--append] [--label LABEL]
+
+The script flattens DIR/{sweep_scaling,fig7_overhead,trace_overhead,
+parallel_detect}.json into one {metric-name: value} dict, compares it
+against the most recent trajectory entry, and exits 1 when any metric
+regresses by more than --threshold (default 1.15x).  "Regression" respects
+each metric's direction: throughput/speedup metrics must not fall below
+previous/threshold, overhead/ratio metrics must not rise above
+previous*threshold.  With --append the new entry is written to the
+trajectory file (done even when the check fails, so the history shows the
+regression).
+
+stdlib only; no third-party imports.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# metric name -> True when higher is better (throughput, speedup);
+# False when lower is better (overhead ratios, geomeans).
+DIRECTIONS = {}
+
+
+def _metric(metrics, name, value, higher_is_better):
+    metrics[name] = value
+    DIRECTIONS[name] = higher_is_better
+
+
+def collect(new_dir):
+    """Flatten the four --json outputs into one metrics dict.  Missing
+    files are skipped (a bench can be disabled without breaking the
+    trajectory); present files must parse."""
+    metrics = {}
+
+    path = os.path.join(new_dir, "sweep_scaling.json")
+    if os.path.exists(path):
+        data = json.load(open(path))
+        for fam in data["families"]:
+            name = fam["name"]
+            _metric(metrics, f"sweep.{name}.prefix_speedup_jobs1",
+                    fam["prefix_speedup_jobs1"], True)
+            for row in fam["rows"]:
+                if row["jobs"] in (1, 4):
+                    _metric(
+                        metrics,
+                        f"sweep.{name}.{row['strategy']}.jobs{row['jobs']}"
+                        ".runs_per_s",
+                        row["runs_per_s"], True)
+
+    path = os.path.join(new_dir, "fig7_overhead.json")
+    if os.path.exists(path):
+        data = json.load(open(path))
+        _metric(metrics, "fig7.metrics_geomean",
+                data["metrics_geomean"], False)
+        _metric(metrics, "fig7.trace_dormant_geomean",
+                data["trace_dormant_geomean"], False)
+        _metric(metrics, "fig7.observability_dormant_geomean",
+                data["observability_dormant_geomean"], False)
+        for row in data["rows"]:
+            _metric(metrics, f"fig7.{row['name']}.overhead_nosteal",
+                    row["overhead_nosteal"], False)
+
+    path = os.path.join(new_dir, "trace_overhead.json")
+    if os.path.exists(path):
+        data = json.load(open(path))
+        _metric(metrics, "trace.enabled_geomean", data["geomean"], False)
+
+    path = os.path.join(new_dir, "parallel_detect.json")
+    if os.path.exists(path):
+        data = json.load(open(path))
+        if data.get("speedup4", 0) > 0:
+            _metric(metrics, "parallel_detect.speedup4",
+                    data["speedup4"], True)
+
+    return metrics
+
+
+def compare(prev, cur, threshold):
+    """Return a list of regression strings (empty = clean)."""
+    regressions = []
+    for name, value in sorted(cur.items()):
+        if name not in prev:
+            continue
+        ref = prev[name]
+        if ref <= 0 or value <= 0:
+            continue
+        if DIRECTIONS.get(name, False):
+            ratio = ref / value  # throughput fell by `ratio`
+        else:
+            ratio = value / ref  # overhead rose by `ratio`
+        if ratio > threshold:
+            regressions.append(
+                "%-48s %.4f -> %.4f  (%.2fx %s, threshold %.2fx)"
+                % (name, ref, value, ratio,
+                   "slower" if DIRECTIONS.get(name, False) else "higher",
+                   threshold))
+    return regressions
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--new-dir", required=True,
+                    help="directory holding the fresh --json outputs")
+    ap.add_argument("--trajectory", required=True,
+                    help="checked-in trajectory file (BENCH_nightly.json)")
+    ap.add_argument("--threshold", type=float, default=1.15)
+    ap.add_argument("--append", action="store_true",
+                    help="append the new entry to the trajectory file")
+    ap.add_argument("--label", default="nightly",
+                    help="entry label (e.g. a date or commit sha)")
+    args = ap.parse_args()
+
+    cur = collect(args.new_dir)
+    if not cur:
+        print("bench_trajectory: no --json outputs found in", args.new_dir,
+              file=sys.stderr)
+        return 2
+
+    trajectory = {"bench_set": "nightly", "entries": []}
+    if os.path.exists(args.trajectory):
+        trajectory = json.load(open(args.trajectory))
+
+    regressions = []
+    if trajectory["entries"]:
+        prev_entry = trajectory["entries"][-1]
+        regressions = compare(prev_entry["metrics"], cur, args.threshold)
+        print("bench_trajectory: compared %d metric(s) against entry '%s'"
+              % (len(cur), prev_entry["label"]))
+    else:
+        print("bench_trajectory: empty trajectory, seeding with %d metric(s)"
+              % len(cur))
+
+    if args.append:
+        trajectory["entries"].append({"label": args.label, "metrics": cur})
+        with open(args.trajectory, "w") as f:
+            json.dump(trajectory, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print("bench_trajectory: appended entry '%s' to %s"
+              % (args.label, args.trajectory))
+
+    if regressions:
+        print("bench_trajectory: REGRESSIONS over %.2fx:" % args.threshold,
+              file=sys.stderr)
+        for r in regressions:
+            print("  " + r, file=sys.stderr)
+        return 1
+    print("bench_trajectory: no regression beyond %.2fx" % args.threshold)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -95,14 +95,23 @@ r = json.load(open(sys.argv[1]))
 for key in ("schema", "schema_version", "program", "check", "spec",
             "races", "replay_handles", "metrics"):
     assert key in r, f"missing key: {key}"
-assert r["schema"] == "rader.report" and r["schema_version"] == 3
+assert r["schema"] == "rader.report" and r["schema_version"] == 4
 races = r["races"]
 for key in ("view_read_occurrences", "determinacy_occurrences",
             "view_read_races", "determinacy_races"):
     assert key in races, f"missing races key: {key}"
 assert races["determinacy_races"], "expected fig1 to race"
 assert r["replay_handles"], "expected a replay handle"
-assert "counters" in r["metrics"] and "phase_seconds" in r["metrics"]
+m = r["metrics"]
+for key in ("counters", "phase_seconds", "gauges", "histograms"):
+    assert key in m, f"missing metrics key: {key}"
+# v4 names are namespaced; gauges carry value+max; histograms quantiles.
+assert "sweep.spec_runs" in m["counters"], sorted(m["counters"])
+for g in m["gauges"].values():
+    assert set(g) == {"value", "max"}, g
+for h in m["histograms"].values():
+    for key in ("count", "sum", "p50", "p90", "p99", "buckets"):
+        assert key in h, f"missing histogram key: {key}"
 print(r["replay_handles"][0])
 PY
 )
@@ -118,9 +127,91 @@ def identities(r):
                    d["view_aware"]) for d in r["races"]["determinacy_races"])
 assert identities(a) == identities(b), \
     "replay did not reproduce the deduplicated race set"
-assert b["metrics"]["counters"]["spec_runs"] >= 1
+assert b["metrics"]["counters"]["sweep.spec_runs"] >= 1
 print("json + replay round-trip ok: %d deduplicated race(s) reproduced "
       "under %s" % (len(b["races"]["determinacy_races"]), b["spec"]))
+PY
+
+echo "== observability smoke =="
+# The metric catalog must be non-empty and well-formed (name type help).
+./build/tools/rader --list-metrics | awk '
+  NF < 3 { print "bad --list-metrics row: " $0; exit 1 }
+  $2 !~ /^(counter|gauge|histogram|phase)$/ {
+    print "bad metric type: " $0; exit 1 }
+  END { if (NR < 10) { print "catalog suspiciously small"; exit 1 }
+        print "list-metrics ok: " NR " metrics" }'
+
+# One exhaustive sweep emitting every exposition format at once: Prometheus
+# snapshot, JSONL time series, and the collapsed-stack profile.  Each is
+# validated with a real parser (python3), not a grep.
+OBS_PROM=build/obs_metrics.prom
+OBS_JSONL=build/obs_metrics.jsonl
+OBS_PROF=build/obs_profile.txt
+./build/tools/rader --program=fig1 --check=exhaustive --jobs=2 \
+  --metrics-prom="$OBS_PROM" --metrics-out="$OBS_JSONL" \
+  --metrics-interval-ms=20 --profile="$OBS_PROF" >/dev/null 2>&1 || true
+python3 - "$OBS_PROM" "$OBS_JSONL" "$OBS_PROF" <<'PY'
+import json, sys
+
+# Prometheus text format: HELP/TYPE pairs, cumulative le-buckets per
+# histogram ending in +Inf == _count, phases as labeled seconds.
+families = {}
+samples = {}
+for line in open(sys.argv[1]):
+    line = line.rstrip("\n")
+    if not line:
+        continue
+    if line.startswith("# HELP ") or line.startswith("# TYPE "):
+        _, kind, name, rest = line.split(" ", 3)
+        families.setdefault(name, {})[kind] = rest
+        continue
+    name_and_labels, value = line.rsplit(" ", 1)
+    float(value)  # must parse
+    samples.setdefault(name_and_labels, value)
+assert all("TYPE" in v and "HELP" in v for v in families.values())
+assert any(k.startswith("rader_sweep_spec_runs_total") for k in samples)
+assert "rader_phase_seconds" in families
+bucket_names = [k for k in samples if '_bucket{le="' in k]
+assert bucket_names, "no histogram buckets emitted"
+for hist in {b.split("_bucket{")[0] for b in bucket_names}:
+    series = [b for b in bucket_names if b.startswith(hist + "_bucket{")]
+    counts = [int(samples[b]) for b in series]
+    assert counts == sorted(counts), f"{hist} buckets not cumulative"
+    inf = [b for b in series if 'le="+Inf"' in b]
+    assert inf, f"{hist} missing +Inf bucket"
+    assert int(samples[inf[0]]) == int(samples[hist + "_count"])
+print("prometheus ok: %d families, %d histogram bucket series"
+      % (len(families), len(bucket_names)))
+
+# JSONL time series: every line parses, done is monotone nondecreasing,
+# the final (quiesced) sample reports a complete schema-v4 metrics block.
+lines = [json.loads(l) for l in open(sys.argv[2]) if l.strip()]
+assert lines, "empty JSONL time series"
+dones = [l["done"] for l in lines]
+assert dones == sorted(dones), "done counts regress across samples"
+last = lines[-1]
+assert last["done"] == last["total"] > 0, "final sample not quiesced"
+for key in ("counters", "phase_seconds", "gauges", "histograms"):
+    assert key in last["metrics"], f"missing metrics key: {key}"
+assert last["metrics"]["counters"]["sweep.spec_runs"] == last["total"]
+print("jsonl ok: %d sample(s), final done=%d" % (len(lines), last["done"]))
+
+# Collapsed-stack profile: every line is "path<space>integer", every
+# multi-segment path's prefix also appears (flamegraph tools need complete
+# stack prefixes), and the sweep/spec hierarchy is present.
+paths = []
+for line in open(sys.argv[3]):
+    path, _, value = line.rstrip("\n").rpartition(" ")
+    assert path and value.isdigit(), f"bad collapsed line: {line!r}"
+    paths.append(path)
+seen = set(paths)
+assert len(seen) == len(paths), "duplicate collapsed-stack paths"
+for p in paths:
+    if ";" in p:
+        prefix = p.rsplit(";", 1)[0]
+        assert prefix in seen, f"missing stack prefix: {prefix}"
+assert "sweep" in seen and "sweep;spec" in seen, sorted(seen)
+print("collapsed profile ok: %d stack path(s)" % len(paths))
 PY
 
 trace_smoke
@@ -140,8 +231,10 @@ if [[ "$FULL" == 1 ]]; then
   ./build/bench/thm7_reduce_coverage
   # The sweep bench is also a perf regression gate: the prefix strategy
   # must beat rerun by >= 3x on the tracked front-loaded families
-  # (BENCH_sweep.json holds a reference run's numbers).
-  ./build/bench/sweep_scaling --check-ratio=3 --json=build/BENCH_sweep.json
+  # (BENCH_sweep.json holds a reference run's numbers), and the enabled
+  # JSONL metrics sampling must stay within 1.05x geomean.
+  ./build/bench/sweep_scaling --check-ratio=3 --check-metrics-overhead=1.05 \
+    --json=build/BENCH_sweep.json
   ./build/bench/fig7_overhead --scale=0.02 --reps=1
 fi
 

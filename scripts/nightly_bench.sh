@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Nightly benchmark job (the CI `nightly-bench` workflow, also runnable by
+# hand): build, run the four tracked benchmarks with --json, then compare
+# against — and append to — the checked-in trajectory BENCH_nightly.json
+# via scripts/bench_trajectory.py.  Exits 1 when any tracked metric
+# regresses by more than 1.15x against the previous entry.
+#
+# Environment knobs (defaults chosen for a CI-class machine):
+#   BENCH_SCALE   workload scale for fig7/trace benches   (default 0.02)
+#   BENCH_REPS    best-of reps                             (default 2)
+#   PD_SCALE      parallel_detect scale                    (default 0.25)
+#   BENCH_LABEL   trajectory entry label                   (default date)
+#   BENCH_APPEND  1 = append the entry (default), 0 = compare only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH_SCALE="${BENCH_SCALE:-0.02}"
+BENCH_REPS="${BENCH_REPS:-2}"
+PD_SCALE="${PD_SCALE:-0.25}"
+BENCH_LABEL="${BENCH_LABEL:-$(date -u +%Y-%m-%d)}"
+BENCH_APPEND="${BENCH_APPEND:-1}"
+
+cmake -B build -S .
+cmake --build build -j"$(nproc)"
+
+OUT=build/nightly
+mkdir -p "$OUT"
+
+echo "== sweep_scaling (with the 3x prefix floor and the 1.05x enabled-"
+echo "   sampling budget) =="
+./build/bench/sweep_scaling --check-ratio=3 --check-metrics-overhead=1.05 \
+  --json="$OUT/sweep_scaling.json"
+
+echo "== fig7_overhead (dormant-hook budgets: trace + observability) =="
+./build/bench/fig7_overhead --scale="$BENCH_SCALE" --reps="$BENCH_REPS" \
+  --json="$OUT/fig7_overhead.json"
+
+echo "== trace_overhead =="
+./build/bench/trace_overhead --scale="$BENCH_SCALE" --reps="$BENCH_REPS" \
+  --json="$OUT/trace_overhead.json"
+
+echo "== parallel_detect =="
+./build/bench/parallel_detect --scale="$PD_SCALE" --reps="$BENCH_REPS" \
+  --json="$OUT/parallel_detect.json"
+
+APPEND_FLAG=""
+if [[ "$BENCH_APPEND" == 1 ]]; then
+  APPEND_FLAG="--append"
+fi
+python3 scripts/bench_trajectory.py --new-dir "$OUT" \
+  --trajectory BENCH_nightly.json --threshold 1.15 \
+  --label "$BENCH_LABEL" $APPEND_FLAG
+
+echo "NIGHTLY BENCH OK"

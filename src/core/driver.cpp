@@ -4,6 +4,7 @@
 
 #include "sched/parallel_engine.hpp"
 #include "support/metrics.hpp"
+#include "support/profile.hpp"
 
 namespace rader {
 
@@ -89,6 +90,7 @@ Rader::ExhaustiveResult Rader::check_exhaustive(FnView program,
   // Probe run: learn K and D (and find view-read races with Peer-Set).
   {
     metrics::PhaseTimer timer(metrics::Phase::kProbe);
+    prof::Phase probe_phase("probe");
     PeerSetDetector peerset(&result.log);
     spec::NoSteal no_steal;
     result.probe_stats = run_serial(program, &peerset, &no_steal);
@@ -116,6 +118,7 @@ Rader::ExhaustiveResult Rader::check_exhaustive(
   auto probe_program = make_program();
   {
     metrics::PhaseTimer timer(metrics::Phase::kProbe);
+    prof::Phase probe_phase("probe");
     PeerSetDetector peerset(&result.log);
     spec::NoSteal no_steal;
     result.probe_stats = run_serial(probe_program, &peerset, &no_steal);

@@ -1,0 +1,123 @@
+#include "core/metrics_export.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace rader {
+
+using metrics::Counter;
+using metrics::Gauge;
+using metrics::Histogram;
+using metrics::Phase;
+using metrics::Snapshot;
+
+std::string prometheus_family(const std::string& dotted) {
+  std::string out = "rader_";
+  for (const char c : dotted) out += (c == '.' ? '_' : c);
+  return out;
+}
+
+namespace {
+
+void help_and_type(std::ostringstream& os, const std::string& family,
+                   const char* type, const char* help) {
+  os << "# HELP " << family << ' ' << help << '\n';
+  os << "# TYPE " << family << ' ' << type << '\n';
+}
+
+}  // namespace
+
+std::string prometheus_text(const Snapshot& snap) {
+  std::ostringstream os;
+  // HELP text comes from the same catalog --list-metrics prints, in the
+  // same order: counters, gauges, histograms, phases.
+  const auto infos = metrics::list_metrics();
+  for (unsigned i = 0; i < metrics::kCounterCount; ++i) {
+    const auto c = static_cast<Counter>(i);
+    const std::string family =
+        prometheus_family(metrics::counter_name(c)) + "_total";
+    help_and_type(os, family, "counter", infos[i].help);
+    os << family << ' ' << snap.counter(c) << '\n';
+  }
+  for (unsigned i = 0; i < metrics::kGaugeCount; ++i) {
+    const auto g = static_cast<Gauge>(i);
+    const std::string family = prometheus_family(metrics::gauge_name(g));
+    const char* help = infos[metrics::kCounterCount + i].help;
+    help_and_type(os, family, "gauge", help);
+    os << family << ' ' << snap.gauge(g).value << '\n';
+    help_and_type(os, family + "_max", "gauge", help);
+    os << family << "_max " << snap.gauge(g).max << '\n';
+  }
+  for (unsigned i = 0; i < metrics::kHistogramCount; ++i) {
+    const auto h = static_cast<Histogram>(i);
+    const std::string family = prometheus_family(metrics::histogram_name(h));
+    const char* help =
+        infos[metrics::kCounterCount + metrics::kGaugeCount + i].help;
+    help_and_type(os, family, "histogram", help);
+    const metrics::HistogramCell& cell = snap.hist(h);
+    std::uint64_t cum = 0;
+    for (unsigned b = 0; b < metrics::kHistogramBuckets; ++b) {
+      cum += cell.buckets[b];
+      // Emit only the buckets that change the cumulative count (plus
+      // bucket 0 when occupied): the full 64-bucket series is noise.
+      if (cell.buckets[b] == 0) continue;
+      os << family << "_bucket{le=\"" << metrics::histogram_bucket_bound(b)
+         << "\"} " << cum << '\n';
+    }
+    os << family << "_bucket{le=\"+Inf\"} " << cell.count << '\n';
+    os << family << "_sum " << cell.sum << '\n';
+    os << family << "_count " << cell.count << '\n';
+  }
+  {
+    const std::string family = "rader_phase_seconds";
+    help_and_type(os, family, "counter",
+                  "wall seconds accumulated per coarse phase");
+    os.precision(9);
+    os << std::fixed;
+    for (unsigned i = 0; i < metrics::kPhaseCount; ++i) {
+      const auto p = static_cast<Phase>(i);
+      os << family << "{phase=\"" << metrics::phase_name(p) << "\"} "
+         << snap.phase_seconds(p) << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::string jsonl_sample(std::uint64_t t_ms, std::uint64_t done,
+                         std::uint64_t total, const Snapshot& snap) {
+  std::ostringstream os;
+  os << "{\"t_ms\":" << t_ms << ",\"done\":" << done << ",\"total\":"
+     << total << ",\"metrics\":" << snap.to_json() << '}';
+  return os.str();
+}
+
+MetricsSampler::MetricsSampler(std::ostream* out, std::uint64_t interval_ms)
+    : out_(out),
+      interval_nanos_(interval_ms * 1'000'000),
+      epoch_nanos_(metrics::now_nanos()) {}
+
+void MetricsSampler::write_line(std::uint64_t done, std::uint64_t total,
+                                const Snapshot& snap) {
+  const std::uint64_t now = metrics::now_nanos();
+  last_nanos_ = now;
+  ++samples_;
+  *out_ << jsonl_sample((now - epoch_nanos_) / 1'000'000, done, total, snap)
+        << '\n';
+  out_->flush();
+}
+
+void MetricsSampler::maybe_sample(std::uint64_t done, std::uint64_t total,
+                                  const Snapshot& snap) {
+  if (out_ == nullptr) return;
+  const std::uint64_t now = metrics::now_nanos();
+  if (last_nanos_ != 0 && now - last_nanos_ < interval_nanos_) return;
+  write_line(done, total, snap);
+}
+
+void MetricsSampler::final_sample(std::uint64_t done, std::uint64_t total,
+                                  const Snapshot& snap) {
+  if (out_ == nullptr) return;
+  write_line(done, total, snap);
+}
+
+}  // namespace rader

@@ -10,7 +10,7 @@
 //
 // Schema (documented in docs/API.md; validated by scripts/check.sh --json):
 //   {
-//     "schema": "rader.report", "schema_version": 3,
+//     "schema": "rader.report", "schema_version": 4,
 //     "program": "...", "check": "...",
 //     "spec": "...",                   // single-spec runs and replays only
 //     "sweep": {"jobs":J,"budget":B,"stop_first":bool,"k":K,"depth":D,
@@ -22,7 +22,9 @@
 //                                            // (`.rprog` reproducer path)
 //     "replay_handles": ["<spec handle>", ...],
 //     "metrics": { ...metrics::Snapshot::to_json()... }  // when captured
-//   }
+//   }                                     // v4: "metrics" gained "gauges"
+//                                         // and "histograms" blocks and
+//                                         // namespaced counter names
 #pragma once
 
 #include <cstdint>
@@ -41,7 +43,13 @@ inline constexpr const char* kReportSchemaName = "rader.report";
 // v2 -> v3: races gained an optional "repro_file" member — the `.rprog`
 // reproducer the race replays from (`rader --repro=FILE`, docs/FUZZING.md).
 // Additive again: v2 consumers parse v3 unchanged.
-inline constexpr int kReportSchemaVersion = 3;
+// v3 -> v4: the "metrics" block gained "gauges" and "histograms" objects
+// alongside "counters"/"phase_seconds", and counter keys moved to the
+// canonical dotted namespaces ("spec_runs" -> "sweep.spec_runs", …; the
+// full catalog is `rader --list-metrics`).  The rename is the one breaking
+// change in the report's history — hence the major-version bump rather
+// than another additive rev.
+inline constexpr int kReportSchemaVersion = 4;
 
 /// Context describing the run that produced a report.
 struct ReportMeta {

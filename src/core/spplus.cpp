@@ -137,6 +137,7 @@ void SpPlusDetector::on_access(AccessKind kind, std::uintptr_t addr,
 
   if (size == 0) return;
   metrics::bump(metrics::Counter::kAccessesInstrumented);
+  metrics::record(metrics::Histogram::kAccessBytes, size);
   const std::uintptr_t first = addr >> granule_bits_;
   const std::uintptr_t last = access_last_byte(addr, size) >> granule_bits_;
   // `last` may be the top granule index; a `g <= last` condition would wrap

@@ -11,79 +11,162 @@
 #include <string>
 #include <thread>
 
+#include "core/metrics_export.hpp"
 #include "core/spplus.hpp"
 #include "runtime/run.hpp"
 #include "runtime/serial_engine.hpp"
 #include "runtime/view_arena.hpp"
 #include "support/common.hpp"
+#include "support/crash.hpp"
+#include "support/profile.hpp"
+#include "support/rolling_rate.hpp"
 #include "support/trace.hpp"
 
 namespace rader {
 
 namespace {
 
-/// Heartbeat monitor for `SweepOptions::progress`: samples the per-worker
-/// completion counters on an interval and prints one telemetry line per
-/// sample plus a final summary.  Counters are plain relaxed atomics, so a
-/// sample is wait-free for the sweep workers.
-class ProgressMonitor {
+/// The sweep's monitor thread: one loop serving every live consumer —
+/// the `--progress` heartbeat (rolling-window rate/ETA), the JSONL
+/// metrics sampler (`--metrics-out`), the queue-depth gauge, and the hang
+/// watchdog (`--watchdog-ms`).  Everything it reads is wait-free for the
+/// workers: per-worker completion counters are relaxed atomics and the
+/// metrics snapshot comes from the workers' SharedSnapshot slots.
+class SweepMonitor {
  public:
-  ProgressMonitor(const SweepOptions& options, std::size_t total,
-                  std::vector<std::atomic<std::uint64_t>>* per_worker,
-                  std::atomic<std::uint64_t>* racy)
-      : total_(total),
+  static bool wanted(const SweepOptions& options) {
+    return options.progress || options.metrics_out != nullptr ||
+           options.watchdog_ms > 0;
+  }
+
+  SweepMonitor(const SweepOptions& options, std::size_t total,
+               std::vector<std::atomic<std::uint64_t>>* per_worker,
+               std::atomic<std::uint64_t>* racy,
+               const metrics::SharedSnapshot* live,
+               metrics::Registry* monitor_reg)
+      : options_(options),
+        total_(total),
         per_worker_(per_worker),
         racy_(racy),
+        live_(live),
+        monitor_reg_(monitor_reg),
         out_(options.progress_out != nullptr ? *options.progress_out
                                              : std::cerr),
-        interval_ms_(std::max(1u, options.progress_interval_ms)) {
+        sampler_(options.metrics_out,
+                 std::max(1u, options.metrics_interval_ms)),
+        heartbeat_interval_ms_(std::max(1u, options.progress_interval_ms)) {
+    // Tick at the fastest cadence any consumer needs; each consumer then
+    // throttles itself (the sampler internally, the heartbeat here).
+    unsigned tick = heartbeat_interval_ms_;
+    if (options.metrics_out != nullptr) {
+      tick = std::min(tick, std::max(1u, options.metrics_interval_ms));
+    }
+    if (options.watchdog_ms > 0) {
+      tick = std::min(tick, std::max(1u, options.watchdog_ms / 4));
+    }
+    tick_ms_ = std::max(1u, tick);
+    rate_.sample(metrics::now_nanos(), 0);  // ETA baseline (first interval)
+    last_change_nanos_ = metrics::now_nanos();
     thread_ = std::thread([this] { loop(); });
   }
 
-  ~ProgressMonitor() {
+  ~SweepMonitor() {
     {
       std::lock_guard<std::mutex> lock(mu_);
       stop_ = true;
     }
     cv_.notify_all();
     thread_.join();
-    out_ << line(/*final=*/true) << std::endl;
+    // Workers have joined by the time the owner destroys the monitor, so
+    // the final observations are exact, not approximate.
+    const std::uint64_t done = total_done();
+    monitor_reg_->gauge_set(metrics::Gauge::kSweepQueueDepth,
+                            static_cast<std::int64_t>(total_ - done));
+    if (options_.progress) out_ << line(done, /*final=*/true) << std::endl;
+    if (options_.metrics_out != nullptr) {
+      sampler_.final_sample(done, total_, live_->read());
+    }
   }
 
-  ProgressMonitor(const ProgressMonitor&) = delete;
-  ProgressMonitor& operator=(const ProgressMonitor&) = delete;
+  SweepMonitor(const SweepMonitor&) = delete;
+  SweepMonitor& operator=(const SweepMonitor&) = delete;
 
  private:
   void loop() {
     std::unique_lock<std::mutex> lock(mu_);
-    while (!cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+    while (!cv_.wait_for(lock, std::chrono::milliseconds(tick_ms_),
                          [this] { return stop_; })) {
-      out_ << line(/*final=*/false) << std::endl;
+      tick();
     }
   }
 
-  std::string line(bool final) const {
+  void tick() {
+    const std::uint64_t done = total_done();
+    const std::uint64_t now = metrics::now_nanos();
+    monitor_reg_->gauge_set(metrics::Gauge::kSweepQueueDepth,
+                            static_cast<std::int64_t>(total_ - done));
+    if (options_.progress &&
+        now - last_heartbeat_nanos_ >=
+            std::uint64_t{heartbeat_interval_ms_} * 1'000'000) {
+      last_heartbeat_nanos_ = now;
+      rate_.sample(now, done);
+      out_ << line(done, /*final=*/false) << std::endl;
+    }
+    if (options_.metrics_out != nullptr) {
+      sampler_.maybe_sample(done, total_, live_->read());
+    }
+    if (options_.watchdog_ms > 0) {
+      if (done != last_done_) {
+        last_done_ = done;
+        last_change_nanos_ = now;
+        armed_ = true;
+      } else if (armed_ && done < total_ &&
+                 now - last_change_nanos_ >=
+                     std::uint64_t{options_.watchdog_ms} * 1'000'000) {
+        // No spec completed within the deadline: leave a post-mortem and
+        // disarm until progress resumes (one report per stall episode).
+        crash::write_postmortem(options_.watchdog_fd,
+                                "watchdog: sweep stalled");
+        monitor_reg_->bump(metrics::Counter::kPostmortemDumps);
+        armed_ = false;
+      }
+    }
+  }
+
+  std::uint64_t total_done() const {
     std::uint64_t done = 0;
+    for (const auto& w : *per_worker_) {
+      done += w.load(std::memory_order_relaxed);
+    }
+    return done;
+  }
+
+  std::string line(std::uint64_t done, bool final) const {
     std::ostringstream workers;
     for (std::size_t w = 0; w < per_worker_->size(); ++w) {
-      const std::uint64_t d = (*per_worker_)[w].load(std::memory_order_relaxed);
-      done += d;
-      workers << (w == 0 ? "" : " ") << 'w' << w << ':' << d;
+      workers << (w == 0 ? "" : " ") << 'w' << w << ':'
+              << (*per_worker_)[w].load(std::memory_order_relaxed);
     }
-    // Clamped denominators: a size-0/size-1 family (or a sub-interval
-    // completion) can sample with ~zero elapsed time and with done == total,
-    // and the raw divisions would print nan/inf telemetry.
-    const double secs = std::max(clock_.seconds(), 1e-9);
-    const double rate = static_cast<double>(done) / secs;
     const std::uint64_t remaining = total_ > done ? total_ - done : 0;
     char perf[96];
     if (final) {
-      std::snprintf(perf, sizeof(perf), "%.1f specs/s, %.2fs elapsed", rate,
-                    secs);
+      // The summary reports the true whole-run average (clamped elapsed
+      // time: a sub-millisecond sweep must not print inf).
+      const double secs = std::max(clock_.seconds(), 1e-9);
+      std::snprintf(perf, sizeof(perf), "%.1f specs/s, %.2fs elapsed",
+                    static_cast<double>(done) / secs, secs);
     } else {
-      const double eta =
-          rate > 0.0 ? static_cast<double>(remaining) / rate : 0.0;
-      std::snprintf(perf, sizeof(perf), "%.1f specs/s, eta %.1fs", rate, eta);
+      // Live rate/ETA come from the rolling window, which tracks the
+      // current completion regime of front-loaded prefix sweeps.  Until
+      // the window has a usable rate (first interval, or a stall) the ETA
+      // is unknown — printed as "--", never nan/inf.
+      const double rate = rate_.rate_per_sec();
+      if (rate > 0.0) {
+        std::snprintf(perf, sizeof(perf), "%.1f specs/s, eta %.1fs", rate,
+                      rate_.eta_seconds(remaining));
+      } else {
+        std::snprintf(perf, sizeof(perf), "%.1f specs/s, eta --", rate);
+      }
     }
     std::ostringstream os;
     os << (final ? "sweep done: " : "sweep: ") << done << '/' << total_
@@ -93,11 +176,21 @@ class ProgressMonitor {
     return os.str();
   }
 
+  const SweepOptions& options_;
   const std::size_t total_;
   std::vector<std::atomic<std::uint64_t>>* per_worker_;
   std::atomic<std::uint64_t>* racy_;
+  const metrics::SharedSnapshot* live_;
+  metrics::Registry* monitor_reg_;
   std::ostream& out_;
-  const unsigned interval_ms_;
+  MetricsSampler sampler_;
+  const unsigned heartbeat_interval_ms_;
+  unsigned tick_ms_;
+  support::RollingRate rate_;
+  std::uint64_t last_heartbeat_nanos_ = 0;
+  std::uint64_t last_done_ = 0;
+  std::uint64_t last_change_nanos_ = 0;
+  bool armed_ = true;
   metrics::Stopwatch clock_;
   std::thread thread_;
   mutable std::mutex mu_;
@@ -171,11 +264,28 @@ SweepResult sweep_family(
   std::vector<RaceLog> per_spec(n);
   std::vector<char> ran(n, 0);
   std::vector<metrics::Snapshot> worker_metrics(threads);
+  std::vector<prof::Profiler> worker_profs(threads);
   // Telemetry counters sampled by the progress monitor (and mirrored by the
   // per-worker metrics snapshots merged into SweepResult::metrics).
   std::vector<std::atomic<std::uint64_t>> worker_done(threads);
   std::atomic<std::uint64_t> racy_specs{0};
   std::atomic<std::size_t> next{0};
+  // Live observability surface: workers overwrite their SharedSnapshot
+  // slot with their current totals after every spec, and keep their
+  // current spec handle in the in-flight table.  The monitor thread, the
+  // watchdog, and a fatal-signal handler (support/crash.hpp) read both
+  // wait-free; the final SweepResult::metrics still folds the worker
+  // registries directly, so live sampling never changes the result.
+  metrics::SharedSnapshot shared(threads);
+  crash::InflightTable inflight;
+  {
+    crash::PostmortemSources sources;
+    sources.metrics = &shared;
+    sources.inflight = &inflight;
+    sources.trace_session = trace::session();
+    sources.activity = "sweep";
+    crash::set_sources(sources);
+  }
   // Lowest family index whose run reported a race (n = none yet).  Under
   // stop_after_first_race, "first" means lowest FAMILY INDEX, not first in
   // wall-clock order: the result is the prefix [0, first_racy], so it is
@@ -184,10 +294,15 @@ SweepResult sweep_family(
   std::atomic<std::size_t> first_racy{n};
 
   // Post-run bookkeeping shared by both strategies: stamp the eliciting
-  // spec, publish completion, and (stop-first) lower the racy-index minimum.
+  // spec, publish completion (counter, live snapshot slot, in-flight
+  // clear), and (stop-first) lower the racy-index minimum.
   const auto finish_spec = [&](unsigned widx, std::size_t i) {
     per_spec[i].stamp_found_under(family[i]->describe());
     ran[i] = 1;
+    if (metrics::Registry* r = metrics::current()) {
+      shared.publish(widx, r->snapshot());
+    }
+    inflight.clear(widx);
     worker_done[widx].fetch_add(1, std::memory_order_relaxed);
     if (per_spec[i].any()) {
       racy_specs.fetch_add(1, std::memory_order_relaxed);
@@ -198,6 +313,15 @@ SweepResult sweep_family(
                             cur, i, std::memory_order_relaxed)) {
       }
     }
+  };
+
+  // Publish the spec a worker is about to execute so a hang or crash names
+  // it in the post-mortem.
+  const auto begin_spec = [&](unsigned widx, std::size_t i) {
+    char text[crash::InflightTable::kChars];
+    std::snprintf(text, sizeof text, "spec[%zu] %s", i,
+                  family[i]->describe().c_str());
+    inflight.set(widx, text);
   };
 
   const auto rerun_worker = [&](unsigned widx) {
@@ -211,11 +335,17 @@ SweepResult sweep_family(
       // prefix [0, final first_racy] executes at every thread count.
       if (i > first_racy.load(std::memory_order_relaxed)) break;
       if (!program) program = make_program();
+      begin_spec(widx, i);
       SpPlusDetector detector(&per_spec[i]);
+      prof::Phase spec_phase("spec");
+      const std::uint64_t t0 = metrics::now_nanos();
       {
         metrics::PhaseTimer timer(metrics::Phase::kExecute);
+        prof::Phase detect_phase("detect");
         run_serial(program, &detector, family[i].get());
       }
+      metrics::record(metrics::Histogram::kSpecRunNanos,
+                      metrics::now_nanos() - t0);
       metrics::bump(metrics::Counter::kSpecRuns);
       finish_spec(widx, i);
     }
@@ -258,6 +388,17 @@ SweepResult sweep_family(
       ck.log = per_spec[cur_idx];
       ckpts.push_back(std::move(ck));
       metrics::bump(metrics::Counter::kSweepCheckpoints);
+      metrics::gauge_add(metrics::Gauge::kSweepCheckpointsLive, 1);
+    };
+
+    // Every checkpoint counted in must be counted out, whichever of the
+    // three drop sites (divergence trim, fallback clear, worker exit)
+    // releases it — the folded gauge level is 0 once every worker exits.
+    const auto drop_checkpoints = [&](std::size_t keep) {
+      while (ckpts.size() > keep) {
+        ckpts.pop_back();
+        metrics::gauge_add(metrics::Gauge::kSweepCheckpointsLive, -1);
+      }
     };
 
     for (;;) {
@@ -275,22 +416,32 @@ SweepResult sweep_family(
           break;
         }
         if (!program) program = make_program();
+        begin_spec(widx, i);
+        prof::Phase spec_phase("spec");
         const std::size_t d =
             has_last ? divergence_depth(*family[i], trail) : 0;
+        if (has_last) {
+          metrics::record(metrics::Histogram::kDivergenceDepth, d);
+        }
         if (has_last && d == trail.size()) {
           // Every decision matches the previous run: the execution would be
           // identical, so its (unstamped) log is reused verbatim.  This is
           // common in coverage families, whose members often differ only on
-          // contexts the program never reaches.
+          // contexts the program never reaches.  Accounted separately so
+          // spec_runs == kSpecRuns + kSweepDedupReuses stays exact.
           per_spec[i] = last_log;
+          metrics::bump(metrics::Counter::kSweepDedupReuses);
           finish_spec(widx, i);
           continue;
         }
         // Checkpoints past the divergence belong to the abandoned suffix.
-        while (!ckpts.empty() && ckpts.back().engine.point > d) {
-          ckpts.pop_back();
+        {
+          std::size_t keep = ckpts.size();
+          while (keep > 0 && ckpts[keep - 1].engine.point > d) --keep;
+          drop_checkpoints(keep);
         }
         cur_idx = i;
+        const std::uint64_t t0 = metrics::now_nanos();
         {
           metrics::PhaseTimer timer(metrics::Phase::kExecute);
           bool fresh = ckpts.empty();
@@ -313,6 +464,7 @@ SweepResult sweep_family(
             // invalidate this pointer.
             plan.expect = &ck.engine;
             try {
+              prof::Phase resume_phase("resume");
               engine.resume_from(program, plan);
             } catch (const ResumeDiverged&) {
               // The re-executed prefix did not regenerate the checkpointed
@@ -325,7 +477,7 @@ SweepResult sweep_family(
               // preserved — only the speedup is lost — and the fallback is
               // visible as kSweepResumeFallbacks in rader.report.
               metrics::bump(metrics::Counter::kSweepResumeFallbacks);
-              ckpts.clear();
+              drop_checkpoints(0);
               per_spec[i] = RaceLog();
               program = make_program();
               fresh = true;
@@ -342,9 +494,12 @@ SweepResult sweep_family(
             cur_tool = &detector;
             engine.set_decision_trail(&trail);
             engine.set_point_hook(hook);
+            prof::Phase detect_phase("detect");
             engine.run(program);
           }
         }
+        metrics::record(metrics::Histogram::kSpecRunNanos,
+                        metrics::now_nanos() - t0);
         metrics::bump(metrics::Counter::kSpecRuns);
         // The dedup shortcut needs the log as the run produced it, BEFORE
         // stamp_found_under seeds found_under/eliciting_specs.
@@ -354,6 +509,7 @@ SweepResult sweep_family(
       }
       if (abandoned) break;
     }
+    drop_checkpoints(0);
   };
 
   const bool prefix = options.strategy == SweepStrategy::kPrefix;
@@ -366,6 +522,7 @@ SweepResult sweep_family(
     view_arena::Scope arena_scope;
     metrics::Registry reg;
     metrics::Scope scope(&reg);
+    prof::Scope pscope(&worker_profs[widx]);
     // When a tracing session is active, each sweep worker records into its
     // own buffer ("sweep-wN") — one Chrome-trace process per worker.
     trace::Session* const tsession = trace::session();
@@ -378,51 +535,73 @@ SweepResult sweep_family(
     } else {
       rerun_worker(widx);
     }
+    // Quiescent totals: the monitor's final JSONL sample reads these slots
+    // after the join, so publish everything one last time.
+    shared.publish(widx, reg.snapshot());
     worker_metrics[widx] = reg.snapshot();
   };
 
-  {
-    // Scoped so the monitor's destructor (which prints the final summary
-    // line) runs as soon as the workers have joined.
-    std::unique_ptr<ProgressMonitor> monitor;
-    if (options.progress) {
-      monitor = std::make_unique<ProgressMonitor>(options, n, &worker_done,
-                                                  &racy_specs);
-    }
-    if (threads <= 1) {
-      worker(0);
-    } else {
-      std::vector<std::thread> pool;
-      pool.reserve(threads);
-      for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker, t);
-      for (auto& th : pool) th.join();
-    }
-  }
-
-  // Merge exactly the deterministic prefix: everything up to and including
-  // the lowest racy index (or the whole budgeted family when no run raced).
-  // Runs beyond the prefix — workers that were mid-flight on a higher index
-  // when the race landed — are discarded, so race identity, spec_runs, and
-  // specs_skipped are byte-identical at every thread count.
-  const std::size_t lowest = first_racy.load(std::memory_order_relaxed);
-  const std::size_t limit = lowest < n ? lowest + 1 : n;
+  // The sweep's own profiler aggregates the workers' phase trees under one
+  // "sweep" node, then forwards to the caller's profiler (if any) — the
+  // same absorb-at-join shape as the metrics registries.
+  prof::Profiler* const outer_prof = prof::current();
+  prof::Profiler sweep_prof;
   metrics::Registry merge_reg;
+  metrics::Registry monitor_reg;
   {
-    metrics::Scope scope(&merge_reg);
-    metrics::PhaseTimer timer(metrics::Phase::kMerge);
-    for (std::size_t i = 0; i < limit; ++i) {
-      RADER_CHECK_MSG(ran[i] != 0, "sweep prefix member did not run");
-      result.log.merge(per_spec[i]);
-      ++result.spec_runs;
+    prof::Scope pscope(&sweep_prof);
+    prof::Phase sweep_phase("sweep");
+    {
+      // Scoped so the monitor's destructor (which prints the final summary
+      // line and writes the final JSONL sample) runs as soon as the workers
+      // have joined.
+      std::unique_ptr<SweepMonitor> monitor;
+      if (SweepMonitor::wanted(options)) {
+        monitor = std::make_unique<SweepMonitor>(
+            options, n, &worker_done, &racy_specs, &shared, &monitor_reg);
+      }
+      if (threads <= 1) {
+        worker(0);
+      } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+        for (auto& th : pool) th.join();
+      }
+    }
+    for (const auto& wp : worker_profs) sweep_prof.absorb(wp.root());
+
+    // Merge exactly the deterministic prefix: everything up to and
+    // including the lowest racy index (or the whole budgeted family when no
+    // run raced).  Runs beyond the prefix — workers that were mid-flight on
+    // a higher index when the race landed — are discarded, so race
+    // identity, spec_runs, and specs_skipped are byte-identical at every
+    // thread count.
+    const std::size_t lowest = first_racy.load(std::memory_order_relaxed);
+    const std::size_t limit = lowest < n ? lowest + 1 : n;
+    {
+      metrics::Scope scope(&merge_reg);
+      metrics::PhaseTimer timer(metrics::Phase::kMerge);
+      prof::Phase merge_phase("merge");
+      for (std::size_t i = 0; i < limit; ++i) {
+        RADER_CHECK_MSG(ran[i] != 0, "sweep prefix member did not run");
+        result.log.merge(per_spec[i]);
+        ++result.spec_runs;
+      }
     }
   }
+  crash::clear_sources();
   result.specs_skipped = total - result.spec_runs;
   for (const auto& wm : worker_metrics) result.metrics.add(wm);
   result.metrics.add(merge_reg.snapshot());
-  // Forward the aggregate to the caller's registry (if one is installed) so
-  // an outer Scope sees probe + sweep + merge in one snapshot.
+  result.metrics.add(monitor_reg.snapshot());
+  // Forward the aggregates to the caller's registry/profiler (if installed)
+  // so an outer Scope sees probe + sweep + merge in one snapshot.
   if (metrics::Registry* outer = metrics::current()) {
     outer->absorb(result.metrics);
+  }
+  if (outer_prof != nullptr) {
+    outer_prof->absorb(sweep_prof.root());
   }
   return result;
 }

@@ -95,12 +95,35 @@ struct SweepOptions {
   /// per-worker completion counters every `progress_interval_ms` and prints
   /// one heartbeat line — total and per-worker specs done, specs/s, ETA,
   /// racy specs so far — to `progress_out`, plus a final summary line when
-  /// the sweep completes.  The counters are the same ones aggregated into
-  /// SweepResult::metrics; sampling them is wait-free and never perturbs
-  /// the sweep result.
+  /// the sweep completes.  The live rate/ETA use a rolling window over the
+  /// last few heartbeats (support/rolling_rate.hpp) so front-loaded prefix
+  /// sweeps report the current regime, not the since-start average (the
+  /// final summary line keeps the whole-run average).  The counters are
+  /// the same ones aggregated into SweepResult::metrics; sampling them is
+  /// wait-free and never perturbs the sweep result.
   bool progress = false;
   unsigned progress_interval_ms = 500;
   std::ostream* progress_out = nullptr;  // nullptr = std::cerr
+
+  /// JSONL metrics time series (`rader --metrics-out=FILE
+  /// --metrics-interval-ms=N`): the monitor thread appends one
+  /// core/metrics_export.hpp sample line per interval — read wait-free
+  /// from the workers' live SharedSnapshot slots — plus one final quiesced
+  /// sample after the workers join.  nullptr = off.  The enabled sampling
+  /// overhead is budgeted by bench/sweep_scaling --check-metrics-overhead
+  /// at <= 1.05x geomean.
+  std::ostream* metrics_out = nullptr;
+  unsigned metrics_interval_ms = 500;
+
+  /// Hang watchdog (`rader --watchdog-ms=N`): when > 0 and no spec
+  /// completes for this many milliseconds while the sweep is unfinished,
+  /// the monitor thread writes a post-mortem report (support/crash.hpp:
+  /// live metrics, in-flight spec handles, trace-ring tails) to
+  /// `watchdog_fd` and bumps sweep.postmortem_dumps, then re-arms on the
+  /// next completion.  Diagnosis only — the sweep itself is never
+  /// interrupted.
+  unsigned watchdog_ms = 0;
+  int watchdog_fd = 2;  // stderr
 };
 
 /// Factory producing a fresh instance of the program under test.  Called at

@@ -6,6 +6,7 @@
 
 #include "runtime/engine.hpp"
 #include "support/common.hpp"
+#include "support/metrics.hpp"
 
 namespace rader::view_arena {
 namespace {
@@ -58,13 +59,18 @@ thread_local Arena tl_arena;
 }  // namespace
 
 void* allocate(std::size_t size, std::size_t align) {
-  return tl_arena.allocate(size, align);
+  void* p = tl_arena.allocate(size, align);
+  metrics::gauge_set(metrics::Gauge::kArenaBytes,
+                     static_cast<std::int64_t>(tl_arena.in_use));
+  return p;
 }
 
 void rewind() {
   tl_arena.block = tl_arena.floor_block;
   tl_arena.offset = tl_arena.floor_offset;
   tl_arena.in_use = tl_arena.floor_in_use;
+  metrics::gauge_set(metrics::Gauge::kArenaBytes,
+                     static_cast<std::int64_t>(tl_arena.in_use));
 }
 
 std::size_t bytes_in_use() { return tl_arena.in_use; }

@@ -109,6 +109,9 @@ ParallelEngine::ChildRecord* ParallelEngine::try_get_work(WorkerState& w) {
     if (void* task = workers_[victim]->deque.steal()) {
       steals_.fetch_add(1, std::memory_order_relaxed);
       metrics::bump(metrics::Counter::kEngineSteals);
+      // The thief counts the entry out on its own sink; the victim counted
+      // it in.  Per-thread values go negative/positive, the fold sums to 0.
+      metrics::gauge_add(metrics::Gauge::kDequeSize, -1);
       trace::emit(trace::EventKind::kSteal, kInvalidFrame, victim, 0);
       return static_cast<ChildRecord*>(task);
     }
@@ -250,6 +253,7 @@ void ParallelEngine::spawn_task(Task task) {
   ChildRecord* rec = item.child.get();
   f.items.push_back(std::move(item));
   w.deque.push(rec);
+  metrics::gauge_add(metrics::Gauge::kDequeSize, 1);
   wake_helpers();
 }
 
@@ -339,6 +343,7 @@ void ParallelEngine::do_sync(WorkerState& w) {
       ChildRecord* child = f.items[i].child.get();
       while (!child->done.load(std::memory_order_acquire)) {
         if (void* task = w.deque.pop()) {
+          metrics::gauge_add(metrics::Gauge::kDequeSize, -1);
           execute_child(w, static_cast<ChildRecord*>(task));
         } else if (ChildRecord* stolen = try_get_work(w)) {
           execute_child(w, stolen);

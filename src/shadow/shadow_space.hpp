@@ -39,11 +39,15 @@ class ShadowSpace {
   ShadowSpace() = default;
 
   // Shadow spaces are large; forbid accidental copies (fork() is the
-  // explicit, copy-on-write way to duplicate one).
+  // explicit, copy-on-write way to duplicate one).  Moves and destruction
+  // are spelled out so the shadow.pages_live gauge stays conserved: every
+  // page reference a space holds was counted in (allocation or fork) and
+  // must be counted out exactly once (clear, move-assign-over, destroy).
   ShadowSpace(const ShadowSpace&) = delete;
   ShadowSpace& operator=(const ShadowSpace&) = delete;
-  ShadowSpace(ShadowSpace&&) = default;
-  ShadowSpace& operator=(ShadowSpace&&) = default;
+  ShadowSpace(ShadowSpace&& other) noexcept;
+  ShadowSpace& operator=(ShadowSpace&& other) noexcept;
+  ~ShadowSpace();
 
   /// Payload recorded for `addr`, or kEmpty if never set.
   Payload get(std::uintptr_t addr) {
@@ -61,13 +65,7 @@ class ShadowSpace {
   /// metrics::Counter::kShadowPagesCoW).  Read caches stay valid on both
   /// sides (shared pages are immutable until un-shared); the write cache is
   /// dropped so the next write re-checks sharing.
-  ShadowSpace fork() const {
-    wcached_key_ = kNoKey;
-    wcached_page_ = nullptr;
-    ShadowSpace f;
-    f.pages_ = pages_;
-    return f;
-  }
+  ShadowSpace fork() const;
 
   /// Number of lazily allocated pages (for tests and space accounting).
   std::size_t page_count() const { return pages_.size(); }

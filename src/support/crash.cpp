@@ -1,0 +1,270 @@
+#include "support/crash.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace rader::crash {
+
+void InflightTable::set(unsigned slot, const char* text) {
+  if (slot >= kSlots) return;
+  std::uint64_t packed[kWords] = {};
+  char* bytes = reinterpret_cast<char*>(packed);
+  std::size_t i = 0;
+  for (; i < kChars - 1 && text[i] != '\0'; ++i) bytes[i] = text[i];
+  for (unsigned w = 0; w < kWords; ++w) {
+    words_[slot][w].store(packed[w], std::memory_order_relaxed);
+  }
+}
+
+bool InflightTable::read(unsigned slot, char* out) const {
+  out[0] = '\0';
+  if (slot >= kSlots) return false;
+  std::uint64_t packed[kWords];
+  for (unsigned w = 0; w < kWords; ++w) {
+    packed[w] = words_[slot][w].load(std::memory_order_relaxed);
+  }
+  std::memcpy(out, packed, kChars);
+  out[kChars - 1] = '\0';
+  return out[0] != '\0';
+}
+
+namespace {
+
+// The registered sources, each published as its own atomic so the handler
+// never dereferences a half-written struct.
+std::atomic<const metrics::SharedSnapshot*> g_metrics{nullptr};
+std::atomic<const InflightTable*> g_inflight{nullptr};
+std::atomic<trace::Session*> g_trace{nullptr};
+std::atomic<const char*> g_activity{""};
+
+char g_path[512] = "";
+std::atomic<bool> g_handler_installed{false};
+
+// --- allocation-free formatting into an fd ------------------------------
+//
+// A small append buffer flushed with write(2).  Every helper is
+// signal-safe: no locks, no allocation, no errno-dependent behavior we
+// care about (a failed write on the way down is not actionable).
+
+struct Out {
+  int fd;
+  char buf[1024];
+  std::size_t len = 0;
+
+  void flush() {
+    std::size_t off = 0;
+    while (off < len) {
+      const ssize_t n = ::write(fd, buf + off, len - off);
+      if (n <= 0) break;
+      off += static_cast<std::size_t>(n);
+    }
+    len = 0;
+  }
+  void ch(char c) {
+    if (len == sizeof buf) flush();
+    buf[len++] = c;
+  }
+  void str(const char* s) {
+    if (s == nullptr) return;
+    for (; *s != '\0'; ++s) ch(*s);
+  }
+  void u64(std::uint64_t v) {
+    char digits[20];
+    unsigned n = 0;
+    do {
+      digits[n++] = static_cast<char>('0' + v % 10);
+      v /= 10;
+    } while (v != 0);
+    while (n > 0) ch(digits[--n]);
+  }
+  void i64(std::int64_t v) {
+    if (v < 0) {
+      ch('-');
+      u64(static_cast<std::uint64_t>(-(v + 1)) + 1);
+    } else {
+      u64(static_cast<std::uint64_t>(v));
+    }
+  }
+};
+
+void dump_metrics(Out& out, const metrics::SharedSnapshot& shared) {
+  // Snapshot is ~2.5 KiB of PODs: fine on the stack, and read_into
+  // allocates nothing.
+  metrics::Snapshot snap;
+  shared.read_into(&snap);
+  out.str("== metrics (live, approximate) ==\n");
+  for (unsigned i = 0; i < metrics::kCounterCount; ++i) {
+    if (snap.counters[i] == 0) continue;
+    out.str(metrics::counter_name(static_cast<metrics::Counter>(i)));
+    out.ch(' ');
+    out.u64(snap.counters[i]);
+    out.ch('\n');
+  }
+  for (unsigned i = 0; i < metrics::kGaugeCount; ++i) {
+    const metrics::GaugeCell& g = snap.gauges[i];
+    if (g.value == 0 && g.max == 0) continue;
+    out.str(metrics::gauge_name(static_cast<metrics::Gauge>(i)));
+    out.ch(' ');
+    out.i64(g.value);
+    out.str(" (max ");
+    out.i64(g.max);
+    out.str(")\n");
+  }
+  for (unsigned i = 0; i < metrics::kHistogramCount; ++i) {
+    const metrics::HistogramCell& h = snap.hists[i];
+    if (h.count == 0) continue;
+    out.str(metrics::histogram_name(static_cast<metrics::Histogram>(i)));
+    out.str(" count ");
+    out.u64(h.count);
+    out.str(" sum ");
+    out.u64(h.sum);
+    out.ch('\n');
+  }
+}
+
+void dump_inflight(Out& out, const InflightTable& table) {
+  out.str("== in-flight specs ==\n");
+  char text[InflightTable::kChars];
+  unsigned busy = 0;
+  for (unsigned s = 0; s < InflightTable::kSlots; ++s) {
+    if (!table.read(s, text)) continue;
+    ++busy;
+    out.str("slot ");
+    out.u64(s);
+    out.str(": ");
+    out.str(text);
+    out.ch('\n');
+  }
+  if (busy == 0) out.str("(all slots idle)\n");
+}
+
+void dump_trace_tails(Out& out, trace::Session& session) {
+  out.str("== trace ring tails ==\n");
+  const trace::Buffer* bufs[trace::Session::kCrashSlots];
+  const unsigned n =
+      session.crash_buffers(bufs, trace::Session::kCrashSlots);
+  trace::Event tail[16];
+  for (unsigned i = 0; i < n; ++i) {
+    const trace::Buffer* b = bufs[i];
+    if (b == nullptr) continue;
+    out.str("-- ");
+    // Buffer names are std::strings set before any worker runs; reading
+    // c_str() here is the same best-effort bet as the ring itself.
+    out.str(b->name().c_str());
+    out.str(" (recorded ");
+    out.u64(b->recorded());
+    out.str(", dropped ");
+    out.u64(b->dropped());
+    out.str(")\n");
+    const std::size_t got = b->copy_tail(tail, 16);
+    for (std::size_t e = 0; e < got; ++e) {
+      out.str("  ");
+      out.u64(tail[e].nanos);
+      out.ch(' ');
+      out.str(trace::event_kind_name(tail[e].kind));
+      out.str(" w");
+      out.u64(tail[e].worker);
+      out.str(" a=");
+      out.u64(tail[e].a);
+      out.str(" b=");
+      out.u64(tail[e].b);
+      if (tail[e].label != nullptr && tail[e].label[0] != '\0') {
+        out.ch(' ');
+        out.str(tail[e].label);
+      }
+      out.ch('\n');
+    }
+  }
+  if (n == 0) out.str("(no buffers registered)\n");
+}
+
+void handler(int sig) {
+  int fd = STDERR_FILENO;
+  int opened = -1;
+  if (g_path[0] != '\0') {
+    opened = ::open(g_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (opened >= 0) fd = opened;
+  }
+  const char* name = "fatal signal";
+  switch (sig) {
+    case SIGSEGV: name = "SIGSEGV"; break;
+    case SIGBUS: name = "SIGBUS"; break;
+    case SIGILL: name = "SIGILL"; break;
+    case SIGFPE: name = "SIGFPE"; break;
+    case SIGABRT: name = "SIGABRT"; break;
+  }
+  write_postmortem(fd, name);
+  if (opened >= 0) ::close(opened);
+  // Re-raise with the default disposition so the process dies with the
+  // honest wait status (and a core, if the system wants one).
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+}  // namespace
+
+void set_sources(const PostmortemSources& s) {
+  g_metrics.store(s.metrics, std::memory_order_release);
+  g_inflight.store(s.inflight, std::memory_order_release);
+  g_trace.store(s.trace_session, std::memory_order_release);
+  g_activity.store(s.activity != nullptr ? s.activity : "",
+                   std::memory_order_release);
+}
+
+void clear_sources() { set_sources(PostmortemSources{}); }
+
+unsigned write_postmortem(int fd, const char* reason) {
+  Out out{fd};
+  out.str("=== rader post-mortem: ");
+  out.str(reason);
+  out.str(" ===\n");
+  const char* activity = g_activity.load(std::memory_order_acquire);
+  if (activity != nullptr && activity[0] != '\0') {
+    out.str("activity: ");
+    out.str(activity);
+    out.ch('\n');
+  }
+  unsigned sections = 0;
+  if (const metrics::SharedSnapshot* m =
+          g_metrics.load(std::memory_order_acquire)) {
+    dump_metrics(out, *m);
+    ++sections;
+  }
+  if (const InflightTable* t = g_inflight.load(std::memory_order_acquire)) {
+    dump_inflight(out, *t);
+    ++sections;
+  }
+  if (trace::Session* s = g_trace.load(std::memory_order_acquire)) {
+    dump_trace_tails(out, *s);
+    ++sections;
+  }
+  out.str("=== end post-mortem ===\n");
+  out.flush();
+  return sections;
+}
+
+void install_signal_handler(const char* path) {
+  if (path != nullptr) {
+    std::size_t i = 0;
+    for (; i < sizeof g_path - 1 && path[i] != '\0'; ++i) g_path[i] = path[i];
+    g_path[i] = '\0';
+  } else {
+    g_path[0] = '\0';
+  }
+  if (g_handler_installed.exchange(true)) return;
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof sa);
+  sa.sa_handler = &handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESETHAND;
+  for (const int sig : {SIGSEGV, SIGBUS, SIGILL, SIGFPE, SIGABRT}) {
+    ::sigaction(sig, &sa, nullptr);
+  }
+}
+
+const char* postmortem_path() { return g_path; }
+
+}  // namespace rader::crash

@@ -1,0 +1,89 @@
+// Crash and hang diagnostics: the post-mortem report writer, the fatal
+// signal handler, and the in-flight spec table the sweep publishes so a
+// wedged or crashed run leaves behind *which specs were executing*.
+//
+// Everything on the dump path is built for the worst moment of the
+// process's life: `write_postmortem()` uses only pre-registered pointers,
+// stack buffers, hand-rolled integer formatting, and write(2) — no
+// allocation, no locks, no stdio — so it is best-effort async-signal-safe
+// (the same compromise absl's failure signal handler makes).  The sweep
+// watchdog calls the identical writer from a perfectly ordinary thread
+// when no spec completes within its deadline, so hang reports and crash
+// reports read the same.
+//
+// Data sources are published ahead of time via `set_sources()`:
+//   - a metrics::SharedSnapshot (the sweep workers' live totals; read
+//     wait-free with read_into, which allocates nothing),
+//   - an InflightTable of fixed-width spec-handle strings (relaxed-atomic
+//     word-packed, so worker writes and handler reads are TSan-clean and
+//     at worst produce a torn string, never UB),
+//   - the active trace::Session, whose per-buffer ring tails are copied
+//     out with the allocation-free Buffer::copy_tail.
+// All three are optional; the report prints whatever is registered.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
+
+namespace rader::crash {
+
+/// Fixed table of fixed-width strings naming the work each slot's owner is
+/// currently executing ("" = idle).  Strings are packed into relaxed
+/// atomic u64 words: single-writer-per-slot, any-reader, allocation-free
+/// on both sides.  A reader racing a writer sees a torn-but-NUL-terminated
+/// string — acceptable in a post-mortem.
+class InflightTable {
+ public:
+  static constexpr unsigned kSlots = 64;
+  static constexpr unsigned kChars = 128;  // per slot, incl. trailing NUL
+
+  /// Publish `text` (truncated to kChars-1) as slot `slot`'s current work.
+  void set(unsigned slot, const char* text);
+
+  void clear(unsigned slot) { set(slot, ""); }
+
+  /// Copy slot `slot`'s string into out[kChars]; returns false (and writes
+  /// "") when the slot is idle or out of range.
+  bool read(unsigned slot, char* out) const;
+
+ private:
+  static constexpr unsigned kWords = kChars / 8;
+  std::atomic<std::uint64_t> words_[kSlots][kWords] = {};
+};
+
+/// Pointers the dump path may read.  All optional; all must outlive their
+/// registration (clear_sources() before destroying any of them).
+struct PostmortemSources {
+  const metrics::SharedSnapshot* metrics = nullptr;
+  const InflightTable* inflight = nullptr;
+  trace::Session* trace_session = nullptr;
+  const char* activity = "";  // one static word, e.g. "sweep"
+};
+
+/// Publish / retract the dump sources (atomic pointer swap of an internal
+/// static copy; the last set wins).
+void set_sources(const PostmortemSources& s);
+void clear_sources();
+
+/// Write a post-mortem report to `fd`: the reason line, the registered
+/// activity, the summed live metrics snapshot, the in-flight table, and
+/// the newest events of every trace ring.  Allocation- and lock-free;
+/// callable from a signal handler or a watchdog thread alike.  Returns the
+/// number of report sections written (0 = no sources registered).
+unsigned write_postmortem(int fd, const char* reason);
+
+/// Install handlers for the fatal signals (SIGSEGV, SIGBUS, SIGILL,
+/// SIGFPE, SIGABRT) that write a post-mortem — to `path` if non-null
+/// (opened O_CREAT|O_TRUNC at crash time), else to stderr — and then
+/// re-raise with the default disposition so the exit status is honest.
+/// `path` is copied into a static buffer; pass nullptr for stderr-only.
+void install_signal_handler(const char* path);
+
+/// The path registered with install_signal_handler ("" = stderr).
+const char* postmortem_path();
+
+}  // namespace rader::crash

@@ -1,0 +1,105 @@
+#include "support/profile.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "support/metrics.hpp"
+
+namespace rader::prof {
+
+Node* Node::child(const char* child_name) {
+  for (const auto& c : children) {
+    if (c->name == child_name || std::strcmp(c->name, child_name) == 0) {
+      return c.get();
+    }
+  }
+  children.push_back(std::make_unique<Node>());
+  children.back()->name = child_name;
+  return children.back().get();
+}
+
+std::uint64_t Node::self_nanos() const {
+  std::uint64_t kids = 0;
+  for (const auto& c : children) kids += c->total_nanos;
+  return kids < total_nanos ? total_nanos - kids : 0;
+}
+
+namespace {
+
+void merge_into(Node* dst, const Node& src) {
+  dst->total_nanos += src.total_nanos;
+  dst->count += src.count;
+  for (const auto& c : src.children) {
+    merge_into(dst->child(c->name), *c);
+  }
+}
+
+}  // namespace
+
+void Profiler::absorb(const Node& other_root) {
+  for (const auto& c : other_root.children) {
+    merge_into(cur_->child(c->name), *c);
+  }
+}
+
+namespace {
+
+double to_ms(std::uint64_t nanos) {
+  return static_cast<double>(nanos) * 1e-6;
+}
+
+void table_walk(std::ostringstream& os, const Node& n, unsigned depth,
+                std::uint64_t root_total) {
+  std::string label(static_cast<std::size_t>(depth) * 2, ' ');
+  label += n.name;
+  if (label.size() < 28) label.resize(28, ' ');
+  char line[160];
+  const double share =
+      root_total == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(n.self_nanos()) /
+                static_cast<double>(root_total);
+  std::snprintf(line, sizeof line, "%s %10llu %12.3f %12.3f %6.1f%%\n",
+                label.c_str(),
+                static_cast<unsigned long long>(n.count),
+                to_ms(n.total_nanos), to_ms(n.self_nanos()), share);
+  os << line;
+  for (const auto& c : n.children) {
+    table_walk(os, *c, depth + 1, root_total);
+  }
+}
+
+void collapsed_walk(std::ostringstream& os, const Node& n,
+                    const std::string& prefix) {
+  const std::string path =
+      prefix.empty() ? std::string(n.name) : prefix + ';' + n.name;
+  os << path << ' ' << n.self_nanos() / 1000 << '\n';
+  for (const auto& c : n.children) collapsed_walk(os, *c, path);
+}
+
+}  // namespace
+
+std::string table(const Node& root) {
+  std::ostringstream os;
+  std::uint64_t root_total = 0;
+  for (const auto& c : root.children) root_total += c->total_nanos;
+  std::string head("phase");
+  head.resize(28, ' ');
+  char line[160];
+  std::snprintf(line, sizeof line, "%s %10s %12s %12s %7s\n", head.c_str(),
+                "count", "total_ms", "self_ms", "self%");
+  os << line;
+  for (const auto& c : root.children) {
+    table_walk(os, *c, 0, root_total);
+  }
+  return os.str();
+}
+
+std::string collapsed(const Node& root) {
+  std::ostringstream os;
+  for (const auto& c : root.children) collapsed_walk(os, *c, "");
+  return os.str();
+}
+
+}  // namespace rader::prof

@@ -1,0 +1,80 @@
+// Rolling-window throughput estimator for the progress heartbeat.
+//
+// The since-start average rate the heartbeat used to print is badly wrong
+// for front-loaded work: a prefix-sharing sweep retires the cheap
+// checkpoint-fork members first and the expensive divergent tails last, so
+// the since-start average overstates the remaining throughput and the ETA
+// collapses toward zero while the sweep is nowhere near done.  A rolling
+// window over the last few heartbeat ticks tracks the *current* regime
+// instead.
+//
+// Usage: feed `sample(nanos, done)` a monotone timestamp and the cumulative
+// completion count at every tick (the monitor loop does this once per
+// interval); `rate_per_sec()` is the completion rate across the window.
+// Degenerate inputs — no samples, one sample, a zero-width window, or a
+// non-monotone clock — all clamp to 0.0, never NaN/inf, so callers can
+// guard ETA display with a single `rate > 0` check (tested in
+// tests/support/rolling_rate_test.cpp alongside the heartbeat's existing
+// zero-denominator guards).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rader::support {
+
+class RollingRate {
+ public:
+  static constexpr std::size_t kDefaultWindow = 8;
+
+  explicit RollingRate(std::size_t window = kDefaultWindow)
+      : window_(window < 2 ? 2 : (window > kMax ? kMax : window)) {}
+
+  /// Record the cumulative completion count at a point in time.  Call with
+  /// (start_nanos, 0) before the first interval so the first real tick has
+  /// a baseline to difference against.
+  void sample(std::uint64_t nanos, std::uint64_t done) {
+    Sample& s = ring_[next_ % window_];
+    s.nanos = nanos;
+    s.done = done;
+    ++next_;
+    if (size_ < window_) ++size_;
+  }
+
+  std::size_t samples() const { return size_; }
+
+  /// Completions per second across the retained window; 0.0 until two
+  /// samples with a positive time delta exist.
+  double rate_per_sec() const {
+    if (size_ < 2) return 0.0;
+    const Sample& newest = ring_[(next_ - 1) % window_];
+    const Sample& oldest = ring_[(next_ - size_) % window_];
+    if (newest.nanos <= oldest.nanos) return 0.0;
+    if (newest.done < oldest.done) return 0.0;
+    return static_cast<double>(newest.done - oldest.done) /
+           (static_cast<double>(newest.nanos - oldest.nanos) * 1e-9);
+  }
+
+  /// Seconds until `remaining` more completions at the window rate; 0.0
+  /// when the rate is unusable (caller prints no ETA in that case).
+  double eta_seconds(std::uint64_t remaining) const {
+    const double r = rate_per_sec();
+    if (r <= 0.0) return 0.0;
+    return static_cast<double>(remaining) / r;
+  }
+
+ private:
+  struct Sample {
+    std::uint64_t nanos = 0;
+    std::uint64_t done = 0;
+  };
+
+  // Fixed upper bound keeps the class allocation-free; window_ <= kMax.
+  static constexpr std::size_t kMax = 64;
+  std::size_t window_;
+  Sample ring_[kMax] = {};
+  std::size_t next_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace rader::support

@@ -56,6 +56,20 @@ std::vector<Event> Buffer::ordered() const {
   return out;
 }
 
+std::size_t Buffer::copy_tail(Event* out, std::size_t max) const {
+  // Clamp every index against what the ring actually holds: the owner
+  // thread may have died between bumping size_ and growing ring_.
+  std::size_t sz = size_ < ring_.size() ? size_ : ring_.size();
+  if (sz > capacity_) sz = capacity_;
+  const std::size_t n = sz < max ? sz : max;
+  const std::size_t skip = sz - n;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t idx = (head_ + skip + i) % capacity_;
+    if (idx < ring_.size()) out[i] = ring_[idx];
+  }
+  return n;
+}
+
 Session::Session(std::size_t buffer_capacity)
     : buffer_capacity_(buffer_capacity) {}
 
@@ -63,7 +77,25 @@ Buffer* Session::make_buffer(std::string name) {
   std::lock_guard<std::mutex> lock(mu_);
   buffers_.push_back(
       std::make_unique<Buffer>(std::move(name), buffer_capacity_));
-  return buffers_.back().get();
+  Buffer* b = buffers_.back().get();
+  // Side-channel publication for the crash handler (mu_ serializes the
+  // index; the handler only ever loads).
+  const unsigned idx = crash_count_.load(std::memory_order_relaxed);
+  if (idx < kCrashSlots) {
+    crash_slots_[idx].store(b, std::memory_order_release);
+    crash_count_.store(idx + 1, std::memory_order_release);
+  }
+  return b;
+}
+
+unsigned Session::crash_buffers(const Buffer** out, unsigned max) const {
+  unsigned n = crash_count_.load(std::memory_order_acquire);
+  if (n > kCrashSlots) n = kCrashSlots;
+  if (n > max) n = max;
+  for (unsigned i = 0; i < n; ++i) {
+    out[i] = crash_slots_[i].load(std::memory_order_acquire);
+  }
+  return n;
 }
 
 std::vector<const Buffer*> Session::buffers() const {

@@ -21,6 +21,7 @@
 // per worker.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -92,6 +93,12 @@ class Buffer {
   /// Events oldest → newest.
   std::vector<Event> ordered() const;
 
+  /// Copy the newest `max` events into `out` (oldest → newest), returning
+  /// the count written.  Allocation-free and bounds-clamped so the crash
+  /// handler can call it on a buffer whose owner thread died mid-record —
+  /// a torn tail is acceptable in a post-mortem, an unbounded read is not.
+  std::size_t copy_tail(Event* out, std::size_t max) const;
+
   const std::string& name() const { return name_; }
   std::size_t capacity() const { return capacity_; }
   std::uint64_t recorded() const { return recorded_; }
@@ -124,6 +131,13 @@ class Session {
   /// All buffers registered so far, in registration order.
   std::vector<const Buffer*> buffers() const;
 
+  /// Lock-free best-effort view for the crash handler: fills `out` with up
+  /// to `max` buffer pointers (the first kCrashSlots registrations,
+  /// published through atomics as a side channel of make_buffer).  Safe to
+  /// call from a signal handler — never takes `mu_`.
+  static constexpr unsigned kCrashSlots = 64;
+  unsigned crash_buffers(const Buffer** out, unsigned max) const;
+
   std::size_t buffer_capacity() const { return buffer_capacity_; }
   std::uint64_t total_recorded() const;
   std::uint64_t total_dropped() const;
@@ -132,6 +146,8 @@ class Session {
   mutable std::mutex mu_;
   std::size_t buffer_capacity_;
   std::vector<std::unique_ptr<Buffer>> buffers_;
+  std::atomic<Buffer*> crash_slots_[kCrashSlots] = {};
+  std::atomic<unsigned> crash_count_{0};
 };
 
 namespace detail {

@@ -34,7 +34,7 @@ TEST(ReportJson, SchemaEnvelopePresent) {
   const std::string json = report_json(meta, log);
 
   EXPECT_NE(json.find("\"schema\":\"rader.report\""), std::string::npos);
-  EXPECT_NE(json.find("\"schema_version\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":4"), std::string::npos);
   EXPECT_NE(json.find("\"program\":\"unit\""), std::string::npos);
   EXPECT_NE(json.find("\"check\":\"sp+\""), std::string::npos);
   EXPECT_NE(json.find("\"spec\":\"steal-triple(0,1,2)\""), std::string::npos);

@@ -2,11 +2,15 @@
 // report relies on (spec_runs + specs_skipped == family size; replay
 // handles only from the executed prefix's racy specs), invariance across
 // thread counts, and the --progress heartbeat stream.
+#include <fcntl.h>
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <chrono>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/mylist.hpp"
@@ -201,6 +205,136 @@ TEST(SweepProgress, DisabledByDefault) {
   opt.progress_out = &captured;  // progress stays false
   (void)sweep_family(fig1_factory(), family, opt);
   EXPECT_TRUE(captured.str().empty());
+}
+
+// Metric conservation: however the family is sharded (jobs) and executed
+// (strategy), the folded counters must account for exactly the work the
+// sweep reports, and every flow gauge must return to zero once the workers
+// quiesce.
+TEST(SweepMetrics, ConservationAcrossJobsAndStrategies) {
+  const auto family = mixed_family();
+  for (const SweepStrategy strategy :
+       {SweepStrategy::kRerun, SweepStrategy::kPrefix}) {
+    for (const unsigned threads : {1u, 2u, 4u, 8u}) {
+      SweepOptions opt;
+      opt.threads = threads;
+      opt.strategy = strategy;
+      const SweepResult result = sweep_family(fig1_factory(), family, opt);
+      const char* tag =
+          strategy == SweepStrategy::kRerun ? "rerun" : "prefix";
+      EXPECT_EQ(result.spec_runs, family.size())
+          << tag << " threads=" << threads;
+      // Counter conservation: every accounted member was either executed
+      // (kSpecRuns) or satisfied by the prefix dedup shortcut
+      // (kSweepDedupReuses) — nothing double-counted, nothing lost.
+      EXPECT_EQ(result.metrics.counter(metrics::Counter::kSpecRuns) +
+                    result.metrics.counter(
+                        metrics::Counter::kSweepDedupReuses),
+                result.spec_runs)
+          << tag << " threads=" << threads;
+      if (strategy == SweepStrategy::kRerun) {
+        EXPECT_EQ(
+            result.metrics.counter(metrics::Counter::kSweepDedupReuses), 0u)
+            << "threads=" << threads;
+      }
+      // Flow gauges fold to zero after quiesce: every prefix checkpoint
+      // retained during the run was dropped again.
+      const metrics::GaugeCell& live =
+          result.metrics.gauge(metrics::Gauge::kSweepCheckpointsLive);
+      EXPECT_EQ(live.value, 0) << tag << " threads=" << threads;
+      if (strategy == SweepStrategy::kPrefix) {
+        EXPECT_GT(live.max, 0) << "prefix threads=" << threads;
+      }
+      // Histogram conservation (rerun only: the prefix strategy times its
+      // resumed tails differently): one kSpecRunNanos observation per run.
+      if (strategy == SweepStrategy::kRerun) {
+        EXPECT_EQ(result.metrics.hist(metrics::Histogram::kSpecRunNanos)
+                      .count,
+                  result.spec_runs)
+            << "threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(SweepMetrics, JsonlSamplerWritesAQuiescedFinalSample) {
+  const auto family = mixed_family();
+  std::ostringstream samples;
+  SweepOptions opt;
+  opt.threads = 2;
+  opt.metrics_out = &samples;
+  opt.metrics_interval_ms = 1;
+  const SweepResult result = sweep_family(fig1_factory(), family, opt);
+  EXPECT_EQ(result.spec_runs, family.size());
+  // At least the final quiesced sample was appended; the last line reports
+  // the complete sweep and the exact folded spec_runs counter.
+  std::istringstream in(samples.str());
+  std::string line;
+  std::string last;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_NE(line.find("\"t_ms\":"), std::string::npos);
+    last = line;
+  }
+  ASSERT_GE(lines, 1u);
+  EXPECT_NE(last.find("\"done\":5"), std::string::npos) << last;
+  EXPECT_NE(last.find("\"total\":5"), std::string::npos) << last;
+  EXPECT_NE(last.find("\"sweep.spec_runs\":5"), std::string::npos) << last;
+}
+
+TEST(SweepWatchdog, FiresAPostmortemWhenNoSpecCompletes) {
+  // One spec whose execution stalls well past the watchdog deadline.
+  std::vector<std::unique_ptr<spec::StealSpec>> family;
+  family.push_back(std::make_unique<spec::NoSteal>());
+
+  char path[] = "/tmp/rader_watchdog_XXXXXX";
+  const int fd = ::mkstemp(path);
+  ASSERT_GE(fd, 0);
+
+  SweepOptions opt;
+  opt.threads = 1;
+  opt.watchdog_ms = 20;
+  opt.watchdog_fd = fd;
+  const SweepResult result = sweep_family(
+      shared_program([] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      }),
+      family, opt);
+  EXPECT_EQ(result.spec_runs, 1u);
+  // The monitor observed the stall, dumped once, and accounted for it.
+  EXPECT_GE(result.metrics.counter(metrics::Counter::kPostmortemDumps), 1u);
+
+  std::string report;
+  char buf[4096];
+  ::lseek(fd, 0, SEEK_SET);
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof buf)) > 0) report.append(buf, n);
+  ::close(fd);
+  ::unlink(path);
+  EXPECT_NE(report.find("watchdog"), std::string::npos) << report;
+  EXPECT_NE(report.find("sweep"), std::string::npos) << report;
+  // The in-flight table names the stalled spec.
+  EXPECT_NE(report.find("spec[0] no-steals"), std::string::npos) << report;
+}
+
+TEST(SweepWatchdog, QuietWhenSpecsCompleteInTime) {
+  const auto family = mixed_family();
+  char path[] = "/tmp/rader_watchdog_XXXXXX";
+  const int fd = ::mkstemp(path);
+  ASSERT_GE(fd, 0);
+  SweepOptions opt;
+  opt.threads = 2;
+  opt.watchdog_ms = 60'000;  // far beyond the sweep's wall time
+  opt.watchdog_fd = fd;
+  const SweepResult result = sweep_family(fig1_factory(), family, opt);
+  EXPECT_EQ(result.spec_runs, family.size());
+  EXPECT_EQ(result.metrics.counter(metrics::Counter::kPostmortemDumps), 0u);
+  ::lseek(fd, 0, SEEK_SET);
+  char buf[8];
+  EXPECT_EQ(::read(fd, buf, sizeof buf), 0);  // nothing written
+  ::close(fd);
+  ::unlink(path);
 }
 
 }  // namespace

@@ -1,0 +1,156 @@
+// Crash/hang diagnostics (support/crash.hpp): the in-flight spec table,
+// the post-mortem report writer, and — via fork() — the fatal-signal
+// handler end to end: a child segfaults and the parent reads its dump.
+#include "support/crash.hpp"
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "support/metrics.hpp"
+
+namespace rader {
+namespace {
+
+std::string read_all(int fd) {
+  std::string out;
+  char buf[4096];
+  ::lseek(fd, 0, SEEK_SET);
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof buf)) > 0) out.append(buf, n);
+  return out;
+}
+
+TEST(InflightTable, SetReadClearAndTruncation) {
+  crash::InflightTable table;
+  char out[crash::InflightTable::kChars];
+
+  // Idle slots read as empty.
+  EXPECT_FALSE(table.read(0, out));
+  EXPECT_STREQ(out, "");
+
+  table.set(0, "spec[3] steal-triple(0,1,2)");
+  EXPECT_TRUE(table.read(0, out));
+  EXPECT_STREQ(out, "spec[3] steal-triple(0,1,2)");
+
+  // Slots are independent.
+  table.set(1, "spec[4] no-steals");
+  EXPECT_TRUE(table.read(0, out));
+  EXPECT_STREQ(out, "spec[3] steal-triple(0,1,2)");
+
+  // Overlong text truncates to kChars-1 and stays NUL-terminated.
+  std::string longtext(3 * crash::InflightTable::kChars, 'x');
+  table.set(2, longtext.c_str());
+  EXPECT_TRUE(table.read(2, out));
+  EXPECT_EQ(std::strlen(out), crash::InflightTable::kChars - 1);
+
+  // clear() returns the slot to idle.
+  table.clear(0);
+  EXPECT_FALSE(table.read(0, out));
+  EXPECT_STREQ(out, "");
+
+  // Out-of-range slots are rejected, not UB.
+  EXPECT_FALSE(table.read(crash::InflightTable::kSlots, out));
+  table.set(crash::InflightTable::kSlots, "ignored");  // must not crash
+}
+
+TEST(Crash, WritePostmortemWithNoSourcesHasZeroSections) {
+  crash::clear_sources();
+  char path[] = "/tmp/rader_pm_XXXXXX";
+  const int fd = ::mkstemp(path);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(crash::write_postmortem(fd, "unit-test"), 0u);
+  ::close(fd);
+  ::unlink(path);
+}
+
+TEST(Crash, WritePostmortemDumpsRegisteredSources) {
+  metrics::SharedSnapshot shared(2);
+  metrics::Snapshot snap;
+  snap.counters[static_cast<unsigned>(metrics::Counter::kSpecRuns)] = 41;
+  shared.publish(0, snap);
+  snap.counters[static_cast<unsigned>(metrics::Counter::kSpecRuns)] = 1;
+  shared.publish(1, snap);
+
+  crash::InflightTable inflight;
+  inflight.set(0, "spec[7] steal-depth(2)");
+
+  crash::PostmortemSources sources;
+  sources.metrics = &shared;
+  sources.inflight = &inflight;
+  sources.activity = "unit-sweep";
+  crash::set_sources(sources);
+
+  char path[] = "/tmp/rader_pm_XXXXXX";
+  const int fd = ::mkstemp(path);
+  ASSERT_GE(fd, 0);
+  const unsigned sections = crash::write_postmortem(fd, "watchdog");
+  EXPECT_GE(sections, 2u);
+  const std::string report = read_all(fd);
+  ::close(fd);
+  ::unlink(path);
+  crash::clear_sources();
+
+  EXPECT_NE(report.find("watchdog"), std::string::npos);
+  EXPECT_NE(report.find("unit-sweep"), std::string::npos);
+  // The summed live snapshot: 41 + 1 spec runs, named by its dotted name.
+  EXPECT_NE(report.find("sweep.spec_runs"), std::string::npos);
+  EXPECT_NE(report.find("42"), std::string::npos);
+  // The in-flight table names the executing spec.
+  EXPECT_NE(report.find("spec[7] steal-depth(2)"), std::string::npos);
+}
+
+TEST(Crash, ForkedChildSegfaultLeavesAPostmortemFile) {
+  char path[] = "/tmp/rader_pm_sig_XXXXXX";
+  const int fd = ::mkstemp(path);
+  ASSERT_GE(fd, 0);
+  ::close(fd);
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: install the handler, register sources, then die.  _exit
+    // codes signal setup failures; the expected exit is the signal.
+    static metrics::SharedSnapshot shared(1);
+    metrics::Snapshot snap;
+    snap.counters[static_cast<unsigned>(metrics::Counter::kSpecRuns)] = 9;
+    shared.publish(0, snap);
+    static crash::InflightTable inflight;
+    inflight.set(0, "spec[0] steal-all");
+    crash::PostmortemSources sources;
+    sources.metrics = &shared;
+    sources.inflight = &inflight;
+    sources.activity = "crash-test";
+    crash::set_sources(sources);
+    crash::install_signal_handler(path);
+    ::raise(SIGSEGV);
+    ::_exit(97);  // unreachable when the handler re-raises
+  }
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  // The handler re-raises with the default disposition: honest exit.
+  ASSERT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGSEGV);
+
+  const int rfd = ::open(path, O_RDONLY);
+  ASSERT_GE(rfd, 0);
+  const std::string report = read_all(rfd);
+  ::close(rfd);
+  ::unlink(path);
+
+  EXPECT_FALSE(report.empty());
+  EXPECT_NE(report.find("SIGSEGV"), std::string::npos);
+  EXPECT_NE(report.find("crash-test"), std::string::npos);
+  EXPECT_NE(report.find("sweep.spec_runs"), std::string::npos);
+  EXPECT_NE(report.find("spec[0] steal-all"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rader

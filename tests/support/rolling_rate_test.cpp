@@ -1,0 +1,88 @@
+// The rolling-window throughput estimator behind the sweep heartbeat's
+// rate/ETA display (support/rolling_rate.hpp).  The contract under test:
+// every degenerate input clamps to 0.0 — never NaN or inf — so the
+// heartbeat can guard ETA display with a single `rate > 0` check.
+#include "support/rolling_rate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rader {
+namespace {
+
+using support::RollingRate;
+
+constexpr std::uint64_t kSec = 1'000'000'000ull;
+
+TEST(RollingRate, DegenerateInputsClampToZeroNeverNanOrInf) {
+  RollingRate r;
+  // No samples.
+  EXPECT_EQ(r.rate_per_sec(), 0.0);
+  EXPECT_EQ(r.eta_seconds(100), 0.0);
+  // One sample.
+  r.sample(kSec, 0);
+  EXPECT_EQ(r.rate_per_sec(), 0.0);
+  // Zero-width window: two samples at the same instant.
+  r.sample(kSec, 5);
+  EXPECT_EQ(r.rate_per_sec(), 0.0);
+  EXPECT_EQ(r.eta_seconds(10), 0.0);
+  // Non-monotone clock.
+  RollingRate back;
+  back.sample(2 * kSec, 0);
+  back.sample(kSec, 10);
+  EXPECT_EQ(back.rate_per_sec(), 0.0);
+  // Regressing completion count (should not happen, must still be safe).
+  RollingRate regress;
+  regress.sample(kSec, 10);
+  regress.sample(2 * kSec, 5);
+  EXPECT_EQ(regress.rate_per_sec(), 0.0);
+  // The blanket property the heartbeat relies on.
+  for (const RollingRate* p : {&r, &back, &regress}) {
+    EXPECT_TRUE(std::isfinite(p->rate_per_sec()));
+    EXPECT_TRUE(std::isfinite(p->eta_seconds(~0ull)));
+  }
+}
+
+TEST(RollingRate, BasicRateAndEta) {
+  RollingRate r;
+  r.sample(0, 0);
+  r.sample(kSec, 10);  // 10 completions in 1 s
+  EXPECT_DOUBLE_EQ(r.rate_per_sec(), 10.0);
+  EXPECT_DOUBLE_EQ(r.eta_seconds(50), 5.0);
+  r.sample(2 * kSec, 30);  // window now spans 30 completions in 2 s
+  EXPECT_DOUBLE_EQ(r.rate_per_sec(), 15.0);
+}
+
+TEST(RollingRate, WindowTracksTheCurrentRegimeNotTheAverage) {
+  // Front-loaded work: a fast first phase, then a slow tail.  The
+  // since-start average would say 50/s; the window must report the tail's
+  // 1/s so the ETA stops collapsing toward zero.
+  RollingRate r(4);
+  r.sample(0, 0);
+  r.sample(kSec, 100);  // 100/s burst
+  for (int i = 0; i < 8; ++i) {
+    r.sample((2 + i) * kSec, 100 + i);  // 1/s tail
+  }
+  EXPECT_EQ(r.samples(), 4u);  // clamped to the window
+  EXPECT_NEAR(r.rate_per_sec(), 1.0, 0.01);
+  EXPECT_NEAR(r.eta_seconds(10), 10.0, 0.1);
+}
+
+TEST(RollingRate, WindowSizeIsClampedSanely) {
+  // window < 2 clamps up to 2 (a rate needs two points)...
+  RollingRate tiny(0);
+  tiny.sample(0, 0);
+  tiny.sample(kSec, 7);
+  EXPECT_DOUBLE_EQ(tiny.rate_per_sec(), 7.0);
+  tiny.sample(2 * kSec, 21);  // only the last two samples are retained
+  EXPECT_DOUBLE_EQ(tiny.rate_per_sec(), 14.0);
+  // ...and an absurd window clamps down without allocating.
+  RollingRate huge(1 << 20);
+  for (std::uint64_t i = 0; i < 200; ++i) huge.sample(i * kSec, i * 3);
+  EXPECT_LE(huge.samples(), 64u);
+  EXPECT_DOUBLE_EQ(huge.rate_per_sec(), 3.0);
+}
+
+}  // namespace
+}  // namespace rader

@@ -66,7 +66,25 @@
 //                        text report and under races[].provenance in JSON
 //                        (schema v2)
 //   --progress           live sweep heartbeat lines on stderr (specs done,
-//                        specs/s, ETA, per-worker counts)
+//                        rolling-window specs/s and ETA, per-worker counts)
+//   --profile=FILE       hierarchical phase profile (support/profile.hpp):
+//                        collapsed-stack lines (flamegraph.pl / speedscope
+//                        input) written to FILE, human-readable table to the
+//                        info stream
+//   --metrics-out=FILE   JSONL metrics time series: the sweep monitor
+//                        appends one timestamped snapshot line every
+//                        --metrics-interval-ms (default 500) plus a final
+//                        quiesced sample (core/metrics_export.hpp)
+//   --metrics-prom=FILE  final metrics snapshot in the Prometheus text
+//                        exposition format
+//   --list-metrics       print the metric catalog (name, type, help) and
+//                        exit
+//   --watchdog-ms=N      sweep hang watchdog: if no spec completes for N ms
+//                        a post-mortem report lands on stderr (diagnosis
+//                        only; the sweep is not interrupted)
+//   --postmortem=FILE    install a fatal-signal handler that writes a
+//                        post-mortem report (live metrics, in-flight specs,
+//                        trace-ring tails) to FILE on SIGSEGV and friends
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -76,6 +94,7 @@
 #include "apps/mylist.hpp"
 #include "apps/workloads.hpp"
 #include "core/driver.hpp"
+#include "core/metrics_export.hpp"
 #include "core/provenance.hpp"
 #include "core/report_json.hpp"
 #include "core/sporder.hpp"
@@ -85,7 +104,9 @@
 #include "reducers/reducer.hpp"
 #include "runtime/api.hpp"
 #include "spec/steal_spec.hpp"
+#include "support/crash.hpp"
 #include "support/metrics.hpp"
+#include "support/profile.hpp"
 #include "support/trace.hpp"
 
 namespace {
@@ -120,8 +141,12 @@ bool arg_flag(int argc, char** argv, const std::string& key) {
       "             [--sweep-strategy=rerun|prefix]\n"
       "             [--replay=HANDLE] [--format=text|json]\n"
       "             [--trace=FILE] [--trace-format=chrome|text]\n"
-      "             [--explain] [--progress]\n"
+      "             [--explain] [--progress] [--profile=FILE]\n"
+      "             [--metrics-out=FILE] [--metrics-interval-ms=N]\n"
+      "             [--metrics-prom=FILE] [--watchdog-ms=N]\n"
+      "             [--postmortem=FILE]\n"
       "       rader --repro=FILE [--format=text|json]\n"
+      "       rader --list-metrics\n"
       "  NAME: collision|dedup|ferret|fib|knapsack|pbfs|fig1\n"
       "  ALGO: peerset|sp+|spbags|sporder|exhaustive\n"
       "  SPEC: none|all|triple:A,B,C|depth:D|random:SEED,K|bern:SEED,P\n"
@@ -274,6 +299,15 @@ struct Fig1Program {
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (arg_flag(argc, argv, "list-metrics")) {
+    // Catalog mode: every metric this build can emit, in exposition order.
+    // The names are the stable dotted identifiers used by report schema v4,
+    // the JSONL sampler, and (underscore-joined) the Prometheus exposition.
+    for (const auto& m : metrics::list_metrics()) {
+      std::printf("%-28s %-9s %s\n", m.name, m.type, m.help);
+    }
+    return 0;
+  }
   const std::string name = arg_value(argc, argv, "program", "");
   const std::string algo = arg_value(argc, argv, "check", "exhaustive");
   const std::string spec_text = arg_value(argc, argv, "spec", "random:1,16");
@@ -306,6 +340,19 @@ int main(int argc, char** argv) {
     usage_and_exit();
   }
   sweep.progress = arg_flag(argc, argv, "progress");
+  sweep.metrics_interval_ms = static_cast<unsigned>(
+      std::stoul(arg_value(argc, argv, "metrics-interval-ms", "500")));
+  sweep.watchdog_ms = static_cast<unsigned>(
+      std::stoul(arg_value(argc, argv, "watchdog-ms", "0")));
+  const std::string metrics_out_path =
+      arg_value(argc, argv, "metrics-out", "");
+  const std::string metrics_prom_path =
+      arg_value(argc, argv, "metrics-prom", "");
+  const std::string profile_path = arg_value(argc, argv, "profile", "");
+  const std::string postmortem_path = arg_value(argc, argv, "postmortem", "");
+  if (!postmortem_path.empty()) {
+    crash::install_signal_handler(postmortem_path.c_str());
+  }
   const std::string trace_path = arg_value(argc, argv, "trace", "");
   const std::string trace_format =
       arg_value(argc, argv, "trace-format", "chrome");
@@ -340,6 +387,27 @@ int main(int argc, char** argv) {
   // Collect run metrics for the whole check (probe + sweep workers + merge).
   metrics::Registry reg;
   metrics::Scope metrics_scope(&reg);
+
+  // Phase profiler for the whole check; sweep workers fold their trees in
+  // at join, so the CLI's profiler sees probe + sweep + merge.
+  prof::Profiler profiler;
+  std::unique_ptr<prof::Scope> prof_scope;
+  if (!profile_path.empty()) {
+    prof_scope = std::make_unique<prof::Scope>(&profiler);
+  }
+
+  // JSONL metrics time series (sweep checks only — the sampler rides the
+  // sweep's monitor thread).
+  std::ofstream metrics_out_stream;
+  if (!metrics_out_path.empty()) {
+    metrics_out_stream.open(metrics_out_path, std::ios::binary);
+    if (!metrics_out_stream) {
+      std::fprintf(stderr, "rader: cannot open --metrics-out file '%s'\n",
+                   metrics_out_path.c_str());
+      return 2;
+    }
+    sweep.metrics_out = &metrics_out_stream;
+  }
 
   // Activate tracing for the whole check when --trace=FILE was given; the
   // main thread records into the "main" buffer, sweep workers attach their
@@ -453,6 +521,37 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "rader: failed to write trace to %s\n",
                    trace_path.c_str());
+    }
+  }
+
+  if (!metrics_out_path.empty()) {
+    metrics_out_stream.close();
+    std::fprintf(info, "metrics: wrote JSONL time series to %s\n",
+                 metrics_out_path.c_str());
+  }
+
+  if (!metrics_prom_path.empty()) {
+    std::ofstream prom(metrics_prom_path, std::ios::binary);
+    prom << prometheus_text(reg.snapshot());
+    if (prom.good()) {
+      std::fprintf(info, "metrics: wrote Prometheus snapshot to %s\n",
+                   metrics_prom_path.c_str());
+    } else {
+      std::fprintf(stderr, "rader: failed to write %s\n",
+                   metrics_prom_path.c_str());
+    }
+  }
+
+  if (!profile_path.empty()) {
+    prof_scope.reset();  // close the scope before rendering
+    std::ofstream pf(profile_path, std::ios::binary);
+    pf << prof::collapsed(profiler.root());
+    if (pf.good()) {
+      std::fprintf(info, "profile: wrote collapsed stacks to %s\n%s",
+                   profile_path.c_str(), prof::table(profiler.root()).c_str());
+    } else {
+      std::fprintf(stderr, "rader: failed to write %s\n",
+                   profile_path.c_str());
     }
   }
 
