@@ -2,14 +2,15 @@
 """Nightly benchmark trajectory: compare a fresh run against the checked-in
 history and append it.
 
-scripts/nightly_bench.sh runs the four tracked benchmarks with --json and
+scripts/nightly_bench.sh runs the five tracked benchmarks with --json and
 then calls
 
     bench_trajectory.py --new-dir DIR --trajectory BENCH_nightly.json \
         [--threshold 1.15] [--append] [--label LABEL]
 
 The script flattens DIR/{sweep_scaling,fig7_overhead,trace_overhead,
-parallel_detect}.json into one {metric-name: value} dict, compares it
+parallel_detect,large_footprint}.json into one {metric-name: value} dict,
+compares it
 against the most recent trajectory entry, and exits 1 when any metric
 regresses by more than --threshold (default 1.15x).  "Regression" respects
 each metric's direction: throughput/speedup metrics must not fall below
@@ -81,6 +82,20 @@ def collect(new_dir):
         if data.get("speedup4", 0) > 0:
             _metric(metrics, "parallel_detect.speedup4",
                     data["speedup4"], True)
+
+    path = os.path.join(new_dir, "large_footprint.json")
+    if os.path.exists(path):
+        data = json.load(open(path))
+        _metric(metrics, "large_footprint.checkpoint.packed_speedup",
+                data["checkpoint"]["packed_speedup"], True)
+        _metric(metrics, "large_footprint.shadow.packed_speedup",
+                data["shadow"]["packed_speedup"], True)
+        _metric(metrics, "large_footprint.sampling_overhead_geomean",
+                data["sampling_overhead_geomean"], False)
+        for row in data["apps"]:
+            _metric(metrics,
+                    f"large_footprint.{row['name']}.overhead_sampled",
+                    row["overhead_sampled"], False)
 
     return metrics
 

@@ -236,6 +236,13 @@ if [[ "$FULL" == 1 ]]; then
   ./build/bench/sweep_scaling --check-ratio=3 --check-metrics-overhead=1.05 \
     --json=build/BENCH_sweep.json
   ./build/bench/fig7_overhead --scale=0.02 --reps=1
+  # Production-footprint shadow gates: the packed encoding must win the
+  # checkpointed sweep by >= 3x over the legacy per-page map, and sampling
+  # at the default P=0.01 must stay within 1.10x geomean of uninstrumented
+  # on the compute-dominated app benches.
+  ./build/bench/large_footprint --check-ratio=3 \
+    --check-sampling-overhead=1.10 --reps=5 \
+    --json=build/BENCH_large_footprint.json
 fi
 
 echo "ALL CHECKS PASSED"

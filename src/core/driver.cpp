@@ -8,11 +8,28 @@
 
 namespace rader {
 
-RaceLog Rader::check_view_read(FnView program) {
+namespace {
+
+/// Wrap `detector` when sampling is on, seeding from the spec description
+/// so every entry point derives sample sets the same way the sweep does.
+std::unique_ptr<SamplingTool> maybe_sampler(Tool* detector,
+                                            const SamplingConfig& sampling,
+                                            const std::string& spec_describe) {
+  if (!sampling.enabled) return nullptr;
+  SamplingConfig cfg = sampling;
+  cfg.seed = sampling_seed_for_spec(cfg.seed, spec_describe);
+  return std::make_unique<SamplingTool>(detector, cfg);
+}
+
+}  // namespace
+
+RaceLog Rader::check_view_read(FnView program,
+                               const SamplingConfig& sampling) {
   RaceLog log;
   PeerSetDetector detector(&log);
   spec::NoSteal no_steal;
-  run_serial(program, &detector, &no_steal);
+  auto sampler = maybe_sampler(&detector, sampling, no_steal.describe());
+  run_serial(program, sampler ? (Tool*)sampler.get() : &detector, &no_steal);
   return log;
 }
 
@@ -29,32 +46,37 @@ RaceLog Rader::check_parallel(FnView program, unsigned workers) {
 }
 
 RaceLog Rader::check_determinacy(FnView program,
-                                 const spec::StealSpec& steal_spec) {
+                                 const spec::StealSpec& steal_spec,
+                                 const SamplingConfig& sampling) {
   RaceLog log;
   SpPlusDetector detector(&log);
+  auto sampler = maybe_sampler(&detector, sampling, steal_spec.describe());
   {
     metrics::PhaseTimer timer(metrics::Phase::kExecute);
-    run_serial(program, &detector, &steal_spec);
+    run_serial(program, sampler ? (Tool*)sampler.get() : &detector,
+               &steal_spec);
   }
   metrics::bump(metrics::Counter::kSpecRuns);
   log.stamp_found_under(steal_spec.describe());
   return log;
 }
 
-RaceLog Rader::check_spbags(FnView program) {
+RaceLog Rader::check_spbags(FnView program, const SamplingConfig& sampling) {
   RaceLog log;
   SpBagsDetector detector(&log);
   spec::NoSteal no_steal;
-  run_serial(program, &detector, &no_steal);
+  auto sampler = maybe_sampler(&detector, sampling, no_steal.describe());
+  run_serial(program, sampler ? (Tool*)sampler.get() : &detector, &no_steal);
   return log;
 }
 
 RaceLog Rader::check_with_family(
     FnView program,
-    const std::vector<std::unique_ptr<spec::StealSpec>>& family) {
+    const std::vector<std::unique_ptr<spec::StealSpec>>& family,
+    const SamplingConfig& sampling) {
   RaceLog merged;
   for (const auto& steal_spec : family) {
-    merged.merge(check_determinacy(program, *steal_spec));
+    merged.merge(check_determinacy(program, *steal_spec, sampling));
   }
   return merged;
 }
@@ -84,7 +106,8 @@ std::vector<std::unique_ptr<spec::StealSpec>> exhaustive_family(
 
 Rader::ExhaustiveResult Rader::check_exhaustive(FnView program,
                                                 std::uint32_t k_cap,
-                                                std::uint64_t depth_cap) {
+                                                std::uint64_t depth_cap,
+                                                const SamplingConfig& sampling) {
   ExhaustiveResult result;
 
   // Probe run: learn K and D (and find view-read races with Peer-Set).
@@ -93,7 +116,9 @@ Rader::ExhaustiveResult Rader::check_exhaustive(FnView program,
     prof::Phase probe_phase("probe");
     PeerSetDetector peerset(&result.log);
     spec::NoSteal no_steal;
-    result.probe_stats = run_serial(program, &peerset, &no_steal);
+    auto sampler = maybe_sampler(&peerset, sampling, no_steal.describe());
+    result.probe_stats = run_serial(
+        program, sampler ? (Tool*)sampler.get() : &peerset, &no_steal);
   }
   result.k = std::min<std::uint32_t>(result.probe_stats.max_sync_block, k_cap);
   result.depth =
@@ -102,7 +127,7 @@ Rader::ExhaustiveResult Rader::check_exhaustive(FnView program,
   // No-steal spec + the O(KD + K³) family of Section 7.
   const auto family = exhaustive_family(result.k, result.depth);
   for (const auto& steal_spec : family) {
-    result.log.merge(check_determinacy(program, *steal_spec));
+    result.log.merge(check_determinacy(program, *steal_spec, sampling));
     ++result.spec_runs;
   }
   return result;
@@ -121,7 +146,10 @@ Rader::ExhaustiveResult Rader::check_exhaustive(
     prof::Phase probe_phase("probe");
     PeerSetDetector peerset(&result.log);
     spec::NoSteal no_steal;
-    result.probe_stats = run_serial(probe_program, &peerset, &no_steal);
+    auto sampler =
+        maybe_sampler(&peerset, options.sampling, no_steal.describe());
+    result.probe_stats = run_serial(
+        probe_program, sampler ? (Tool*)sampler.get() : &peerset, &no_steal);
   }
   result.k = std::min<std::uint32_t>(result.probe_stats.max_sync_block, k_cap);
   result.depth =

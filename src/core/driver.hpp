@@ -39,7 +39,10 @@ namespace rader {
 class Rader {
  public:
   /// Peer-Set over the serial execution: exact view-read race detection.
-  static RaceLog check_view_read(FnView program);
+  /// `sampling` (off by default) wraps the detector in a SamplingTool
+  /// (tool/sampling.hpp) — same for every check_* entry point below.
+  static RaceLog check_view_read(FnView program,
+                                 const SamplingConfig& sampling = {});
 
   /// Peer-Set over a REAL work-stealing execution on `workers` threads
   /// (0 = hardware concurrency): the parallel engine records per-segment
@@ -52,17 +55,20 @@ class Rader {
 
   /// SP+ over the execution fixed by `steal_spec`.
   static RaceLog check_determinacy(FnView program,
-                                   const spec::StealSpec& steal_spec);
+                                   const spec::StealSpec& steal_spec,
+                                   const SamplingConfig& sampling = {});
 
   /// Baseline: classic SP-bags (reducer-oblivious, no steals) — what Cilk
   /// Screen / the Nondeterminator would report.
-  static RaceLog check_spbags(FnView program);
+  static RaceLog check_spbags(FnView program,
+                              const SamplingConfig& sampling = {});
 
   /// SP+ under every spec in `family`, merging the reports through the
   /// dedup layer (one report per race, carrying its eliciting specs).
   static RaceLog check_with_family(
       FnView program,
-      const std::vector<std::unique_ptr<spec::StealSpec>>& family);
+      const std::vector<std::unique_ptr<spec::StealSpec>>& family,
+      const SamplingConfig& sampling = {});
 
   /// Parallel sweep variant: shards `family` across `options.threads`
   /// workers (core/sweep.hpp).  Each worker materializes its own program
@@ -87,7 +93,8 @@ class Rader {
   /// (the guarantee then holds for sync blocks / depths within the caps).
   static ExhaustiveResult check_exhaustive(FnView program,
                                            std::uint32_t k_cap = 16,
-                                           std::uint64_t depth_cap = 64);
+                                           std::uint64_t depth_cap = 64,
+                                           const SamplingConfig& sampling = {});
 
   /// Parallel Section-7 coverage: the Peer-Set probe runs serially on one
   /// instance from `make_program`, then the O(KD + K³) family is swept in

@@ -15,8 +15,7 @@ std::unique_ptr<Tool> SpBagsDetector::fork(RaceLog* log) const {
     f.s.rebind(&copy->ds_);
     f.p.rebind(&copy->ds_);
   }
-  copy->reader_ = reader_.fork();
-  copy->writer_ = writer_.fork();
+  copy->shadow_ = shadow_.fork();
   return copy;
 }
 
@@ -24,8 +23,7 @@ void SpBagsDetector::on_run_begin() {
   RADER_CHECK_MSG(granule_bits_ < 12, "granule_bits must be < 12");
   ds_.clear();
   stack_.clear();
-  reader_.clear();
-  writer_.clear();
+  shadow_.clear();
 }
 
 void SpBagsDetector::on_frame_enter(FrameId frame, FrameId, FrameKind, ViewId) {
@@ -69,8 +67,7 @@ void SpBagsDetector::on_clear(std::uintptr_t addr, std::size_t size) {
   // `last` may be the top granule index; a `g <= last` condition would wrap
   // g past it and never terminate, so break after processing `last`.
   for (std::uintptr_t g = first;; ++g) {
-    reader_.set(g, shadow::ShadowSpace::kEmpty);
-    writer_.set(g, shadow::ShadowSpace::kEmpty);
+    shadow_.clear_granule(g);
     if (g == last) break;
   }
 }
@@ -91,9 +88,11 @@ void SpBagsDetector::on_access(AccessKind kind, std::uintptr_t addr,
     // would collapse distinct races within one granule to one frame-free
     // dedup identity in core/race_report.
     const std::uintptr_t b = std::max(addr, g << granule_bits_);
-    const auto w = writer_.get(g);
+    // Extent recorded alongside the id (diagnostic; reports use `b`).
+    const unsigned off = static_cast<unsigned>(b - (g << granule_bits_));
+    const auto w = shadow_.writer(g);
     const bool writer_parallel =
-        w != shadow::ShadowSpace::kEmpty &&
+        w != shadow::AccessShadow::kEmpty &&
         ds_.meta_of(w).kind == dsu::BagKind::kP;
     if (kind == AccessKind::kRead) {
       if (writer_parallel) {
@@ -102,14 +101,14 @@ void SpBagsDetector::on_access(AccessKind kind, std::uintptr_t addr,
         log_->report_determinacy(make_determinacy_race(
             b, kind, false, true, w, static_cast<FrameId>(f.node), tag.label));
       }
-      const auto r = reader_.get(g);
-      if (r == shadow::ShadowSpace::kEmpty ||
+      const auto r = shadow_.reader(g);
+      if (r == shadow::AccessShadow::kEmpty ||
           ds_.meta_of(r).kind == dsu::BagKind::kS) {
-        reader_.set(g, f.node);
+        shadow_.set_reader(g, f.node, off);
       }
     } else {
-      const auto r = reader_.get(g);
-      if (r != shadow::ShadowSpace::kEmpty &&
+      const auto r = shadow_.reader(g);
+      if (r != shadow::AccessShadow::kEmpty &&
           ds_.meta_of(r).kind == dsu::BagKind::kP) {
         trace::emit_conflict(static_cast<FrameId>(f.node), g, b, r,
                              trace::kConflictWrite, tag.label);
@@ -123,9 +122,9 @@ void SpBagsDetector::on_access(AccessKind kind, std::uintptr_t addr,
         log_->report_determinacy(make_determinacy_race(
             b, kind, false, true, w, static_cast<FrameId>(f.node), tag.label));
       }
-      if (w == shadow::ShadowSpace::kEmpty ||
+      if (w == shadow::AccessShadow::kEmpty ||
           ds_.meta_of(w).kind == dsu::BagKind::kS) {
-        writer_.set(g, f.node);
+        shadow_.set_writer(g, f.node, off);
       }
     }
     if (g == last) break;

@@ -21,7 +21,7 @@
 
 #include "core/race_report.hpp"
 #include "dsu/disjoint_set.hpp"
-#include "shadow/shadow_space.hpp"
+#include "shadow/access_shadow.hpp"
 #include "tool/tool.hpp"
 
 namespace rader {
@@ -59,8 +59,7 @@ class SpBagsDetector final : public Tool {
   unsigned granule_bits_;
   dsu::DisjointSets ds_;
   std::vector<FrameState> stack_;
-  shadow::ShadowSpace reader_;
-  shadow::ShadowSpace writer_;
+  shadow::AccessShadow shadow_;
   RaceLog* log_;
 };
 

@@ -17,8 +17,7 @@ std::unique_ptr<Tool> SpOrderDetector::fork(RaceLog* log) const {
   copy->strands_ = strands_;
   copy->strand_frame_ = strand_frame_;
   copy->top_ref_ = top_ref_;
-  copy->reader_ = reader_.fork();
-  copy->writer_ = writer_.fork();
+  copy->shadow_ = shadow_.fork();
   return copy;
 }
 
@@ -29,8 +28,7 @@ void SpOrderDetector::on_run_begin() {
   stack_.clear();
   strands_.clear();
   strand_frame_.clear();
-  reader_.clear();
-  writer_.clear();
+  shadow_.clear();
 }
 
 void SpOrderDetector::new_strand_ref() {
@@ -128,9 +126,11 @@ void SpOrderDetector::on_access(AccessKind kind, std::uintptr_t addr,
     // the byte itself when granule_bits=0), so distinct races inside one
     // granule keep distinct dedup identities.
     const std::uintptr_t b = std::max(addr, g << granule_bits_);
-    const auto w = writer_.get(g);
+    // Extent recorded alongside the id (diagnostic; reports use `b`).
+    const unsigned off = static_cast<unsigned>(b - (g << granule_bits_));
+    const auto w = shadow_.writer(g);
     const bool writer_parallel =
-        w != shadow::ShadowSpace::kEmpty && !in_series_with_current(w);
+        w != shadow::AccessShadow::kEmpty && !in_series_with_current(w);
     if (kind == AccessKind::kRead) {
       if (writer_parallel) {
         trace::emit_conflict(fid, g, b, strand_frame_[w],
@@ -138,13 +138,13 @@ void SpOrderDetector::on_access(AccessKind kind, std::uintptr_t addr,
         log_->report_determinacy(make_determinacy_race(
             b, kind, false, true, strand_frame_[w], fid, tag.label));
       }
-      const auto r = reader_.get(g);
-      if (r == shadow::ShadowSpace::kEmpty || in_series_with_current(r)) {
-        reader_.set(g, top_ref_);
+      const auto r = shadow_.reader(g);
+      if (r == shadow::AccessShadow::kEmpty || in_series_with_current(r)) {
+        shadow_.set_reader(g, top_ref_, off);
       }
     } else {
-      const auto r = reader_.get(g);
-      if (r != shadow::ShadowSpace::kEmpty && !in_series_with_current(r)) {
+      const auto r = shadow_.reader(g);
+      if (r != shadow::AccessShadow::kEmpty && !in_series_with_current(r)) {
         trace::emit_conflict(fid, g, b, strand_frame_[r],
                              trace::kConflictWrite, tag.label);
         log_->report_determinacy(make_determinacy_race(
@@ -157,8 +157,8 @@ void SpOrderDetector::on_access(AccessKind kind, std::uintptr_t addr,
         log_->report_determinacy(make_determinacy_race(
             b, kind, false, true, strand_frame_[w], fid, tag.label));
       }
-      if (w == shadow::ShadowSpace::kEmpty || in_series_with_current(w)) {
-        writer_.set(g, top_ref_);
+      if (w == shadow::AccessShadow::kEmpty || in_series_with_current(w)) {
+        shadow_.set_writer(g, top_ref_, off);
       }
     }
     if (g == last) break;
@@ -172,8 +172,7 @@ void SpOrderDetector::on_clear(std::uintptr_t addr, std::size_t size) {
   // `last` may be the top granule index; a `g <= last` condition would wrap
   // g past it and never terminate, so break after processing `last`.
   for (std::uintptr_t g = first;; ++g) {
-    reader_.set(g, shadow::ShadowSpace::kEmpty);
-    writer_.set(g, shadow::ShadowSpace::kEmpty);
+    shadow_.clear_granule(g);
     if (g == last) break;
   }
 }

@@ -15,8 +15,7 @@ std::unique_ptr<Tool> SpPlusDetector::fork(RaceLog* log) const {
     f.s.rebind(&copy->ds_);
     for (auto& b : f.p_stack) b.rebind(&copy->ds_);
   }
-  copy->reader_ = reader_.fork();
-  copy->writer_ = writer_.fork();
+  copy->shadow_ = shadow_.fork();
   return copy;
 }
 
@@ -24,8 +23,7 @@ void SpPlusDetector::on_run_begin() {
   RADER_CHECK_MSG(granule_bits_ < 12, "granule_bits must be < 12");
   ds_.clear();
   stack_.clear();
-  reader_.clear();
-  writer_.clear();
+  shadow_.clear();
 }
 
 void SpPlusDetector::on_frame_enter(FrameId frame, FrameId, FrameKind kind,
@@ -93,14 +91,15 @@ void SpPlusDetector::on_reduce(FrameId, ViewId left_vid, ViewId right_vid) {
   f.p_stack.back().merge_from(popped);
 }
 
-bool SpPlusDetector::prior_races_oblivious(shadow::ShadowSpace::Payload prior) {
-  if (prior == shadow::ShadowSpace::kEmpty) return false;
+bool SpPlusDetector::prior_races_oblivious(
+    shadow::AccessShadow::Payload prior) {
+  if (prior == shadow::AccessShadow::kEmpty) return false;
   return ds_.meta_of(prior).kind == dsu::BagKind::kP;
 }
 
 bool SpPlusDetector::prior_races_view_aware(
-    shadow::ShadowSpace::Payload prior, dsu::ViewId cur_vid) {
-  if (prior == shadow::ShadowSpace::kEmpty) return false;
+    shadow::AccessShadow::Payload prior, dsu::ViewId cur_vid) {
+  if (prior == shadow::AccessShadow::kEmpty) return false;
   const auto& meta = ds_.meta_of(prior);
   return meta.kind == dsu::BagKind::kP && meta.vid != cur_vid;
 }
@@ -112,8 +111,7 @@ void SpPlusDetector::on_clear(std::uintptr_t addr, std::size_t size) {
   // `last` may be the top granule index; a `g <= last` condition would wrap
   // g past it and never terminate, so break after processing `last`.
   for (std::uintptr_t g = first;; ++g) {
-    reader_.set(g, shadow::ShadowSpace::kEmpty);
-    writer_.set(g, shadow::ShadowSpace::kEmpty);
+    shadow_.clear_granule(g);
     if (g == last) break;
   }
 }
@@ -128,8 +126,8 @@ void SpPlusDetector::on_access(AccessKind kind, std::uintptr_t addr,
 
   // Shadow replacement predicate: prior in series (S bag), or — inside a
   // Reduce invocation — prior on the view being merged (same vid).
-  const auto should_replace = [&](shadow::ShadowSpace::Payload prior) {
-    if (prior == shadow::ShadowSpace::kEmpty) return true;
+  const auto should_replace = [&](shadow::AccessShadow::Payload prior) {
+    if (prior == shadow::AccessShadow::kEmpty) return true;
     const auto& meta = ds_.meta_of(prior);
     if (meta.kind == dsu::BagKind::kS) return true;
     return in_reduce && meta.vid == cur_vid;
@@ -147,7 +145,9 @@ void SpPlusDetector::on_access(AccessKind kind, std::uintptr_t addr,
     // the byte itself when granule_bits=0), so distinct races inside one
     // granule keep distinct dedup identities.
     const std::uintptr_t b = std::max(addr, g << granule_bits_);
-    const auto w = writer_.get(g);
+    // Extent recorded alongside the id (diagnostic; reports use `b`).
+    const unsigned off = static_cast<unsigned>(b - (g << granule_bits_));
+    const auto w = shadow_.writer(g);
     if (kind == AccessKind::kRead) {
       const bool races = view_aware ? prior_races_view_aware(w, cur_vid)
                                     : prior_races_oblivious(w);
@@ -160,14 +160,14 @@ void SpPlusDetector::on_access(AccessKind kind, std::uintptr_t addr,
         log_->report_determinacy(make_determinacy_race(
             b, kind, view_aware, true, w, fid, tag.label));
       }
-      const auto r = reader_.get(g);
+      const auto r = shadow_.reader(g);
       if (view_aware ? should_replace(r)
-                     : (r == shadow::ShadowSpace::kEmpty ||
+                     : (r == shadow::AccessShadow::kEmpty ||
                         ds_.meta_of(r).kind == dsu::BagKind::kS)) {
-        reader_.set(g, f.node);
+        shadow_.set_reader(g, f.node, off);
       }
     } else {
-      const auto r = reader_.get(g);
+      const auto r = shadow_.reader(g);
       const bool reader_races = view_aware
                                     ? prior_races_view_aware(r, cur_vid)
                                     : prior_races_oblivious(r);
@@ -193,9 +193,9 @@ void SpPlusDetector::on_access(AccessKind kind, std::uintptr_t addr,
             b, kind, view_aware, true, w, fid, tag.label));
       }
       if (view_aware ? should_replace(w)
-                     : (w == shadow::ShadowSpace::kEmpty ||
+                     : (w == shadow::AccessShadow::kEmpty ||
                         ds_.meta_of(w).kind == dsu::BagKind::kS)) {
-        writer_.set(g, f.node);
+        shadow_.set_writer(g, f.node, off);
       }
     }
     if (g == last) break;

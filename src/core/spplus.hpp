@@ -33,7 +33,7 @@
 
 #include "core/race_report.hpp"
 #include "dsu/disjoint_set.hpp"
-#include "shadow/shadow_space.hpp"
+#include "shadow/access_shadow.hpp"
 #include "tool/tool.hpp"
 
 namespace rader {
@@ -70,15 +70,14 @@ class SpPlusDetector final : public Tool {
   };
 
   // Race checks shared by the four access cases.
-  bool prior_races_oblivious(shadow::ShadowSpace::Payload prior);
-  bool prior_races_view_aware(shadow::ShadowSpace::Payload prior,
+  bool prior_races_oblivious(shadow::AccessShadow::Payload prior);
+  bool prior_races_view_aware(shadow::AccessShadow::Payload prior,
                               dsu::ViewId cur_vid);
 
   unsigned granule_bits_;
   dsu::DisjointSets ds_;
   std::vector<FrameState> stack_;
-  shadow::ShadowSpace reader_;
-  shadow::ShadowSpace writer_;
+  shadow::AccessShadow shadow_;
   RaceLog* log_;
 };
 

@@ -337,12 +337,23 @@ SweepResult sweep_family(
       if (!program) program = make_program();
       begin_spec(widx, i);
       SpPlusDetector detector(&per_spec[i]);
+      // Sampling wraps each per-spec detector with a filter seeded from
+      // the spec's describe() string — deterministic and jobs-invariant.
+      Tool* tool = &detector;
+      std::unique_ptr<SamplingTool> sampler;
+      if (options.sampling.enabled) {
+        SamplingConfig cfg = options.sampling;
+        cfg.seed =
+            sampling_seed_for_spec(cfg.seed, family[i]->describe());
+        sampler = std::make_unique<SamplingTool>(&detector, cfg);
+        tool = sampler.get();
+      }
       prof::Phase spec_phase("spec");
       const std::uint64_t t0 = metrics::now_nanos();
       {
         metrics::PhaseTimer timer(metrics::Phase::kExecute);
         prof::Phase detect_phase("detect");
-        run_serial(program, &detector, family[i].get());
+        run_serial(program, tool, family[i].get());
       }
       metrics::record(metrics::Histogram::kSpecRunNanos,
                       metrics::now_nanos() - t0);
@@ -512,7 +523,11 @@ SweepResult sweep_family(
     drop_checkpoints(0);
   };
 
-  const bool prefix = options.strategy == SweepStrategy::kPrefix;
+  // Sampling forces the rerun strategy: prefix checkpoints carry detector
+  // state across specs, and each spec samples a DIFFERENT granule set
+  // (per-spec seed), so a resumed checkpoint would mix two sample sets.
+  const bool prefix = options.strategy == SweepStrategy::kPrefix &&
+                      !options.sampling.enabled;
   const auto worker = [&](unsigned widx) {
     // Bound the thread's view-arena floor: the worker's program fixtures
     // allocate outside runs (promoting the floor), and without this a

@@ -32,6 +32,7 @@
 #include "core/race_report.hpp"
 #include "spec/steal_spec.hpp"
 #include "support/metrics.hpp"
+#include "tool/sampling.hpp"
 
 namespace rader {
 
@@ -124,6 +125,15 @@ struct SweepOptions {
   /// interrupted.
   unsigned watchdog_ms = 0;
   int watchdog_fd = 2;  // stderr
+
+  /// Access sampling (`rader --sample-rate=P [--sample-seed=S]`): when
+  /// enabled, each per-spec SP+ detector is wrapped in a SamplingTool
+  /// whose seed is derived from the SPEC's describe() string
+  /// (sampling_seed_for_spec) — worker- and jobs-independent, so sampled
+  /// sweep results stay deterministic at every thread count.  Sampling
+  /// forces SweepStrategy::kRerun: prefix checkpoints share detector
+  /// state ACROSS specs, which per-spec sample sets would corrupt.
+  SamplingConfig sampling;
 };
 
 /// Factory producing a fresh instance of the program under test.  Called at

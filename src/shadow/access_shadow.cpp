@@ -1,0 +1,32 @@
+#include "shadow/access_shadow.hpp"
+
+#include <atomic>
+
+namespace rader::shadow {
+
+namespace {
+std::atomic<int> g_default_encoding{static_cast<int>(SlotEncoding::kPacked)};
+}  // namespace
+
+SlotEncoding default_encoding() {
+  return static_cast<SlotEncoding>(
+      g_default_encoding.load(std::memory_order_relaxed));
+}
+
+void set_default_encoding(SlotEncoding encoding) {
+  g_default_encoding.store(static_cast<int>(encoding),
+                           std::memory_order_relaxed);
+}
+
+AccessShadow AccessShadow::fork() const {
+  AccessShadow f(enc_);
+  if (enc_ == SlotEncoding::kPacked) {
+    f.packed_ = packed_.fork();
+  } else {
+    f.legacy_reader_ = legacy_reader_.fork();
+    f.legacy_writer_ = legacy_writer_.fork();
+  }
+  return f;
+}
+
+}  // namespace rader::shadow

@@ -1,0 +1,263 @@
+// Production-footprint shadow memory: the packed-slot backend.
+//
+// shadow::ShadowSpace (shadow_space.hpp) is tuned for litmus-sized
+// programs: an unordered_map page index, one uint32 payload per granule,
+// and a clear() that walks and frees every page.  The detectors pair two
+// of them (reader + writer), so every access pays two hash-map lookups
+// once it leaves the one-page lookaside — the dominant cost on multi-MB
+// footprints (bench/large_footprint).  PackedShadow is the production
+// replacement:
+//
+//  * COMBINED SLOT ENCODING — reader and writer live in ONE 64-bit slot:
+//      bits [ 0,28)  reader id   (28-bit field, all-ones = empty)
+//      bits [28,56)  writer id   (28-bit field, all-ones = empty)
+//      bits [56,60)  reader offset: first byte of the recorded access
+//                    within its granule, clamped to 15
+//      bits [60,64)  writer offset, same clamp
+//    One lookup serves both spaces, and memset(0xFF) still initializes
+//    every field to empty, exactly like the legacy pages.  Detector
+//    payloads (disjoint-set nodes / strand refs) must fit 28 bits —
+//    2^28-1 ids, ~16x beyond anything the engines mint — enforced by
+//    RADER_CHECK on every store.
+//
+//  * SHARDED TWO-LEVEL DIRECTORY WITH LOCK-FREE LOOKUP — granule space is
+//    covered by chunks of 512 pages x 4096 slots (2^21 granules per
+//    chunk).  Chunk pointers live in kShards open-addressed hash tables;
+//    a single writer (the owning thread) publishes new chunks and pages
+//    with release stores, so concurrent readers on other threads (the
+//    parallel engine's per-worker spaces, future shared-space modes)
+//    locate any published slot with acquire loads and zero locking.
+//    Within a chunk, page lookup is an array index — no hashing — which
+//    is where the multi-MB speedup over the unordered_map comes from.
+//
+//  * EPOCH-TAGGED BULK CLEAR — clear() increments the space's epoch and
+//    returns: O(1) instead of a page walk (shadow.epoch_clears).  Pages
+//    carry the epoch they were last reset under; a page whose epoch is
+//    stale reads as all-empty and is lazily memset + re-stamped on its
+//    first write (shadow.page_resets).  Epochs only grow per space, and
+//    a written page is always re-stamped to the CURRENT epoch, so a
+//    stale page can never spuriously revalidate.  On (unlikely) epoch
+//    exhaustion clear() degrades to one legacy-style full release.
+//
+//  * ARENA-BACKED PAGE POOL WITH TWO-LEVEL CoW FORKS — pages come from a
+//    PageArena shared (shared_ptr) between a space and its forks, with an
+//    intrusive free list so epoch-cleared footprints recycle without
+//    malloc churn.  Sharing is copy-on-write at BOTH directory levels:
+//    fork() copies only the shard tables and bumps each CHUNK's refcount
+//    — O(#chunks), a few hundred nanoseconds for a multi-MB footprint,
+//    where the legacy space copies an unordered_map node per page.  The
+//    first write through a shared chunk clones the chunk (bumping its
+//    pages' refcounts), and the first write to a shared page un-shares
+//    the page (shadow.pages_cow).  Page refcounts count referencing
+//    CHUNKS; chunk refcounts count referencing SPACES.  This is what
+//    makes the prefix sweep's per-spec checkpoint forks cheap even when
+//    the checkpoint shadows millions of granules.  Like the legacy
+//    space, a space and its forks must stay on one thread (refcounts and
+//    the arena are intentionally non-atomic); the lock-free guarantees
+//    above cover foreign READERS only.
+//
+// Gauge conservation (shadow.pages_live) matches the legacy contract:
+// every directory reference counts in once (allocation or fork) and out
+// once (release, full reset, destruction).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "support/common.hpp"
+
+namespace rader::shadow {
+
+/// Paged granule -> packed (reader, writer, offsets) map; see file header.
+class PackedShadow {
+ public:
+  using Payload = std::uint32_t;
+  /// Facade-level empty sentinel, identical to ShadowSpace::kEmpty.
+  static constexpr Payload kEmpty = static_cast<Payload>(-1);
+  /// In-slot empty field (28 ones) and the largest storable id.
+  static constexpr Payload kFieldEmpty = (Payload{1} << 28) - 1;
+  static constexpr Payload kMaxPayload = kFieldEmpty - 1;
+  static constexpr unsigned kMaxOffset = 15;  // 4-bit extent field
+
+  PackedShadow();
+  PackedShadow(const PackedShadow&) = delete;
+  PackedShadow& operator=(const PackedShadow&) = delete;
+  PackedShadow(PackedShadow&& other) noexcept;
+  PackedShadow& operator=(PackedShadow&& other) noexcept;
+  ~PackedShadow();
+
+  /// Reader / writer id recorded for granule `g`, or kEmpty.
+  Payload reader(std::uintptr_t g) {
+    const std::uint64_t slot = load_slot(g);
+    const Payload field = static_cast<Payload>(slot & kFieldEmpty);
+    return field == kFieldEmpty ? kEmpty : field;
+  }
+  Payload writer(std::uintptr_t g) {
+    const std::uint64_t slot = load_slot(g);
+    const Payload field = static_cast<Payload>((slot >> 28) & kFieldEmpty);
+    return field == kFieldEmpty ? kEmpty : field;
+  }
+
+  /// Recorded access extent: first byte of the recorded access within
+  /// granule `g`, clamped to kMaxOffset (meaningless when the id is
+  /// empty).  Diagnostic only — race reports derive addresses from the
+  /// CURRENT access, never from this field (tests/core/granularity_test).
+  unsigned reader_offset(std::uintptr_t g) {
+    return static_cast<unsigned>((load_slot(g) >> 56) & 0xF);
+  }
+  unsigned writer_offset(std::uintptr_t g) {
+    return static_cast<unsigned>((load_slot(g) >> 60) & 0xF);
+  }
+
+  /// Record reader/writer `v` for granule `g` with the access's byte
+  /// offset within the granule (clamped to the 4-bit extent field).
+  void set_reader(std::uintptr_t g, Payload v, unsigned offset = 0) {
+    std::uint64_t& slot = *writable_slot(g);
+    slot = (slot & ~((std::uint64_t{kFieldEmpty}) | (std::uint64_t{0xF} << 56)))
+           | encode_field(v)
+           | (std::uint64_t{clamp_offset(offset)} << 56);
+  }
+  void set_writer(std::uintptr_t g, Payload v, unsigned offset = 0) {
+    std::uint64_t& slot = *writable_slot(g);
+    slot = (slot &
+            ~((std::uint64_t{kFieldEmpty} << 28) | (std::uint64_t{0xF} << 60)))
+           | (encode_field(v) << 28)
+           | (std::uint64_t{clamp_offset(offset)} << 60);
+  }
+
+  /// Reset both fields of one granule to empty (the on_clear path).
+  void clear_granule(std::uintptr_t g);
+
+  /// O(1) bulk clear: bump the epoch; stale pages read empty and reset
+  /// lazily.  Degrades to a full release on epoch exhaustion.
+  void clear();
+
+  /// Copy-on-write snapshot sharing every current chunk and page (and
+  /// the arena).  O(#chunks): only the shard tables are copied.
+  PackedShadow fork() const;
+
+  /// Directory pages currently referenced by THIS space (stale-epoch
+  /// pages still count: they are mapped until released or reset).
+  std::size_t page_count() const { return page_count_; }
+
+  /// Bytes of shadow slot storage currently referenced by this space.
+  std::size_t bytes() const { return page_count_ * sizeof(Page); }
+
+  /// Current epoch (tests).
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// Jump the epoch counter near its limit so tests can exercise the
+  /// rollover path without 2^64 clears.  Must be >= the current epoch.
+  void set_epoch_for_testing(std::uint64_t epoch);
+
+  // Geometry (shared with the facade and the benches).
+  static constexpr unsigned kSlotBits = 12;  // 4096 slots per page
+  static constexpr std::size_t kPageSlots = std::size_t{1} << kSlotBits;
+  static constexpr unsigned kChunkBits = 9;  // 512 pages per chunk
+  static constexpr std::size_t kChunkPages = std::size_t{1} << kChunkBits;
+
+ private:
+  struct Page {
+    std::uint64_t epoch;  // epoch this page was last reset under
+    std::uint32_t refs;   // referencing CHUNKS (mine + shared forks')
+    Page* next_free;      // arena free-list link (only while free)
+    std::uint64_t slots[kPageSlots];
+  };
+
+  /// Second directory level: page pointers for one aligned group of
+  /// kChunkPages pages.  The array entries are published with release
+  /// stores so foreign readers can traverse concurrently; the chunk's
+  /// key is immutable after publication.  Chunks are shared CoW between
+  /// a space and its forks (`refs` counts owning spaces): only an
+  /// exclusive chunk's cells may be mutated — a shared chunk is cloned
+  /// first (unshare_chunk).
+  struct Chunk {
+    std::uintptr_t key;
+    std::uint32_t refs;  // referencing SPACES (this one + sharing forks)
+    std::atomic<Page*> pages[kChunkPages];
+  };
+
+  /// One shard of the chunk directory: a power-of-two open-addressed
+  /// table of chunk pointers.  Lookup is lock-free (acquire loads);
+  /// insertion is single-writer (the owning thread).  Grown tables are
+  /// retired, not freed, so readers racing a resize stay safe.
+  struct Shard {
+    std::vector<std::atomic<Chunk*>> table;
+    std::size_t count = 0;
+    std::vector<std::vector<std::atomic<Chunk*>>> retired;
+  };
+
+  /// Pool of pages shared by a space and all its forks (single thread).
+  struct PageArena {
+    std::vector<std::unique_ptr<Page[]>> slabs;
+    Page* free_list = nullptr;
+    std::size_t next_in_slab = 0;
+    Page* alloc();
+    void release(Page* page);
+  };
+
+  static constexpr unsigned kShardBits = 3;  // 8 shards
+  static constexpr std::size_t kShards = std::size_t{1} << kShardBits;
+  static constexpr std::uintptr_t kNoKey = static_cast<std::uintptr_t>(-1);
+
+  static std::uintptr_t page_key(std::uintptr_t g) { return g >> kSlotBits; }
+  static std::uintptr_t chunk_key(std::uintptr_t g) {
+    return g >> (kSlotBits + kChunkBits);
+  }
+  static std::size_t slot_index(std::uintptr_t g) {
+    return g & (kPageSlots - 1);
+  }
+  static std::size_t page_index(std::uintptr_t g) {
+    return page_key(g) & (kChunkPages - 1);
+  }
+  static std::uint64_t encode_field(Payload v) {
+    if (v == kEmpty) return kFieldEmpty;
+    RADER_CHECK_MSG(v <= kMaxPayload,
+                    "packed shadow payload exceeds the 28-bit slot field");
+    return v;
+  }
+  static unsigned clamp_offset(unsigned offset) {
+    return offset > kMaxOffset ? kMaxOffset : offset;
+  }
+
+  /// Slot value for `g`, or an all-empty slot when no current-epoch page
+  /// covers it.  Never allocates.
+  std::uint64_t load_slot(std::uintptr_t g);
+
+  /// Exclusive current-epoch slot for `g`, allocating / un-sharing /
+  /// resetting the page as needed.
+  std::uint64_t* writable_slot(std::uintptr_t g);
+
+  Chunk* find_chunk(std::uintptr_t key);
+  Chunk* ensure_chunk(std::uintptr_t key);
+  /// Clone a fork-shared chunk so its cells become mutable; replaces it
+  /// in this space's shard table and returns the exclusive clone.
+  Chunk* unshare_chunk(Chunk* chunk);
+  void shard_insert(Shard& shard, Chunk* chunk);
+  /// Drop every chunk reference (releasing chunks and pages that hit
+  /// refcount zero) and empty the shard tables.
+  void release_directory();
+  void invalidate_caches();
+  void steal_from(PackedShadow&& other);
+
+  std::shared_ptr<PageArena> arena_;
+  Shard shards_[kShards];  // tables are per space; chunks are shared CoW
+  std::uint64_t epoch_ = 1;
+  std::size_t page_count_ = 0;
+
+  // Lookasides.  The read page cache may hold a stale-epoch page (checked
+  // on use); the write cache only ever holds a page PROVEN exclusive and
+  // current-epoch — a write through a stale pointer would leak into forks
+  // or resurrect cleared state.  fork() drops the write cache (mutable,
+  // const source), exactly like the legacy space.
+  std::uintptr_t cached_ckey_ = kNoKey;
+  Chunk* cached_chunk_ = nullptr;
+  std::uintptr_t cached_pkey_ = kNoKey;
+  Page* cached_page_ = nullptr;
+  mutable std::uintptr_t wcached_pkey_ = kNoKey;
+  mutable std::uint64_t* wcached_slots_ = nullptr;
+};
+
+}  // namespace rader::shadow

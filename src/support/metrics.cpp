@@ -37,6 +37,10 @@ const char* counter_name(Counter c) {
     case Counter::kShardDrains: return "engine.shard_drains";
     case Counter::kPostmortemDumps: return "sweep.postmortem_dumps";
     case Counter::kSweepDedupReuses: return "sweep.dedup_reuses";
+    case Counter::kShadowEpochClears: return "shadow.epoch_clears";
+    case Counter::kShadowPageResets: return "shadow.page_resets";
+    case Counter::kSampledAccesses: return "detector.sampled_accesses";
+    case Counter::kSampledDropped: return "detector.sampled_dropped";
   }
   return "unknown";
 }
@@ -75,6 +79,14 @@ const char* counter_help(Counter c) {
       return "post-mortem reports written (fatal signal or watchdog)";
     case Counter::kSweepDedupReuses:
       return "members whose log was reused from an identical-trail run";
+    case Counter::kShadowEpochClears:
+      return "O(1) epoch-bump bulk clears of packed shadow spaces";
+    case Counter::kShadowPageResets:
+      return "stale-epoch shadow pages lazily reset on first write";
+    case Counter::kSampledAccesses:
+      return "access granule runs forwarded by sampling wrappers";
+    case Counter::kSampledDropped:
+      return "granules dropped unsampled by sampling wrappers";
   }
   return "";
 }
@@ -105,6 +117,8 @@ const char* histogram_help(Histogram h) {
       return "wall nanoseconds of one simulated reduce delivery";
     case Histogram::kDivergenceDepth:
       return "prefix-sweep divergence depth (decision-trail index)";
+    case Histogram::kSampledRunBytes:
+      return "byte length of each forwarded sampled granule run";
   }
   return "";
 }
@@ -138,6 +152,7 @@ const char* histogram_name(Histogram h) {
     case Histogram::kAccessBytes: return "detector.access_bytes";
     case Histogram::kReduceNanos: return "engine.reduce_nanos";
     case Histogram::kDivergenceDepth: return "sweep.divergence_depth";
+    case Histogram::kSampledRunBytes: return "detector.sampled_run_bytes";
   }
   return "unknown";
 }

@@ -76,8 +76,15 @@ enum class Counter : unsigned {
   kSweepDedupReuses,       // prefix-sweep members whose log was reused
                            // verbatim (identical decision trail, no
                            // execution); spec_runs == kSpecRuns + this
+  kShadowEpochClears,      // O(1) epoch-bump bulk clears of a packed
+                           // shadow space (shadow/packed_shadow.hpp)
+  kShadowPageResets,       // stale-epoch pages lazily re-initialized on
+                           // their first write after a bulk clear
+  kSampledAccesses,        // access events (granule runs) a SamplingTool
+                           // forwarded to its wrapped detector
+  kSampledDropped,         // granules a SamplingTool dropped unsampled
 };
-inline constexpr unsigned kCounterCount = 18;
+inline constexpr unsigned kCounterCount = 22;
 const char* counter_name(Counter c);
 
 /// Gauge identities: instantaneous levels with a per-thread high-water
@@ -101,8 +108,10 @@ enum class Histogram : unsigned {
   kAccessBytes,      // byte size of instrumented accesses
   kReduceNanos,      // wall nanoseconds of one simulated reduce delivery
   kDivergenceDepth,  // prefix-sweep divergence depth (trail index)
+  kSampledRunBytes,  // byte length of each granule run a SamplingTool
+                     // forwarded (coverage shape of the sampled stream)
 };
-inline constexpr unsigned kHistogramCount = 4;
+inline constexpr unsigned kHistogramCount = 5;
 inline constexpr unsigned kHistogramBuckets = 64;
 const char* histogram_name(Histogram h);
 

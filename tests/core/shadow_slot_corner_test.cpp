@@ -107,6 +107,29 @@ TEST(ShadowSlotCorner, ExhaustiveFamilyStillReportsTheLocation) {
   EXPECT_TRUE(found) << "Section-7 family coverage must close the corner";
 }
 
+TEST(ShadowSlotCorner, ReusedDetectorRepeatsTheVerdictAcrossEpochClears) {
+  // The packed shadow's clear() is an O(1) epoch bump, not a page wipe —
+  // this corner is exactly the pattern that would expose a stale slot
+  // surviving it: one leaked writer flips the single-slot verdict.  Reusing
+  // ONE detector across runs (on_run_begin epoch-clears the shadow) must
+  // reproduce the miss verdict and an identical report log every time.
+  spec::DepthSteal inner(2);
+  RaceLog log;
+  SpPlusDetector detector(&log);
+  std::string first_json;
+  for (int run = 0; run < 3; ++run) {
+    SerialEngine engine(&detector, &inner);
+    engine.run([] { corner_program(); });
+    EXPECT_FALSE(log.any()) << "run " << run
+                            << ": stale shadow state leaked across clear()";
+    if (run == 0) {
+      first_json = log.to_json();
+    } else {
+      EXPECT_EQ(log.to_json(), first_json) << "run " << run;
+    }
+  }
+}
+
 TEST(ShadowSlotCorner, ParallelSweepStillReportsTheLocation) {
   // The same Section-7 guarantee through the parallel sweep engine: each
   // worker checks its own instance (own slot), so the report is recognized

@@ -139,6 +139,7 @@ bool arg_flag(int argc, char** argv, const std::string& key) {
       "             [--k-cap=N] [--engine=serial|parallel] [--jobs=J]\n"
       "             [--budget=B] [--stop-first=0|1]\n"
       "             [--sweep-strategy=rerun|prefix]\n"
+      "             [--sample-rate=P] [--sample-seed=S]\n"
       "             [--replay=HANDLE] [--format=text|json]\n"
       "             [--trace=FILE] [--trace-format=chrome|text]\n"
       "             [--explain] [--progress] [--profile=FILE]\n"
@@ -157,6 +158,11 @@ bool arg_flag(int argc, char** argv, const std::string& key) {
       "        (0 = hardware threads)\n"
       "  STRATEGY: rerun = every spec is a fresh run (default); prefix =\n"
       "          checkpoint/fork prefix sharing (same result, faster)\n"
+      "  SAMPLE-RATE: P in [0,1] — sample each memory granule with\n"
+      "          probability P (deterministic per-spec seed; serial\n"
+      "          engine only).  P=1 reproduces the unsampled report;\n"
+      "          P<1 keeps control-flow exact but may MISS races whose\n"
+      "          granules were not sampled (never false positives)\n"
       "  HANDLE: a spec handle from a report's replay_handles, e.g.\n"
       "          'steal-triple(0,1,2)' (the SPEC grammar is also accepted)\n");
   std::exit(2);
@@ -330,8 +336,26 @@ int main(int argc, char** argv) {
   } else if (strategy != "rerun") {
     usage_and_exit();
   }
+  const std::string sample_rate_text =
+      arg_value(argc, argv, "sample-rate", "");
+  if (!sample_rate_text.empty()) {
+    sweep.sampling.enabled = true;
+    sweep.sampling.rate = std::stod(sample_rate_text);
+    if (!(sweep.sampling.rate >= 0.0 && sweep.sampling.rate <= 1.0)) {
+      std::fprintf(stderr, "rader: --sample-rate must be in [0,1]\n");
+      usage_and_exit();
+    }
+    sweep.sampling.seed = std::stoull(
+        arg_value(argc, argv, "sample-seed", "0x5eed"), nullptr, 0);
+  }
   const std::string engine = arg_value(argc, argv, "engine", "serial");
   if (engine != "serial" && engine != "parallel") usage_and_exit();
+  if (engine == "parallel" && sweep.sampling.enabled) {
+    std::fprintf(stderr,
+                 "rader: --sample-rate requires the serial engine (the "
+                 "parallel engine's shard replay pre-dedups accesses)\n");
+    usage_and_exit();
+  }
   if (engine == "parallel" && algo != "peerset") {
     std::fprintf(stderr,
                  "rader: --engine=parallel supports --check=peerset only "
@@ -364,6 +388,12 @@ int main(int argc, char** argv) {
 
   // Under --format=json, stdout stays pure JSON: progress goes to stderr.
   FILE* const info = json ? stderr : stdout;
+
+  if (sweep.sampling.enabled) {
+    std::fprintf(info, "sampling: rate=%g seed=%llu (O(1)-samples mode)\n",
+                 sweep.sampling.rate,
+                 static_cast<unsigned long long>(sweep.sampling.seed));
+  }
 
   // Assemble the program under test.
   std::function<void()> program;
@@ -433,26 +463,36 @@ int main(int argc, char** argv) {
     meta.check = "replay";
     meta.spec = steal_spec->describe();
     std::fprintf(info, "replay: %s\n", steal_spec->describe().c_str());
-    log = Rader::check_determinacy([&] { program(); }, *steal_spec);
+    log = Rader::check_determinacy([&] { program(); }, *steal_spec,
+                                   sweep.sampling);
   } else if (algo == "peerset") {
     if (engine == "parallel") {
       std::fprintf(info, "engine: parallel (%u job(s))\n", sweep.threads);
       meta.check = "peerset-parallel";
       log = Rader::check_parallel([&] { program(); }, sweep.threads);
     } else {
-      log = Rader::check_view_read([&] { program(); });
+      log = Rader::check_view_read([&] { program(); }, sweep.sampling);
     }
   } else if (algo == "sp+") {
     const auto steal_spec = parse_spec(spec_text);
     meta.spec = steal_spec->describe();
     std::fprintf(info, "spec: %s\n", steal_spec->describe().c_str());
-    log = Rader::check_determinacy([&] { program(); }, *steal_spec);
+    log = Rader::check_determinacy([&] { program(); }, *steal_spec,
+                                   sweep.sampling);
   } else if (algo == "spbags") {
-    log = Rader::check_spbags([&] { program(); });
+    log = Rader::check_spbags([&] { program(); }, sweep.sampling);
   } else if (algo == "sporder") {
     SpOrderDetector detector(&log);
     spec::NoSteal none;
-    run_serial([&] { program(); }, &detector, &none);
+    Tool* tool = &detector;
+    std::unique_ptr<SamplingTool> sampler;
+    if (sweep.sampling.enabled) {
+      SamplingConfig cfg = sweep.sampling;
+      cfg.seed = sampling_seed_for_spec(cfg.seed, none.describe());
+      sampler = std::make_unique<SamplingTool>(&detector, cfg);
+      tool = sampler.get();
+    }
+    run_serial([&] { program(); }, tool, &none);
   } else if (algo == "exhaustive") {
     // The sweep shards specs across workers, and each worker must check its
     // own instance of the program — hand the driver a factory, not the
