@@ -1,0 +1,220 @@
+// Crash-isolation overhead experiment: the same specification-family sweep
+// run in-process versus under --isolate=procs (core/sweep.hpp,
+// docs/ROBUSTNESS.md).
+//
+// The isolated supervisor pays fork-per-shard, per-spec pipe traffic
+// (race-log JSON + metrics snapshots), and the final cross-process merge on
+// top of the detector work itself.  The gate keeps that tax honest: on a
+// clean sweep the geomean isolated/in-process wall-time ratio across the
+// measured job counts must stay within the ISSUE budget of 1.25x.
+//
+// A second, informational section measures the recovery machinery itself:
+// one injected SIGSEGV (support/faultpoint.hpp) forces a retry and a
+// quarantine, and the harness reports the sweep.child_restart_nanos
+// latency the supervisor spent relaunching shards.
+//
+// Flags:
+//   --json=FILE       write the result table as JSON (BENCH_isolation.json)
+//   --check-ratio=N   exit 1 when the clean-sweep overhead geomean
+//                     exceeds N (the scripts/check.sh --full gate: 1.25)
+//   --reps=N          best-of reps per configuration (default 3)
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/sweep.hpp"
+#include "reducers/monoid.hpp"
+#include "reducers/reducer.hpp"
+#include "runtime/api.hpp"
+#include "spec/spec_family.hpp"
+#include "support/faultpoint.hpp"
+#include "support/metrics.hpp"
+
+namespace {
+
+// The sweep_scaling uniform shape: a sync block of K reducer updates with
+// `work` annotated disjoint-slot writes per update — race-free, detector-
+// heavy, address-stable across runs.  Heavy enough per spec that the
+// isolated run's fork-per-shard cost is measured against real work, not
+// against an empty loop.
+struct SweepProgram {
+  int k;
+  int work;
+  std::vector<long> data;
+
+  SweepProgram(int k_in, int work_in)
+      : k(k_in), work(work_in), data(static_cast<std::size_t>(k) * work, 0) {}
+
+  void operator()() {
+    rader::reducer<rader::monoid::op_add<long>> red;
+    for (int i = 0; i < k; ++i) {
+      rader::spawn([this, i] {
+        for (int j = 0; j < work; ++j) {
+          long& slot = data[static_cast<std::size_t>(i) * work + j];
+          rader::shadow_write(&slot, sizeof(slot),
+                             rader::SrcTag{"bench strand write"});
+          slot += j;
+        }
+      });
+      red.update([](long& v) { v += 1; });
+    }
+    rader::sync();
+  }
+};
+
+struct Row {
+  unsigned jobs;
+  double inproc_seconds;
+  double isolated_seconds;
+  double ratio;
+};
+
+double time_sweep(const rader::ProgramFactory& factory,
+                  const std::vector<std::unique_ptr<rader::spec::StealSpec>>&
+                      family,
+                  unsigned jobs, bool isolated, int reps,
+                  rader::SweepResult* last = nullptr) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    rader::SweepOptions options;
+    options.threads = jobs;
+    if (isolated) {
+      options.isolation = rader::SweepIsolation::kProcs;
+    }
+    rader::metrics::Stopwatch t;
+    auto result = rader::sweep_family(factory, family, options);
+    const double secs = t.seconds();
+    if (result.log.any() || !result.failures.empty() ||
+        result.spec_runs != family.size()) {
+      std::fprintf(stderr, "BUG: clean bench sweep lost specs or raced\n");
+      std::exit(1);
+    }
+    if (r == 0 || secs < best) best = secs;
+    if (last != nullptr) *last = std::move(result);
+  }
+  return best;
+}
+
+constexpr int kK = 12;
+constexpr int kWork = 512;
+
+std::string arg_value(int argc, char** argv, const std::string& key) {
+  const std::string prefix = "--" + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return "";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const unsigned cores = std::thread::hardware_concurrency();
+  const std::string json_path = arg_value(argc, argv, "json");
+  const std::string ratio_text = arg_value(argc, argv, "check-ratio");
+  const double check_ratio =
+      ratio_text.empty() ? 0.0 : std::strtod(ratio_text.c_str(), nullptr);
+  const std::string reps_text = arg_value(argc, argv, "reps");
+  const int reps =
+      reps_text.empty() ? 3 : static_cast<int>(std::strtol(
+                                  reps_text.c_str(), nullptr, 10));
+
+  const auto family = rader::spec::reduce_coverage_family(kK);
+  const rader::ProgramFactory factory = [] {
+    auto p = std::make_shared<SweepProgram>(kK, kWork);
+    return std::function<void()>([p] { (*p)(); });
+  };
+
+  std::printf("isolation_overhead: --isolate=procs vs in-process sweep "
+              "(%zu spec(s), %u hardware thread(s))\n",
+              family.size(), cores);
+  std::printf("%6s  %12s %12s  %8s\n", "jobs", "inproc s", "isolated s",
+              "ratio");
+
+  std::vector<Row> rows;
+  std::vector<double> ratios;
+  for (const unsigned jobs : {1u, 2u, 4u}) {
+    const double inproc = time_sweep(factory, family, jobs, false, reps);
+    const double isolated = time_sweep(factory, family, jobs, true, reps);
+    const double ratio = inproc > 0 ? isolated / inproc : 1.0;
+    rows.push_back({jobs, inproc, isolated, ratio});
+    ratios.push_back(ratio);
+    std::printf("%6u  %12.4f %12.4f  %7.3fx\n", jobs, inproc, isolated,
+                ratio);
+  }
+  const double geomean = rader::bench::geomean(ratios);
+  if (check_ratio > 0) {
+    std::printf("geomean %.3fx  (budget: <= %.2f)\n", geomean, check_ratio);
+  } else {
+    std::printf("geomean %.3fx\n", geomean);
+  }
+
+  // Recovery cost, informational: one injected SIGSEGV at family index 5
+  // drives first-hit -> retry -> quarantine; sweep.child_restart_nanos
+  // holds the relaunch latencies the supervisor paid.
+  std::string fault_error;
+  if (!rader::faultpoint::arm("sweep.spec:crash:5", &fault_error)) {
+    std::fprintf(stderr, "cannot arm fault: %s\n", fault_error.c_str());
+    return 1;
+  }
+  rader::SweepOptions options;
+  options.threads = 2;
+  options.isolation = rader::SweepIsolation::kProcs;
+  options.max_retries = 1;
+  rader::metrics::Stopwatch t;
+  const auto injected = rader::sweep_family(factory, family, options);
+  const double injected_secs = t.seconds();
+  rader::faultpoint::disarm_all();
+  if (injected.failures.size() != 1 ||
+      injected.spec_runs != family.size() - 1) {
+    std::fprintf(stderr, "BUG: injected crash was not quarantined\n");
+    return 1;
+  }
+  const auto& restarts = injected.metrics.hist(
+      rader::metrics::Histogram::kChildRestartNanos);
+  const double restart_p50_ms = restarts.quantile(0.5) / 1e6;
+  std::printf("recovery: 1 injected crash, %llu restart(s), "
+              "p50 relaunch %.2f ms, sweep %.4fs\n",
+              static_cast<unsigned long long>(restarts.count),
+              restart_p50_ms, injected_secs);
+
+  if (!json_path.empty()) {
+    FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out,
+                 "{\n  \"bench\": \"isolation_overhead\",\n"
+                 "  \"cores\": %u,\n  \"specs\": %zu,\n  \"rows\": [\n",
+                 cores, family.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(out,
+                   "    {\"jobs\": %u, \"inproc_seconds\": %.4f, "
+                   "\"isolated_seconds\": %.4f, \"ratio\": %.3f}%s\n",
+                   r.jobs, r.inproc_seconds, r.isolated_seconds, r.ratio,
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(out,
+                 "  ],\n  \"overhead_geomean\": %.3f,\n"
+                 "  \"restart_p50_ms\": %.2f\n}\n",
+                 geomean, restart_p50_ms);
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (check_ratio > 0 && geomean > check_ratio) {
+    std::fprintf(stderr,
+                 "FAIL: isolation overhead %.3fx exceeds the %.2fx budget\n",
+                 geomean, check_ratio);
+    return 1;
+  }
+  return 0;
+}

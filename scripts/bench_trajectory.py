@@ -2,14 +2,15 @@
 """Nightly benchmark trajectory: compare a fresh run against the checked-in
 history and append it.
 
-scripts/nightly_bench.sh runs the five tracked benchmarks with --json and
+scripts/nightly_bench.sh runs the six tracked benchmarks with --json and
 then calls
 
     bench_trajectory.py --new-dir DIR --trajectory BENCH_nightly.json \
         [--threshold 1.15] [--append] [--label LABEL]
 
 The script flattens DIR/{sweep_scaling,fig7_overhead,trace_overhead,
-parallel_detect,large_footprint}.json into one {metric-name: value} dict,
+parallel_detect,isolation_overhead,large_footprint}.json into one
+{metric-name: value} dict,
 compares it
 against the most recent trajectory entry, and exits 1 when any metric
 regresses by more than --threshold (default 1.15x).  "Regression" respects
@@ -82,6 +83,15 @@ def collect(new_dir):
         if data.get("speedup4", 0) > 0:
             _metric(metrics, "parallel_detect.speedup4",
                     data["speedup4"], True)
+
+    path = os.path.join(new_dir, "isolation_overhead.json")
+    if os.path.exists(path):
+        data = json.load(open(path))
+        _metric(metrics, "isolation.overhead_geomean",
+                data["overhead_geomean"], False)
+        for row in data["rows"]:
+            _metric(metrics, f"isolation.jobs{row['jobs']}.ratio",
+                    row["ratio"], False)
 
     path = os.path.join(new_dir, "large_footprint.json")
     if os.path.exists(path):

@@ -95,7 +95,7 @@ r = json.load(open(sys.argv[1]))
 for key in ("schema", "schema_version", "program", "check", "spec",
             "races", "replay_handles", "metrics"):
     assert key in r, f"missing key: {key}"
-assert r["schema"] == "rader.report" and r["schema_version"] == 4
+assert r["schema"] == "rader.report" and r["schema_version"] == 5
 races = r["races"]
 for key in ("view_read_occurrences", "determinacy_occurrences",
             "view_read_races", "determinacy_races"):
@@ -105,7 +105,7 @@ assert r["replay_handles"], "expected a replay handle"
 m = r["metrics"]
 for key in ("counters", "phase_seconds", "gauges", "histograms"):
     assert key in m, f"missing metrics key: {key}"
-# v4 names are namespaced; gauges carry value+max; histograms quantiles.
+# Metric names are namespaced; gauges carry value+max; histograms quantiles.
 assert "sweep.spec_runs" in m["counters"], sorted(m["counters"])
 for g in m["gauges"].values():
     assert set(g) == {"value", "max"}, g
@@ -184,7 +184,7 @@ print("prometheus ok: %d families, %d histogram bucket series"
       % (len(families), len(bucket_names)))
 
 # JSONL time series: every line parses, done is monotone nondecreasing,
-# the final (quiesced) sample reports a complete schema-v4 metrics block.
+# the final (quiesced) sample reports a complete metrics block.
 lines = [json.loads(l) for l in open(sys.argv[2]) if l.strip()]
 assert lines, "empty JSONL time series"
 dones = [l["done"] for l in lines]
@@ -212,6 +212,39 @@ for p in paths:
         assert prefix in seen, f"missing stack prefix: {prefix}"
 assert "sweep" in seen and "sweep;spec" in seen, sorted(seen)
 print("collapsed profile ok: %d stack path(s)" % len(paths))
+PY
+
+echo "== isolation smoke =="
+# Crash-isolated sweep end to end: inject a SIGSEGV into one spec of the
+# Figure-1 exhaustive family via the fault-point registry, run under
+# --isolate=procs, and assert with a real JSON parser that the sweep
+# completed, quarantined exactly that spec into the schema-v5 failures[]
+# block, and counted the event in the isolation metrics.
+ISO_J=build/report_isolated.json
+RADER_FAULTS="sweep.spec:crash:2" ./build/tools/rader --program=fig1 \
+  --check=exhaustive --isolate=procs --jobs=2 --spec-timeout-ms=5000 \
+  --max-retries=1 --format=json >"$ISO_J" 2>/dev/null || true
+python3 - "$ISO_J" <<'PY'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["schema_version"] == 5
+sweep = r["sweep"]
+fails = sweep["failures"]
+assert len(fails) == 1, fails
+f = fails[0]
+assert f["index"] == 2 and f["cause"] == "signal", f
+assert f["signal"] != 0 and f["retries"] >= 1, f
+c = r["metrics"]["counters"]
+assert c["sweep.quarantined"] == 1, c
+assert c["sweep.child_crashes"] >= 2, c  # first hit + the retry
+assert c["sweep.retries"] == 1, c
+# The injected crash must not have cost any OTHER spec: every surviving
+# family member ran (or was dedup-reused), so nothing counts as skipped.
+assert sweep["specs_skipped"] == 0 and sweep["spec_runs"] >= 1, sweep
+assert r["races"]["determinacy_races"], "fig1 must still race"
+print("isolation smoke ok: spec[2] quarantined (%s, signal %d), "
+      "%d survivor(s) merged"
+      % (f["cause"], f["signal"], sweep["spec_runs"]))
 PY
 
 trace_smoke
@@ -243,6 +276,10 @@ if [[ "$FULL" == 1 ]]; then
   ./build/bench/large_footprint --check-ratio=3 \
     --check-sampling-overhead=1.10 --reps=5 \
     --json=build/BENCH_large_footprint.json
+  # Crash-isolation tax: a clean --isolate=procs sweep must stay within
+  # 1.25x geomean of the in-process sweep (docs/ROBUSTNESS.md).
+  ./build/bench/isolation_overhead --check-ratio=1.25 \
+    --json=build/BENCH_isolation.json
 fi
 
 echo "ALL CHECKS PASSED"

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Nightly benchmark job (the CI `nightly-bench` workflow, also runnable by
-# hand): build, run the five tracked benchmarks with --json, then compare
+# hand): build, run the six tracked benchmarks with --json, then compare
 # against — and append to — the checked-in trajectory BENCH_nightly.json
 # via scripts/bench_trajectory.py.  Exits 1 when any tracked metric
 # regresses by more than 1.15x against the previous entry.
@@ -47,6 +47,10 @@ echo "== large_footprint (packed-shadow 3x floor, 1.10x sampling budget) =="
 ./build/bench/large_footprint --check-ratio=3 \
   --check-sampling-overhead=1.10 --reps="$BENCH_REPS" \
   --json="$OUT/large_footprint.json"
+
+echo "== isolation_overhead (--isolate=procs tax, 1.25x budget) =="
+./build/bench/isolation_overhead --check-ratio=1.25 --reps="$BENCH_REPS" \
+  --json="$OUT/isolation_overhead.json"
 
 APPEND_FLAG=""
 if [[ "$BENCH_APPEND" == 1 ]]; then

@@ -164,6 +164,7 @@ Rader::ExhaustiveResult Rader::check_exhaustive(
   result.log.merge(sweep.log);
   result.spec_runs = sweep.spec_runs;
   result.specs_skipped = sweep.specs_skipped;
+  result.failures = std::move(sweep.failures);
   return result;
 }
 

@@ -86,6 +86,9 @@ class Rader {
     std::uint64_t specs_skipped = 0;  // family members skipped (budget/stop)
     std::uint32_t k = 0;              // sync-block size used for the family
     std::uint64_t depth = 0;          // spawn depth used for the family
+    // Isolated sweeps (SweepOptions::isolation == kProcs): quarantined
+    // family members (SweepResult::failures; report schema v5).
+    std::vector<SweepFailure> failures;
   };
 
   /// Full Section-7 coverage: Peer-Set once + SP+ across the O(KD + K³)

@@ -110,6 +110,17 @@ class RaceLog {
   /// per race no matter how many specifications elicit it.
   void merge(const RaceLog& other);
 
+  /// Wire-restore support (core/report_wire.hpp): add occurrences that were
+  /// tallied but never stored — a serialized log whose identity count hit
+  /// the storage cap carries larger totals than its stored reports sum to,
+  /// and a faithful reconstruction must preserve those totals so merge()
+  /// arithmetic stays exact across a process boundary.
+  void add_unstored_occurrences(std::uint64_t view_read,
+                                std::uint64_t determinacy) {
+    view_read_count_ += view_read;
+    determinacy_count_ += determinacy;
+  }
+
   /// Stamp every stored report with the steal specification it was found
   /// under — the paper's replay feature: "Rader reports the labels
   /// corresponding to the stolen continuations that triggered the race,

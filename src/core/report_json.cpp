@@ -60,7 +60,20 @@ std::string report_json(const ReportMeta& meta, const RaceLog& log,
        << ",\"stop_first\":" << (meta.stop_first ? "true" : "false")
        << ",\"k\":" << meta.k << ",\"depth\":" << meta.depth
        << ",\"spec_runs\":" << meta.spec_runs
-       << ",\"specs_skipped\":" << meta.specs_skipped << '}';
+       << ",\"specs_skipped\":" << meta.specs_skipped << ",\"failures\":[";
+    for (std::size_t i = 0; i < meta.failures.size(); ++i) {
+      const SweepFailure& f = meta.failures[i];
+      if (i != 0) os << ',';
+      os << "{\"spec\":";
+      append_escaped(os, f.spec);
+      os << ",\"index\":" << f.index << ",\"cause\":";
+      append_escaped(os, f.cause);
+      os << ",\"signal\":" << f.signal << ",\"retries\":" << f.retries
+         << ",\"postmortem\":";
+      append_escaped(os, f.postmortem);
+      os << '}';
+    }
+    os << "]}";
   }
   os << ",\"races\":" << log.to_json();
   os << ",\"replay_handles\":[";

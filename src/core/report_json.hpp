@@ -14,7 +14,11 @@
 //     "program": "...", "check": "...",
 //     "spec": "...",                   // single-spec runs and replays only
 //     "sweep": {"jobs":J,"budget":B,"stop_first":bool,"k":K,"depth":D,
-//               "spec_runs":N,"specs_skipped":M},   // sweep runs only
+//               "spec_runs":N,"specs_skipped":M,    // sweep runs only
+//               "failures":[{"spec":"...","index":I,  // v5: quarantined
+//                            "cause":"signal|timeout|oom|error",
+//                            "signal":S,"retries":R,
+//                            "postmortem":"..."}, ...]},
 //     "races": { ...RaceLog::to_json()... }, // v2: races may carry a
 //                                            // "provenance" object
 //                                            // (core/provenance.hpp);
@@ -32,6 +36,7 @@
 #include <vector>
 
 #include "core/race_report.hpp"
+#include "core/sweep.hpp"
 #include "support/metrics.hpp"
 
 namespace rader {
@@ -49,7 +54,11 @@ inline constexpr const char* kReportSchemaName = "rader.report";
 // full catalog is `rader --list-metrics`).  The rename is the one breaking
 // change in the report's history — hence the major-version bump rather
 // than another additive rev.
-inline constexpr int kReportSchemaVersion = 4;
+// v4 -> v5: the "sweep" block gained "failures" — the crash-isolated
+// sweep's quarantined specs (core/sweep.hpp SweepFailure; always present
+// when "sweep" is, empty for clean or in-process sweeps).  Additive: v4
+// consumers that ignore unknown members parse v5 unchanged.
+inline constexpr int kReportSchemaVersion = 5;
 
 /// Context describing the run that produced a report.
 struct ReportMeta {
@@ -64,6 +73,7 @@ struct ReportMeta {
   std::uint64_t depth = 0;
   std::uint64_t spec_runs = 0;
   std::uint64_t specs_skipped = 0;
+  std::vector<SweepFailure> failures;  // isolated sweeps: quarantined specs
 };
 
 /// The `found_under` spec handle of every stored race, in report order,

@@ -1,0 +1,51 @@
+// Cross-process wire codecs for the crash-isolated sweep.
+//
+// A sandboxed sweep child (core/sweep.hpp --isolate=procs) ships each
+// completed spec's RaceLog to the supervisor as the one-line JSON that
+// RaceLog::to_json() already emits, plus its metrics::Snapshot as a flat
+// word list.  This header is the parsing half: reconstruct a RaceLog (or a
+// Snapshot) from those lines so the supervisor's family-order merge runs on
+// objects indistinguishable from the ones an in-process worker would have
+// produced — that is what makes the isolated sweep's surviving-spec report
+// byte-identical to the in-process sweep's.
+//
+// Fidelity contract (tests/core/report_wire_test.cpp): for any log built
+// from report_*/merge/stamp_found_under calls,
+//     RaceLog restored; race_log_from_json(log.to_json(), &restored, ...)
+// yields a `restored` whose to_json() equals the input AND whose merge
+// behavior matches the original's — stored reports carry every
+// dedup-relevant field (identity keys, frames, occurrences, found_under,
+// eliciting_specs, provenance JSON, repro_file), and cap-dropped occurrence
+// totals are preserved via RaceLog::add_unstored_occurrences.  The one
+// lossy field is provenance_text (the human rendering is not serialized by
+// to_json; sweeps never populate it — provenance annotation happens after
+// the merge).
+#pragma once
+
+#include <string>
+
+#include "core/race_report.hpp"
+#include "support/metrics.hpp"
+
+namespace rader {
+
+/// Parse the output of RaceLog::to_json() back into `*out` (which is
+/// clear()ed first).  Returns false (and sets *error, if given) on
+/// malformed input; `*out` is then unspecified.  Metrics are suppressed
+/// during reconstruction — the original detector/merge bumps already
+/// happened in the producing process and travel in its Snapshot.
+bool race_log_from_json(const std::string& json, RaceLog* out,
+                        std::string* error = nullptr);
+
+/// Flatten a Snapshot to one space-separated decimal line (leading word
+/// count, then counters, phase nanos, gauges as value/max pairs, histograms
+/// as count/sum/buckets) — the same word order metrics::SharedSnapshot
+/// uses.  No trailing newline.
+std::string snapshot_to_wire(const metrics::Snapshot& snap);
+
+/// Parse snapshot_to_wire output back into `*out` (overwritten).  Returns
+/// false on malformed input or a word-count mismatch (e.g. a snapshot from
+/// a build with a different metric catalog).
+bool snapshot_from_wire(const std::string& text, metrics::Snapshot* out);
+
+}  // namespace rader

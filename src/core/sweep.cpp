@@ -13,11 +13,13 @@
 
 #include "core/metrics_export.hpp"
 #include "core/spplus.hpp"
+#include "core/sweep_internal.hpp"
 #include "runtime/run.hpp"
 #include "runtime/serial_engine.hpp"
 #include "runtime/view_arena.hpp"
 #include "support/common.hpp"
 #include "support/crash.hpp"
+#include "support/faultpoint.hpp"
 #include "support/profile.hpp"
 #include "support/rolling_rate.hpp"
 #include "support/trace.hpp"
@@ -198,26 +200,14 @@ class SweepMonitor {
   bool stop_ = false;
 };
 
-/// One node of a worker's checkpoint stack: the engine snapshot at a
-/// continuation point, a frozen detector fork (never fed events — only
-/// re-forked when a run resumes here), and the unstamped race log at capture
-/// time.  The stack holds checkpoints of the worker's latest run in
-/// increasing point order; the entries at or above a divergence point stay
-/// valid for the next run, which is exactly the trie structure of the family.
-struct PrefixCheckpoint {
-  EngineCheckpoint engine;
-  std::unique_ptr<Tool> tool;
-  RaceLog log;
-};
+}  // namespace
 
-/// First trail index where `spec` decides differently from the recorded
-/// execution — computed offline, with no program execution, because
-/// specifications are pure functions of the recorded contexts.  The steal
-/// query context is the recorded pre-merge context with the merges applied:
-/// post-merge live_epochs is exactly `pre - merges` (the engine's frame sync
-/// discipline guarantees nested Reduce frames restore the epoch stack).
-/// Returns trail.size() when every decision matches — identical decisions
-/// mean an identical execution.
+namespace sweep_internal {
+
+/// The steal query context is the recorded pre-merge context with the
+/// merges applied: post-merge live_epochs is exactly `pre - merges` (the
+/// engine's frame sync discipline guarantees nested Reduce frames restore
+/// the epoch stack).
 std::size_t divergence_depth(const spec::StealSpec& spec,
                              const DecisionTrail& trail) {
   for (std::size_t i = 0; i < trail.size(); ++i) {
@@ -231,7 +221,182 @@ std::size_t divergence_depth(const spec::StealSpec& spec,
   return trail.size();
 }
 
-}  // namespace
+SpecExecutor::SpecExecutor(
+    const ProgramFactory& make_program,
+    const std::vector<std::unique_ptr<spec::StealSpec>>& family,
+    const SweepOptions& options)
+    : make_program_(make_program),
+      family_(family),
+      options_(options),
+      // Sampling forces the rerun strategy: prefix checkpoints carry
+      // detector state across specs, and each spec samples a DIFFERENT
+      // granule set (per-spec seed), so a resumed checkpoint would mix two
+      // sample sets.
+      prefix_(options.strategy == SweepStrategy::kPrefix &&
+              !options.sampling.enabled),
+      stride_(std::max(1u, options.checkpoint_stride)) {}
+
+SpecExecutor::~SpecExecutor() { drop_checkpoints(0); }
+
+/// Capture hook shared by fresh and resumed runs: snapshot the engine and
+/// fork the detector at (stride-thinned) continuation points.  Re-runs over
+/// a shared prefix skip points already covered by a live checkpoint.
+void SpecExecutor::on_point(std::size_t idx) {
+  if (idx < 1) return;
+  // Geometric spacing: the gap to the next checkpoint is at least `stride`
+  // and at least 1/8 of the current depth, so a run of n points takes
+  // O(log n) checkpoints and O(n) amortized fork work (a fork at point p
+  // costs O(p) detector state), while a divergence at depth d still resumes
+  // within ~d/8 of it.
+  const std::size_t base = ckpts_.empty() ? 0 : ckpts_.back().engine.point;
+  if (!ckpts_.empty() &&
+      idx < base + std::max<std::size_t>(stride_, base / 8)) {
+    return;
+  }
+  PrefixCheckpoint ck;
+  eng_->capture(&ck.engine);
+  ck.tool = cur_tool_->fork(nullptr);
+  RADER_CHECK_MSG(ck.tool != nullptr,
+                  "prefix sweep requires a forkable detector");
+  ck.log = *cur_out_;
+  ckpts_.push_back(std::move(ck));
+  metrics::bump(metrics::Counter::kSweepCheckpoints);
+  metrics::gauge_add(metrics::Gauge::kSweepCheckpointsLive, 1);
+}
+
+/// Every checkpoint counted in must be counted out, whichever of the three
+/// drop sites (divergence trim, fallback clear, executor destruction)
+/// releases it — the folded gauge level is 0 once every executor is gone.
+void SpecExecutor::drop_checkpoints(std::size_t keep) {
+  while (ckpts_.size() > keep) {
+    ckpts_.pop_back();
+    metrics::gauge_add(metrics::Gauge::kSweepCheckpointsLive, -1);
+  }
+}
+
+SpecExecutor::RunOutcome SpecExecutor::run(std::size_t i, RaceLog* out) {
+  faultpoint::fire(faultpoint::kSiteSweepSpec,
+                   static_cast<std::uint64_t>(i));
+  return prefix_ ? run_prefix(i, out) : run_rerun(i, out);
+}
+
+SpecExecutor::RunOutcome SpecExecutor::run_rerun(std::size_t i,
+                                                 RaceLog* out) {
+  if (!program_) program_ = make_program_();
+  *out = RaceLog();
+  SpPlusDetector detector(out);
+  // Sampling wraps each per-spec detector with a filter seeded from the
+  // spec's describe() string — deterministic and jobs-invariant.
+  Tool* tool = &detector;
+  std::unique_ptr<SamplingTool> sampler;
+  if (options_.sampling.enabled) {
+    SamplingConfig cfg = options_.sampling;
+    cfg.seed = sampling_seed_for_spec(cfg.seed, family_[i]->describe());
+    sampler = std::make_unique<SamplingTool>(&detector, cfg);
+    tool = sampler.get();
+  }
+  prof::Phase spec_phase("spec");
+  const std::uint64_t t0 = metrics::now_nanos();
+  {
+    metrics::PhaseTimer timer(metrics::Phase::kExecute);
+    prof::Phase detect_phase("detect");
+    run_serial(program_, tool, family_[i].get());
+  }
+  return {true, metrics::now_nanos() - t0};
+}
+
+SpecExecutor::RunOutcome SpecExecutor::run_prefix(std::size_t i,
+                                                  RaceLog* out) {
+  if (!program_) program_ = make_program_();
+  prof::Phase spec_phase("spec");
+  const std::size_t d = has_last_ ? divergence_depth(*family_[i], trail_) : 0;
+  if (has_last_) {
+    metrics::record(metrics::Histogram::kDivergenceDepth, d);
+  }
+  if (has_last_ && d == trail_.size()) {
+    // Every decision matches the previous run: the execution would be
+    // identical, so its (unstamped) log is reused verbatim.  This is common
+    // in coverage families, whose members often differ only on contexts the
+    // program never reaches.  Accounted by the caller so spec_runs ==
+    // kSpecRuns + kSweepDedupReuses stays exact.
+    *out = last_log_;
+    return {false, 0};
+  }
+  // Checkpoints past the divergence belong to the abandoned suffix.
+  {
+    std::size_t keep = ckpts_.size();
+    while (keep > 0 && ckpts_[keep - 1].engine.point > d) --keep;
+    drop_checkpoints(keep);
+  }
+  *out = RaceLog();
+  cur_out_ = out;
+  const auto hook = [this](std::size_t idx) { on_point(idx); };
+  const std::uint64_t t0 = metrics::now_nanos();
+  {
+    metrics::PhaseTimer timer(metrics::Phase::kExecute);
+    bool fresh = ckpts_.empty();
+    if (!fresh) {
+      PrefixCheckpoint& ck = ckpts_.back();
+      trail_.resize(d);
+      *out = ck.log;
+      std::unique_ptr<Tool> detector = ck.tool->fork(out);
+      metrics::bump(metrics::Counter::kSweepForks);
+      SerialEngine engine(detector.get(), family_[i].get());
+      eng_ = &engine;
+      cur_tool_ = detector.get();
+      engine.set_decision_trail(&trail_);
+      engine.set_point_hook(hook);
+      SerialEngine::ResumePlan plan;
+      plan.replay = &trail_;
+      plan.replay_count = d;
+      plan.live_from = ck.engine.point;
+      // Verified (then dropped) before the hook can grow `ckpts_` and
+      // invalidate this pointer.
+      plan.expect = &ck.engine;
+      try {
+        prof::Phase resume_phase("resume");
+        engine.resume_from(program_, plan);
+      } catch (const ResumeDiverged&) {
+        // The re-executed prefix did not regenerate the checkpointed state
+        // (go_live verification, serial_engine.hpp): the program is not an
+        // address-stable pure function of the decisions, so its runs cannot
+        // share prefixes.  Degrade to rerun semantics for this member: drop
+        // every checkpoint (their forks describe executions this program
+        // cannot reproduce) and the possibly dirtied instance, and run the
+        // member fresh.  Correctness is preserved — only the speedup is
+        // lost — and the fallback is visible as kSweepResumeFallbacks in
+        // rader.report.
+        metrics::bump(metrics::Counter::kSweepResumeFallbacks);
+        drop_checkpoints(0);
+        *out = RaceLog();
+        program_ = make_program_();
+        fresh = true;
+      }
+    }
+    if (fresh) {
+      // No shared prefix survives (first member, divergence at the root,
+      // stride left no checkpoint this shallow, or a resume fallback):
+      // fresh run.
+      trail_.clear();
+      SpPlusDetector detector(out);
+      SerialEngine engine(&detector, family_[i].get());
+      eng_ = &engine;
+      cur_tool_ = &detector;
+      engine.set_decision_trail(&trail_);
+      engine.set_point_hook(hook);
+      prof::Phase detect_phase("detect");
+      engine.run(program_);
+    }
+  }
+  const std::uint64_t nanos = metrics::now_nanos() - t0;
+  // The dedup shortcut needs the log as the run produced it, BEFORE
+  // stamp_found_under seeds found_under/eliciting_specs.
+  last_log_ = *out;
+  has_last_ = true;
+  return {true, nanos};
+}
+
+}  // namespace sweep_internal
 
 ProgramFactory shared_program(std::function<void()> program) {
   return [program = std::move(program)] { return program; };
@@ -241,6 +406,13 @@ SweepResult sweep_family(
     const ProgramFactory& make_program,
     const std::vector<std::unique_ptr<spec::StealSpec>>& family,
     const SweepOptions& options) {
+  if (options.isolation == SweepIsolation::kProcs) {
+    // Crash-isolated backend (core/sweep_isolated.cpp): same per-spec
+    // execution code (SpecExecutor), but sharded across sandboxed child
+    // processes under a retry/quarantine supervisor.
+    return sweep_internal::sweep_family_isolated(make_program, family,
+                                                 options);
+  }
   SweepResult result;
   const std::size_t total = family.size();
   const std::size_t n =
@@ -324,8 +496,22 @@ SweepResult sweep_family(
     inflight.set(widx, text);
   };
 
-  const auto rerun_worker = [&](unsigned widx) {
-    std::function<void()> program;  // this worker's own program instance
+  // Per-spec accounting shared by both strategies (see the contract in
+  // core/sweep_internal.hpp: these bumps are the caller's job, not the
+  // executor's, so the isolated sweep's supervisor can account only the
+  // specs whose results actually arrived).
+  const auto account_spec = [](const sweep_internal::SpecExecutor::RunOutcome&
+                                   outcome) {
+    if (outcome.executed) {
+      metrics::record(metrics::Histogram::kSpecRunNanos, outcome.nanos);
+      metrics::bump(metrics::Counter::kSpecRuns);
+    } else {
+      metrics::bump(metrics::Counter::kSweepDedupReuses);
+    }
+  };
+
+  const auto rerun_worker = [&](unsigned widx,
+                                sweep_internal::SpecExecutor& exec) {
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) break;
@@ -334,84 +520,19 @@ SweepResult sweep_family(
       // them; indices at or below it always run, which guarantees the whole
       // prefix [0, final first_racy] executes at every thread count.
       if (i > first_racy.load(std::memory_order_relaxed)) break;
-      if (!program) program = make_program();
       begin_spec(widx, i);
-      SpPlusDetector detector(&per_spec[i]);
-      // Sampling wraps each per-spec detector with a filter seeded from
-      // the spec's describe() string — deterministic and jobs-invariant.
-      Tool* tool = &detector;
-      std::unique_ptr<SamplingTool> sampler;
-      if (options.sampling.enabled) {
-        SamplingConfig cfg = options.sampling;
-        cfg.seed =
-            sampling_seed_for_spec(cfg.seed, family[i]->describe());
-        sampler = std::make_unique<SamplingTool>(&detector, cfg);
-        tool = sampler.get();
-      }
-      prof::Phase spec_phase("spec");
-      const std::uint64_t t0 = metrics::now_nanos();
-      {
-        metrics::PhaseTimer timer(metrics::Phase::kExecute);
-        prof::Phase detect_phase("detect");
-        run_serial(program, tool, family[i].get());
-      }
-      metrics::record(metrics::Histogram::kSpecRunNanos,
-                      metrics::now_nanos() - t0);
-      metrics::bump(metrics::Counter::kSpecRuns);
+      account_spec(exec.run(i, &per_spec[i]));
       finish_spec(widx, i);
     }
   };
 
-  const auto prefix_worker = [&](unsigned widx) {
-    const unsigned stride = std::max(1u, options.checkpoint_stride);
+  const auto prefix_worker = [&](unsigned widx,
+                                 sweep_internal::SpecExecutor& exec) {
     // Claim ascending chunks instead of single indices: lexicographic
     // families are emitted in trie DFS order, so neighbouring indices share
     // the deepest prefixes, and those only pay off when the SAME worker
     // (whose trail and checkpoints describe the previous member) runs them.
     constexpr std::size_t kChunk = 8;
-    std::function<void()> program;      // this worker's own program instance
-    DecisionTrail trail;                // decisions of the latest run
-    std::vector<PrefixCheckpoint> ckpts;  // checkpoints along it, ascending
-    RaceLog last_log;                   // latest run's UNSTAMPED log
-    bool has_last = false;
-
-    // Capture hook shared by fresh and resumed runs: snapshot the engine and
-    // fork the detector at (stride-thinned) continuation points.  Re-runs
-    // over a shared prefix skip points already covered by a live checkpoint.
-    SerialEngine* eng = nullptr;
-    Tool* cur_tool = nullptr;
-    std::size_t cur_idx = 0;
-    const auto hook = [&](std::size_t idx) {
-      if (idx < 1) return;
-      // Geometric spacing: the gap to the next checkpoint is at least
-      // `stride` and at least 1/8 of the current depth, so a run of n
-      // points takes O(log n) checkpoints and O(n) amortized fork work
-      // (a fork at point p costs O(p) detector state), while a divergence
-      // at depth d still resumes within ~d/8 of it.
-      const std::size_t base = ckpts.empty() ? 0 : ckpts.back().engine.point;
-      if (!ckpts.empty() && idx < base + std::max<std::size_t>(stride, base / 8))
-        return;
-      PrefixCheckpoint ck;
-      eng->capture(&ck.engine);
-      ck.tool = cur_tool->fork(nullptr);
-      RADER_CHECK_MSG(ck.tool != nullptr,
-                      "prefix sweep requires a forkable detector");
-      ck.log = per_spec[cur_idx];
-      ckpts.push_back(std::move(ck));
-      metrics::bump(metrics::Counter::kSweepCheckpoints);
-      metrics::gauge_add(metrics::Gauge::kSweepCheckpointsLive, 1);
-    };
-
-    // Every checkpoint counted in must be counted out, whichever of the
-    // three drop sites (divergence trim, fallback clear, worker exit)
-    // releases it — the folded gauge level is 0 once every worker exits.
-    const auto drop_checkpoints = [&](std::size_t keep) {
-      while (ckpts.size() > keep) {
-        ckpts.pop_back();
-        metrics::gauge_add(metrics::Gauge::kSweepCheckpointsLive, -1);
-      }
-    };
-
     for (;;) {
       const std::size_t start =
           next.fetch_add(kChunk, std::memory_order_relaxed);
@@ -426,106 +547,14 @@ SweepResult sweep_family(
           abandoned = true;
           break;
         }
-        if (!program) program = make_program();
         begin_spec(widx, i);
-        prof::Phase spec_phase("spec");
-        const std::size_t d =
-            has_last ? divergence_depth(*family[i], trail) : 0;
-        if (has_last) {
-          metrics::record(metrics::Histogram::kDivergenceDepth, d);
-        }
-        if (has_last && d == trail.size()) {
-          // Every decision matches the previous run: the execution would be
-          // identical, so its (unstamped) log is reused verbatim.  This is
-          // common in coverage families, whose members often differ only on
-          // contexts the program never reaches.  Accounted separately so
-          // spec_runs == kSpecRuns + kSweepDedupReuses stays exact.
-          per_spec[i] = last_log;
-          metrics::bump(metrics::Counter::kSweepDedupReuses);
-          finish_spec(widx, i);
-          continue;
-        }
-        // Checkpoints past the divergence belong to the abandoned suffix.
-        {
-          std::size_t keep = ckpts.size();
-          while (keep > 0 && ckpts[keep - 1].engine.point > d) --keep;
-          drop_checkpoints(keep);
-        }
-        cur_idx = i;
-        const std::uint64_t t0 = metrics::now_nanos();
-        {
-          metrics::PhaseTimer timer(metrics::Phase::kExecute);
-          bool fresh = ckpts.empty();
-          if (!fresh) {
-            PrefixCheckpoint& ck = ckpts.back();
-            trail.resize(d);
-            per_spec[i] = ck.log;
-            std::unique_ptr<Tool> detector = ck.tool->fork(&per_spec[i]);
-            metrics::bump(metrics::Counter::kSweepForks);
-            SerialEngine engine(detector.get(), family[i].get());
-            eng = &engine;
-            cur_tool = detector.get();
-            engine.set_decision_trail(&trail);
-            engine.set_point_hook(hook);
-            SerialEngine::ResumePlan plan;
-            plan.replay = &trail;
-            plan.replay_count = d;
-            plan.live_from = ck.engine.point;
-            // Verified (then dropped) before the hook can grow `ckpts` and
-            // invalidate this pointer.
-            plan.expect = &ck.engine;
-            try {
-              prof::Phase resume_phase("resume");
-              engine.resume_from(program, plan);
-            } catch (const ResumeDiverged&) {
-              // The re-executed prefix did not regenerate the checkpointed
-              // state (go_live verification, serial_engine.hpp): the program
-              // is not an address-stable pure function of the decisions, so
-              // its runs cannot share prefixes.  Degrade to rerun semantics
-              // for this member: drop every checkpoint (their forks describe
-              // executions this program cannot reproduce) and the possibly
-              // dirtied instance, and run the member fresh.  Correctness is
-              // preserved — only the speedup is lost — and the fallback is
-              // visible as kSweepResumeFallbacks in rader.report.
-              metrics::bump(metrics::Counter::kSweepResumeFallbacks);
-              drop_checkpoints(0);
-              per_spec[i] = RaceLog();
-              program = make_program();
-              fresh = true;
-            }
-          }
-          if (fresh) {
-            // No shared prefix survives (first member, divergence at the
-            // root, stride left no checkpoint this shallow, or a resume
-            // fallback): fresh run.
-            trail.clear();
-            SpPlusDetector detector(&per_spec[i]);
-            SerialEngine engine(&detector, family[i].get());
-            eng = &engine;
-            cur_tool = &detector;
-            engine.set_decision_trail(&trail);
-            engine.set_point_hook(hook);
-            prof::Phase detect_phase("detect");
-            engine.run(program);
-          }
-        }
-        metrics::record(metrics::Histogram::kSpecRunNanos,
-                        metrics::now_nanos() - t0);
-        metrics::bump(metrics::Counter::kSpecRuns);
-        // The dedup shortcut needs the log as the run produced it, BEFORE
-        // stamp_found_under seeds found_under/eliciting_specs.
-        last_log = per_spec[i];
-        has_last = true;
+        account_spec(exec.run(i, &per_spec[i]));
         finish_spec(widx, i);
       }
       if (abandoned) break;
     }
-    drop_checkpoints(0);
   };
 
-  // Sampling forces the rerun strategy: prefix checkpoints carry detector
-  // state across specs, and each spec samples a DIFFERENT granule set
-  // (per-spec seed), so a resumed checkpoint would mix two sample sets.
   const bool prefix = options.strategy == SweepStrategy::kPrefix &&
                       !options.sampling.enabled;
   const auto worker = [&](unsigned widx) {
@@ -545,10 +574,13 @@ SweepResult sweep_family(
         tsession != nullptr
             ? tsession->make_buffer("sweep-w" + std::to_string(widx))
             : trace::buffer());
-    if (prefix) {
-      prefix_worker(widx);
-    } else {
-      rerun_worker(widx);
+    {
+      sweep_internal::SpecExecutor exec(make_program, family, options);
+      if (prefix) {
+        prefix_worker(widx, exec);
+      } else {
+        rerun_worker(widx, exec);
+      }
     }
     // Quiescent totals: the monitor's final JSONL sample reads these slots
     // after the join, so publish everything one last time.

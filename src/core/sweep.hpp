@@ -59,6 +59,37 @@ enum class SweepStrategy {
   kPrefix,
 };
 
+/// How sweep executions are sandboxed against crashing / hanging / runaway
+/// specs (docs/ROBUSTNESS.md).
+enum class SweepIsolation {
+  /// Everything runs in-process (fastest; a misbehaving spec takes the
+  /// whole process down).
+  kNone,
+
+  /// Shard the family across sandboxed worker *processes*
+  /// (support/subprocess.hpp: fork without exec, so the program factory
+  /// runs directly in the child).  A single-threaded supervisor drains
+  /// per-spec results over pipes, enforces per-spec deadlines and memory
+  /// caps, retries failed shards with backoff, bisects unattributable
+  /// failures, and quarantines the offending spec after retries — the
+  /// sweep always completes, surviving specs merge byte-identical to the
+  /// in-process sweep, and quarantined specs land in
+  /// SweepResult::failures.
+  kProcs,
+};
+
+/// One quarantined family member of an isolated sweep: the spec the
+/// supervisor gave up on after retries, with the failure classification.
+/// Serialized as report schema v5's sweep.failures[] (core/report_json.hpp).
+struct SweepFailure {
+  std::size_t index = 0;   // family index of the quarantined spec
+  std::string spec;        // its describe() handle
+  std::string cause;       // "signal" | "timeout" | "oom" | "error"
+  int signal = 0;          // terminating signal when cause == "signal"
+  unsigned retries = 0;    // shard relaunches spent before quarantining
+  std::string postmortem;  // child post-mortem file ("" = none captured)
+};
+
 /// Options controlling a specification-family sweep.
 struct SweepOptions {
   /// Worker threads.  0 = std::thread::hardware_concurrency(); 1 = run the
@@ -134,6 +165,43 @@ struct SweepOptions {
   /// forces SweepStrategy::kRerun: prefix checkpoints share detector
   /// state ACROSS specs, which per-spec sample sets would corrupt.
   SamplingConfig sampling;
+
+  /// Crash isolation (`rader --isolate=procs`): see SweepIsolation.  With
+  /// kProcs, `threads` is the number of concurrent sandbox processes, the
+  /// monitor duties (--progress/--metrics-out/--watchdog-ms) run inline in
+  /// the single-threaded supervisor loop, and the fields below apply.
+  SweepIsolation isolation = SweepIsolation::kNone;
+
+  /// kProcs: wall-clock deadline per spec inside a child
+  /// (`--spec-timeout-ms`); on expiry the child is SIGKILLed and the spec
+  /// goes through retry/quarantine with cause "timeout".  0 = no deadline
+  /// (only --watchdog-kill can then recover a hang).
+  unsigned spec_timeout_ms = 0;
+
+  /// kProcs: failed-shard relaunches (same range, exponential backoff)
+  /// before the culprit spec is quarantined (`--max-retries`).
+  unsigned max_retries = 1;
+
+  /// kProcs: RLIMIT_AS per child in MiB (`--child-mem-mb`); a runaway
+  /// allocation then dies as cause "oom" instead of OOM-killing the host.
+  /// 0 = inherit.  Note the cap covers the child's whole address space —
+  /// which starts as a fork of the parent's — so it must comfortably
+  /// exceed the parent's footprint.
+  unsigned child_mem_mb = 0;
+
+  /// kProcs + watchdog_ms > 0: escalate a watchdog stall from
+  /// diagnosis-only to recovery (`--watchdog-kill`) — a child with no pipe
+  /// activity for watchdog_ms is killed and its shard re-enters the same
+  /// retry/quarantine path (counted in sweep.quarantined), so even a
+  /// sleeping hang with no --spec-timeout-ms cannot wedge the sweep.
+  bool watchdog_kill = false;
+
+  /// kProcs: directory for per-child crash post-mortems
+  /// (`--postmortem-dir`).  Each child installs the fatal-signal handler
+  /// (support/crash.hpp) targeting "<dir>/child-<first-index>-<attempt>.
+  /// postmortem"; when a quarantined spec's child left one, its path is
+  /// recorded in SweepFailure::postmortem.  "" = children dump to stderr.
+  std::string postmortem_dir;
 };
 
 /// Factory producing a fresh instance of the program under test.  Called at
@@ -149,6 +217,13 @@ struct SweepResult {
   RaceLog log;                      // deduplicated union over executed specs
   std::uint64_t spec_runs = 0;      // SP+ executions merged into the result
   std::uint64_t specs_skipped = 0;  // members skipped (budget / early stop)
+
+  /// Isolated sweeps only: quarantined family members inside the merged
+  /// prefix, ascending by index (report schema v5 sweep.failures[]).  The
+  /// merged log covers every prefix member EXCEPT these; empty for
+  /// in-process sweeps, which die with their first misbehaving spec
+  /// instead.  spec_runs + failures.size() + specs_skipped == family size.
+  std::vector<SweepFailure> failures;
 
   /// Aggregate run metrics: worker counters/timers summed, plus the merge
   /// phase.  Unlike the fields above, metrics measure the work actually

@@ -1,0 +1,70 @@
+// Fault-injection registry: named sites compiled into the sweep path so the
+// crash-isolation supervisor's recovery machinery (core/sweep.hpp,
+// docs/ROBUSTNESS.md) is itself testable.
+//
+// A *fault point* is a named call site — `faultpoint::fire(site, detail)` —
+// that normally does nothing.  Arming a fault (programmatically or via the
+// `RADER_FAULTS` environment variable) makes matching sites misbehave on
+// purpose:
+//
+//   RADER_FAULTS=site:kind:match[,site:kind:match...]
+//
+//   site   one of the kSite* names below (e.g. "sweep.spec")
+//   kind   crash  — raise a genuine SIGSEGV (null-pointer store), so the
+//                   fatal-signal handler and exit-status classification are
+//                   exercised end to end
+//          hang   — sleep forever (no CPU burned; only a wall-clock
+//                   watchdog or per-spec deadline can recover)
+//          oom    — allocate-and-touch up to a bounded cap and then throw
+//                   std::bad_alloc; under a child RLIMIT_AS the allocation
+//                   loop hits the limit for real, without one the synthetic
+//                   throw keeps the host safe
+//   match  "*" (every firing) or a decimal detail value — for the sweep
+//          sites the detail is a family index ("sweep.spec") or a shard's
+//          first family index ("sweep.child")
+//
+// Arming is process-wide and INHERITED ACROSS fork(): a retried sandbox
+// child re-fires the same fault deterministically, which is exactly what
+// drives the supervisor's retry → bisect → quarantine path in tests.
+// The environment variable is parsed once, on the first fire()/any_armed()
+// call; programmatic arm()/disarm_all() are for tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rader::faultpoint {
+
+/// Sites compiled into the sweep path (single source of truth; documented
+/// in docs/ROBUSTNESS.md).
+/// Fired once per spec execution, detail = family index.  Fires in
+/// UNPROTECTED in-process sweeps too — an armed crash then takes the whole
+/// process down, which is the scenario --isolate=procs exists for.
+inline constexpr const char* kSiteSweepSpec = "sweep.spec";
+/// Fired once at sandbox-child startup, detail = the shard's first family
+/// index.  Crashing here produces a child with no per-spec attribution,
+/// which exercises the supervisor's bisection path.
+inline constexpr const char* kSiteSweepChild = "sweep.child";
+
+enum class Kind { kCrash, kHang, kOom };
+
+/// Arm every fault in `spec` ("site:kind:match[,...]"); additive with
+/// previously armed faults.  Returns false (and sets *error, if given)
+/// on a malformed spec — nothing is armed then.
+bool arm(const std::string& spec, std::string* error = nullptr);
+
+/// Disarm every fault (programmatic and environment-armed alike; the
+/// environment is not re-read afterwards).
+void disarm_all();
+
+/// True when at least one fault is armed (forces the RADER_FAULTS parse).
+bool any_armed();
+
+/// Number of armed faults (tests).
+std::size_t armed_count();
+
+/// Fire the site: misbehave per the first armed fault whose site and match
+/// cover (site, detail); no-op otherwise.  kCrash and kHang never return.
+void fire(const char* site, std::uint64_t detail);
+
+}  // namespace rader::faultpoint

@@ -41,6 +41,9 @@ const char* counter_name(Counter c) {
     case Counter::kShadowPageResets: return "shadow.page_resets";
     case Counter::kSampledAccesses: return "detector.sampled_accesses";
     case Counter::kSampledDropped: return "detector.sampled_dropped";
+    case Counter::kSweepChildCrashes: return "sweep.child_crashes";
+    case Counter::kSweepRetries: return "sweep.retries";
+    case Counter::kSweepQuarantined: return "sweep.quarantined";
   }
   return "unknown";
 }
@@ -87,6 +90,12 @@ const char* counter_help(Counter c) {
       return "access granule runs forwarded by sampling wrappers";
     case Counter::kSampledDropped:
       return "granules dropped unsampled by sampling wrappers";
+    case Counter::kSweepChildCrashes:
+      return "sandbox children that died abnormally in isolated sweeps";
+    case Counter::kSweepRetries:
+      return "failed shards relaunched by the isolated-sweep supervisor";
+    case Counter::kSweepQuarantined:
+      return "specs quarantined into sweep.failures[] after retries";
   }
   return "";
 }
@@ -119,6 +128,9 @@ const char* histogram_help(Histogram h) {
       return "prefix-sweep divergence depth (decision-trail index)";
     case Histogram::kSampledRunBytes:
       return "byte length of each forwarded sampled granule run";
+    case Histogram::kChildRestartNanos:
+      return "failure-detection to replacement-spawn latency (isolated "
+             "sweep)";
   }
   return "";
 }
@@ -153,6 +165,7 @@ const char* histogram_name(Histogram h) {
     case Histogram::kReduceNanos: return "engine.reduce_nanos";
     case Histogram::kDivergenceDepth: return "sweep.divergence_depth";
     case Histogram::kSampledRunBytes: return "detector.sampled_run_bytes";
+    case Histogram::kChildRestartNanos: return "sweep.child_restart_nanos";
   }
   return "unknown";
 }

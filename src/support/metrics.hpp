@@ -83,8 +83,15 @@ enum class Counter : unsigned {
   kSampledAccesses,        // access events (granule runs) a SamplingTool
                            // forwarded to its wrapped detector
   kSampledDropped,         // granules a SamplingTool dropped unsampled
+  kSweepChildCrashes,      // sandbox children that died abnormally (signal,
+                           // timeout kill, OOM exit, protocol truncation)
+                           // during an isolated sweep (core/sweep.hpp)
+  kSweepRetries,           // failed shards relaunched (same range, backoff)
+                           // by the isolated-sweep supervisor
+  kSweepQuarantined,       // specs quarantined into sweep.failures[] after
+                           // retries were exhausted
 };
-inline constexpr unsigned kCounterCount = 22;
+inline constexpr unsigned kCounterCount = 25;
 const char* counter_name(Counter c);
 
 /// Gauge identities: instantaneous levels with a per-thread high-water
@@ -110,8 +117,10 @@ enum class Histogram : unsigned {
   kDivergenceDepth,  // prefix-sweep divergence depth (trail index)
   kSampledRunBytes,  // byte length of each granule run a SamplingTool
                      // forwarded (coverage shape of the sampled stream)
+  kChildRestartNanos,  // isolated sweep: latency from detecting a child
+                       // failure to spawning its replacement
 };
-inline constexpr unsigned kHistogramCount = 5;
+inline constexpr unsigned kHistogramCount = 6;
 inline constexpr unsigned kHistogramBuckets = 64;
 const char* histogram_name(Histogram h);
 

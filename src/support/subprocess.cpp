@@ -1,0 +1,237 @@
+#include "support/subprocess.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <new>
+
+#include "support/metrics.hpp"
+
+namespace rader::subprocess {
+
+namespace {
+
+void apply_limits(const Limits& limits) {
+  if (limits.memory_bytes != 0) {
+    rlimit rl;
+    rl.rlim_cur = limits.memory_bytes;
+    rl.rlim_max = limits.memory_bytes;
+    setrlimit(RLIMIT_AS, &rl);
+  }
+  if (limits.cpu_seconds != 0) {
+    rlimit rl;
+    rl.rlim_cur = limits.cpu_seconds;
+    rl.rlim_max = limits.cpu_seconds;
+    setrlimit(RLIMIT_CPU, &rl);
+  }
+}
+
+void classify_wait_status(int wstatus, Status* out) {
+  if (WIFEXITED(wstatus)) {
+    out->kind = ExitKind::kExited;
+    out->exit_code = WEXITSTATUS(wstatus);
+  } else if (WIFSIGNALED(wstatus)) {
+    out->kind = ExitKind::kSignaled;
+    out->term_signal = WTERMSIG(wstatus);
+  } else {
+    out->kind = ExitKind::kSignaled;
+    out->term_signal = 0;
+  }
+}
+
+}  // namespace
+
+Child::~Child() {
+  if (valid() && status_.kind == ExitKind::kRunning) {
+    kill_hard();
+    int wstatus = 0;
+    while (waitpid(pid_, &wstatus, 0) < 0 && errno == EINTR) {
+    }
+    status_.kind = ExitKind::kTimedOut;  // killed by the owner, not reaped
+  }
+  close_fd();
+  pid_ = -1;
+}
+
+Child::Child(Child&& other) noexcept
+    : pid_(other.pid_), out_fd_(other.out_fd_), status_(other.status_) {
+  other.pid_ = -1;
+  other.out_fd_ = -1;
+  other.status_ = Status{};
+}
+
+Child& Child::operator=(Child&& other) noexcept {
+  if (this != &other) {
+    this->~Child();
+    new (this) Child(std::move(other));
+  }
+  return *this;
+}
+
+void Child::close_fd() {
+  if (out_fd_ >= 0) {
+    close(out_fd_);
+    out_fd_ = -1;
+  }
+}
+
+Child Child::spawn(const ChildFn& fn, const Limits& limits) {
+  Child c;
+  int fds[2];
+  if (pipe(fds) != 0) {
+    c.status_.kind = ExitKind::kSpawnFailed;
+    c.status_.exit_code = errno;
+    return c;
+  }
+  const pid_t pid = fork();
+  if (pid < 0) {
+    close(fds[0]);
+    close(fds[1]);
+    c.status_.kind = ExitKind::kSpawnFailed;
+    c.status_.exit_code = errno;
+    return c;
+  }
+  if (pid == 0) {
+    // Child: inherit the whole address space; only the pipe talks back.
+    close(fds[0]);
+    // Writing into a pipe the parent closed must not kill the child with
+    // SIGPIPE mid-protocol — a short write is classified by the parent.
+    signal(SIGPIPE, SIG_IGN);
+    apply_limits(limits);
+    int code = 1;
+    try {
+      code = fn(fds[1]);
+    } catch (const std::bad_alloc&) {
+      code = kOomExitCode;
+    } catch (...) {
+      code = kUncaughtExitCode;
+    }
+    close(fds[1]);
+    // _exit: a forked copy must not run atexit hooks / static destructors
+    // that belong to the parent (flushing its stdio, tearing down its
+    // arenas).
+    _exit(code);
+  }
+  // Parent.
+  close(fds[1]);
+  fcntl(fds[0], F_SETFL, O_NONBLOCK);
+  c.pid_ = pid;
+  c.out_fd_ = fds[0];
+  return c;
+}
+
+bool Child::read_available(std::string* buf) {
+  if (out_fd_ < 0) return false;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = read(out_fd_, chunk, sizeof chunk);
+    if (n > 0) {
+      if (buf != nullptr) buf->append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      close_fd();
+      return false;  // EOF: the child closed its end (exit or death)
+    }
+    if (errno == EINTR) continue;
+    return errno == EAGAIN || errno == EWOULDBLOCK;
+  }
+}
+
+bool Child::try_wait() {
+  if (!valid()) return false;
+  if (status_.kind != ExitKind::kRunning) return true;
+  int wstatus = 0;
+  const pid_t r = waitpid(pid_, &wstatus, WNOHANG);
+  if (r == 0) return false;
+  if (r < 0) {
+    // Already reaped elsewhere (shouldn't happen single-threaded); treat as
+    // an anonymous signal death.
+    status_.kind = ExitKind::kSignaled;
+    return true;
+  }
+  classify_wait_status(wstatus, &status_);
+  return true;
+}
+
+void Child::kill_hard() {
+  if (valid() && status_.kind == ExitKind::kRunning) kill(pid_, SIGKILL);
+}
+
+void Child::kill_timeout() {
+  if (!valid() || status_.kind != ExitKind::kRunning) return;
+  kill(pid_, SIGKILL);
+  int wstatus = 0;
+  while (waitpid(pid_, &wstatus, 0) < 0 && errno == EINTR) {
+  }
+  status_ = Status{};
+  status_.kind = ExitKind::kTimedOut;
+}
+
+const Status& Child::wait(unsigned deadline_ms, std::string* buf) {
+  if (!valid()) return status_;
+  const std::uint64_t deadline =
+      deadline_ms == 0
+          ? 0
+          : metrics::now_nanos() + std::uint64_t{deadline_ms} * 1'000'000;
+  bool pipe_open = out_fd_ >= 0;
+  while (status_.kind == ExitKind::kRunning) {
+    if (pipe_open) {
+      pollfd pfd{out_fd_, POLLIN, 0};
+      poll(&pfd, 1, 20);
+      pipe_open = read_available(buf);
+    } else {
+      // Pipe is done but the child may still be running (it closed stdout
+      // early, or is being torn down): just pace the waitpid polls.
+      struct timespec ts {
+        0, 5'000'000
+      };
+      nanosleep(&ts, nullptr);
+    }
+    if (try_wait()) break;
+    if (deadline != 0 && metrics::now_nanos() >= deadline) {
+      kill_timeout();
+      break;
+    }
+  }
+  // Final drain: bytes written before death are still readable after it.
+  while (out_fd_ >= 0 && read_available(buf)) {
+    pollfd pfd{out_fd_, POLLIN, 0};
+    if (poll(&pfd, 1, 0) <= 0) break;
+  }
+  return status_;
+}
+
+RunResult run(const ChildFn& fn, const Limits& limits, unsigned deadline_ms) {
+  RunResult result;
+  Child c = Child::spawn(fn, limits);
+  if (!c.valid()) {
+    result.status = c.status();
+    return result;
+  }
+  result.status = c.wait(deadline_ms, &result.output);
+  return result;
+}
+
+int poll_readable(const std::vector<int>& fds, int timeout_ms) {
+  std::vector<pollfd> pfds;
+  pfds.reserve(fds.size());
+  for (const int fd : fds) pfds.push_back({fd, POLLIN, 0});
+  const int r = poll(pfds.data(), static_cast<nfds_t>(pfds.size()),
+                     timeout_ms);
+  if (r <= 0) return -1;
+  for (std::size_t i = 0; i < pfds.size(); ++i) {
+    if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+}  // namespace rader::subprocess

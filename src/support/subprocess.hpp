@@ -1,0 +1,130 @@
+// Fork-based sandbox children: the process-isolation substrate of the
+// crash-isolated sweep (core/sweep.hpp --isolate=procs, docs/ROBUSTNESS.md).
+//
+// A Child is a fork()-WITHOUT-exec worker: it inherits the parent's whole
+// address space, so an arbitrary C++ callable (the sweep's ProgramFactory
+// closures included) runs sandboxed with no serialization of the program
+// itself — only results cross the process boundary, over a pipe the child
+// writes and the parent drains.  The sandbox walls are
+//   * an optional RLIMIT_AS cap (address-space bytes; a runaway allocation
+//     gets std::bad_alloc instead of OOM-killing the host),
+//   * an optional RLIMIT_CPU cap (a spinning child dies of SIGXCPU even if
+//     the parent is gone),
+//   * a parent-side wall-clock deadline (wait(): poll-drain until exit or
+//     deadline, then SIGKILL) — the only wall that catches a sleeping hang.
+//
+// Exit classification (Status::kind):
+//   kExited    child returned / _exit()ed; exit_code holds the code.  A
+//              callable that throws std::bad_alloc exits kOomExitCode, any
+//              other uncaught exception kUncaughtExitCode.
+//   kSignaled  killed by a signal (SIGSEGV, SIGKILL, SIGXCPU…); term_signal.
+//   kTimedOut  the parent's deadline expired and the child was SIGKILLed.
+//
+// Forking a multithreaded process is a minefield (only async-signal-safe
+// calls are allowed in the child of such a fork), so the isolated-sweep
+// supervisor is single-threaded by design; spawn() is safe from any
+// process whose other threads are quiescent at fork time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace rader::subprocess {
+
+/// Exit code a child reports when its callable throws std::bad_alloc —
+/// the userspace face of an RLIMIT_AS hit ("oom" in sweep.failures[]).
+inline constexpr int kOomExitCode = 117;
+/// Exit code for any other exception escaping the child callable.
+inline constexpr int kUncaughtExitCode = 118;
+
+/// Resource walls applied in the child between fork() and the callable.
+struct Limits {
+  std::uint64_t memory_bytes = 0;  // RLIMIT_AS (0 = inherit unlimited)
+  unsigned cpu_seconds = 0;        // RLIMIT_CPU (0 = inherit)
+};
+
+enum class ExitKind {
+  kRunning,      // not reaped yet
+  kExited,       // normal exit; see exit_code
+  kSignaled,     // killed by term_signal
+  kTimedOut,     // parent deadline expired; child was SIGKILLed
+  kSpawnFailed,  // fork()/pipe() failed; errno in exit_code
+};
+
+struct Status {
+  ExitKind kind = ExitKind::kRunning;
+  int exit_code = -1;
+  int term_signal = 0;
+};
+
+/// The child entry point.  Runs in the forked child with `out_fd` = the
+/// write end of the result pipe; the return value becomes the exit code
+/// (the child terminates with _exit, skipping static destructors — a
+/// forked copy must not run cleanup owned by the parent).
+using ChildFn = std::function<int(int out_fd)>;
+
+class Child {
+ public:
+  Child() = default;
+  ~Child();  // kills + reaps a still-running child
+
+  Child(Child&& other) noexcept;
+  Child& operator=(Child&& other) noexcept;
+  Child(const Child&) = delete;
+  Child& operator=(const Child&) = delete;
+
+  /// Fork a sandboxed child running `fn`.  On spawn failure the returned
+  /// Child has status().kind == kSpawnFailed and is not valid().
+  static Child spawn(const ChildFn& fn, const Limits& limits);
+
+  /// True while there is a live (or unreaped) child attached.
+  bool valid() const { return pid_ > 0; }
+  int pid() const { return pid_; }
+
+  /// Nonblocking read end of the child's result pipe (poll()-able), or -1.
+  int out_fd() const { return out_fd_; }
+
+  /// Drain whatever the pipe currently holds into *buf (appended).
+  /// Returns false once the pipe has reached EOF (child closed / died).
+  bool read_available(std::string* buf);
+
+  /// Nonblocking reap: returns true when the child has been reaped (status()
+  /// then holds the classification) — idempotent afterwards.
+  bool try_wait();
+
+  /// SIGKILL the child (classification happens at the next try_wait()).
+  void kill_hard();
+
+  /// Mark a parent-deadline expiry: SIGKILL, blocking reap, and classify
+  /// as kTimedOut regardless of how the kill lands.
+  void kill_timeout();
+
+  /// Deadline-bounded collect: drain the pipe and wait for exit for up to
+  /// `deadline_ms` (0 = forever); on expiry, kill_timeout().  Output is
+  /// appended to *buf (may be nullptr to discard).
+  const Status& wait(unsigned deadline_ms, std::string* buf);
+
+  const Status& status() const { return status_; }
+
+ private:
+  void close_fd();
+
+  int pid_ = -1;
+  int out_fd_ = -1;
+  Status status_;
+};
+
+/// One-shot convenience: spawn, collect all output, deadline-wait.
+struct RunResult {
+  Status status;
+  std::string output;
+};
+RunResult run(const ChildFn& fn, const Limits& limits, unsigned deadline_ms);
+
+/// poll(2) the given fds for readability; returns the index of one readable
+/// fd, or -1 on timeout (timeout_ms, 0 = return immediately).
+int poll_readable(const std::vector<int>& fds, int timeout_ms);
+
+}  // namespace rader::subprocess

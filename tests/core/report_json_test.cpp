@@ -34,7 +34,7 @@ TEST(ReportJson, SchemaEnvelopePresent) {
   const std::string json = report_json(meta, log);
 
   EXPECT_NE(json.find("\"schema\":\"rader.report\""), std::string::npos);
-  EXPECT_NE(json.find("\"schema_version\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":5"), std::string::npos);
   EXPECT_NE(json.find("\"program\":\"unit\""), std::string::npos);
   EXPECT_NE(json.find("\"check\":\"sp+\""), std::string::npos);
   EXPECT_NE(json.find("\"spec\":\"steal-triple(0,1,2)\""), std::string::npos);
@@ -67,10 +67,44 @@ TEST(ReportJson, SweepBlockAndMetricsWhenProvided) {
   const std::string json = report_json(meta, empty, &snap);
   EXPECT_NE(json.find("\"sweep\":{\"jobs\":4,\"budget\":10,"
                       "\"stop_first\":true,\"k\":3,\"depth\":2,"
-                      "\"spec_runs\":7,\"specs_skipped\":3}"),
+                      "\"spec_runs\":7,\"specs_skipped\":3,"
+                      "\"failures\":[]}"),
             std::string::npos);
   EXPECT_NE(json.find("\"metrics\":{\"counters\":{"), std::string::npos);
   EXPECT_NE(json.find("\"replay_handles\":[]"), std::string::npos);
+}
+
+TEST(ReportJson, SweepFailuresSerializeQuarantinedSpecs) {
+  ReportMeta meta;
+  meta.program = "p";
+  meta.check = "exhaustive";
+  meta.has_sweep = true;
+  meta.jobs = 2;
+  SweepFailure f;
+  f.index = 7;
+  f.spec = "steal-triple(0,1,2)";
+  f.cause = "signal";
+  f.signal = 11;
+  f.retries = 1;
+  f.postmortem = "/tmp/child-7-0.postmortem";
+  meta.failures.push_back(f);
+  f.index = 9;
+  f.spec = "steal-depth(3)";
+  f.cause = "timeout";
+  f.signal = 0;
+  f.retries = 2;
+  f.postmortem.clear();
+  meta.failures.push_back(f);
+  RaceLog empty;
+  const std::string json = report_json(meta, empty);
+  EXPECT_NE(
+      json.find("\"failures\":[{\"spec\":\"steal-triple(0,1,2)\",\"index\":7,"
+                "\"cause\":\"signal\",\"signal\":11,\"retries\":1,"
+                "\"postmortem\":\"/tmp/child-7-0.postmortem\"},"
+                "{\"spec\":\"steal-depth(3)\",\"index\":9,"
+                "\"cause\":\"timeout\",\"signal\":0,\"retries\":2,"
+                "\"postmortem\":\"\"}]"),
+      std::string::npos);
 }
 
 TEST(ReportJson, ReproFileStampAppearsInV3Races) {

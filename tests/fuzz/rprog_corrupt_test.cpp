@@ -1,0 +1,177 @@
+// Corrupt-reproducer regression tests (docs/ROBUSTNESS.md): every way a
+// `.rprog` file can be damaged — truncation, garbage, structural lies —
+// must come back as a clean load failure with a diagnostic, never an
+// uncaught exception.  `rader --repro=FILE` turns that failure into exit 2.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <optional>
+#include <string>
+
+#include "dag/program_serial.hpp"
+#include "fuzz/differ.hpp"
+
+namespace rader {
+namespace {
+
+std::string corpus_path(const std::string& name) {
+  return std::string(RADER_FUZZ_CORPUS_DIR) + "/" + name;
+}
+
+/// Write `text` to a temp file and return its path.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& text) {
+    char tmpl[] = "/tmp/rader_rprog_XXXXXX";
+    const int fd = ::mkstemp(tmpl);
+    EXPECT_GE(fd, 0);
+    path_ = tmpl;
+    {
+      std::ofstream out(path_, std::ios::binary);
+      out << text;
+    }
+    if (fd >= 0) ::close(fd);
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_FALSE(text.empty()) << path;
+  return text;
+}
+
+/// Loading must fail with a diagnostic — and must NOT throw.
+void expect_clean_failure(const std::string& text, const char* what) {
+  TempFile file(text);
+  std::string error;
+  std::optional<dag::Reproducer> repro;
+  ASSERT_NO_THROW(repro = dag::load_reproducer(file.path(), &error)) << what;
+  EXPECT_FALSE(repro.has_value()) << what;
+  EXPECT_FALSE(error.empty()) << what;
+}
+
+TEST(RprogCorrupt, MissingFileFailsCleanly) {
+  std::string error;
+  const auto repro =
+      dag::load_reproducer("/nonexistent/nowhere.rprog", &error);
+  EXPECT_FALSE(repro.has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(RprogCorrupt, EmptyAndGarbageFilesFailCleanly) {
+  expect_clean_failure("", "empty file");
+  expect_clean_failure("\n\n\n", "blank lines only");
+  expect_clean_failure("this is not an rprog file\n", "plain garbage");
+  expect_clean_failure("rprog v999\n", "unknown version");
+  std::string binary(256, '\0');
+  for (std::size_t i = 0; i < binary.size(); ++i) {
+    binary[i] = static_cast<char>(i * 7 + 1);
+  }
+  expect_clean_failure(binary, "binary noise");
+}
+
+TEST(RprogCorrupt, EveryTruncationOfACorpusFileFailsOrLoads) {
+  // Chop a valid reproducer at every line boundary: each prefix must either
+  // load (a complete file happens to end there) or fail with a diagnostic —
+  // never throw, never crash.  This is the torn-write / partial-download
+  // case for --repro.
+  const std::string good = read_file(corpus_path("view_read_race.rprog"));
+  std::size_t pos = 0;
+  int failures = 0;
+  while (pos < good.size()) {
+    const std::size_t nl = good.find('\n', pos);
+    const std::size_t cut = nl == std::string::npos ? good.size() : nl + 1;
+    TempFile file(good.substr(0, cut));
+    std::string error;
+    std::optional<dag::Reproducer> repro;
+    ASSERT_NO_THROW(repro = dag::load_reproducer(file.path(), &error))
+        << "truncated at byte " << cut;
+    if (!repro.has_value()) {
+      EXPECT_FALSE(error.empty()) << "truncated at byte " << cut;
+      ++failures;
+    }
+    pos = cut;
+  }
+  EXPECT_GT(failures, 0);  // at least the mid-program prefixes must fail
+}
+
+TEST(RprogCorrupt, MidLineTruncationFailsCleanly) {
+  const std::string good = read_file(corpus_path("view_read_race.rprog"));
+  for (const double frac : {0.25, 0.5, 0.75}) {
+    const auto cut = static_cast<std::size_t>(good.size() * frac);
+    expect_clean_failure(good.substr(0, cut), "mid-line truncation");
+  }
+}
+
+TEST(RprogCorrupt, StructuralDamageFailsCleanly) {
+  const std::string good = read_file(corpus_path("view_read_race.rprog"));
+
+  // Unbalanced braces: drop the final closer.
+  const auto last_brace = good.rfind('}');
+  ASSERT_NE(last_brace, std::string::npos);
+  expect_clean_failure(good.substr(0, last_brace), "missing closing brace");
+
+  // Garbage action inside the program body.
+  std::string bad_action = good;
+  const auto body = bad_action.find("program {");
+  ASSERT_NE(body, std::string::npos);
+  bad_action.insert(bad_action.find('\n', body) + 1,
+                    "    frobnicate loc=0\n");
+  expect_clean_failure(bad_action, "unknown action");
+
+  // Malformed numeric field.
+  std::string bad_number = good;
+  const auto red = bad_number.find("red=0");
+  ASSERT_NE(red, std::string::npos);
+  bad_number.replace(red, 5, "red=zz");
+  expect_clean_failure(bad_number, "malformed operand");
+
+  // A spec handle from_description rejects.
+  std::string bad_spec = good;
+  const auto spec_at = bad_spec.find("spec ");
+  ASSERT_NE(spec_at, std::string::npos);
+  const auto spec_end = bad_spec.find('\n', spec_at);
+  bad_spec.replace(spec_at, spec_end - spec_at, "spec steal-bogus(1,2)");
+  TempFile file(bad_spec);
+  std::string error;
+  std::optional<dag::Reproducer> repro;
+  ASSERT_NO_THROW(repro = dag::load_reproducer(file.path(), &error));
+  // Either the loader rejects the handle up front or the replay layer does;
+  // both are fine as long as nothing throws and a diagnostic lands.
+  if (repro.has_value()) {
+    std::string replay_error;
+    std::optional<fuzz::ReplayResult> replayed;
+    ASSERT_NO_THROW(replayed =
+                        fuzz::replay_reproducer(*repro, &replay_error));
+    EXPECT_FALSE(replayed.has_value());
+    EXPECT_FALSE(replay_error.empty());
+  } else {
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(RprogCorrupt, IntactCorpusStillLoadsAndReplays) {
+  // Guard the guard: the corpus file the damage cases start from must
+  // itself load and replay, or the tests above pass vacuously.
+  std::string error;
+  const auto repro =
+      dag::load_reproducer(corpus_path("view_read_race.rprog"), &error);
+  ASSERT_TRUE(repro.has_value()) << error;
+  const auto replayed = fuzz::replay_reproducer(*repro, &error);
+  ASSERT_TRUE(replayed.has_value()) << error;
+}
+
+}  // namespace
+}  // namespace rader

@@ -1,0 +1,99 @@
+// The fault-injection registry (support/faultpoint.hpp): spec parsing,
+// match semantics, and — through the subprocess sandbox — the crash/hang
+// kinds that can never be fired in-process, plus fork inheritance.
+#include "support/faultpoint.hpp"
+
+#include <gtest/gtest.h>
+#include <signal.h>
+
+#include <new>
+
+#include "support/subprocess.hpp"
+
+namespace rader {
+namespace {
+
+// Every test leaves the process disarmed: a leaked fault would make later
+// sweep tests misbehave "on purpose".
+struct DisarmGuard {
+  DisarmGuard() { faultpoint::disarm_all(); }
+  ~DisarmGuard() { faultpoint::disarm_all(); }
+};
+
+TEST(Faultpoint, MalformedSpecsArmNothing) {
+  DisarmGuard guard;
+  std::string error;
+  EXPECT_FALSE(faultpoint::arm("sweep.spec", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(faultpoint::arm("sweep.spec:frobnicate:3", &error));
+  EXPECT_FALSE(faultpoint::arm("sweep.spec:crash:", &error));
+  EXPECT_FALSE(faultpoint::arm(":crash:3", &error));
+  EXPECT_FALSE(faultpoint::arm("sweep.spec:crash:xyz", &error));
+  // All-or-nothing: one bad entry poisons the whole list.
+  EXPECT_FALSE(faultpoint::arm("sweep.spec:crash:1,bogus", &error));
+  EXPECT_EQ(faultpoint::armed_count(), 0u);
+  EXPECT_FALSE(faultpoint::any_armed());
+}
+
+TEST(Faultpoint, ArmIsAdditiveAndDisarmClears) {
+  DisarmGuard guard;
+  EXPECT_TRUE(faultpoint::arm("sweep.spec:oom:3"));
+  EXPECT_TRUE(faultpoint::arm("sweep.child:oom:*,sweep.spec:oom:9"));
+  EXPECT_EQ(faultpoint::armed_count(), 3u);
+  EXPECT_TRUE(faultpoint::any_armed());
+  faultpoint::disarm_all();
+  EXPECT_EQ(faultpoint::armed_count(), 0u);
+}
+
+TEST(Faultpoint, UnmatchedFireIsANoop) {
+  DisarmGuard guard;
+  ASSERT_TRUE(faultpoint::arm("sweep.spec:oom:3"));
+  faultpoint::fire(faultpoint::kSiteSweepSpec, 2);   // wrong detail
+  faultpoint::fire(faultpoint::kSiteSweepChild, 3);  // wrong site
+}
+
+TEST(Faultpoint, OomKindThrowsBadAllocAtTheMatchedDetail) {
+  DisarmGuard guard;
+  ASSERT_TRUE(faultpoint::arm("sweep.spec:oom:3"));
+  EXPECT_THROW(faultpoint::fire(faultpoint::kSiteSweepSpec, 3),
+               std::bad_alloc);
+}
+
+TEST(Faultpoint, WildcardMatchesEveryDetail) {
+  DisarmGuard guard;
+  ASSERT_TRUE(faultpoint::arm("sweep.spec:oom:*"));
+  EXPECT_THROW(faultpoint::fire(faultpoint::kSiteSweepSpec, 0),
+               std::bad_alloc);
+  EXPECT_THROW(faultpoint::fire(faultpoint::kSiteSweepSpec, 12345),
+               std::bad_alloc);
+}
+
+TEST(Faultpoint, CrashKindRaisesRealSigsegvInASandboxChild) {
+  DisarmGuard guard;
+  ASSERT_TRUE(faultpoint::arm("sweep.spec:crash:7"));
+  // Armed faults are inherited across fork(): the child fires the fault the
+  // parent armed — the exact mechanism the isolated sweep's retries rely on.
+  const auto r = subprocess::run(
+      [](int) {
+        faultpoint::fire(faultpoint::kSiteSweepSpec, 7);
+        return 0;
+      },
+      subprocess::Limits{}, 5000);
+  EXPECT_EQ(r.status.kind, subprocess::ExitKind::kSignaled);
+  EXPECT_EQ(r.status.term_signal, SIGSEGV);
+}
+
+TEST(Faultpoint, HangKindSleepsUntilTheDeadlineKill) {
+  DisarmGuard guard;
+  ASSERT_TRUE(faultpoint::arm("sweep.spec:hang:7"));
+  const auto r = subprocess::run(
+      [](int) {
+        faultpoint::fire(faultpoint::kSiteSweepSpec, 7);
+        return 0;
+      },
+      subprocess::Limits{}, 200);
+  EXPECT_EQ(r.status.kind, subprocess::ExitKind::kTimedOut);
+}
+
+}  // namespace
+}  // namespace rader

@@ -1,0 +1,185 @@
+// The fork-without-exec sandbox substrate (support/subprocess.hpp): exit
+// classification (exit / signal / timeout / oom), pipe plumbing, resource
+// walls, and the poll helper the isolated-sweep supervisor drives children
+// with.
+#include "support/subprocess.hpp"
+
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <new>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace rader::subprocess {
+namespace {
+
+void write_all(int fd, const std::string& text) {
+  std::size_t off = 0;
+  while (off < text.size()) {
+    const ssize_t n = ::write(fd, text.data() + off, text.size() - off);
+    if (n <= 0) break;
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+TEST(Subprocess, CleanExitDeliversOutputAndCode) {
+  const RunResult r = run(
+      [](int fd) {
+        write_all(fd, "hello from the child\n");
+        return 0;
+      },
+      Limits{}, 5000);
+  EXPECT_EQ(r.status.kind, ExitKind::kExited);
+  EXPECT_EQ(r.status.exit_code, 0);
+  EXPECT_EQ(r.output, "hello from the child\n");
+}
+
+TEST(Subprocess, NonzeroExitCodeSurvivesClassification) {
+  const RunResult r = run([](int) { return 42; }, Limits{}, 5000);
+  EXPECT_EQ(r.status.kind, ExitKind::kExited);
+  EXPECT_EQ(r.status.exit_code, 42);
+}
+
+TEST(Subprocess, ChildInheritsParentAddressSpace) {
+  // The whole point of fork-without-exec: parent-side state (here a local,
+  // in the sweep a ProgramFactory closure) is directly visible in the child.
+  const std::string token = "inherited-token-1234";
+  const RunResult r = run(
+      [&token](int fd) {
+        write_all(fd, token);
+        return 0;
+      },
+      Limits{}, 5000);
+  EXPECT_EQ(r.status.kind, ExitKind::kExited);
+  EXPECT_EQ(r.output, token);
+}
+
+TEST(Subprocess, FatalSignalClassifiesAsSignaled) {
+  const RunResult r = run(
+      [](int) {
+        ::raise(SIGSEGV);
+        return 0;
+      },
+      Limits{}, 5000);
+  EXPECT_EQ(r.status.kind, ExitKind::kSignaled);
+  EXPECT_EQ(r.status.term_signal, SIGSEGV);
+}
+
+TEST(Subprocess, SleepingHangHitsTheParentDeadline) {
+  // RLIMIT_CPU cannot catch a sleeper; only the parent's wall clock can.
+  const RunResult r = run(
+      [](int) {
+        for (;;) {
+          timespec ts{1, 0};
+          nanosleep(&ts, nullptr);
+        }
+        return 0;
+      },
+      Limits{}, 200);
+  EXPECT_EQ(r.status.kind, ExitKind::kTimedOut);
+}
+
+TEST(Subprocess, PartialOutputSurvivesATimeout) {
+  // Whatever the child shipped before wedging must still reach the parent —
+  // that is what lets the supervisor salvage completed specs from a shard
+  // that later hangs.
+  const RunResult r = run(
+      [](int fd) {
+        write_all(fd, "salvage me\n");
+        for (;;) {
+          timespec ts{1, 0};
+          nanosleep(&ts, nullptr);
+        }
+        return 0;
+      },
+      Limits{}, 200);
+  EXPECT_EQ(r.status.kind, ExitKind::kTimedOut);
+  EXPECT_EQ(r.output, "salvage me\n");
+}
+
+TEST(Subprocess, MemoryWallTurnsRunawayAllocIntoOomExit) {
+  Limits limits;
+  limits.memory_bytes = 512ull << 20;  // far above current use, far below 8G
+  const RunResult r = run(
+      [](int) {
+        std::vector<char*> keep;
+        for (int i = 0; i < 8192; ++i) {  // up to 8 GiB, 1 MiB at a time
+          char* chunk = new char[1u << 20];
+          for (std::size_t b = 0; b < (1u << 20); b += 4096) chunk[b] = 1;
+          keep.push_back(chunk);
+        }
+        return 0;
+      },
+      limits, 30000);
+  EXPECT_EQ(r.status.kind, ExitKind::kExited);
+  EXPECT_EQ(r.status.exit_code, kOomExitCode);
+}
+
+TEST(Subprocess, UncaughtExceptionExitsWithSentinelCode) {
+  const RunResult r = run(
+      [](int) -> int { throw std::runtime_error("boom"); }, Limits{}, 5000);
+  EXPECT_EQ(r.status.kind, ExitKind::kExited);
+  EXPECT_EQ(r.status.exit_code, kUncaughtExitCode);
+}
+
+TEST(Subprocess, KillHardThenTryWaitClassifiesSigkill) {
+  Child child = Child::spawn(
+      [](int) {
+        for (;;) {
+          timespec ts{1, 0};
+          nanosleep(&ts, nullptr);
+        }
+        return 0;
+      },
+      Limits{});
+  ASSERT_TRUE(child.valid());
+  child.kill_hard();
+  while (!child.try_wait()) {
+    timespec ts{0, 1'000'000};
+    nanosleep(&ts, nullptr);
+  }
+  EXPECT_EQ(child.status().kind, ExitKind::kSignaled);
+  EXPECT_EQ(child.status().term_signal, SIGKILL);
+  EXPECT_TRUE(child.try_wait());  // idempotent after the reap
+}
+
+TEST(Subprocess, PollReadableSeesChildOutput) {
+  Child child = Child::spawn(
+      [](int fd) {
+        write_all(fd, "ping\n");
+        return 0;
+      },
+      Limits{});
+  ASSERT_TRUE(child.valid());
+  ASSERT_GE(child.out_fd(), 0);
+  const int idx = poll_readable({child.out_fd()}, 5000);
+  EXPECT_EQ(idx, 0);
+  std::string buf;
+  while (child.read_available(&buf)) {
+  }
+  EXPECT_EQ(buf, "ping\n");
+  child.wait(5000, &buf);
+  EXPECT_EQ(child.status().kind, ExitKind::kExited);
+}
+
+TEST(Subprocess, PollReadableTimesOutOnSilence) {
+  Child child = Child::spawn(
+      [](int) {
+        timespec ts{0, 300'000'000};
+        nanosleep(&ts, nullptr);
+        return 0;
+      },
+      Limits{});
+  ASSERT_TRUE(child.valid());
+  EXPECT_EQ(poll_readable({child.out_fd()}, 0), -1);
+  std::string buf;
+  child.wait(5000, &buf);
+  EXPECT_EQ(child.status().kind, ExitKind::kExited);
+}
+
+}  // namespace
+}  // namespace rader::subprocess

@@ -132,6 +132,36 @@ bool arg_flag(int argc, char** argv, const std::string& key) {
   return arg_value(argc, argv, key, "0") != "0";
 }
 
+/// Every numeric CLI value goes through these instead of bare std::sto*:
+/// a typo ("--jobs=abc", "--scale=xyz") must be a one-line diagnostic and
+/// exit 2, never an uncaught std::invalid_argument.
+unsigned long long parse_number(const std::string& flag,
+                                const std::string& text, int base = 10) {
+  try {
+    std::size_t pos = 0;
+    const unsigned long long v = std::stoull(text, &pos, base);
+    if (pos != text.size() || text.empty()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "rader: invalid value for --%s: '%s'\n",
+                 flag.c_str(), text.c_str());
+    std::exit(2);
+  }
+}
+
+double parse_real(const std::string& flag, const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(text, &pos);
+    if (pos != text.size() || text.empty()) throw std::invalid_argument(text);
+    return v;
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "rader: invalid value for --%s: '%s'\n",
+                 flag.c_str(), text.c_str());
+    std::exit(2);
+  }
+}
+
 [[noreturn]] void usage_and_exit() {
   std::fprintf(
       stderr,
@@ -146,6 +176,9 @@ bool arg_flag(int argc, char** argv, const std::string& key) {
       "             [--metrics-out=FILE] [--metrics-interval-ms=N]\n"
       "             [--metrics-prom=FILE] [--watchdog-ms=N]\n"
       "             [--postmortem=FILE]\n"
+      "             [--isolate=none|procs] [--spec-timeout-ms=N]\n"
+      "             [--max-retries=K] [--child-mem-mb=M]\n"
+      "             [--watchdog-kill] [--postmortem-dir=DIR]\n"
       "       rader --repro=FILE [--format=text|json]\n"
       "       rader --list-metrics\n"
       "  NAME: collision|dedup|ferret|fib|knapsack|pbfs|fig1\n"
@@ -164,7 +197,15 @@ bool arg_flag(int argc, char** argv, const std::string& key) {
       "          P<1 keeps control-flow exact but may MISS races whose\n"
       "          granules were not sampled (never false positives)\n"
       "  HANDLE: a spec handle from a report's replay_handles, e.g.\n"
-      "          'steal-triple(0,1,2)' (the SPEC grammar is also accepted)\n");
+      "          'steal-triple(0,1,2)' (the SPEC grammar is also accepted)\n"
+      "  ISOLATE: procs = sandbox each sweep shard in a child process\n"
+      "          (docs/ROBUSTNESS.md); a crashing/hanging/OOMing spec is\n"
+      "          retried then quarantined into the report's\n"
+      "          sweep.failures[] instead of taking the run down.\n"
+      "          --spec-timeout-ms bounds one spec, --child-mem-mb caps\n"
+      "          child address space, --watchdog-kill lets the stall\n"
+      "          watchdog terminate (and quarantine) a wedged child,\n"
+      "          --postmortem-dir collects per-child crash postmortems\n");
   std::exit(2);
 }
 
@@ -183,7 +224,17 @@ std::unique_ptr<spec::StealSpec> parse_spec(const std::string& text) {
     return std::make_unique<spec::TripleSteal>(a, b, c);
   }
   if (kind == "depth") {
-    return std::make_unique<spec::DepthSteal>(std::stoull(args));
+    // Not parse_number: a malformed spec/replay argument is a usage error
+    // ("depth:abc" has no flag of its own), but still a clean exit 2.
+    std::size_t pos = 0;
+    unsigned long long depth = 0;
+    try {
+      depth = std::stoull(args, &pos);
+    } catch (const std::exception&) {
+      usage_and_exit();
+    }
+    if (pos != args.size() || args.empty()) usage_and_exit();
+    return std::make_unique<spec::DepthSteal>(depth);
   }
   if (kind == "random") {
     unsigned long long seed = 0;
@@ -320,13 +371,13 @@ int main(int argc, char** argv) {
   const std::string replay = arg_value(argc, argv, "replay", "");
   const std::string format = arg_value(argc, argv, "format", "text");
   const bool json = format == "json";
-  const double scale = std::stod(arg_value(argc, argv, "scale", "0.02"));
+  const double scale = parse_real("scale", arg_value(argc, argv, "scale", "0.02"));
   const auto k_cap = static_cast<std::uint32_t>(
-      std::stoul(arg_value(argc, argv, "k-cap", "8")));
+      parse_number("k-cap", arg_value(argc, argv, "k-cap", "8")));
   SweepOptions sweep;
-  sweep.threads =
-      static_cast<unsigned>(std::stoul(arg_value(argc, argv, "jobs", "1")));
-  sweep.budget = std::stoull(arg_value(argc, argv, "budget", "0"));
+  sweep.threads = static_cast<unsigned>(
+      parse_number("jobs", arg_value(argc, argv, "jobs", "1")));
+  sweep.budget = parse_number("budget", arg_value(argc, argv, "budget", "0"));
   sweep.stop_after_first_race =
       arg_value(argc, argv, "stop-first", "0") != "0";
   const std::string strategy =
@@ -340,13 +391,13 @@ int main(int argc, char** argv) {
       arg_value(argc, argv, "sample-rate", "");
   if (!sample_rate_text.empty()) {
     sweep.sampling.enabled = true;
-    sweep.sampling.rate = std::stod(sample_rate_text);
+    sweep.sampling.rate = parse_real("sample-rate", sample_rate_text);
     if (!(sweep.sampling.rate >= 0.0 && sweep.sampling.rate <= 1.0)) {
       std::fprintf(stderr, "rader: --sample-rate must be in [0,1]\n");
       usage_and_exit();
     }
-    sweep.sampling.seed = std::stoull(
-        arg_value(argc, argv, "sample-seed", "0x5eed"), nullptr, 0);
+    sweep.sampling.seed = parse_number(
+        "sample-seed", arg_value(argc, argv, "sample-seed", "0x5eed"), 0);
   }
   const std::string engine = arg_value(argc, argv, "engine", "serial");
   if (engine != "serial" && engine != "parallel") usage_and_exit();
@@ -364,10 +415,35 @@ int main(int argc, char** argv) {
     usage_and_exit();
   }
   sweep.progress = arg_flag(argc, argv, "progress");
-  sweep.metrics_interval_ms = static_cast<unsigned>(
-      std::stoul(arg_value(argc, argv, "metrics-interval-ms", "500")));
+  sweep.metrics_interval_ms = static_cast<unsigned>(parse_number(
+      "metrics-interval-ms",
+      arg_value(argc, argv, "metrics-interval-ms", "500")));
   sweep.watchdog_ms = static_cast<unsigned>(
-      std::stoul(arg_value(argc, argv, "watchdog-ms", "0")));
+      parse_number("watchdog-ms", arg_value(argc, argv, "watchdog-ms", "0")));
+  // Crash isolation (docs/ROBUSTNESS.md): sandbox sweep specs in child
+  // processes with per-spec deadlines, retry/quarantine, and memory caps.
+  const std::string isolate = arg_value(argc, argv, "isolate", "none");
+  if (isolate == "procs") {
+    sweep.isolation = SweepIsolation::kProcs;
+  } else if (isolate != "none") {
+    usage_and_exit();
+  }
+  sweep.spec_timeout_ms = static_cast<unsigned>(parse_number(
+      "spec-timeout-ms", arg_value(argc, argv, "spec-timeout-ms", "0")));
+  sweep.max_retries = static_cast<unsigned>(parse_number(
+      "max-retries", arg_value(argc, argv, "max-retries", "1")));
+  sweep.child_mem_mb = static_cast<unsigned>(parse_number(
+      "child-mem-mb", arg_value(argc, argv, "child-mem-mb", "0")));
+  sweep.watchdog_kill = arg_flag(argc, argv, "watchdog-kill");
+  sweep.postmortem_dir = arg_value(argc, argv, "postmortem-dir", "");
+  if (sweep.isolation == SweepIsolation::kNone &&
+      (sweep.spec_timeout_ms != 0 || sweep.watchdog_kill ||
+       sweep.child_mem_mb != 0 || !sweep.postmortem_dir.empty())) {
+    std::fprintf(stderr,
+                 "rader: --spec-timeout-ms/--watchdog-kill/--child-mem-mb/"
+                 "--postmortem-dir require --isolate=procs\n");
+    usage_and_exit();
+  }
   const std::string metrics_out_path =
       arg_value(argc, argv, "metrics-out", "");
   const std::string metrics_prom_path =
@@ -517,6 +593,18 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(result.spec_runs),
                  sweep.threads,
                  static_cast<unsigned long long>(result.specs_skipped));
+    for (const auto& failure : result.failures) {
+      std::fprintf(info,
+                   "quarantined: spec[%zu] %s (%s%s%s, %u retr%s)%s%s\n",
+                   failure.index, failure.spec.c_str(), failure.cause.c_str(),
+                   failure.signal != 0 ? " " : "",
+                   failure.signal != 0
+                       ? std::to_string(failure.signal).c_str()
+                       : "",
+                   failure.retries, failure.retries == 1 ? "y" : "ies",
+                   failure.postmortem.empty() ? "" : " postmortem: ",
+                   failure.postmortem.c_str());
+    }
     log = result.log;
     meta.has_sweep = true;
     meta.jobs = sweep.threads;
@@ -526,6 +614,7 @@ int main(int argc, char** argv) {
     meta.depth = result.depth;
     meta.spec_runs = result.spec_runs;
     meta.specs_skipped = result.specs_skipped;
+    meta.failures = result.failures;
   } else {
     usage_and_exit();
   }
